@@ -1,0 +1,80 @@
+//! Shared application plumbing.
+
+use ops_dsl::Block;
+use sycl_sim::Session;
+
+/// Result of one simulated application run.
+#[derive(Debug, Clone, Copy)]
+pub struct AppRun {
+    /// Total simulated wall-clock seconds.
+    pub elapsed: f64,
+    /// Fraction of time in boundary-style loops (the paper's launch-
+    /// overhead probe).
+    pub boundary_fraction: f64,
+    /// Effective bandwidth by the OP2 accounting rule, bytes/s.
+    pub effective_bandwidth: f64,
+    /// App-defined validation scalar (total energy, field norm, ...).
+    /// NaN on dry runs (nothing executed).
+    pub validation: f64,
+}
+
+/// A runnable application instance (size and iteration count baked in).
+pub trait App: Send + Sync {
+    /// Application id (matches `sycl_sim::quirks::apps`).
+    fn name(&self) -> &'static str;
+    /// The tuned work-group shape for the nd_range formulation — one
+    /// shape per app, exactly as the paper tuned.
+    fn nd_shape(&self) -> [usize; 3];
+    /// Run the app on a session, returning the timing/validation summary.
+    fn run(&self, session: &Session) -> AppRun;
+}
+
+/// The block used for *allocation*: full-size when the session executes
+/// kernels, tiny when dry-running (footprints never look at the data).
+pub fn alloc_block(session: &Session, logical: Block) -> Block {
+    if session.executes() {
+        logical
+    } else {
+        Block {
+            dims: [
+                logical.dims[0].min(4),
+                logical.dims[1].min(4),
+                logical.dims[2].clamp(1, 4),
+            ],
+            halo: logical.halo,
+        }
+    }
+}
+
+/// Finish a run: collect the session ledger into an [`AppRun`].
+pub fn summarise(session: &Session, validation: f64) -> AppRun {
+    AppRun {
+        elapsed: session.elapsed(),
+        boundary_fraction: session.boundary_fraction(),
+        effective_bandwidth: session.effective_bandwidth(),
+        validation,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sycl_sim::{PlatformId, SessionConfig, Toolchain};
+
+    #[test]
+    fn alloc_block_shrinks_only_for_dry_runs() {
+        let live = Session::create(
+            SessionConfig::new(PlatformId::A100, Toolchain::NativeCuda).app("t"),
+        )
+        .unwrap();
+        let dry = Session::create(
+            SessionConfig::new(PlatformId::A100, Toolchain::NativeCuda)
+                .app("t")
+                .dry_run(),
+        )
+        .unwrap();
+        let logical = Block::new_3d(100, 100, 100, 2);
+        assert_eq!(alloc_block(&live, logical).dims, [100, 100, 100]);
+        assert_eq!(alloc_block(&dry, logical).dims, [4, 4, 4]);
+    }
+}

@@ -1,0 +1,122 @@
+//! Criterion benches: one group per paper artifact, so `cargo bench`
+//! regenerates every table and figure, plus micro-benches of the core
+//! runtime primitives (pool, colouring, partitioner, model evaluation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1_stream_triad", |b| {
+        b.iter(|| black_box(bench_harness::table1_rows()))
+    });
+}
+
+fn bench_structured_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("structured_figures");
+    g.sample_size(10);
+    for p in portability::gpu_platforms()
+        .into_iter()
+        .chain(portability::cpu_platforms())
+    {
+        g.bench_function(format!("fig_structured_{}", p.label()), |b| {
+            b.iter(|| black_box(portability::structured_measurements(p).len()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_mgcfd_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mgcfd_figures");
+    g.sample_size(10);
+    for p in portability::gpu_platforms()
+        .into_iter()
+        .chain(portability::cpu_platforms())
+    {
+        g.bench_function(format!("fig_mgcfd_{}", p.label()), |b| {
+            b.iter(|| black_box(portability::unstructured_measurements(p).len()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_summary(c: &mut Criterion) {
+    let mut g = c.benchmark_group("summary");
+    g.sample_size(10);
+    g.bench_function("summary_stats_section44", |b| {
+        b.iter(|| black_box(bench_harness::summary_stats().pp_structured))
+    });
+    g.finish();
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    use op2_dsl::color::{GlobalColoring, HierColoring};
+    use op2_dsl::mesh::{Mesh, Ordering};
+    use op2_dsl::partition::Partition;
+
+    let mesh = Mesh::grid(32, 32, 16, Ordering::Natural);
+    c.bench_function("global_coloring_16k_vertices", |b| {
+        b.iter(|| black_box(GlobalColoring::build(&mesh.edges).n_colors()))
+    });
+    c.bench_function("hier_coloring_16k_vertices", |b| {
+        b.iter(|| black_box(HierColoring::build(&mesh.edges, 256).n_colors()))
+    });
+    c.bench_function("rcb_partition_16_parts", |b| {
+        b.iter(|| black_box(Partition::rcb(&mesh, 16).imbalance()))
+    });
+
+    let pool = parkit::ThreadPool::new(4);
+    let data: Vec<f64> = (0..1 << 16).map(|i| (i as f64).sin()).collect();
+    c.bench_function("parkit_reduce_64k", |b| {
+        b.iter(|| {
+            pool.reduce(data.len(), 4096, 0.0f64, |a, x| a + x, |r| {
+                r.map(|i| data[i]).sum::<f64>()
+            })
+        })
+    });
+
+    // One model evaluation (the innermost operation of every figure).
+    let platform = sycl_sim::Platform::get(sycl_sim::PlatformId::A100);
+    let fp = sycl_sim::KernelFootprint::streaming(
+        "triad",
+        1 << 25,
+        3.0 * 8.0 * (1 << 25) as f64,
+        2.0 * (1 << 25) as f64,
+        sycl_sim::Precision::F64,
+    );
+    let exec = sycl_sim::ExecProfile::native(sycl_sim::PlatformId::A100);
+    c.bench_function("machine_model_predict", |b| {
+        b.iter(|| black_box(machine_model::predict(&platform, &fp, &exec).total))
+    });
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("workgroup_sweep_rtm", |b| {
+        b.iter(|| {
+            black_box(sycl_sim::tune::sweep(
+                sycl_sim::PlatformId::A100,
+                sycl_sim::Toolchain::Dpcpp,
+                &bench_harness::ablation::rtm_wave_kernel(),
+            ))
+        })
+    });
+    g.bench_function("ordering_sweep_a100", |b| {
+        b.iter(|| black_box(bench_harness::ablation::ordering_sweep(sycl_sim::PlatformId::A100)))
+    });
+    g.bench_function("cache_capacity_sweep", |b| {
+        b.iter(|| black_box(bench_harness::ablation::cache_sweep()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_table1,
+    bench_structured_figures,
+    bench_mgcfd_figures,
+    bench_summary,
+    bench_primitives,
+    bench_ablations
+);
+criterion_main!(figures);

@@ -1,0 +1,4 @@
+//! Ablation: hierarchical-colouring block size on GPU vs CPU.
+fn main() {
+    print!("{}", bench_harness::ablation::block_size_sweep_text());
+}

@@ -1,0 +1,4 @@
+//! Ablation: LLC capacity vs stencil efficiency (MI250X -> Max 1100).
+fn main() {
+    print!("{}", bench_harness::ablation::cache_sweep_text());
+}

@@ -1,0 +1,4 @@
+//! Ablation: mesh ordering quality vs MG-CFD atomics runtime.
+fn main() {
+    print!("{}", bench_harness::ablation::ordering_sweep_text());
+}

@@ -1,0 +1,4 @@
+//! Ablation: work-group shape sweep for the radius-4 RTM kernel.
+fn main() {
+    print!("{}", bench_harness::ablation::workgroup_sweep_text());
+}

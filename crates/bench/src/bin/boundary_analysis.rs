@@ -1,0 +1,5 @@
+//! Boundary-loop time fractions: the kernel-launch-overhead probe the
+//! paper uses throughout §4.1/§4.2.
+fn main() {
+    print!("{}", bench_harness::boundary_fractions_text());
+}

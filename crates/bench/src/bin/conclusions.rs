@@ -1,0 +1,4 @@
+//! Regenerates the §5 conclusion aggregates (best native vs best SYCL).
+fn main() {
+    print!("{}", bench_harness::conclusions_text());
+}

@@ -1,0 +1,5 @@
+//! §4.1 consistency statistics: per-platform mean/std of best-variant
+//! efficiency over the structured applications.
+fn main() {
+    print!("{}", bench_harness::ablation::consistency_text());
+}

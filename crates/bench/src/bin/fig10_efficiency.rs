@@ -1,0 +1,4 @@
+//! Regenerates Figure 10: structured-mesh architectural efficiency.
+fn main() {
+    print!("{}", bench_harness::figure10_text());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 11: MG-CFD architectural efficiency.
+fn main() {
+    print!("{}", bench_harness::figure11_text());
+}

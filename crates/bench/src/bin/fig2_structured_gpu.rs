@@ -1,0 +1,7 @@
+//! Regenerates Figures 2-4: structured-mesh app runtimes on a GPU.
+//! Usage: fig2_structured_gpu [a100|mi250x|max1100]  (default a100)
+use sycl_sim::PlatformId;
+fn main() {
+    let p = bench_harness::parse_platform_arg(PlatformId::A100);
+    print!("{}", bench_harness::figure_structured_text(p));
+}

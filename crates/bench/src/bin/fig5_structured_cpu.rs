@@ -1,0 +1,7 @@
+//! Regenerates Figures 5-7: structured-mesh app runtimes on a CPU.
+//! Usage: fig5_structured_cpu [xeon8360y|genoax|altra]  (default xeon8360y)
+use sycl_sim::PlatformId;
+fn main() {
+    let p = bench_harness::parse_platform_arg(PlatformId::Xeon8360Y);
+    print!("{}", bench_harness::figure_structured_text(p));
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 9: MG-CFD (Rotor37) runtimes on the three CPUs.
+fn main() {
+    for p in portability::cpu_platforms() {
+        println!("{}", bench_harness::figure_mgcfd_text(p));
+    }
+}

@@ -1,0 +1,4 @@
+//! Regenerates the §4.1 in-text SYCL-vs-native runtime gap averages.
+fn main() {
+    print!("{}", bench_harness::gpu_gaps_text());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the in-text aggregates of §4.1-§4.4 (means, stds, PP̄).
+fn main() {
+    print!("{}", bench_harness::summary_text());
+}

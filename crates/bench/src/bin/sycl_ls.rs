@@ -1,0 +1,40 @@
+//! `sycl-ls` analogue: list the simulated devices, their calibration
+//! inputs, and which toolchains target them.
+use sycl_sim::Toolchain;
+
+fn main() {
+    println!("# Simulated platform inventory (calibration per DESIGN.md)\n");
+    for p in machine_model::all_platforms() {
+        println!("[{}] {}", p.id.label(), p.name);
+        println!(
+            "    STREAM {:.0} GB/s | LLC {:.0} MB @ {:.1} TB/s | launch {:.1} us | fp32 {:.1} TF | fp64 {:.1} TF",
+            p.mem.stream_bw / 1e9,
+            p.llc().size_bytes / 1e6,
+            p.llc().bandwidth / 1e12,
+            p.native_launch * 1e6,
+            p.fp32_flops / 1e12,
+            p.fp64_flops / 1e12,
+        );
+        println!(
+            "    ridge (f64): {:.1} FLOP/byte | atomics: {:.0} G/s FP, {:.0} G/s CAS",
+            p.ridge_point(machine_model::Precision::F64),
+            p.atomics.fp_add_per_s / 1e9,
+            p.atomics.cas_per_s / 1e9,
+        );
+        let toolchains: Vec<&str> = [
+            Toolchain::NativeCuda,
+            Toolchain::NativeHip,
+            Toolchain::OmpOffload,
+            Toolchain::Mpi,
+            Toolchain::MpiOpenMp,
+            Toolchain::OpenMp,
+            Toolchain::Dpcpp,
+            Toolchain::OpenSycl,
+        ]
+        .into_iter()
+        .filter(|tc| tc.supports(p.id))
+        .map(|tc| tc.label())
+        .collect();
+        println!("    toolchains: {}\n", toolchains.join(", "));
+    }
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 1: STREAM Triad bandwidth on all six platforms.
+fn main() {
+    print!("{}", bench_harness::table1_text());
+}

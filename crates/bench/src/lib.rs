@@ -1,0 +1,509 @@
+//! # bench-harness — regenerates every table and figure of the paper
+//!
+//! Each `fig*` binary prints the rows/series of one artifact:
+//!
+//! | Binary | Paper artifact |
+//! |--------|----------------|
+//! | `table1` | Table 1 — STREAM Triad bandwidth per platform |
+//! | `fig2_structured_gpu -- a100\|mi250x\|max1100` | Figures 2–4 — structured app runtimes on GPUs |
+//! | `fig5_structured_cpu -- xeon8360y\|genoax\|altra` | Figures 5–7 — structured app runtimes on CPUs |
+//! | `fig8_mgcfd_gpu` | Figure 8 — MG-CFD runtimes on GPUs |
+//! | `fig9_mgcfd_cpu` | Figure 9 — MG-CFD runtimes on CPUs |
+//! | `fig10_efficiency` | Figure 10 — structured-mesh efficiency heatmap |
+//! | `fig11_efficiency_mgcfd` | Figure 11 — MG-CFD efficiency heatmap |
+//! | `summary_stats` | §4.1–§4.4 in-text aggregates and PP̄ values |
+//!
+//! The same functions are exercised by the criterion benches in
+//! `benches/figures.rs`, so `cargo bench` regenerates everything too.
+
+pub mod ablation;
+
+use babelstream::BabelStream;
+use portability::{
+    format_table, mean, pennycook, std_dev, structured_measurements, unstructured_measurements,
+    MeasCell, Measurement,
+};
+use sycl_sim::{PlatformId, Scheme, Session, SessionConfig, Toolchain};
+
+/// Table 1: (platform, native toolchain, simulated Triad GB/s).
+pub fn table1_rows() -> Vec<(PlatformId, Toolchain, f64)> {
+    let cases = [
+        (PlatformId::Mi250x, Toolchain::NativeHip),
+        (PlatformId::A100, Toolchain::NativeCuda),
+        (PlatformId::Max1100, Toolchain::Dpcpp),
+        (PlatformId::Xeon8360Y, Toolchain::MpiOpenMp),
+        (PlatformId::GenoaX, Toolchain::MpiOpenMp),
+        (PlatformId::Altra, Toolchain::OpenMp),
+    ];
+    cases
+        .into_iter()
+        .map(|(p, tc)| {
+            let session = Session::create(
+                SessionConfig::new(p, tc).app("babelstream").dry_run(),
+            )
+            .expect("the Table-1 toolchains run BabelStream everywhere");
+            let n = babelstream::table1_len(session.platform());
+            let bw = BabelStream::triad_bandwidth(&session, n, 20);
+            (p, tc, bw / 1e9)
+        })
+        .collect()
+}
+
+/// Render Table 1 as text.
+pub fn table1_text() -> String {
+    let mut out = String::from(
+        "## Table 1: Achieved bandwidth on STREAM Triad (BabelStream)\n",
+    );
+    for (p, tc, gbs) in table1_rows() {
+        out.push_str(&format!(
+            "{:32} {:12} {:7.0} GB/s\n",
+            sycl_sim::Platform::get(p).name,
+            tc.label(),
+            gbs
+        ));
+    }
+    out
+}
+
+/// Figures 2–7: structured-app runtime table for one platform.
+pub fn figure_structured_text(platform: PlatformId) -> String {
+    let ms = structured_measurements(platform);
+    render_runtime_table(
+        &format!(
+            "Structured-mesh app runtimes on {} (simulated seconds)",
+            sycl_sim::Platform::get(platform).name
+        ),
+        &ms,
+        |m| m.app,
+    )
+}
+
+/// Figures 8–9: MG-CFD runtime table for one platform (rows = schemes).
+pub fn figure_mgcfd_text(platform: PlatformId) -> String {
+    let ms = unstructured_measurements(platform);
+    render_runtime_table(
+        &format!(
+            "MG-CFD (Rotor37) runtimes on {} (simulated seconds)",
+            sycl_sim::Platform::get(platform).name
+        ),
+        &ms,
+        |m| m.scheme.map(|s| s.label()).unwrap_or("-"),
+    )
+}
+
+fn render_runtime_table(
+    title: &str,
+    ms: &[Measurement],
+    row_key: impl Fn(&Measurement) -> &'static str,
+) -> String {
+    let mut rows: Vec<(&str, Vec<(String, MeasCell)>)> = Vec::new();
+    for m in ms {
+        let key = row_key(m);
+        let cell = match (&m.runtime, m.efficiency) {
+            (Ok(t), _) => MeasCell::Seconds(*t),
+            (Err(k), _) => MeasCell::Failed(*k),
+        };
+        match rows.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, cells)) => cells.push((m.variant.label(), cell)),
+            None => rows.push((key, vec![(m.variant.label(), cell)])),
+        }
+    }
+    format_table(title, &rows)
+}
+
+/// Figure 10: efficiency (fraction of STREAM) per structured app ×
+/// platform × variant.
+pub fn figure10_text() -> String {
+    let mut out = String::from("## Figure 10: achieved architectural efficiency (structured)\n");
+    for p in portability::gpu_platforms()
+        .into_iter()
+        .chain(portability::cpu_platforms())
+    {
+        let ms = structured_measurements(p);
+        let mut rows: Vec<(&str, Vec<(String, MeasCell)>)> = Vec::new();
+        for m in &ms {
+            let cell = match (&m.runtime, m.efficiency) {
+                (Ok(_), Some(e)) => MeasCell::Efficiency(e),
+                (Err(k), _) => MeasCell::Failed(*k),
+                _ => MeasCell::Failed(sycl_sim::FailureKind::RuntimeCrash),
+            };
+            match rows.iter_mut().find(|(k, _)| *k == m.app) {
+                Some((_, cells)) => cells.push((m.variant.label(), cell)),
+                None => rows.push((m.app, vec![(m.variant.label(), cell)])),
+            }
+        }
+        out.push_str(&format_table(p.label(), &rows));
+        out.push('\n');
+    }
+    out
+}
+
+/// Figure 11: MG-CFD efficiency per platform × variant × scheme.
+pub fn figure11_text() -> String {
+    let mut out = String::from("## Figure 11: achieved efficiency, MG-CFD (effective BW rule)\n");
+    for p in portability::gpu_platforms()
+        .into_iter()
+        .chain(portability::cpu_platforms())
+    {
+        let ms = unstructured_measurements(p);
+        let mut rows: Vec<(&str, Vec<(String, MeasCell)>)> = Vec::new();
+        for m in &ms {
+            let key = m.scheme.map(|s| s.label()).unwrap_or("-");
+            let cell = match (&m.runtime, m.efficiency) {
+                (Ok(_), Some(e)) => MeasCell::Efficiency(e),
+                (Err(k), _) => MeasCell::Failed(*k),
+                _ => MeasCell::Failed(sycl_sim::FailureKind::RuntimeCrash),
+            };
+            match rows.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, cells)) => cells.push((m.variant.label(), cell)),
+                None => rows.push((key, vec![(m.variant.label(), cell)])),
+            }
+        }
+        out.push_str(&format_table(p.label(), &rows));
+        out.push('\n');
+    }
+    out
+}
+
+/// §4.4's headline aggregates, computed exactly as the paper describes.
+#[derive(Debug, Clone)]
+pub struct SummaryStats {
+    /// Mean/std of best-native efficiency over structured (app, platform).
+    pub native_eff: (f64, f64),
+    /// Mean/std for DPC++ nd_range.
+    pub dpcpp_nd_eff: (f64, f64),
+    /// Mean/std for OpenSYCL nd_range.
+    pub opensycl_nd_eff: (f64, f64),
+    /// Mean for the flat variants.
+    pub dpcpp_flat_eff: (f64, f64),
+    pub opensycl_flat_eff: (f64, f64),
+    /// PP̄ over all six platforms, failures ignored (paper §4.4):
+    /// (DPC++ nd, OpenSYCL nd, DPC++ flat, OpenSYCL flat).
+    pub pp_structured: [f64; 4],
+    /// MG-CFD PP̄ for OpenSYCL+atomics, and for best-per-platform.
+    pub pp_mgcfd_opensycl_atomics: f64,
+    pub pp_mgcfd_best: f64,
+}
+
+/// Collect every structured measurement across all platforms.
+pub fn all_structured() -> Vec<Measurement> {
+    portability::gpu_platforms()
+        .into_iter()
+        .chain(portability::cpu_platforms())
+        .flat_map(structured_measurements)
+        .collect()
+}
+
+/// Collect every MG-CFD measurement across all platforms.
+pub fn all_mgcfd() -> Vec<Measurement> {
+    portability::gpu_platforms()
+        .into_iter()
+        .chain(portability::cpu_platforms())
+        .flat_map(unstructured_measurements)
+        .collect()
+}
+
+/// Compute the summary statistics.
+pub fn summary_stats() -> SummaryStats {
+    let all = all_structured();
+    let apps: Vec<&str> = {
+        let mut v: Vec<&str> = all.iter().map(|m| m.app).collect();
+        v.sort();
+        v.dedup();
+        v
+    };
+    let platforms: Vec<PlatformId> = portability::gpu_platforms()
+        .into_iter()
+        .chain(portability::cpu_platforms())
+        .collect();
+
+    // Best-native efficiency per (app, platform).
+    let mut native = Vec::new();
+    for &app in &apps {
+        for &p in &platforms {
+            let best = all
+                .iter()
+                .filter(|m| m.app == app && m.platform == p && m.variant.is_native())
+                .filter_map(|m| m.efficiency)
+                .fold(f64::NAN, f64::max);
+            if best.is_finite() {
+                native.push(best);
+            }
+        }
+    }
+
+    let sycl_effs = |tc: Toolchain, nd: bool| -> Vec<f64> {
+        all.iter()
+            .filter(|m| m.variant.toolchain == tc && m.variant.nd_range == nd)
+            .filter_map(|m| m.efficiency)
+            .collect()
+    };
+    let d_nd = sycl_effs(Toolchain::Dpcpp, true);
+    let o_nd = sycl_effs(Toolchain::OpenSycl, true);
+    let d_fl = sycl_effs(Toolchain::Dpcpp, false);
+    let o_fl = sycl_effs(Toolchain::OpenSycl, false);
+
+    // PP̄ per app, averaged over apps (failures ignored, §4.4).
+    let pp_for = |tc: Toolchain, nd: bool| -> f64 {
+        let per_app: Vec<f64> = apps
+            .iter()
+            .map(|&app| {
+                let es: Vec<Option<f64>> = platforms
+                    .iter()
+                    .map(|&p| {
+                        all.iter()
+                            .find(|m| {
+                                m.app == app
+                                    && m.platform == p
+                                    && m.variant.toolchain == tc
+                                    && m.variant.nd_range == nd
+                            })
+                            .and_then(|m| m.efficiency)
+                    })
+                    .collect();
+                pennycook(&es, true)
+            })
+            .collect();
+        mean(&per_app)
+    };
+
+    // MG-CFD PP̄s.
+    let mg = all_mgcfd();
+    let mg_eff = |p: PlatformId, tc: Toolchain, scheme: Scheme| -> Option<f64> {
+        mg.iter()
+            .filter(|m| {
+                m.platform == p && m.variant.toolchain == tc && m.scheme == Some(scheme)
+            })
+            .filter_map(|m| m.efficiency)
+            .fold(None, |acc: Option<f64>, e| {
+                Some(acc.map_or(e, |a| a.max(e)))
+            })
+    };
+    let pp_osa = {
+        let es: Vec<Option<f64>> = platforms
+            .iter()
+            .map(|&p| mg_eff(p, Toolchain::OpenSycl, Scheme::Atomics))
+            .collect();
+        pennycook(&es, false)
+    };
+    let pp_best = {
+        let es: Vec<Option<f64>> = platforms
+            .iter()
+            .map(|&p| {
+                mg.iter()
+                    .filter(|m| m.platform == p && m.variant.toolchain.is_sycl())
+                    .filter_map(|m| m.efficiency)
+                    .fold(None, |acc: Option<f64>, e| {
+                        Some(acc.map_or(e, |a| a.max(e)))
+                    })
+            })
+            .collect();
+        pennycook(&es, false)
+    };
+
+    SummaryStats {
+        native_eff: (mean(&native), std_dev(&native)),
+        dpcpp_nd_eff: (mean(&d_nd), std_dev(&d_nd)),
+        opensycl_nd_eff: (mean(&o_nd), std_dev(&o_nd)),
+        dpcpp_flat_eff: (mean(&d_fl), std_dev(&d_fl)),
+        opensycl_flat_eff: (mean(&o_fl), std_dev(&o_fl)),
+        pp_structured: [
+            pp_for(Toolchain::Dpcpp, true),
+            pp_for(Toolchain::OpenSycl, true),
+            pp_for(Toolchain::Dpcpp, false),
+            pp_for(Toolchain::OpenSycl, false),
+        ],
+        pp_mgcfd_opensycl_atomics: pp_osa,
+        pp_mgcfd_best: pp_best,
+    }
+}
+
+/// Render the summary with the paper's reference values alongside.
+pub fn summary_text() -> String {
+    let s = summary_stats();
+    let pct = |x: f64| format!("{:.0}%", x * 100.0);
+    let pair = |(m, sd): (f64, f64)| format!("{} (std {})", pct(m), pct(sd));
+    format!(
+        "## §4.4 summary aggregates (simulated vs paper)\n\
+         native best          : {:24} paper: 59% (std 21%)\n\
+         DPC++ nd_range       : {:24} paper: 54% (std 19%)\n\
+         OpenSYCL nd_range    : {:24} paper: 52% (std 21%)\n\
+         DPC++ flat           : {:24} paper: 47% (std 19%)\n\
+         OpenSYCL flat        : {:24} paper: 41% (std 19%)\n\
+         PP(DPC++ nd)         : {:<24.2} paper: 0.49\n\
+         PP(OpenSYCL nd)      : {:<24.2} paper: 0.46\n\
+         PP(DPC++ flat)       : {:<24.2} paper: 0.35\n\
+         PP(OpenSYCL flat)    : {:<24.2} paper: 0.29\n\
+         PP(MG-CFD OpenSYCL+atomics): {:<17.2} paper: 0.42\n\
+         PP(MG-CFD best SYCL) : {:<24.2} paper: 0.67\n",
+        pair(s.native_eff),
+        pair(s.dpcpp_nd_eff),
+        pair(s.opensycl_nd_eff),
+        pair(s.dpcpp_flat_eff),
+        pair(s.opensycl_flat_eff),
+        s.pp_structured[0],
+        s.pp_structured[1],
+        s.pp_structured[2],
+        s.pp_structured[3],
+        s.pp_mgcfd_opensycl_atomics,
+        s.pp_mgcfd_best,
+    )
+}
+
+/// §4.1's average SYCL-vs-native runtime gaps on one GPU: the mean over
+/// the structured apps of `t_sycl / t_native − 1` (positive = slower).
+pub fn gpu_gap(platform: PlatformId, tc: Toolchain, nd: bool, baseline: Toolchain) -> f64 {
+    let apps = miniapps::paper_structured_apps();
+    let mut gaps = Vec::new();
+    for app in &apps {
+        let base = portability::measure_structured(
+            app.as_ref(),
+            platform,
+            portability::StudyVariant { toolchain: baseline, nd_range: false },
+        );
+        let sycl = portability::measure_structured(
+            app.as_ref(),
+            platform,
+            portability::StudyVariant { toolchain: tc, nd_range: nd },
+        );
+        if let (Ok(tb), Ok(ts)) = (base.runtime, sycl.runtime) {
+            gaps.push(ts / tb - 1.0);
+        }
+    }
+    mean(&gaps)
+}
+
+/// Render §4.1's gap aggregates with the paper's values alongside.
+pub fn gpu_gaps_text() -> String {
+    let pct = |x: f64| format!("{:+.1}%", x * 100.0);
+    format!(
+        "## §4.1 average SYCL nd_range runtime gap vs native (structured apps)
+         A100    : DPC++ {:8} (paper +1.2%) | OpenSYCL {:8} (paper +5.3%)
+         MI250X  : DPC++ {:8} (paper +15.9%) | OpenSYCL {:8} (paper +4.5%)
+         MI250X vs Cray offload: DPC++ {:8} (paper +2.3%) | OpenSYCL {:8} (paper -9.1%)
+         Max 1100 vs OMP offload: DPC++ {:8} (paper -30.2%) | OpenSYCL {:8} (paper -27.6%)
+",
+        pct(gpu_gap(PlatformId::A100, Toolchain::Dpcpp, true, Toolchain::NativeCuda)),
+        pct(gpu_gap(PlatformId::A100, Toolchain::OpenSycl, true, Toolchain::NativeCuda)),
+        pct(gpu_gap(PlatformId::Mi250x, Toolchain::Dpcpp, true, Toolchain::NativeHip)),
+        pct(gpu_gap(PlatformId::Mi250x, Toolchain::OpenSycl, true, Toolchain::NativeHip)),
+        pct(gpu_gap(PlatformId::Mi250x, Toolchain::Dpcpp, true, Toolchain::OmpOffload)),
+        pct(gpu_gap(PlatformId::Mi250x, Toolchain::OpenSycl, true, Toolchain::OmpOffload)),
+        pct(gpu_gap(PlatformId::Max1100, Toolchain::Dpcpp, true, Toolchain::OmpOffload)),
+        pct(gpu_gap(PlatformId::Max1100, Toolchain::OpenSycl, true, Toolchain::OmpOffload)),
+    )
+}
+
+/// §5's conclusion aggregates: best-native vs best-SYCL efficiency,
+/// overall and split by GPU/CPU.
+pub struct ConclusionStats {
+    pub native_all: f64,
+    pub sycl_all: f64,
+    pub native_gpu: f64,
+    pub sycl_gpu: f64,
+    pub native_cpu: f64,
+    pub sycl_cpu: f64,
+}
+
+/// Compute §5's numbers over all seven applications.
+pub fn conclusion_stats() -> ConclusionStats {
+    let mut structured = all_structured();
+    structured.extend(all_mgcfd());
+    let platforms: Vec<PlatformId> = portability::gpu_platforms()
+        .into_iter()
+        .chain(portability::cpu_platforms())
+        .collect();
+    let apps: Vec<&str> = {
+        let mut v: Vec<&str> = structured.iter().map(|m| m.app).collect();
+        v.sort();
+        v.dedup();
+        v
+    };
+    let best = |p: PlatformId, app: &str, native: bool| -> Option<f64> {
+        structured
+            .iter()
+            .filter(|m| {
+                m.platform == p && m.app == app && m.variant.is_native() == native
+            })
+            .filter_map(|m| m.efficiency)
+            .fold(None, |acc: Option<f64>, e| Some(acc.map_or(e, |a| a.max(e))))
+    };
+    let collect = |native: bool, gpus: Option<bool>| -> f64 {
+        let vals: Vec<f64> = platforms
+            .iter()
+            .filter(|p| gpus.is_none_or(|g| p.is_gpu() == g))
+            .flat_map(|&p| apps.iter().filter_map(move |&a| best(p, a, native)))
+            .collect();
+        mean(&vals)
+    };
+    ConclusionStats {
+        native_all: collect(true, None),
+        sycl_all: collect(false, None),
+        native_gpu: collect(true, Some(true)),
+        sycl_gpu: collect(false, Some(true)),
+        native_cpu: collect(true, Some(false)),
+        sycl_cpu: collect(false, Some(false)),
+    }
+}
+
+/// Render §5's conclusions with the paper values alongside.
+pub fn conclusions_text() -> String {
+    let c = conclusion_stats();
+    let pct = |x: f64| format!("{:.1}%", x * 100.0);
+    format!(
+        "## §5 conclusions (best variant per app × platform)
+         all platforms : native {:6} vs SYCL {:6}   paper: 62.7% vs 59.1%
+         GPUs          : native {:6} vs SYCL {:6}   paper: 57.6% vs 62.7%
+         CPUs          : native {:6} vs SYCL {:6}   paper: 67.8% vs 55.5%
+",
+        pct(c.native_all),
+        pct(c.sycl_all),
+        pct(c.native_gpu),
+        pct(c.sycl_gpu),
+        pct(c.native_cpu),
+        pct(c.sycl_cpu),
+    )
+}
+
+/// Boundary-loop time fractions (the paper's kernel-launch probe):
+/// CloverLeaf 2D/3D per platform and toolchain.
+pub fn boundary_fractions_text() -> String {
+    let mut out = String::from(
+        "## Boundary-loop time fractions (paper anchors: A100 1.5%/7.8%,
+         ## MI250X 2.6%/11.1%, Max 0.9%/4.8%; Xeon DPC++ 5.4-8.7% vs
+         ## MPI+OpenMP 0.34% and OpenSYCL 1.2-2.5%)
+",
+    );
+    let apps: [Box<dyn miniapps::App>; 2] = [
+        Box::new(miniapps::CloverLeaf2d::paper()),
+        Box::new(miniapps::CloverLeaf3d::paper()),
+    ];
+    for p in portability::gpu_platforms()
+        .into_iter()
+        .chain(portability::cpu_platforms())
+    {
+        out.push_str(&format!("{}:
+", sycl_sim::Platform::get(p).name));
+        for variant in portability::variants_for(p) {
+            let mut row = format!("  {:18}", variant.label());
+            for app in &apps {
+                let m = portability::measure_structured(app.as_ref(), p, variant);
+                match m.boundary_fraction {
+                    Some(f) => row.push_str(&format!(" {:>6.2}%", f * 100.0)),
+                    None => row.push_str("    n/a"),
+                }
+            }
+            out.push_str(&row);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Parse a platform argument for the fig binaries.
+pub fn parse_platform_arg(default: PlatformId) -> PlatformId {
+    std::env::args()
+        .nth(1)
+        .and_then(|a| PlatformId::parse(&a))
+        .unwrap_or(default)
+}

@@ -1,0 +1,106 @@
+//! SYCL-style buffers.
+//!
+//! In real SYCL a `buffer` mediates host/device data movement; in this
+//! simulation kernels execute on the host, so a [`Buffer`] is a thin
+//! owner of the data that keeps the application code looking like the
+//! SYCL original and lets the runtime account transfer volumes.
+
+/// A typed, contiguous device-visible allocation.
+#[derive(Debug, Clone)]
+pub struct Buffer<T> {
+    data: Vec<T>,
+    name: String,
+}
+
+impl<T: Clone + Default> Buffer<T> {
+    /// Allocate `len` default-initialised elements.
+    pub fn zeroed(name: &str, len: usize) -> Self {
+        Buffer {
+            data: vec![T::default(); len],
+            name: name.to_owned(),
+        }
+    }
+}
+
+impl<T> Buffer<T> {
+    /// Wrap existing host data.
+    pub fn from_vec(name: &str, data: Vec<T>) -> Self {
+        Buffer {
+            data,
+            name: name.to_owned(),
+        }
+    }
+
+    /// Build from an index function.
+    pub fn from_fn(name: &str, len: usize, f: impl FnMut(usize) -> T) -> Self {
+        Buffer {
+            data: (0..len).map(f).collect(),
+            name: name.to_owned(),
+        }
+    }
+
+    /// Element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the buffer holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Buffer name (for reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Size in bytes.
+    pub fn bytes(&self) -> f64 {
+        (self.data.len() * std::mem::size_of::<T>()) as f64
+    }
+
+    /// Read access (the SYCL `accessor<read>` analogue).
+    pub fn read(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Write access (the SYCL `accessor<read_write>` analogue).
+    pub fn write(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consume the buffer, returning the host data.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let mut b = Buffer::<f64>::zeroed("u", 128);
+        assert_eq!(b.len(), 128);
+        assert!(!b.is_empty());
+        assert_eq!(b.bytes(), 1024.0);
+        b.write()[5] = 2.5;
+        assert_eq!(b.read()[5], 2.5);
+        assert_eq!(b.name(), "u");
+    }
+
+    #[test]
+    fn from_fn_fills_by_index() {
+        let b = Buffer::from_fn("idx", 10, |i| i as u32 * 2);
+        assert_eq!(b.read()[7], 14);
+        assert_eq!(b.into_vec().len(), 10);
+    }
+
+    #[test]
+    fn from_vec_round_trips() {
+        let v = vec![1i32, 2, 3];
+        let b = Buffer::from_vec("v", v.clone());
+        assert_eq!(b.into_vec(), v);
+    }
+}

@@ -1,0 +1,86 @@
+//! Failure modes observed in the paper's experiments.
+//!
+//! A failed variant is *data*, not an error to be retried: the figures in
+//! the paper mark bars as missing/incorrect, and the performance-
+//! portability metric treats unsupported combinations specially. We model
+//! that with a typed failure carried through to reporting.
+
+use std::fmt;
+
+/// Why a (platform, toolchain, variant, app) combination produced no
+/// valid measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FailureKind {
+    /// The toolchain does not target this platform at all (e.g. DPC++ has
+    /// no aarch64 CPU backend, CUDA only targets NVIDIA).
+    Unsupported,
+    /// Compilation failed (the paper reports internal compiler errors,
+    /// mostly from OpenSYCL, for several MG-CFD CPU variants).
+    CompileError,
+    /// The binary crashed at run time.
+    RuntimeCrash,
+    /// The run completed but validation failed (e.g. CloverLeaf 2D with
+    /// DPC++-flat / OpenSYCL on Genoa-X).
+    IncorrectResult,
+}
+
+impl fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FailureKind::Unsupported => "unsupported target",
+            FailureKind::CompileError => "compile error",
+            FailureKind::RuntimeCrash => "runtime crash",
+            FailureKind::IncorrectResult => "incorrect result",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A failure together with its provenance, for reports.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    pub kind: FailureKind,
+    /// Human-readable explanation (usually citing the paper's section).
+    pub detail: String,
+}
+
+impl Failure {
+    pub fn new(kind: FailureKind, detail: impl Into<String>) -> Self {
+        Failure {
+            kind,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind, self.detail)
+    }
+}
+
+impl std::error::Error for Failure {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let f = Failure::new(FailureKind::IncorrectResult, "validation mismatch");
+        let s = f.to_string();
+        assert!(s.contains("incorrect result"));
+        assert!(s.contains("validation mismatch"));
+    }
+
+    #[test]
+    fn kinds_are_distinct() {
+        use FailureKind::*;
+        let kinds = [Unsupported, CompileError, RuntimeCrash, IncorrectResult];
+        for (i, a) in kinds.iter().enumerate() {
+            for (j, b) in kinds.iter().enumerate() {
+                assert_eq!(i == j, a == b);
+            }
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Floating-point genericity: the applications run in the paper's
+//! precisions (CloverLeaf/OpenSBLI/MG-CFD in f64, RTM/Acoustic in f32).
+
+use machine_model::Precision;
+
+/// A real scalar type usable in kernels.
+pub trait Real:
+    Copy
+    + Send
+    + Sync
+    + PartialOrd
+    + std::fmt::Debug
+    + std::fmt::Display
+    + std::ops::Add<Output = Self>
+    + std::ops::Sub<Output = Self>
+    + std::ops::Mul<Output = Self>
+    + std::ops::Div<Output = Self>
+    + std::ops::Neg<Output = Self>
+    + std::ops::AddAssign
+    + 'static
+{
+    /// The machine-model precision tag.
+    const PRECISION: Precision;
+    /// Bytes per element.
+    const BYTES: f64;
+
+    fn zero() -> Self;
+    fn one() -> Self;
+    fn from_f64(x: f64) -> Self;
+    fn to_f64(self) -> f64;
+    fn abs(self) -> Self;
+    fn sqrt(self) -> Self;
+    fn min2(self, other: Self) -> Self;
+    fn max2(self, other: Self) -> Self;
+
+    /// Atomically `*ptr += val` via a CAS loop on the bit pattern — the
+    /// "safe atomics" path every CPU (and OpenSYCL on the MI250X) uses.
+    ///
+    /// # Safety
+    /// `ptr` must be valid, properly aligned, and only accessed atomically
+    /// (or not at all) by other threads for the duration of the call.
+    unsafe fn atomic_add(ptr: *mut Self, val: Self);
+}
+
+impl Real for f32 {
+    const PRECISION: Precision = Precision::F32;
+    const BYTES: f64 = 4.0;
+
+    fn zero() -> Self {
+        0.0
+    }
+    fn one() -> Self {
+        1.0
+    }
+    fn from_f64(x: f64) -> Self {
+        x as f32
+    }
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    fn abs(self) -> Self {
+        f32::abs(self)
+    }
+    fn sqrt(self) -> Self {
+        f32::sqrt(self)
+    }
+    fn min2(self, other: Self) -> Self {
+        f32::min(self, other)
+    }
+    fn max2(self, other: Self) -> Self {
+        f32::max(self, other)
+    }
+
+    unsafe fn atomic_add(ptr: *mut Self, val: Self) {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        // SAFETY: caller guarantees validity/alignment/atomic access.
+        let atom = unsafe { AtomicU32::from_ptr(ptr.cast::<u32>()) };
+        let mut cur = atom.load(Ordering::Relaxed);
+        loop {
+            let next = (f32::from_bits(cur) + val).to_bits();
+            match atom.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(observed) => cur = observed,
+            }
+        }
+    }
+}
+
+impl Real for f64 {
+    const PRECISION: Precision = Precision::F64;
+    const BYTES: f64 = 8.0;
+
+    fn zero() -> Self {
+        0.0
+    }
+    fn one() -> Self {
+        1.0
+    }
+    fn from_f64(x: f64) -> Self {
+        x
+    }
+    fn to_f64(self) -> f64 {
+        self
+    }
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+    fn sqrt(self) -> Self {
+        f64::sqrt(self)
+    }
+    fn min2(self, other: Self) -> Self {
+        f64::min(self, other)
+    }
+    fn max2(self, other: Self) -> Self {
+        f64::max(self, other)
+    }
+
+    unsafe fn atomic_add(ptr: *mut Self, val: Self) {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        // SAFETY: caller guarantees validity/alignment/atomic access.
+        let atom = unsafe { AtomicU64::from_ptr(ptr.cast::<u64>()) };
+        let mut cur = atom.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + val).to_bits();
+            match atom.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(observed) => cur = observed,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Real>() {
+        assert_eq!(T::zero().to_f64(), 0.0);
+        assert_eq!(T::one().to_f64(), 1.0);
+        assert_eq!(T::from_f64(2.0).to_f64(), 2.0);
+        assert_eq!(T::from_f64(-3.0).abs().to_f64(), 3.0);
+        assert_eq!(T::from_f64(9.0).sqrt().to_f64(), 3.0);
+        assert_eq!(T::from_f64(1.0).min2(T::from_f64(2.0)).to_f64(), 1.0);
+        assert_eq!(T::from_f64(1.0).max2(T::from_f64(2.0)).to_f64(), 2.0);
+    }
+
+    #[test]
+    fn atomic_adds_accumulate_under_contention() {
+        let mut target = 0.0f64;
+        let p = std::ptr::addr_of_mut!(target) as usize;
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        // SAFETY: all threads use only atomic_add on this location.
+                        unsafe { f64::atomic_add(p as *mut f64, 1.0) };
+                    }
+                });
+            }
+        });
+        assert_eq!(target, 4000.0);
+
+        let mut t32 = 0.0f32;
+        let p32 = std::ptr::addr_of_mut!(t32) as usize;
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        // SAFETY: as above.
+                        unsafe { f32::atomic_add(p32 as *mut f32, 0.5) };
+                    }
+                });
+            }
+        });
+        assert_eq!(t32, 200.0);
+    }
+
+    #[test]
+    fn both_precisions_behave() {
+        roundtrip::<f32>();
+        roundtrip::<f64>();
+        assert_eq!(f32::PRECISION, Precision::F32);
+        assert_eq!(f64::PRECISION, Precision::F64);
+        assert_eq!(f32::BYTES, 4.0);
+        assert_eq!(f64::BYTES, 8.0);
+    }
+}

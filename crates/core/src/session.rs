@@ -1,0 +1,438 @@
+//! Sessions: the simulated analogue of "compile the app with toolchain X
+//! and run it on machine Y".
+//!
+//! A [`Session`] owns the simulated clock and a per-launch ledger. Every
+//! [`Session::launch`] call (i) checks the quirk matrix, (ii) asks the
+//! toolchain model for an [`ExecProfile`], (iii) prices the launch on the
+//! platform model, (iv) runs the kernel body *functionally* so the
+//! application's numerics are real, and (v) records the result.
+
+use crate::error::Failure;
+use crate::kernel::Kernel;
+use crate::quirks;
+use crate::toolchain::{Scheme, SyclVariant, Toolchain};
+use machine_model::{predict, KernelTime, Platform, PlatformId};
+use parking_lot::Mutex;
+
+/// Intra-node MPI message latency (shared-memory transport).
+const MSG_LATENCY: f64 = 0.8e-6;
+
+/// One priced kernel launch.
+#[derive(Debug, Clone)]
+pub struct LaunchRecord {
+    pub name: String,
+    pub time: KernelTime,
+    pub items: u64,
+    pub effective_bytes: f64,
+    /// Small boundary-style loop (latency-dominated)?
+    pub boundary: bool,
+}
+
+/// Everything needed to create a session.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    pub platform: PlatformId,
+    pub toolchain: Toolchain,
+    pub variant: SyclVariant,
+    pub app: String,
+    pub scheme: Option<Scheme>,
+    /// When set, kernel bodies are *not* executed — launches are priced
+    /// analytically only. Used by the figure harness to run paper-sized
+    /// problems (e.g. 1000³ Acoustic, 8M-vertex MG-CFD) whose footprints
+    /// depend only on sizes; functional validation happens at reduced
+    /// sizes in the test suite.
+    pub dry_run: bool,
+}
+
+impl SessionConfig {
+    /// Start a config; variant defaults to `Flat`, app to "unnamed".
+    pub fn new(platform: PlatformId, toolchain: Toolchain) -> Self {
+        SessionConfig {
+            platform,
+            toolchain,
+            variant: SyclVariant::Flat,
+            app: "unnamed".to_owned(),
+            scheme: None,
+            dry_run: false,
+        }
+    }
+
+    /// Set the SYCL formulation (ignored by native toolchains).
+    pub fn variant(mut self, v: SyclVariant) -> Self {
+        self.variant = v;
+        self
+    }
+
+    /// Name the application (drives the quirk matrix).
+    pub fn app(mut self, app: &str) -> Self {
+        self.app = app.to_owned();
+        self
+    }
+
+    /// Set the unstructured race-resolution scheme.
+    pub fn scheme(mut self, s: Scheme) -> Self {
+        self.scheme = Some(s);
+        self
+    }
+
+    /// Price launches without executing kernel bodies (see `dry_run`).
+    pub fn dry_run(mut self) -> Self {
+        self.dry_run = true;
+        self
+    }
+}
+
+struct State {
+    elapsed: f64,
+    comm_time: f64,
+    records: Vec<LaunchRecord>,
+}
+
+/// A live (platform × toolchain × variant × app) execution context.
+pub struct Session {
+    platform: Platform,
+    cfg: SessionConfig,
+    state: Mutex<State>,
+}
+
+impl Session {
+    /// Create a session, failing exactly when the paper reports the
+    /// combination failed (unsupported target, miscompilation, ...).
+    pub fn create(cfg: SessionConfig) -> Result<Session, Failure> {
+        if let Some(fail) = quirks::check(
+            &cfg.app,
+            cfg.platform,
+            cfg.toolchain,
+            cfg.variant,
+            cfg.scheme,
+        ) {
+            return Err(fail);
+        }
+        Ok(Session {
+            platform: Platform::get(cfg.platform),
+            cfg,
+            state: Mutex::new(State {
+                elapsed: 0.0,
+                comm_time: 0.0,
+                records: Vec::new(),
+            }),
+        })
+    }
+
+    /// The hardware model this session runs on.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.cfg
+    }
+
+    /// MPI ranks this toolchain decomposes the node into.
+    pub fn ranks(&self) -> usize {
+        self.cfg.toolchain.ranks(&self.platform)
+    }
+
+    /// The atomic path kernels get in this session.
+    pub fn atomic_kind(&self) -> machine_model::AtomicKind {
+        quirks::atomic_kind(self.cfg.platform, self.cfg.toolchain)
+    }
+
+    /// Price and record one kernel launch, then run `body` functionally.
+    /// Returns whatever the body returns.
+    pub fn launch<R>(&self, kernel: &Kernel, body: impl FnOnce() -> R) -> R {
+        let (r, _) = self.launch_timed(kernel, body);
+        r
+    }
+
+    /// True when kernel bodies should actually execute.
+    pub fn executes(&self) -> bool {
+        !self.cfg.dry_run
+    }
+
+    /// Like [`Session::launch`], also returning the simulated timing.
+    pub fn launch_timed<R>(&self, kernel: &Kernel, body: impl FnOnce() -> R) -> (R, KernelTime) {
+        let exec = self
+            .cfg
+            .toolchain
+            .exec_profile(&self.platform, self.cfg.variant, kernel);
+
+        // Toolchain quirks can downgrade the atomic path (MI250X +
+        // OpenSYCL loses the unsafe atomics).
+        let mut footprint = kernel.footprint.clone();
+        if let Some(a) = footprint.atomics.as_mut() {
+            a.kind = self.atomic_kind();
+        }
+
+        let time = predict(&self.platform, &footprint, &exec);
+        {
+            let mut st = self.state.lock();
+            st.elapsed += time.total;
+            st.records.push(LaunchRecord {
+                name: footprint.name.clone(),
+                time,
+                items: footprint.items,
+                effective_bytes: footprint.effective_bytes,
+                boundary: footprint.is_boundary(),
+            });
+        }
+        (body(), time)
+    }
+
+    /// Account a host→device (or device→host) transfer of `bytes`.
+    /// Free on CPU platforms, priced at the interconnect bandwidth plus
+    /// a fixed setup latency on GPUs — the cost SYCL buffers hide behind
+    /// accessor creation.
+    pub fn transfer(&self, bytes: f64) {
+        let Some(bw) = self.platform.interconnect_bw else {
+            return;
+        };
+        let t = 10.0e-6 + bytes / bw;
+        let mut st = self.state.lock();
+        st.elapsed += t;
+        st.comm_time += t;
+    }
+
+    /// Account a halo exchange between the session's MPI ranks:
+    /// `messages` point-to-point messages moving `bytes` in total.
+    /// Single-rank sessions exchange nothing.
+    pub fn exchange(&self, bytes: f64, messages: u64) {
+        if self.ranks() <= 1 {
+            return;
+        }
+        // Shared-memory MPI: latency per message plus a copy through the
+        // memory system (in + out ⇒ half of STREAM).
+        let t = messages as f64 * MSG_LATENCY + bytes / (0.5 * self.platform.mem.stream_bw);
+        let mut st = self.state.lock();
+        st.elapsed += t;
+        st.comm_time += t;
+    }
+
+    /// Total simulated seconds so far.
+    pub fn elapsed(&self) -> f64 {
+        self.state.lock().elapsed
+    }
+
+    /// Simulated seconds spent in halo exchanges.
+    pub fn comm_time(&self) -> f64 {
+        self.state.lock().comm_time
+    }
+
+    /// Snapshot of all launch records.
+    pub fn records(&self) -> Vec<LaunchRecord> {
+        self.state.lock().records.clone()
+    }
+
+    /// Fraction of simulated time spent in boundary-style loops — the
+    /// quantity the paper uses to expose launch overheads.
+    pub fn boundary_fraction(&self) -> f64 {
+        let st = self.state.lock();
+        if st.elapsed <= 0.0 {
+            return 0.0;
+        }
+        let b: f64 = st
+            .records
+            .iter()
+            .filter(|r| r.boundary)
+            .map(|r| r.time.total)
+            .sum();
+        b / st.elapsed
+    }
+
+    /// Aggregate (kernel name → total seconds, launches), sorted by cost.
+    pub fn kernel_summary(&self) -> Vec<(String, f64, usize)> {
+        use std::collections::HashMap;
+        let st = self.state.lock();
+        let mut agg: HashMap<&str, (f64, usize)> = HashMap::new();
+        for r in &st.records {
+            let e = agg.entry(r.name.as_str()).or_insert((0.0, 0));
+            e.0 += r.time.total;
+            e.1 += 1;
+        }
+        let mut out: Vec<(String, f64, usize)> = agg
+            .into_iter()
+            .map(|(k, (t, n))| (k.to_owned(), t, n))
+            .collect();
+        out.sort_by(|a, b| b.1.total_cmp(&a.1));
+        out
+    }
+
+    /// Weighted-average effective bandwidth over all launches
+    /// (the OP2 §4.3 reporting rule), bytes/s.
+    pub fn effective_bandwidth(&self) -> f64 {
+        let st = self.state.lock();
+        let bytes: f64 = st.records.iter().map(|r| r.effective_bytes).sum();
+        if st.elapsed > 0.0 {
+            bytes / st.elapsed
+        } else {
+            0.0
+        }
+    }
+
+    /// Render a per-kernel cost breakdown (the paper's per-kernel
+    /// profiling view: where the time goes, boundary flags, effective
+    /// bandwidths).
+    pub fn explain(&self) -> String {
+        let total = self.elapsed().max(1e-30);
+        let mut out = format!(
+            "# {} | {} | {} | total {:.3} ms ({} launches, {:.1}% boundary)\n",
+            self.platform.name,
+            self.cfg.toolchain.label(),
+            self.cfg.variant.label(),
+            total * 1e3,
+            self.records().len(),
+            self.boundary_fraction() * 100.0
+        );
+        out.push_str("kernel                sec      %time  launches  GB/s(eff)\n");
+        for (name, secs, count) in self.kernel_summary() {
+            let bytes: f64 = {
+                let st = self.state.lock();
+                st.records
+                    .iter()
+                    .filter(|r| r.name == name)
+                    .map(|r| r.effective_bytes)
+                    .sum()
+            };
+            out.push_str(&format!(
+                "{:20} {:9.5} {:6.1}% {:9} {:10.0}\n",
+                name,
+                secs,
+                secs / total * 100.0,
+                count,
+                bytes / secs.max(1e-30) / 1e9
+            ));
+        }
+        out
+    }
+
+    /// Reset the clock and ledger (e.g. after warm-up iterations).
+    pub fn reset(&self) {
+        let mut st = self.state.lock();
+        st.elapsed = 0.0;
+        st.comm_time = 0.0;
+        st.records.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quirks::apps;
+
+    fn session(p: PlatformId, tc: Toolchain) -> Session {
+        Session::create(SessionConfig::new(p, tc).app("test")).unwrap()
+    }
+
+    #[test]
+    fn launch_advances_the_clock_and_runs_the_body() {
+        let s = session(PlatformId::A100, Toolchain::NativeCuda);
+        let k = Kernel::streaming("copy", 1 << 20, 2.0 * 8.0 * (1 << 20) as f64, 0.0);
+        let mut ran = false;
+        s.launch(&k, || ran = true);
+        assert!(ran);
+        assert!(s.elapsed() > 0.0);
+        assert_eq!(s.records().len(), 1);
+    }
+
+    #[test]
+    fn quirky_configs_refuse_to_build() {
+        let cfg = SessionConfig::new(PlatformId::Altra, Toolchain::Dpcpp).app(apps::RTM);
+        assert!(Session::create(cfg).is_err());
+        let cfg = SessionConfig::new(PlatformId::GenoaX, Toolchain::OpenSycl)
+            .app(apps::CLOVERLEAF2D)
+            .variant(SyclVariant::NdRange([64, 4, 1]));
+        assert!(Session::create(cfg).is_err());
+    }
+
+    #[test]
+    fn exchange_is_free_on_single_rank_sessions() {
+        let gpu = session(PlatformId::A100, Toolchain::NativeCuda);
+        gpu.exchange(1e9, 100);
+        assert_eq!(gpu.comm_time(), 0.0);
+
+        let cpu = session(PlatformId::Xeon8360Y, Toolchain::Mpi);
+        cpu.exchange(1e9, 100);
+        assert!(cpu.comm_time() > 0.0);
+        assert_eq!(cpu.elapsed(), cpu.comm_time());
+    }
+
+    #[test]
+    fn kernel_summary_aggregates_by_name() {
+        let s = session(PlatformId::A100, Toolchain::NativeCuda);
+        let k1 = Kernel::streaming("a", 1 << 16, 1e6, 0.0);
+        let k2 = Kernel::streaming("b", 1 << 20, 1e8, 0.0);
+        for _ in 0..3 {
+            s.launch(&k1, || ());
+        }
+        s.launch(&k2, || ());
+        let sum = s.kernel_summary();
+        assert_eq!(sum.len(), 2);
+        assert_eq!(sum[0].0, "b", "bigger kernel sorts first");
+        assert_eq!(sum[1].2, 3);
+    }
+
+    #[test]
+    fn boundary_fraction_reflects_tiny_loops() {
+        let s = session(PlatformId::Mi250x, Toolchain::NativeHip);
+        let big = Kernel::streaming("interior", 1 << 24, 3.0 * 8.0 * (1 << 24) as f64, 0.0);
+        let tiny = Kernel::streaming("halo", 512, 2.0 * 8.0 * 512.0, 0.0);
+        s.launch(&big, || ());
+        for _ in 0..20 {
+            s.launch(&tiny, || ());
+        }
+        let f = s.boundary_fraction();
+        assert!(f > 0.0 && f < 1.0);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let s = session(PlatformId::A100, Toolchain::NativeCuda);
+        s.launch(&Kernel::streaming("x", 1 << 16, 1e6, 0.0), || ());
+        s.reset();
+        assert_eq!(s.elapsed(), 0.0);
+        assert!(s.records().is_empty());
+    }
+
+    #[test]
+    fn effective_bandwidth_uses_the_op2_rule() {
+        let s = session(PlatformId::A100, Toolchain::NativeCuda);
+        let k = Kernel::streaming("triad", 1 << 26, 3.0 * 8.0 * (1 << 26) as f64, 0.0);
+        s.launch(&k, || ());
+        let bw = s.effective_bandwidth();
+        assert!(bw > 0.5 * s.platform().mem.stream_bw);
+        assert!(bw <= 1.01 * s.platform().mem.stream_bw);
+    }
+
+    #[test]
+    fn explain_renders_the_ledger() {
+        let s = session(PlatformId::A100, Toolchain::NativeCuda);
+        s.launch(&Kernel::streaming("triad", 1 << 20, 3e7, 0.0), || ());
+        s.launch(&Kernel::streaming("copy", 1 << 20, 2e7, 0.0), || ());
+        let text = s.explain();
+        assert!(text.contains("triad"));
+        assert!(text.contains("copy"));
+        assert!(text.contains("NVIDIA A100"));
+        assert!(text.contains("2 launches"));
+    }
+
+    #[test]
+    fn transfers_cost_on_gpus_and_are_free_on_cpus() {
+        let gpu = session(PlatformId::A100, Toolchain::NativeCuda);
+        gpu.transfer(1e9);
+        // 1 GB over 25 GB/s = 40 ms.
+        assert!((gpu.elapsed() - 0.04).abs() / 0.04 < 0.01, "{}", gpu.elapsed());
+
+        let cpu = session(PlatformId::GenoaX, Toolchain::OpenMp);
+        cpu.transfer(1e9);
+        assert_eq!(cpu.elapsed(), 0.0);
+    }
+
+    #[test]
+    fn mi250x_opensycl_atomics_are_downgraded() {
+        let s = session(PlatformId::Mi250x, Toolchain::OpenSycl);
+        assert_eq!(s.atomic_kind(), machine_model::AtomicKind::CasLoop);
+        let s = session(PlatformId::Mi250x, Toolchain::Dpcpp);
+        assert_eq!(s.atomic_kind(), machine_model::AtomicKind::NativeFp);
+    }
+}

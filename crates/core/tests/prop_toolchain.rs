@@ -1,0 +1,186 @@
+//! Property tests of the toolchain models and session machinery.
+
+use machine_model::{AccessProfile, KernelFootprint, Precision, StencilProfile};
+use proptest::prelude::*;
+use sycl_sim::{
+    Kernel, KernelTraits, Platform, PlatformId, Session, SessionConfig, SyclVariant, Toolchain,
+};
+
+const ALL_PLATFORMS: [PlatformId; 6] = [
+    PlatformId::A100,
+    PlatformId::Mi250x,
+    PlatformId::Max1100,
+    PlatformId::Xeon8360Y,
+    PlatformId::GenoaX,
+    PlatformId::Altra,
+];
+
+const ALL_TOOLCHAINS: [Toolchain; 8] = [
+    Toolchain::NativeCuda,
+    Toolchain::NativeHip,
+    Toolchain::OmpOffload,
+    Toolchain::Mpi,
+    Toolchain::MpiOpenMp,
+    Toolchain::OpenMp,
+    Toolchain::Dpcpp,
+    Toolchain::OpenSycl,
+];
+
+fn stencil_kernel(nx: usize, ny: usize, nz: usize, radius: usize) -> Kernel {
+    let pts = nx * ny * nz;
+    Kernel::new(KernelFootprint {
+        name: "prop".into(),
+        items: pts as u64,
+        effective_bytes: 24.0 * pts as f64,
+        flops: 10.0 * pts as f64,
+        transcendentals: 0.0,
+        precision: Precision::F64,
+        access: AccessProfile::Stencil(StencilProfile {
+            domain: [nx, ny, nz],
+            radius: [radius, radius, if nz > 1 { radius } else { 0 }],
+            dats_read: 2,
+            dats_written: 1,
+        }),
+        atomics: None,
+        reductions: 0,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Work-group shapes never exceed the kernel's domain and are
+    /// always at least one item.
+    #[test]
+    fn workgroups_fit_the_domain(
+        nx in 1usize..2048, ny in 1usize..512, nz in 1usize..64,
+        radius in 0usize..5,
+        tci in 0usize..8,
+        nd in proptest::bool::ANY,
+        sx in 1usize..2048, sy in 1usize..64,
+    ) {
+        let tc = ALL_TOOLCHAINS[tci];
+        let kernel = stencil_kernel(nx, ny, nz, radius);
+        let variant = if nd {
+            SyclVariant::NdRange([sx, sy, 1])
+        } else {
+            SyclVariant::Flat
+        };
+        for pid in ALL_PLATFORMS {
+            let p = Platform::get(pid);
+            let wg = tc.workgroup(&p, variant, &kernel);
+            prop_assert!(wg[0] >= 1 && wg[1] >= 1 && wg[2] >= 1);
+            if pid.is_gpu() {
+                // GPU work-groups are sub-tiles of the iteration domain.
+                prop_assert!(wg[0] <= nx.max(1), "{wg:?} vs domain x {nx}");
+                prop_assert!(wg[1] <= ny.max(1));
+                prop_assert!(wg[2] <= nz.max(1));
+            } else {
+                // CPU "work-groups" are linear per-thread chunks.
+                prop_assert_eq!(wg[1], 1);
+                prop_assert_eq!(wg[2], 1);
+                prop_assert!(wg[0] <= 4096);
+            }
+        }
+    }
+
+    /// Vector efficiency is in a sane range on every platform and is
+    /// always 1.0 on GPUs.
+    #[test]
+    fn vector_efficiency_bounds(
+        tci in 0usize..8,
+        stride_one in proptest::bool::ANY,
+        indirect in proptest::bool::ANY,
+        complex in proptest::bool::ANY,
+        neon_hard in proptest::bool::ANY,
+    ) {
+        let tc = ALL_TOOLCHAINS[tci];
+        let mut kernel = stencil_kernel(64, 64, 64, 1);
+        kernel.traits = KernelTraits {
+            stride_one_inner: stride_one,
+            indirect_writes: indirect,
+            complex_body: complex,
+            hard_on_neon: neon_hard,
+        };
+        for pid in ALL_PLATFORMS {
+            let p = Platform::get(pid);
+            let eff = tc.vector_efficiency(&p, &kernel);
+            if pid.is_gpu() {
+                prop_assert_eq!(eff, 1.0);
+            } else {
+                prop_assert!((0.01..=1.2).contains(&eff), "{pid:?} {tc:?}: {eff}");
+            }
+        }
+    }
+
+    /// Session creation is total: it either builds or returns a typed
+    /// failure — never panics — for any (platform, toolchain, variant,
+    /// app, scheme) combination.
+    #[test]
+    fn session_creation_is_total(
+        pi in 0usize..6,
+        tci in 0usize..8,
+        nd in proptest::bool::ANY,
+        app_i in 0usize..7,
+        scheme_i in 0usize..4,
+    ) {
+        let app = sycl_sim::quirks::apps::ALL[app_i];
+        let mut cfg = SessionConfig::new(ALL_PLATFORMS[pi], ALL_TOOLCHAINS[tci])
+            .variant(if nd {
+                SyclVariant::NdRange([64, 4, 1])
+            } else {
+                SyclVariant::Flat
+            })
+            .app(app);
+        if scheme_i < 3 {
+            cfg = cfg.scheme(sycl_sim::Scheme::all()[scheme_i]);
+        }
+        match Session::create(cfg) {
+            Ok(s) => prop_assert!(s.elapsed() == 0.0),
+            Err(f) => prop_assert!(!f.detail.is_empty()),
+        }
+    }
+
+    /// Launching arbitrary kernels always advances the clock and keeps
+    /// the ledger consistent.
+    #[test]
+    fn launches_keep_the_ledger_consistent(
+        n_kernels in 1usize..12,
+        sizes in proptest::collection::vec(1u64..(1 << 22), 1..12),
+    ) {
+        let s = Session::create(
+            SessionConfig::new(PlatformId::A100, Toolchain::Dpcpp).app("prop"),
+        )
+        .unwrap();
+        let mut expect_total = 0.0;
+        for &size in sizes.iter().take(n_kernels) {
+            let k = Kernel::streaming("k", size, 24.0 * size as f64, 0.0);
+            let (_, t) = s.launch_timed(&k, || ());
+            expect_total += t.total;
+        }
+        prop_assert!((s.elapsed() - expect_total).abs() < 1e-12);
+        prop_assert_eq!(s.records().len(), n_kernels.min(sizes.len()));
+        let bf = s.boundary_fraction();
+        prop_assert!((0.0..=1.0).contains(&bf));
+    }
+
+    /// The support matrix and backend selection are consistent: a
+    /// supported toolchain always yields a backend whose host/device
+    /// nature matches the platform.
+    #[test]
+    fn backend_matches_platform_kind(pi in 0usize..6, tci in 0usize..8) {
+        let pid = ALL_PLATFORMS[pi];
+        let tc = ALL_TOOLCHAINS[tci];
+        if tc.supports(pid) {
+            let backend = tc.backend(pid);
+            prop_assert_eq!(
+                backend.is_host(),
+                !pid.is_gpu(),
+                "{:?} on {:?} -> {:?}",
+                tc,
+                pid,
+                backend
+            );
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Execution profiles: how a toolchain chose to run a kernel.
+//!
+//! The SYCL-runtime simulation (`sycl-sim`) owns toolchain behaviour; what
+//! it hands this crate is the *outcome* of those choices — which backend
+//! path the launch goes down, the work-group shape, how well the kernel
+//! vectorised, and the reduction strategy. This keeps the machine model
+//! toolchain-agnostic.
+
+use crate::platform::{Platform, PlatformId};
+use crate::US;
+use serde::{Deserialize, Serialize};
+
+/// The driver path a kernel launch takes. Launch overhead depends on this
+/// — the paper repeatedly attributes CPU-SYCL slowness to DPC++ going
+/// through OpenCL per launch while OpenSYCL compiles straight to OpenMP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BackendKind {
+    /// Native CUDA driver launch (A100).
+    Cuda,
+    /// Native HIP launch (MI250X).
+    Hip,
+    /// SYCL through Level Zero (Max 1100) or PI/CUDA / PI/HIP plugins.
+    SyclGpu,
+    /// OpenMP target offload.
+    OmpOffload,
+    /// OpenMP parallel region on the host (also OpenSYCL's CPU backend).
+    OmpHost,
+    /// OpenCL CPU driver (DPC++'s only CPU path).
+    OpenClCpu,
+    /// One MPI rank per core; per-loop cost is a function call, but halo
+    /// exchanges appear as explicit communication elsewhere.
+    MpiRank,
+}
+
+impl BackendKind {
+    /// Per-launch overhead in seconds on the given platform.
+    ///
+    /// Calibration anchors from the paper:
+    /// * MI250X boundary loops cost 2.6 %/11.1 % of CloverLeaf (launch-
+    ///   latency bound) vs 1.5 %/7.8 % on the A100 and 0.9 %/4.8 % on the
+    ///   Max 1100.
+    /// * On the Xeon, DPC++ (OpenCL) spends 5.4–8.7 % of CloverLeaf 2D in
+    ///   boundary kernels vs 0.34 % for MPI+OpenMP and ~1.2–2.5 % for
+    ///   OpenSYCL (which maps to OpenMP at compile time).
+    pub fn launch_overhead(self, platform: &Platform) -> f64 {
+        let native = platform.native_launch;
+        match self {
+            BackendKind::Cuda | BackendKind::Hip => native,
+            BackendKind::SyclGpu => native * 1.1,
+            BackendKind::OmpOffload => native * 1.6,
+            // Fork/join of an OpenMP parallel region.
+            BackendKind::OmpHost => native * 3.0,
+            // The OpenCL CPU driver pays argument marshalling, command
+            // queue and NDRange setup per launch — millisecond scale,
+            // which is what makes DPC++ boundary loops cost 5.4-8.7 %
+            // of CloverLeaf 2D on the Xeon (§4.2).
+            BackendKind::OpenClCpu => native * 250.0,
+            BackendKind::MpiRank => 0.3 * US,
+        }
+    }
+
+    /// Whether this backend runs on the host CPU.
+    pub fn is_host(self) -> bool {
+        matches!(
+            self,
+            BackendKind::OmpHost | BackendKind::OpenClCpu | BackendKind::MpiRank
+        )
+    }
+
+    /// The natural native backend for a platform's device kernels.
+    pub fn native_for(platform: PlatformId) -> BackendKind {
+        match platform {
+            PlatformId::A100 => BackendKind::Cuda,
+            PlatformId::Mi250x => BackendKind::Hip,
+            PlatformId::Max1100 => BackendKind::OmpOffload,
+            _ => BackendKind::OmpHost,
+        }
+    }
+}
+
+/// How a reduction result is produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReductionStrategy {
+    /// No reduction in this launch.
+    None,
+    /// Hardware/native tree (CUDA shuffle reductions, OpenMP `reduction`).
+    Native,
+    /// User-written binary-tree over work-group partials — the fallback
+    /// the paper used because SYCL 2020 reductions were unsupported or
+    /// broken; §4.2 reports it 6–7× slower than OpenMP on CPUs.
+    UserBinaryTree,
+}
+
+/// The outcome of toolchain decisions for one kernel launch.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ExecProfile {
+    pub backend: BackendKind,
+    /// Work-group / tile shape the iteration space was decomposed into.
+    pub workgroup: [usize; 3],
+    /// Fraction of SIMD/FLOP peak the generated code achieves (1.0 =
+    /// perfectly vectorised; `1/simd_lanes` = scalar on a CPU).
+    pub vector_efficiency: f64,
+    /// Reduction strategy when the kernel reduces.
+    pub reduction: ReductionStrategy,
+    /// Code-generation quality multiplier in (0, 1]: how close the
+    /// compiled kernel gets to the platform's achievable throughput
+    /// (compiler-stack maturity; §4.1's small nd_range-vs-native gaps
+    /// and the Max 1100's 30 % OMP-offload deficit).
+    pub codegen_efficiency: f64,
+    /// Number of cooperating devices/ranks the launch was split across
+    /// (MPI decomposition); 1 for single-device runs.
+    pub ranks: usize,
+}
+
+impl ExecProfile {
+    /// A reasonable default profile: native backend, runtime-chosen shape.
+    pub fn native(platform: PlatformId) -> ExecProfile {
+        ExecProfile {
+            backend: BackendKind::native_for(platform),
+            workgroup: [256, 1, 1],
+            vector_efficiency: 1.0,
+            reduction: ReductionStrategy::Native,
+            codegen_efficiency: 1.0,
+            ranks: 1,
+        }
+    }
+
+    /// Work-group size in work items.
+    pub fn workgroup_items(&self) -> usize {
+        self.workgroup.iter().map(|&w| w.max(1)).product()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform;
+
+    #[test]
+    fn opencl_cpu_launches_cost_much_more_than_omp_host() {
+        let xeon = platform::xeon8360y();
+        let ocl = BackendKind::OpenClCpu.launch_overhead(&xeon);
+        let omp = BackendKind::OmpHost.launch_overhead(&xeon);
+        assert!(
+            ocl > 4.0 * omp,
+            "DPC++-on-CPU must pay the OpenCL driver cost ({ocl} vs {omp})"
+        );
+    }
+
+    #[test]
+    fn gpu_native_launch_ordering_follows_platforms() {
+        let a100 = platform::a100();
+        let mi = platform::mi250x();
+        let max = platform::max1100();
+        assert!(
+            BackendKind::Hip.launch_overhead(&mi) > BackendKind::Cuda.launch_overhead(&a100)
+        );
+        assert!(
+            BackendKind::SyclGpu.launch_overhead(&max)
+                < BackendKind::SyclGpu.launch_overhead(&a100)
+        );
+    }
+
+    #[test]
+    fn native_backend_selection() {
+        assert_eq!(BackendKind::native_for(PlatformId::A100), BackendKind::Cuda);
+        assert_eq!(BackendKind::native_for(PlatformId::Mi250x), BackendKind::Hip);
+        assert_eq!(
+            BackendKind::native_for(PlatformId::Max1100),
+            BackendKind::OmpOffload
+        );
+        assert_eq!(
+            BackendKind::native_for(PlatformId::GenoaX),
+            BackendKind::OmpHost
+        );
+    }
+
+    #[test]
+    fn workgroup_items_clamps_zeroes() {
+        let mut p = ExecProfile::native(PlatformId::A100);
+        p.workgroup = [0, 8, 4];
+        assert_eq!(p.workgroup_items(), 32);
+    }
+
+    #[test]
+    fn host_flag() {
+        assert!(BackendKind::OmpHost.is_host());
+        assert!(BackendKind::OpenClCpu.is_host());
+        assert!(BackendKind::MpiRank.is_host());
+        assert!(!BackendKind::Cuda.is_host());
+        assert!(!BackendKind::OmpOffload.is_host());
+    }
+}

@@ -1,0 +1,345 @@
+//! The top-level kernel-time predictor.
+//!
+//! `time = max(memory, compute, atomics) + launch + reduction_overhead`
+//!
+//! * **memory** — DRAM bytes at (STREAM × efficiency) plus LLC bytes at
+//!   LLC bandwidth, from the cache model ([`crate::caches`]).
+//! * **compute** — FLOPs at (peak × vector efficiency), plus
+//!   transcendentals at an eighth of peak.
+//! * **atomics** — atomic updates at the platform's FP-atomic or CAS rate.
+//! * **launch** — per-launch backend overhead (×1 per rank; ranks launch
+//!   concurrently) plus a latency floor for kernels too small to fill the
+//!   machine.
+//! * **reduction** — strategy-dependent: native reductions are nearly
+//!   free; the user binary-tree fallback the paper had to use on CPUs
+//!   multiplies the sweep cost (§4.2 reports 6–7×).
+
+use crate::caches;
+use crate::exec::{ExecProfile, ReductionStrategy};
+use crate::footprint::{AtomicKind, KernelFootprint};
+use crate::platform::{ChipKind, Platform};
+use serde::{Deserialize, Serialize};
+
+/// Calibrated CPU binary-tree reduction penalty (paper §4.2: "reductions
+/// take 6-7× more time with SYCL compared to OpenMP").
+const CPU_TREE_REDUCTION_PENALTY: f64 = 6.5;
+/// GPUs have efficient two-pass reductions; small penalty only.
+const GPU_TREE_REDUCTION_PENALTY: f64 = 1.15;
+
+/// Simulated timing breakdown for one kernel launch.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct KernelTime {
+    /// Total simulated seconds for the launch.
+    pub total: f64,
+    pub memory: f64,
+    pub compute: f64,
+    pub atomics: f64,
+    pub launch: f64,
+    pub reduction: f64,
+    /// The traffic split the memory term was computed from.
+    pub traffic: caches::MemoryTraffic,
+}
+
+impl KernelTime {
+    /// Effective bandwidth in bytes/s given the paper's effective-bytes
+    /// accounting (what OP2 reports per kernel).
+    pub fn effective_bandwidth(&self, fp: &KernelFootprint) -> f64 {
+        if self.total > 0.0 {
+            fp.effective_bytes / self.total
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Predict the simulated wall-clock time of one kernel launch.
+pub fn predict(platform: &Platform, fp: &KernelFootprint, exec: &ExecProfile) -> KernelTime {
+    let cache = caches::analyze(platform, fp, exec);
+    let traffic = cache.traffic;
+
+    // --- memory term ------------------------------------------------
+    let llc = platform.llc();
+    let numa = numa_efficiency(platform, exec);
+    // Scalar (non-vectorised) CPU code also loses memory throughput:
+    // without vector loads a core cannot keep enough requests in flight.
+    let vec_mem = if exec.backend.is_host() && exec.vector_efficiency < 0.5 {
+        0.6
+    } else {
+        1.0
+    };
+    let cg = exec.codegen_efficiency.clamp(0.1, 1.5);
+    let sustained = match fp.access {
+        crate::footprint::AccessProfile::Streamed => 1.0,
+        _ => platform.mem.app_sustained,
+    };
+    let dram_bw =
+        platform.mem.stream_bw * traffic.bandwidth_efficiency * numa * vec_mem * cg * sustained;
+    let llc_bw = llc.bandwidth * traffic.bandwidth_efficiency.max(0.2) * vec_mem * cg;
+    let memory = traffic.dram_bytes / dram_bw + traffic.llc_bytes / llc_bw;
+
+    // --- compute term -----------------------------------------------
+    let peak = platform.peak_flops(fp.precision) * exec.vector_efficiency.clamp(0.01, 1.5) * cg;
+    let occupancy_peak = peak * occupancy_for_compute(platform, fp, exec);
+    let transc_rate = occupancy_peak / 8.0;
+    let compute = fp.flops / occupancy_peak + fp.transcendentals / transc_rate.max(1.0);
+
+    // --- atomics term -----------------------------------------------
+    // Codegen quality scales atomic throughput too: better instruction
+    // scheduling around the RMWs keeps more of them in flight (this is
+    // how OpenSYCL+atomics beats CUDA+atomics on the A100, §4.3).
+    let atomics = fp
+        .atomics
+        .map(|a| {
+            let rate = match a.kind {
+                AtomicKind::NativeFp if platform.atomics.has_native_fp => {
+                    platform.atomics.fp_add_per_s
+                }
+                _ => platform.atomics.cas_per_s,
+            };
+            a.updates as f64 / (rate * cg)
+        })
+        .unwrap_or(0.0);
+
+    // --- launch + latency floor --------------------------------------
+    let per_launch = exec.backend.launch_overhead(platform);
+    // A kernel cannot finish faster than a few memory round-trips.
+    let latency_floor = 4.0 * platform.mem.latency;
+    let launch = per_launch + latency_floor;
+
+    // --- reduction overhead -------------------------------------------
+    let body = memory.max(compute).max(atomics);
+    let reduction = if fp.reductions > 0 {
+        match exec.reduction {
+            ReductionStrategy::None | ReductionStrategy::Native => {
+                // One combine barrier per reduction variable.
+                fp.reductions as f64 * 2.0 * per_launch
+            }
+            ReductionStrategy::UserBinaryTree => {
+                let penalty = match platform.chip {
+                    ChipKind::Cpu { .. } => CPU_TREE_REDUCTION_PENALTY,
+                    ChipKind::Gpu { .. } => GPU_TREE_REDUCTION_PENALTY,
+                };
+                body * (penalty - 1.0) + fp.reductions as f64 * 2.0 * per_launch
+            }
+        }
+    } else {
+        0.0
+    };
+
+    let total = body + launch + reduction;
+    KernelTime {
+        total,
+        memory,
+        compute,
+        atomics,
+        launch,
+        reduction,
+        traffic,
+    }
+}
+
+/// Occupancy factor applied to the compute term (poor shapes also starve
+/// the ALUs, not just the load queues).
+fn occupancy_for_compute(platform: &Platform, fp: &KernelFootprint, exec: &ExecProfile) -> f64 {
+    match platform.chip {
+        ChipKind::Gpu { compute_units, .. } => {
+            let wg = exec.workgroup_items() as f64;
+            let wgs = (fp.items as f64 / wg.max(1.0)).ceil();
+            let in_flight = (wg * 32.0).min(2048.0);
+            ((in_flight / 2048.0).min(1.0) * (wgs / compute_units as f64).min(1.0))
+                .clamp(0.02, 1.0)
+        }
+        ChipKind::Cpu { .. } => 1.0,
+    }
+}
+
+/// Single-process shared-memory codes lose bandwidth to cross-NUMA
+/// traffic; rank-per-domain (MPI, MPI+X) codes do not.
+fn numa_efficiency(platform: &Platform, exec: &ExecProfile) -> f64 {
+    if let ChipKind::Cpu { numa_domains, .. } = platform.chip {
+        if exec.backend.is_host() && exec.ranks == 1 && numa_domains > 1 {
+            return (1.0 - 0.06 * (numa_domains as f64 - 1.0)).max(0.8);
+        }
+    }
+    1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::BackendKind;
+    use crate::footprint::{AccessProfile, AtomicProfile, Precision, StencilProfile};
+    use crate::platform;
+    use crate::GB;
+
+    fn triad_fp(n: u64, prec: Precision) -> KernelFootprint {
+        KernelFootprint::streaming(
+            "triad",
+            n,
+            3.0 * prec.bytes() * n as f64,
+            2.0 * n as f64,
+            prec,
+        )
+    }
+
+    fn plain_exec(backend: BackendKind, wg: [usize; 3]) -> ExecProfile {
+        ExecProfile {
+            backend,
+            workgroup: wg,
+            vector_efficiency: 1.0,
+            reduction: ReductionStrategy::None,
+            codegen_efficiency: 1.0,
+            ranks: 1,
+        }
+    }
+
+    #[test]
+    fn triad_on_a100_achieves_near_stream_bandwidth() {
+        let a100 = platform::a100();
+        let fp = triad_fp(1 << 27, Precision::F64);
+        let t = predict(&a100, &fp, &plain_exec(BackendKind::Cuda, [1024, 1, 1]));
+        let bw = t.effective_bandwidth(&fp);
+        // Large streaming kernel: within 10% of Table 1.
+        assert!(
+            bw > 0.9 * a100.mem.stream_bw && bw <= a100.mem.stream_bw * 1.01,
+            "bw = {} GB/s",
+            bw / GB
+        );
+    }
+
+    #[test]
+    fn memory_bound_kernel_is_insensitive_to_flops_until_crossover() {
+        let a100 = platform::a100();
+        let mut fp = triad_fp(1 << 27, Precision::F64);
+        let e = plain_exec(BackendKind::Cuda, [1024, 1, 1]);
+        let t0 = predict(&a100, &fp, &e).total;
+        fp.flops *= 10.0; // still far below the roofline ridge
+        let t1 = predict(&a100, &fp, &e).total;
+        assert!((t1 - t0).abs() / t0 < 1e-9);
+        fp.flops *= 1e4; // now compute-bound
+        let t2 = predict(&a100, &fp, &e).total;
+        assert!(t2 > 2.0 * t0);
+    }
+
+    #[test]
+    fn boundary_kernels_are_launch_dominated_and_worse_on_mi250x() {
+        let fp = KernelFootprint {
+            name: "update_halo".into(),
+            items: 7680,
+            effective_bytes: 2.0 * 8.0 * 7680.0,
+            flops: 0.0,
+            transcendentals: 0.0,
+            precision: Precision::F64,
+            access: AccessProfile::Stencil(StencilProfile {
+                domain: [7680, 2, 1],
+                radius: [0, 0, 0],
+                dats_read: 1,
+                dats_written: 1,
+            }),
+            atomics: None,
+            reductions: 0,
+        };
+        let a100 = platform::a100();
+        let mi = platform::mi250x();
+        let ta = predict(&a100, &fp, &plain_exec(BackendKind::Cuda, [256, 1, 1]));
+        let tm = predict(&mi, &fp, &plain_exec(BackendKind::Hip, [256, 1, 1]));
+        assert!(ta.launch > 0.5 * ta.total, "launch must dominate tiny loops");
+        assert!(tm.total > ta.total, "MI250X pays higher launch latency");
+    }
+
+    #[test]
+    fn native_fp_atomics_beat_cas_loops() {
+        let mi = platform::mi250x();
+        let mk = |kind| KernelFootprint {
+            name: "flux".into(),
+            items: 1 << 22,
+            effective_bytes: 48.0 * (1 << 22) as f64,
+            flops: 50.0 * (1 << 22) as f64,
+            transcendentals: 0.0,
+            precision: Precision::F64,
+            access: AccessProfile::Streamed,
+            atomics: Some(AtomicProfile {
+                updates: 10 * (1 << 22) as u64,
+                kind,
+            }),
+            reductions: 0,
+        };
+        let e = plain_exec(BackendKind::Hip, [256, 1, 1]);
+        let fast = predict(&mi, &mk(AtomicKind::NativeFp), &e).total;
+        let slow = predict(&mi, &mk(AtomicKind::CasLoop), &e).total;
+        // §4.3: OpenSYCL without unsafe atomics got "significantly worse
+        // throughput" on the MI250X.
+        assert!(slow > 2.0 * fast, "{slow} vs {fast}");
+    }
+
+    #[test]
+    fn cpu_tree_reductions_cost_6_to_7x() {
+        let xeon = platform::xeon8360y();
+        let mut fp = triad_fp(1 << 24, Precision::F64);
+        fp.reductions = 1;
+        let mut native = plain_exec(BackendKind::OmpHost, [1024, 1, 1]);
+        native.reduction = ReductionStrategy::Native;
+        native.ranks = 2;
+        let mut tree = native;
+        tree.reduction = ReductionStrategy::UserBinaryTree;
+        let tn = predict(&xeon, &fp, &native).total;
+        let tt = predict(&xeon, &fp, &tree).total;
+        let ratio = tt / tn;
+        assert!(
+            (5.0..8.5).contains(&ratio),
+            "tree/native reduction ratio = {ratio}"
+        );
+    }
+
+    #[test]
+    fn pure_openmp_pays_numa_on_dual_socket_but_mpi_does_not() {
+        let genoa = platform::genoax();
+        let fp = triad_fp(1 << 26, Precision::F64);
+        let mut omp = plain_exec(BackendKind::OmpHost, [1024, 1, 1]);
+        omp.ranks = 1;
+        let mut mpi = plain_exec(BackendKind::MpiRank, [1024, 1, 1]);
+        mpi.ranks = 176;
+        let t_omp = predict(&genoa, &fp, &omp).total;
+        let t_mpi = predict(&genoa, &fp, &mpi).total;
+        assert!(t_omp > t_mpi);
+    }
+
+    #[test]
+    fn scalar_code_is_slower_than_vectorised_for_compute_heavy_kernels() {
+        let altra = platform::altra();
+        // High-intensity kernel (8th-order stencil, ~60 flops/point).
+        let n = 1u64 << 24;
+        let mut fp = KernelFootprint::streaming(
+            "acoustic",
+            n,
+            2.0 * 4.0 * n as f64,
+            60.0 * n as f64,
+            Precision::F32,
+        );
+        fp.access = AccessProfile::Stencil(StencilProfile {
+            domain: [256, 256, 256],
+            radius: [4, 4, 4],
+            dats_read: 1,
+            dats_written: 1,
+        });
+        let mut vec = plain_exec(BackendKind::OmpHost, [256, 1, 1]);
+        vec.vector_efficiency = 1.0;
+        let mut scalar = vec;
+        scalar.vector_efficiency = 0.25;
+        let tv = predict(&altra, &fp, &vec).total;
+        let ts = predict(&altra, &fp, &scalar).total;
+        assert!(ts > 1.5 * tv, "vectorisation failure must hurt: {ts} vs {tv}");
+    }
+
+    #[test]
+    fn totals_are_finite_positive_and_decomposable() {
+        for p in crate::platform::all_platforms() {
+            let fp = triad_fp(1 << 20, Precision::F64);
+            let backend = BackendKind::native_for(p.id);
+            let t = predict(&p, &fp, &plain_exec(backend, [256, 1, 1]));
+            assert!(t.total.is_finite() && t.total > 0.0);
+            let parts = t.memory.max(t.compute).max(t.atomics) + t.launch + t.reduction;
+            assert!((t.total - parts).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Roofline analysis: classify kernels as bandwidth- or compute-bound.
+//!
+//! The paper's application suite is chosen to be "primarily
+//! bandwidth-bound"; this module makes that property checkable — every
+//! miniapp kernel should sit left of the ridge point on every platform
+//! (with the high-order stencils approaching it).
+
+use crate::footprint::{KernelFootprint, Precision};
+use crate::platform::Platform;
+
+/// Which resource bounds a kernel on a platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bound {
+    Bandwidth,
+    Compute,
+}
+
+/// A point on the roofline: the kernel's intensity and attainable
+/// performance.
+#[derive(Debug, Clone, Copy)]
+pub struct RooflinePoint {
+    /// Arithmetic intensity, FLOP/byte.
+    pub intensity: f64,
+    /// Attainable FLOP/s at this intensity.
+    pub attainable_flops: f64,
+    /// The binding resource.
+    pub bound: Bound,
+}
+
+impl Platform {
+    /// The ridge point (FLOP/byte) where a kernel of the given precision
+    /// transitions from bandwidth- to compute-bound.
+    pub fn ridge_point(&self, precision: Precision) -> f64 {
+        self.peak_flops(precision) / self.mem.stream_bw
+    }
+
+    /// Classify a kernel on this platform's roofline.
+    pub fn roofline(&self, fp: &KernelFootprint) -> RooflinePoint {
+        let intensity = fp.intensity();
+        let ridge = self.ridge_point(fp.precision);
+        let peak = self.peak_flops(fp.precision);
+        let attainable = (intensity * self.mem.stream_bw).min(peak);
+        RooflinePoint {
+            intensity,
+            attainable_flops: attainable,
+            bound: if intensity < ridge {
+                Bound::Bandwidth
+            } else {
+                Bound::Compute
+            },
+        }
+    }
+}
+
+/// Render a platform's roofline parameters and a set of kernels on it.
+pub fn roofline_text(platform: &Platform, kernels: &[&KernelFootprint]) -> String {
+    let mut out = format!(
+        "# Roofline: {} (ridge f64 {:.1} / f32 {:.1} FLOP/byte)\n",
+        platform.name,
+        platform.ridge_point(Precision::F64),
+        platform.ridge_point(Precision::F32),
+    );
+    for fp in kernels {
+        let pt = platform.roofline(fp);
+        out.push_str(&format!(
+            "{:20} AI {:6.2} F/B -> {:8.2} GFLOP/s attainable [{}]\n",
+            fp.name,
+            pt.intensity,
+            pt.attainable_flops / 1e9,
+            match pt.bound {
+                Bound::Bandwidth => "bandwidth-bound",
+                Bound::Compute => "compute-bound",
+            }
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform;
+
+    fn fp(intensity: f64, precision: Precision) -> KernelFootprint {
+        KernelFootprint::streaming("k", 1 << 20, (1 << 20) as f64, intensity * (1 << 20) as f64, precision)
+    }
+
+    #[test]
+    fn ridge_points_follow_machine_balance() {
+        let a100 = platform::a100();
+        // 9.7 TFLOP/s over 1.31 TB/s ≈ 7.4 FLOP/byte.
+        let ridge = a100.ridge_point(Precision::F64);
+        assert!((7.0..8.0).contains(&ridge), "{ridge}");
+        // f32 peak doubles the ridge.
+        assert!(a100.ridge_point(Precision::F32) > 1.9 * ridge);
+    }
+
+    #[test]
+    fn classification_flips_at_the_ridge() {
+        let p = platform::xeon8360y();
+        let ridge = p.ridge_point(Precision::F64);
+        assert_eq!(p.roofline(&fp(ridge * 0.5, Precision::F64)).bound, Bound::Bandwidth);
+        assert_eq!(p.roofline(&fp(ridge * 2.0, Precision::F64)).bound, Bound::Compute);
+    }
+
+    #[test]
+    fn attainable_flops_cap_at_peak() {
+        let p = platform::altra();
+        let pt = p.roofline(&fp(1e6, Precision::F32));
+        assert!((pt.attainable_flops - p.fp32_flops).abs() < 1.0);
+    }
+
+    #[test]
+    fn triad_is_bandwidth_bound_everywhere() {
+        let triad = KernelFootprint::streaming(
+            "triad",
+            1 << 20,
+            24.0 * (1 << 20) as f64,
+            2.0 * (1 << 20) as f64,
+            Precision::F64,
+        );
+        for p in crate::platform::all_platforms() {
+            assert_eq!(p.roofline(&triad).bound, Bound::Bandwidth, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn text_rendering_mentions_every_kernel() {
+        let p = platform::a100();
+        let a = fp(0.1, Precision::F64);
+        let b = fp(100.0, Precision::F64);
+        let text = roofline_text(&p, &[&a, &b]);
+        assert!(text.contains("bandwidth-bound"));
+        assert!(text.contains("compute-bound"));
+        assert!(text.contains("ridge"));
+    }
+}

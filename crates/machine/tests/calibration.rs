@@ -1,0 +1,122 @@
+//! Calibration-anchor tests: every number the model takes from the paper
+//! (or from vendor documentation) and every relationship the paper's
+//! analysis relies on, asserted in one place. If a future re-calibration
+//! breaks one of the paper's mechanisms, this file says which.
+
+use machine_model::{all_platforms, platform, Platform, PlatformId, Precision, GB};
+
+#[test]
+fn table1_stream_inputs_are_the_papers_numbers() {
+    // Table 1 is a calibration *input* (measured STREAM); exact match.
+    let expect = [
+        (PlatformId::Mi250x, 1290.0),
+        (PlatformId::A100, 1310.0),
+        (PlatformId::Max1100, 803.0),
+        (PlatformId::Xeon8360Y, 296.0),
+        (PlatformId::GenoaX, 561.0),
+        (PlatformId::Altra, 167.0),
+    ];
+    for (id, gbs) in expect {
+        assert_eq!(Platform::get(id).mem.stream_bw, gbs * GB);
+    }
+}
+
+#[test]
+fn cache_capacities_quoted_by_the_paper() {
+    // §4.1: "the Max 1100 has the largest L2 cache (at 208 MB), whereas
+    // the A100 only has 40 MB, and the MI250X 16 MB".
+    assert_eq!(platform::max1100().llc().size_bytes, 208.0e6);
+    assert_eq!(platform::a100().llc().size_bytes, 40.0e6);
+    assert_eq!(platform::mi250x().llc().size_bytes, 16.0e6);
+    // §4.3: Genoa-X's "large L3 cache (2 × 1.1GB)".
+    assert_eq!(platform::genoax().llc().size_bytes, 2.2e9);
+}
+
+#[test]
+fn fp32_peaks_are_in_the_papers_ranges() {
+    // §2: theoretical FP32 TFLOP/s — Xeon 11–13, Genoa-X 9.22–14.22,
+    // Altra 3, MI250X 23.95, A100 19.49.
+    let in_range = |p: Platform, lo: f64, hi: f64| {
+        let tf = p.fp32_flops / 1e12;
+        assert!((lo..=hi).contains(&tf), "{}: {tf}", p.name);
+    };
+    in_range(platform::xeon8360y(), 11.0, 13.0);
+    in_range(platform::genoax(), 9.22, 14.22);
+    in_range(platform::altra(), 2.9, 3.1);
+    in_range(platform::mi250x(), 23.9, 24.0);
+    in_range(platform::a100(), 19.4, 19.6);
+}
+
+#[test]
+fn core_counts_match_section2() {
+    assert_eq!(platform::xeon8360y().chip.cores(), 72, "2 × 36 cores");
+    assert_eq!(platform::genoax().chip.cores(), 176, "2 × 88 cores");
+    assert_eq!(platform::altra().chip.cores(), 64);
+    assert_eq!(platform::a100().chip.cores(), 108, "108 SMs");
+    assert_eq!(platform::mi250x().chip.cores(), 110, "110 CUs (1 GCD)");
+    assert_eq!(platform::max1100().chip.cores(), 56, "56 Xe cores");
+}
+
+#[test]
+fn private_cache_ordering_drives_the_rtm_mechanism() {
+    // The L1-per-CU ordering that decides where radius-4 stencil reuse
+    // resolves (EXPERIMENTS.md / DESIGN.md §4.1): Max > A100 ≫ MI250X.
+    let l1_per_cu = |p: Platform| {
+        p.caches.last().unwrap().size_bytes / p.chip.cores() as f64
+    };
+    let a100 = l1_per_cu(platform::a100());
+    let mi = l1_per_cu(platform::mi250x());
+    let max = l1_per_cu(platform::max1100());
+    assert!(max > a100, "{max} vs {a100}");
+    assert!(a100 > 10.0 * mi, "A100 {a100} vs MI {mi}");
+}
+
+#[test]
+fn launch_latency_ordering_matches_boundary_fractions() {
+    // §4.1's boundary-loop fractions imply MI250X > A100 > Max 1100.
+    let l = |p: Platform| p.native_launch;
+    assert!(l(platform::mi250x()) > l(platform::a100()));
+    assert!(l(platform::a100()) > l(platform::max1100()));
+}
+
+#[test]
+fn atomic_rates_express_the_papers_three_claims() {
+    // (1) GPU FP atomics ≫ GPU CAS ("safe") atomics.
+    let mi = platform::mi250x();
+    assert!(mi.atomics.fp_add_per_s > 3.0 * mi.atomics.cas_per_s);
+    // (2) the Max 1100 is atomics-throughput limited relative to peers.
+    assert!(platform::max1100().atomics.fp_add_per_s < platform::a100().atomics.fp_add_per_s);
+    // (3) CPUs have no native FP atomic path at all.
+    for p in all_platforms().into_iter().filter(|p| !p.id.is_gpu()) {
+        assert!(!p.atomics.has_native_fp, "{}", p.name);
+    }
+}
+
+#[test]
+fn interconnects_exist_exactly_on_gpus() {
+    for p in all_platforms() {
+        assert_eq!(p.interconnect_bw.is_some(), p.id.is_gpu(), "{}", p.name);
+    }
+}
+
+#[test]
+fn ridge_points_make_the_suite_bandwidth_bound() {
+    // Every platform's f64 ridge sits above the suite's typical
+    // intensities (CloverLeaf ~0.3, SBLI-SN ~2.7, MG-CFD flux ~2.3
+    // FLOP/byte) — the premise "primarily bandwidth-bound" holds.
+    for p in all_platforms() {
+        let ridge = p.ridge_point(Precision::F64);
+        assert!(ridge > 3.0, "{}: ridge {ridge}", p.name);
+    }
+}
+
+#[test]
+fn sustained_app_fraction_only_derates_the_max1100() {
+    for p in all_platforms() {
+        if p.id == PlatformId::Max1100 {
+            assert!(p.mem.app_sustained < 1.0);
+        } else {
+            assert_eq!(p.mem.app_sustained, 1.0, "{}", p.name);
+        }
+    }
+}

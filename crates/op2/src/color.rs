@@ -1,0 +1,254 @@
+//! Edge colouring: the two colour-based race-resolution schemes.
+
+use crate::map::Map;
+
+/// Global greedy colouring: no two edges of one colour share a target.
+#[derive(Debug, Clone)]
+pub struct GlobalColoring {
+    /// Colour of each from-element.
+    pub color: Vec<u32>,
+    /// Element indices grouped by colour.
+    pub by_color: Vec<Vec<u32>>,
+}
+
+impl GlobalColoring {
+    /// Greedy first-fit colouring over the map's conflict graph.
+    pub fn build(map: &Map) -> Self {
+        // For each target, a bitmask of colours already used by incident
+        // elements (greedy needs ≤ max_degree·arity colours ≤ 64 for all
+        // our meshes).
+        let mut used: Vec<u64> = vec![0; map.to_size()];
+        let mut color = vec![0u32; map.from_size()];
+        let mut n_colors = 0usize;
+        for e in 0..map.from_size() {
+            let mut mask = 0u64;
+            for &t in map.row(e) {
+                mask |= used[t as usize];
+            }
+            let c = (!mask).trailing_zeros();
+            assert!(c < 64, "colouring overflow: degree too high");
+            color[e] = c;
+            n_colors = n_colors.max(c as usize + 1);
+            for &t in map.row(e) {
+                used[t as usize] |= 1 << c;
+            }
+        }
+        let mut by_color = vec![Vec::new(); n_colors];
+        for (e, &c) in color.iter().enumerate() {
+            by_color[c as usize].push(e as u32);
+        }
+        GlobalColoring { color, by_color }
+    }
+
+    /// Number of colours used.
+    pub fn n_colors(&self) -> usize {
+        self.by_color.len()
+    }
+
+    /// Validate the colouring invariant against a map.
+    pub fn is_valid(&self, map: &Map) -> bool {
+        let mut seen: Vec<i64> = vec![-1; map.to_size()];
+        for group in &self.by_color {
+            let stamp = group.as_ptr() as i64; // unique per group
+            for &e in group {
+                for &t in map.row(e as usize) {
+                    if seen[t as usize] == stamp {
+                        return false;
+                    }
+                    seen[t as usize] = stamp;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Hierarchical colouring: consecutive elements form blocks; blocks are
+/// coloured against each other; elements are coloured within blocks.
+#[derive(Debug, Clone)]
+pub struct HierColoring {
+    /// Elements per block.
+    pub block_size: usize,
+    /// Colour of each block.
+    pub block_color: Vec<u32>,
+    /// Blocks grouped by colour.
+    pub blocks_by_color: Vec<Vec<u32>>,
+    /// Intra-block colour of each element (execution order inside a
+    /// block follows these colours).
+    pub intra_color: Vec<u32>,
+    /// Max intra-block colours over all blocks.
+    pub max_intra_colors: usize,
+}
+
+impl HierColoring {
+    /// Build with the given block size (paper: 256 on GPUs, 4096 on CPUs).
+    pub fn build(map: &Map, block_size: usize) -> Self {
+        let block_size = block_size.max(1);
+        let n_blocks = map.from_size().div_ceil(block_size);
+
+        // Colour blocks greedily via target → colours-used bitmask.
+        let mut used: Vec<u64> = vec![0; map.to_size()];
+        let mut block_color = vec![0u32; n_blocks];
+        let mut n_colors = 0usize;
+        for b in 0..n_blocks {
+            let lo = b * block_size;
+            let hi = ((b + 1) * block_size).min(map.from_size());
+            let mut mask = 0u64;
+            for e in lo..hi {
+                for &t in map.row(e) {
+                    mask |= used[t as usize];
+                }
+            }
+            let c = (!mask).trailing_zeros();
+            assert!(c < 64, "block colouring overflow");
+            block_color[b] = c;
+            n_colors = n_colors.max(c as usize + 1);
+            for e in lo..hi {
+                for &t in map.row(e) {
+                    used[t as usize] |= 1 << c;
+                }
+            }
+        }
+        let mut blocks_by_color = vec![Vec::new(); n_colors];
+        for (b, &c) in block_color.iter().enumerate() {
+            blocks_by_color[c as usize].push(b as u32);
+        }
+
+        // Intra-block greedy colouring (fresh bitmask per block).
+        let mut intra_color = vec![0u32; map.from_size()];
+        let mut max_intra = 0usize;
+        let mut intra_used: Vec<u64> = vec![0; map.to_size()];
+        for b in 0..n_blocks {
+            let lo = b * block_size;
+            let hi = ((b + 1) * block_size).min(map.from_size());
+            for e in lo..hi {
+                let mut mask = 0u64;
+                for &t in map.row(e) {
+                    mask |= intra_used[t as usize];
+                }
+                let c = (!mask).trailing_zeros();
+                assert!(c < 64, "intra colouring overflow");
+                intra_color[e] = c;
+                max_intra = max_intra.max(c as usize + 1);
+                for &t in map.row(e) {
+                    intra_used[t as usize] |= 1 << c;
+                }
+            }
+            // Reset the marks this block made.
+            for e in lo..hi {
+                for &t in map.row(e) {
+                    intra_used[t as usize] = 0;
+                }
+            }
+        }
+
+        HierColoring {
+            block_size,
+            block_color,
+            blocks_by_color,
+            intra_color,
+            max_intra_colors: max_intra,
+        }
+    }
+
+    /// Number of block colours.
+    pub fn n_colors(&self) -> usize {
+        self.blocks_by_color.len()
+    }
+
+    /// Element range of block `b` for a map of `from_size` elements.
+    pub fn block_range(&self, b: usize, from_size: usize) -> (usize, usize) {
+        let lo = b * self.block_size;
+        (lo, (lo + self.block_size).min(from_size))
+    }
+
+    /// Validate: no two same-colour blocks share a target.
+    pub fn is_valid(&self, map: &Map) -> bool {
+        for group in &self.blocks_by_color {
+            let mut seen = vec![false; map.to_size()];
+            for &b in group {
+                let (lo, hi) = self.block_range(b as usize, map.from_size());
+                for e in lo..hi {
+                    for &t in map.row(e) {
+                        if seen[t as usize] {
+                            return false;
+                        }
+                    }
+                }
+                // Mark after checking the whole block (intra-block
+                // sharing is fine — blocks run serially inside).
+                for e in lo..hi {
+                    for &t in map.row(e) {
+                        seen[t as usize] = true;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mesh::{Mesh, Ordering};
+
+    fn grid_map() -> Map {
+        Mesh::grid(8, 8, 4, Ordering::Natural).edges
+    }
+
+    #[test]
+    fn global_coloring_is_valid_and_small() {
+        let m = grid_map();
+        let c = GlobalColoring::build(&m);
+        assert!(c.is_valid(&m));
+        // Grid edges 3 directions × 2 parity ⇒ around 6-8 colours.
+        assert!(c.n_colors() >= 2 && c.n_colors() <= 12, "{}", c.n_colors());
+        let total: usize = c.by_color.iter().map(|g| g.len()).sum();
+        assert_eq!(total, m.from_size());
+    }
+
+    #[test]
+    fn hierarchical_coloring_is_valid() {
+        let m = grid_map();
+        let h = HierColoring::build(&m, 64);
+        assert!(h.is_valid(&m));
+        assert!(h.n_colors() >= 2);
+        assert!(h.max_intra_colors >= 2);
+        let blocks: usize = h.blocks_by_color.iter().map(|g| g.len()).sum();
+        assert_eq!(blocks, m.from_size().div_ceil(64));
+    }
+
+    #[test]
+    fn adjacent_edges_get_different_global_colors() {
+        let m = grid_map();
+        let c = GlobalColoring::build(&m);
+        // Exhaustive: any two edges sharing a vertex differ in colour.
+        let mut by_vertex: Vec<Vec<u32>> = vec![Vec::new(); m.to_size()];
+        for e in 0..m.from_size() {
+            for &t in m.row(e) {
+                by_vertex[t as usize].push(e as u32);
+            }
+        }
+        for edges in &by_vertex {
+            for (i, &a) in edges.iter().enumerate() {
+                for &b in &edges[i + 1..] {
+                    assert_ne!(c.color[a as usize], c.color[b as usize]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn block_ranges_cover_the_set() {
+        let m = grid_map();
+        let h = HierColoring::build(&m, 100);
+        let n_blocks = m.from_size().div_ceil(100);
+        let mut covered = 0;
+        for b in 0..n_blocks {
+            let (lo, hi) = h.block_range(b, m.from_size());
+            covered += hi - lo;
+        }
+        assert_eq!(covered, m.from_size());
+    }
+}

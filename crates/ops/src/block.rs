@@ -1,0 +1,129 @@
+//! Blocks: Cartesian domains that datasets live on.
+
+use crate::range::Range3;
+
+/// A structured block: interior extents plus a halo (ghost-cell) depth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Block {
+    /// Interior extents; 2-D blocks have `dims[2] == 1`.
+    pub dims: [usize; 3],
+    /// Ghost layers on every face of every non-degenerate dimension.
+    pub halo: usize,
+}
+
+impl Block {
+    /// A 2-D block of `nx × ny` interior points.
+    pub fn new_2d(nx: usize, ny: usize, halo: usize) -> Self {
+        Block {
+            dims: [nx, ny, 1],
+            halo,
+        }
+    }
+
+    /// A 3-D block of `nx × ny × nz` interior points.
+    pub fn new_3d(nx: usize, ny: usize, nz: usize, halo: usize) -> Self {
+        Block {
+            dims: [nx, ny, nz],
+            halo,
+        }
+    }
+
+    /// Is this a 3-D block?
+    pub fn is_3d(&self) -> bool {
+        self.dims[2] > 1
+    }
+
+    /// Interior points.
+    pub fn points(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Padded extent (interior + halos) along `d`.
+    pub fn padded(&self, d: usize) -> usize {
+        if self.dims[d] > 1 {
+            self.dims[d] + 2 * self.halo
+        } else {
+            1
+        }
+    }
+
+    /// The interior iteration range `[0, n)` per dimension.
+    pub fn interior(&self) -> Range3 {
+        Range3 {
+            lo: [0, 0, 0],
+            hi: [self.dims[0] as i64, self.dims[1] as i64, self.dims[2] as i64],
+        }
+    }
+
+    /// The whole padded range `[-h, n+h)` (used by halo-filling loops).
+    pub fn whole(&self) -> Range3 {
+        let h = self.halo as i64;
+        let pad = |d: usize| -> (i64, i64) {
+            if self.dims[d] > 1 {
+                (-h, self.dims[d] as i64 + h)
+            } else {
+                (0, 1)
+            }
+        };
+        let (x0, x1) = pad(0);
+        let (y0, y1) = pad(1);
+        let (z0, z1) = pad(2);
+        Range3 {
+            lo: [x0, y0, z0],
+            hi: [x1, y1, z1],
+        }
+    }
+
+    /// A boundary slab of thickness `depth` on the low (`side = -1`) or
+    /// high (`side = +1`) face of dimension `d`, covering the padded
+    /// extent of the other dimensions.
+    pub fn face(&self, d: usize, side: i64, depth: usize) -> Range3 {
+        let mut r = self.whole();
+        if side < 0 {
+            r.lo[d] = -(self.halo as i64);
+            r.hi[d] = r.lo[d] + depth as i64;
+        } else {
+            r.hi[d] = self.dims[d] as i64 + self.halo as i64;
+            r.lo[d] = r.hi[d] - depth as i64;
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_shapes() {
+        let b2 = Block::new_2d(100, 50, 2);
+        assert!(!b2.is_3d());
+        assert_eq!(b2.points(), 5000);
+        assert_eq!(b2.padded(0), 104);
+        assert_eq!(b2.padded(2), 1);
+
+        let b3 = Block::new_3d(10, 20, 30, 1);
+        assert!(b3.is_3d());
+        assert_eq!(b3.padded(2), 32);
+    }
+
+    #[test]
+    fn interior_and_whole_ranges() {
+        let b = Block::new_2d(8, 8, 2);
+        assert_eq!(b.interior().points(), 64);
+        assert_eq!(b.whole().points(), 12 * 12);
+        assert_eq!(b.whole().lo, [-2, -2, 0]);
+    }
+
+    #[test]
+    fn faces_are_thin_slabs() {
+        let b = Block::new_2d(8, 8, 2);
+        let left = b.face(0, -1, 2);
+        assert_eq!(left.extent(0), 2);
+        assert_eq!(left.extent(1), 12);
+        assert_eq!(left.lo[0], -2);
+        let top = b.face(1, 1, 1);
+        assert_eq!(top.extent(1), 1);
+        assert_eq!(top.hi[1], 10);
+    }
+}

@@ -1,0 +1,332 @@
+//! `ops_par_loop`: the heart of the DSL.
+//!
+//! A [`ParLoop`] collects the loop's argument descriptors, builds the
+//! kernel footprint with the paper's effective-bytes rule, prices the
+//! launch through the session, and executes the body functionally over
+//! parallel tiles.
+
+use crate::dat::DatMeta;
+use crate::range::Range3;
+use crate::stencil::Stencil;
+use parkit::{global_pool, tree_combine, DisjointSlices};
+use sycl_sim::{
+    AccessProfile, Kernel, KernelFootprint, KernelTraits, Precision, Session, StencilProfile,
+};
+
+/// Functional tile shape (execution only — the *modelled* work-group
+/// shape comes from the toolchain, so this choice never affects timing,
+/// only how the real computation is spread over host threads).
+const EXEC_TILE: [usize; 3] = [1024, 8, 4];
+
+/// Builder for one structured-mesh parallel loop.
+#[derive(Debug, Clone)]
+pub struct ParLoop {
+    name: String,
+    range: Range3,
+    reads: Vec<(DatMeta, Stencil)>,
+    writes: Vec<DatMeta>,
+    rws: Vec<DatMeta>,
+    flops_pp: f64,
+    transc_pp: f64,
+    traits: KernelTraits,
+    nd_shape: Option<[usize; 3]>,
+}
+
+impl ParLoop {
+    /// Start a loop over `range`.
+    pub fn new(name: &str, range: Range3) -> Self {
+        ParLoop {
+            name: name.to_owned(),
+            range,
+            reads: Vec::new(),
+            writes: Vec::new(),
+            rws: Vec::new(),
+            flops_pp: 0.0,
+            transc_pp: 0.0,
+            traits: KernelTraits::default(),
+            nd_shape: None,
+        }
+    }
+
+    /// Declare a read argument with its stencil.
+    pub fn read(mut self, meta: DatMeta, stencil: Stencil) -> Self {
+        self.reads.push((meta, stencil));
+        self
+    }
+
+    /// Declare a write-only argument.
+    pub fn write(mut self, meta: DatMeta) -> Self {
+        self.writes.push(meta);
+        self
+    }
+
+    /// Declare a read-write argument (counted twice, per the paper).
+    pub fn read_write(mut self, meta: DatMeta) -> Self {
+        self.rws.push(meta);
+        self
+    }
+
+    /// Floating-point operations per loop point.
+    pub fn flops(mut self, per_point: f64) -> Self {
+        self.flops_pp = per_point;
+        self
+    }
+
+    /// Transcendental evaluations (sqrt, exp, ...) per loop point.
+    pub fn transcendentals(mut self, per_point: f64) -> Self {
+        self.transc_pp = per_point;
+        self
+    }
+
+    /// Codegen traits (vectorisability etc.).
+    pub fn traits(mut self, traits: KernelTraits) -> Self {
+        self.traits = traits;
+        self
+    }
+
+    /// Kernel-specific tuned nd_range shape.
+    pub fn nd_shape(mut self, shape: [usize; 3]) -> Self {
+        self.nd_shape = Some(shape);
+        self
+    }
+
+    /// The iteration range.
+    pub fn range(&self) -> Range3 {
+        self.range
+    }
+
+    /// Build the backend-independent kernel description.
+    pub fn kernel(&self) -> Kernel {
+        let pts = self.range.points() as f64;
+        let mut bytes = 0.0;
+        let mut radius = Stencil::point();
+        for (m, s) in &self.reads {
+            bytes += pts * m.elem_bytes;
+            radius = radius.merge(*s);
+        }
+        for m in &self.writes {
+            bytes += pts * m.elem_bytes;
+        }
+        for m in &self.rws {
+            bytes += 2.0 * pts * m.elem_bytes;
+        }
+        let precision = if self
+            .reads
+            .iter()
+            .map(|(m, _)| m.elem_bytes)
+            .chain(self.writes.iter().map(|m| m.elem_bytes))
+            .chain(self.rws.iter().map(|m| m.elem_bytes))
+            .any(|b| b >= 8.0)
+        {
+            Precision::F64
+        } else {
+            Precision::F32
+        };
+        let fp = KernelFootprint {
+            name: self.name.clone(),
+            items: self.range.points() as u64,
+            effective_bytes: bytes,
+            flops: self.flops_pp * pts,
+            transcendentals: self.transc_pp * pts,
+            precision,
+            access: AccessProfile::Stencil(StencilProfile {
+                domain: self.range.extents(),
+                radius: radius.radius,
+                dats_read: self.reads.len() + self.rws.len(),
+                dats_written: self.writes.len() + self.rws.len(),
+            }),
+            atomics: None,
+            reductions: 0,
+        };
+        let mut k = Kernel::new(fp).with_traits(self.traits);
+        if let Some(s) = self.nd_shape {
+            k = k.with_nd_shape(s);
+        }
+        k
+    }
+
+    /// Price the launch on `session` and run `body` over parallel tiles.
+    ///
+    /// `body` receives sub-ranges that partition the loop range; it must
+    /// write only to its tile's points (the usual OPS contract).
+    pub fn run(self, session: &Session, body: impl Fn(Range3) + Sync) {
+        let kernel = self.kernel();
+        let shape = EXEC_TILE;
+        let tiles = self.range.tile_count(shape);
+        let range = self.range;
+        session.launch(&kernel, || {
+            if session.executes() {
+                global_pool().run_region(tiles, |_lane, t| body(range.tile(shape, t)));
+            }
+        });
+    }
+
+    /// Like [`ParLoop::run`] but the loop also produces a reduction:
+    /// each tile folds into a partial, partials combine in a fixed
+    /// binary tree (deterministic — and exactly the reduction structure
+    /// the paper's SYCL CPU fallback used).
+    pub fn run_reduce<A>(
+        self,
+        session: &Session,
+        identity: A,
+        combine: impl Fn(A, A) -> A + Sync,
+        body: impl Fn(Range3) -> A + Sync,
+    ) -> A
+    where
+        A: Send + Clone,
+    {
+        let mut kernel = self.kernel();
+        kernel.footprint.reductions = 1;
+        let shape = EXEC_TILE;
+        let tiles = self.range.tile_count(shape);
+        let range = self.range;
+        session.launch(&kernel, || {
+            if !session.executes() {
+                return identity.clone();
+            }
+            let mut partials: Vec<Option<A>> = (0..tiles).map(|_| None).collect();
+            let slots = DisjointSlices::new(&mut partials);
+            global_pool().run_region(tiles, |_lane, t| {
+                // SAFETY: each tile index is visited exactly once.
+                unsafe { slots.write(t, Some(body(range.tile(shape, t)))) };
+            });
+            tree_combine(
+                partials.into_iter().map(|p| p.expect("tile ran")),
+                identity,
+                &combine,
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Block;
+    use crate::dat::Dat;
+    use sycl_sim::{PlatformId, SessionConfig, Toolchain};
+
+    fn session() -> Session {
+        Session::create(
+            SessionConfig::new(PlatformId::A100, Toolchain::NativeCuda).app("parloop-test"),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn footprint_follows_the_effective_bytes_rule() {
+        let b = Block::new_2d(100, 100, 1);
+        let u = Dat::<f64>::zeroed(&b, "u");
+        let lp = ParLoop::new("k", b.interior())
+            .read(u.meta(), Stencil::star_2d(1))
+            .read_write(u.meta())
+            .write(u.meta())
+            .flops(7.0);
+        let k = lp.kernel();
+        let pts = 100.0 * 100.0 * 8.0;
+        // read 1× + rw 2× + write 1× = 4× dataset size.
+        assert!((k.footprint.effective_bytes - 4.0 * pts).abs() < 1e-9);
+        assert!((k.footprint.flops - 7.0 * 100.0 * 100.0).abs() < 1e-9);
+        match &k.footprint.access {
+            AccessProfile::Stencil(s) => {
+                assert_eq!(s.radius, [1, 1, 0]);
+                assert_eq!(s.dats_read, 2);
+                assert_eq!(s.dats_written, 2);
+            }
+            _ => panic!("expected stencil access"),
+        }
+    }
+
+    #[test]
+    fn f32_args_give_f32_precision() {
+        let b = Block::new_3d(8, 8, 8, 1);
+        let u = Dat::<f32>::zeroed(&b, "u");
+        let k = ParLoop::new("k", b.interior())
+            .read(u.meta(), Stencil::point())
+            .write(u.meta())
+            .kernel();
+        assert_eq!(k.footprint.precision, Precision::F32);
+    }
+
+    #[test]
+    fn run_executes_every_point_once() {
+        let s = session();
+        let b = Block::new_2d(37, 23, 2);
+        let mut u = Dat::<f64>::zeroed(&b, "u");
+        let meta = u.meta();
+        let w = u.writer();
+        ParLoop::new("fill", b.interior())
+            .write(meta)
+            .run(&s, |tile| {
+                for (i, j, k) in tile.iter() {
+                    w.set(i, j, k, w.get(i, j, k) + 1.0);
+                }
+            });
+        assert_eq!(u.interior_sum(&b), (37 * 23) as f64);
+        assert_eq!(s.records().len(), 1);
+    }
+
+    #[test]
+    fn stencil_body_reads_neighbours_correctly() {
+        let s = session();
+        let b = Block::new_2d(16, 16, 1);
+        let mut src = Dat::<f64>::zeroed(&b, "src");
+        src.fill_with(|i, j, _| (i + 100 * j) as f64);
+        let mut dst = Dat::<f64>::zeroed(&b, "dst");
+        let dst_meta = dst.meta();
+        let r = src.reader();
+        let w = dst.writer();
+        ParLoop::new("avg", b.interior())
+            .read(src.meta(), Stencil::star_2d(1))
+            .write(dst_meta)
+            .flops(4.0)
+            .run(&s, |tile| {
+                for (i, j, k) in tile.iter() {
+                    let v = r.at(i - 1, j, k) + r.at(i + 1, j, k) + r.at(i, j - 1, k)
+                        + r.at(i, j + 1, k);
+                    w.set(i, j, k, 0.25 * v);
+                }
+            });
+        // Interior of a linear field is preserved by averaging.
+        assert!((dst.at(5, 5, 0) - src.at(5, 5, 0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reductions_are_deterministic_and_counted() {
+        let s = session();
+        let b = Block::new_2d(64, 64, 1);
+        let mut u = Dat::<f64>::zeroed(&b, "u");
+        u.fill_with(|i, j, _| ((i * 31 + j * 7) % 13) as f64 * 0.1);
+        let r = u.reader();
+        let total = ParLoop::new("sum", b.interior())
+            .read(u.meta(), Stencil::point())
+            .run_reduce(&s, 0.0f64, |a, b| a + b, |tile| {
+                let mut t = 0.0;
+                for (i, j, k) in tile.iter() {
+                    t += r.at(i, j, k);
+                }
+                t
+            });
+        let expect = u.interior_sum(&b);
+        assert!((total - expect).abs() < 1e-9);
+        let rec = &s.records()[0];
+        assert!(rec.time.reduction > 0.0 || rec.time.total > 0.0);
+    }
+
+    #[test]
+    fn boundary_loops_are_flagged() {
+        let s = session();
+        let b = Block::new_2d(512, 512, 2);
+        let mut u = Dat::<f64>::zeroed(&b, "u");
+        let meta = u.meta();
+        let w = u.writer();
+        ParLoop::new("bc_left", b.face(0, -1, 2))
+            .write(meta)
+            .run(&s, |tile| {
+                for (i, j, k) in tile.iter() {
+                    w.set(i, j, k, 1.0);
+                }
+            });
+        assert!(s.records()[0].boundary);
+    }
+}

@@ -1,0 +1,170 @@
+//! Signed 3-D index ranges and their tiling.
+//!
+//! OPS loops may walk halo regions (negative indices), so ranges are in
+//! `i64`. A [`Range3`] is half-open in every dimension; degenerate (2-D)
+//! ranges simply have a single-element z extent.
+
+/// A half-open box `[lo, hi)³` of loop indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Range3 {
+    pub lo: [i64; 3],
+    pub hi: [i64; 3],
+}
+
+impl Range3 {
+    /// A 2-D range (z extent of one).
+    pub fn new_2d(x0: i64, x1: i64, y0: i64, y1: i64) -> Self {
+        Range3 {
+            lo: [x0, y0, 0],
+            hi: [x1, y1, 1],
+        }
+    }
+
+    /// A 3-D range.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new_3d(x0: i64, x1: i64, y0: i64, y1: i64, z0: i64, z1: i64) -> Self {
+        Range3 {
+            lo: [x0, y0, z0],
+            hi: [x1, y1, z1],
+        }
+    }
+
+    /// Extent along dimension `d` (clamped at zero).
+    pub fn extent(&self, d: usize) -> usize {
+        (self.hi[d] - self.lo[d]).max(0) as usize
+    }
+
+    /// Extents as an array.
+    pub fn extents(&self) -> [usize; 3] {
+        [self.extent(0), self.extent(1), self.extent(2)]
+    }
+
+    /// Total points in the range.
+    pub fn points(&self) -> usize {
+        self.extent(0) * self.extent(1) * self.extent(2)
+    }
+
+    /// True when the range covers no points.
+    pub fn is_empty(&self) -> bool {
+        self.points() == 0
+    }
+
+    /// Split into tiles of at most `shape` points per dimension; returns
+    /// the number of tiles.
+    pub fn tile_count(&self, shape: [usize; 3]) -> usize {
+        (0..3)
+            .map(|d| self.extent(d).div_ceil(shape[d].max(1)).max(1))
+            .product()
+    }
+
+    /// The `t`-th tile (x-fastest ordering) for the given tile shape.
+    pub fn tile(&self, shape: [usize; 3], t: usize) -> Range3 {
+        let shape = [shape[0].max(1), shape[1].max(1), shape[2].max(1)];
+        let nt: [usize; 3] =
+            std::array::from_fn(|d| self.extent(d).div_ceil(shape[d]).max(1));
+        let ix = t % nt[0];
+        let iy = (t / nt[0]) % nt[1];
+        let iz = t / (nt[0] * nt[1]);
+        let idx = [ix, iy, iz];
+        let mut lo = [0i64; 3];
+        let mut hi = [0i64; 3];
+        for d in 0..3 {
+            lo[d] = self.lo[d] + (idx[d] * shape[d]) as i64;
+            hi[d] = (lo[d] + shape[d] as i64).min(self.hi[d]);
+        }
+        Range3 { lo, hi }
+    }
+
+    /// Iterate the points of this range (x-fastest).
+    pub fn iter(&self) -> TileIter {
+        TileIter {
+            range: *self,
+            cur: self.lo,
+            done: self.is_empty(),
+        }
+    }
+}
+
+/// Point iterator over a [`Range3`].
+#[derive(Debug, Clone)]
+pub struct TileIter {
+    range: Range3,
+    cur: [i64; 3],
+    done: bool,
+}
+
+impl Iterator for TileIter {
+    type Item = (i64, i64, i64);
+
+    fn next(&mut self) -> Option<(i64, i64, i64)> {
+        if self.done {
+            return None;
+        }
+        let out = (self.cur[0], self.cur[1], self.cur[2]);
+        self.cur[0] += 1;
+        if self.cur[0] >= self.range.hi[0] {
+            self.cur[0] = self.range.lo[0];
+            self.cur[1] += 1;
+            if self.cur[1] >= self.range.hi[1] {
+                self.cur[1] = self.range.lo[1];
+                self.cur[2] += 1;
+                if self.cur[2] >= self.range.hi[2] {
+                    self.done = true;
+                }
+            }
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extents_and_points() {
+        let r = Range3::new_3d(-2, 10, 0, 5, 1, 4);
+        assert_eq!(r.extents(), [12, 5, 3]);
+        assert_eq!(r.points(), 180);
+        assert!(!r.is_empty());
+        assert!(Range3::new_2d(3, 3, 0, 5).is_empty());
+    }
+
+    #[test]
+    fn tiles_partition_the_range() {
+        let r = Range3::new_3d(-4, 33, 2, 19, 0, 7);
+        let shape = [8, 4, 3];
+        let n = r.tile_count(shape);
+        let mut seen = std::collections::HashSet::new();
+        for t in 0..n {
+            let tile = r.tile(shape, t);
+            for p in tile.iter() {
+                assert!(seen.insert(p), "duplicate point {p:?}");
+            }
+        }
+        assert_eq!(seen.len(), r.points());
+    }
+
+    #[test]
+    fn iter_visits_x_fastest() {
+        let r = Range3::new_2d(0, 2, 0, 2);
+        let pts: Vec<_> = r.iter().collect();
+        assert_eq!(pts, vec![(0, 0, 0), (1, 0, 0), (0, 1, 0), (1, 1, 0)]);
+    }
+
+    #[test]
+    fn negative_ranges_iterate_correctly() {
+        let r = Range3::new_2d(-2, 0, -1, 1);
+        let pts: Vec<_> = r.iter().collect();
+        assert_eq!(pts.len(), 4);
+        assert_eq!(pts[0], (-2, -1, 0));
+    }
+
+    #[test]
+    fn tile_of_degenerate_shape_is_clamped() {
+        let r = Range3::new_2d(0, 10, 0, 10);
+        assert_eq!(r.tile_count([0, 0, 0]), 100);
+        let t = r.tile([0, 0, 0], 0);
+        assert_eq!(t.points(), 1);
+    }
+}

@@ -1,0 +1,79 @@
+//! Stencils: the per-argument access patterns of OPS loops.
+
+/// A stencil described by its access radius per dimension. OPS stencils
+/// are point lists; for footprint purposes only the extents matter, so we
+/// store radii (a 5-point 2-D star is `radius = [1, 1, 0]`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stencil {
+    pub radius: [usize; 3],
+}
+
+impl Stencil {
+    /// Access only the loop's own point.
+    pub fn point() -> Self {
+        Stencil { radius: [0, 0, 0] }
+    }
+
+    /// A 2-D star of the given radius (2r+1 points per axis).
+    pub fn star_2d(r: usize) -> Self {
+        Stencil { radius: [r, r, 0] }
+    }
+
+    /// A 3-D star of the given radius.
+    pub fn star_3d(r: usize) -> Self {
+        Stencil { radius: [r, r, r] }
+    }
+
+    /// Anisotropic radii.
+    pub fn radii(rx: usize, ry: usize, rz: usize) -> Self {
+        Stencil {
+            radius: [rx, ry, rz],
+        }
+    }
+
+    /// Offset-only stencil in one direction (face/edge computations).
+    pub fn offset_1d(d: usize, r: usize) -> Self {
+        let mut radius = [0, 0, 0];
+        radius[d] = r;
+        Stencil { radius }
+    }
+
+    /// Number of points in the star.
+    pub fn points(&self) -> usize {
+        1 + 2 * (self.radius[0] + self.radius[1] + self.radius[2])
+    }
+
+    /// Elementwise max of two stencils (for merging a loop's args).
+    pub fn merge(self, other: Stencil) -> Stencil {
+        Stencil {
+            radius: std::array::from_fn(|d| self.radius[d].max(other.radius[d])),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Stencil::point().radius, [0, 0, 0]);
+        assert_eq!(Stencil::star_2d(2).radius, [2, 2, 0]);
+        assert_eq!(Stencil::star_3d(4).radius, [4, 4, 4]);
+        assert_eq!(Stencil::offset_1d(1, 3).radius, [0, 3, 0]);
+    }
+
+    #[test]
+    fn star_point_counts() {
+        assert_eq!(Stencil::point().points(), 1);
+        assert_eq!(Stencil::star_2d(1).points(), 5);
+        assert_eq!(Stencil::star_3d(1).points(), 7);
+        assert_eq!(Stencil::star_3d(4).points(), 25);
+    }
+
+    #[test]
+    fn merge_takes_elementwise_max() {
+        let m = Stencil::radii(1, 0, 2).merge(Stencil::radii(0, 3, 1));
+        assert_eq!(m.radius, [1, 3, 2]);
+    }
+}

@@ -1,0 +1,76 @@
+//! # parkit — parallel substrate for the SYCL portability study
+//!
+//! A small, dependency-light data-parallel runtime used as the *functional*
+//! execution engine underneath the simulated SYCL runtime (`sycl-sim`).
+//! Kernels in this project always run for real (producing validated numeric
+//! results); `parkit` provides the bulk-synchronous parallel-for and
+//! reduction primitives those launches map onto.
+//!
+//! Design notes:
+//!
+//! * A fixed pool of worker threads executes *parallel regions*: a region is
+//!   a set of chunks drained from a shared atomic cursor (dynamic / guided
+//!   scheduling, like OpenMP `schedule(dynamic)`).
+//! * The calling thread participates in the region, so `ThreadPool::new(n)`
+//!   spawns `n - 1` workers and the caller is the final lane.
+//! * Reductions are **deterministic**: each chunk writes a partial into its
+//!   own slot and partials are combined in a fixed pairwise tree, so results
+//!   do not depend on thread scheduling. This mirrors the "user-defined
+//!   binary tree reductions" the paper had to use for SYCL on CPUs.
+//! * Panics inside a region are caught on worker threads and re-thrown on
+//!   the caller after the region completes, keeping the pool reusable.
+//!
+//! ```
+//! use parkit::ThreadPool;
+//! let pool = ThreadPool::new(4);
+//! let mut data = vec![0u64; 1000];
+//! pool.for_each_chunk(&mut data, 64, |start, chunk| {
+//!     for (i, x) in chunk.iter_mut().enumerate() {
+//!         *x = (start + i) as u64;
+//!     }
+//! });
+//! let total: u64 = pool.reduce(1000, 64, 0u64, |a, b| a + b, |r| {
+//!     r.map(|i| i as u64).sum()
+//! });
+//! assert_eq!(total, 1000 * 999 / 2);
+//! ```
+
+mod pool;
+mod range;
+mod reduce;
+mod slice;
+
+pub use pool::{PoolConfig, ThreadPool};
+pub use range::{split_evenly, Chunks, Tile2, Tile3};
+pub use reduce::tree_combine;
+pub use slice::DisjointSlices;
+
+use std::sync::OnceLock;
+
+/// Lazily-initialised process-wide pool sized to the machine.
+///
+/// Most callers (the SYCL runtime, the DSLs) share this pool; tests that
+/// need specific worker counts construct their own [`ThreadPool`].
+pub fn global_pool() -> &'static ThreadPool {
+    static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        let hw = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        ThreadPool::new(hw)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_pool_is_usable_and_shared() {
+        let a = global_pool() as *const ThreadPool;
+        let b = global_pool() as *const ThreadPool;
+        assert_eq!(a, b);
+        let sum = global_pool().reduce(100, 7, 0usize, |a, b| a + b, |r| r.sum());
+        assert_eq!(sum, 4950);
+    }
+}

@@ -1,0 +1,463 @@
+//! Bulk-synchronous thread pool.
+//!
+//! The pool executes one *parallel region* at a time (launches from the DSL
+//! layer are always serialised through a queue, so this matches the usage
+//! pattern). A region is described by a chunk count and a closure; workers
+//! and the calling thread drain chunk indices from an atomic cursor.
+
+use parking_lot::{Condvar, Mutex};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::thread::JoinHandle;
+
+/// Configuration for a [`ThreadPool`].
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Total parallel lanes, including the calling thread. Minimum 1.
+    pub lanes: usize,
+    /// Base name for worker threads (suffixed with the worker index).
+    pub thread_name: String,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            lanes: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            thread_name: "parkit-worker".to_owned(),
+        }
+    }
+}
+
+/// A handle to an in-flight parallel region.
+///
+/// Lives on the caller's stack; workers reach it through a raw pointer that
+/// is only published while the caller is blocked waiting for completion, so
+/// the borrow can never dangle.
+struct Region {
+    /// Next chunk index to execute.
+    cursor: AtomicUsize,
+    /// Chunks fully executed.
+    completed: AtomicUsize,
+    /// Total chunks in the region.
+    n_chunks: usize,
+    /// Workers currently inside the region body.
+    active: AtomicUsize,
+    /// Set if any chunk panicked; the payload of the first panic is kept.
+    panicked: AtomicBool,
+    panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// The chunk body: called with (lane, chunk_index). The 'static here is
+    /// a lie told via transmute; the completion barrier in `run_region`
+    /// guarantees the real borrow outlives all uses.
+    body: &'static (dyn Fn(usize, usize) + Sync),
+}
+
+// SAFETY: `body` points into the caller's stack frame, which outlives the
+// region because the caller blocks until `active == 0 && completed ==
+// n_chunks` before returning. The Fn is Sync so shared calls are fine.
+unsafe impl Send for Region {}
+unsafe impl Sync for Region {}
+
+struct Slot {
+    /// Monotonic id of the region currently (or last) published.
+    epoch: u64,
+    /// Pointer to the live region, if one is accepting workers.
+    region: Option<*const Region>,
+    shutdown: bool,
+}
+
+// SAFETY: the raw pointer is only dereferenced while the publishing caller
+// is blocked (see `Region`).
+unsafe impl Send for Slot {}
+
+struct Shared {
+    slot: Mutex<Slot>,
+    /// Workers wait here for a new epoch.
+    work_ready: Condvar,
+    /// The caller waits here for region completion.
+    region_done: Condvar,
+}
+
+/// A bulk-synchronous pool of worker threads; see module docs.
+pub struct ThreadPool {
+    shared: std::sync::Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    lanes: usize,
+}
+
+impl ThreadPool {
+    /// Create a pool with `lanes` total parallel lanes (including the
+    /// calling thread). `lanes == 1` runs everything inline.
+    pub fn new(lanes: usize) -> Self {
+        Self::with_config(PoolConfig {
+            lanes,
+            ..PoolConfig::default()
+        })
+    }
+
+    /// Create a pool from an explicit [`PoolConfig`].
+    pub fn with_config(cfg: PoolConfig) -> Self {
+        let lanes = cfg.lanes.max(1);
+        let shared = std::sync::Arc::new(Shared {
+            slot: Mutex::new(Slot {
+                epoch: 0,
+                region: None,
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+            region_done: Condvar::new(),
+        });
+        let workers = (1..lanes)
+            .map(|lane| {
+                let shared = std::sync::Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("{}-{}", cfg.thread_name, lane))
+                    .spawn(move || worker_loop(&shared, lane))
+                    .expect("failed to spawn parkit worker")
+            })
+            .collect();
+        ThreadPool {
+            shared,
+            workers,
+            lanes,
+        }
+    }
+
+    /// Total parallel lanes (workers + the calling thread).
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Execute `n_chunks` invocations of `body(lane, chunk)` across the
+    /// pool, dynamically scheduled. Blocks until every chunk has run.
+    ///
+    /// Panics that occur inside `body` are re-thrown here after the region
+    /// drains, so the pool stays usable.
+    pub fn run_region<F>(&self, n_chunks: usize, body: F)
+    where
+        F: Fn(usize, usize) + Sync,
+    {
+        if n_chunks == 0 {
+            return;
+        }
+        if self.lanes == 1 || n_chunks == 1 {
+            // Inline fast path: no publication, no synchronisation.
+            for chunk in 0..n_chunks {
+                body(0, chunk);
+            }
+            return;
+        }
+
+        let wide: &(dyn Fn(usize, usize) + Sync) = &body;
+        // SAFETY: lifetime erasure only; `run_region` blocks until every
+        // worker has exited the region before `body` goes out of scope.
+        let wide: &'static (dyn Fn(usize, usize) + Sync) =
+            unsafe { std::mem::transmute(wide) };
+        let region = Region {
+            cursor: AtomicUsize::new(0),
+            completed: AtomicUsize::new(0),
+            n_chunks,
+            active: AtomicUsize::new(0),
+            panicked: AtomicBool::new(false),
+            panic_payload: Mutex::new(None),
+            body: wide,
+        };
+
+        {
+            let mut slot = self.shared.slot.lock();
+            slot.epoch += 1;
+            slot.region = Some(&region as *const Region);
+            self.shared.work_ready.notify_all();
+        }
+
+        // The caller is lane 0.
+        drain_region(&region, 0);
+
+        // Unpublish, then wait for stragglers mid-chunk.
+        {
+            let mut slot = self.shared.slot.lock();
+            slot.region = None;
+            while region.active.load(Ordering::Acquire) != 0
+                || region.completed.load(Ordering::Acquire) != n_chunks
+            {
+                self.shared.region_done.wait(&mut slot);
+            }
+        }
+
+        if region.panicked.load(Ordering::Acquire) {
+            let payload = region
+                .panic_payload
+                .lock()
+                .take()
+                .unwrap_or_else(|| Box::new("panic in parkit region"));
+            resume_unwind(payload);
+        }
+    }
+
+    /// Parallel loop over `0..total` in chunks of at most `grain`,
+    /// invoking `f(start, end)` for each chunk.
+    pub fn for_range<F>(&self, total: usize, grain: usize, f: F)
+    where
+        F: Fn(usize, usize) + Sync,
+    {
+        let grain = grain.max(1);
+        let n_chunks = total.div_ceil(grain);
+        self.run_region(n_chunks, |_lane, chunk| {
+            let start = chunk * grain;
+            let end = (start + grain).min(total);
+            f(start, end);
+        });
+    }
+
+    /// Statically-scheduled parallel loop: `0..total` is split into
+    /// exactly `lanes()` near-equal spans, one per lane (the OpenMP
+    /// `schedule(static)` shape — NUMA-friendly first-touch order).
+    pub fn for_range_static<F>(&self, total: usize, f: F)
+    where
+        F: Fn(usize, usize, usize) + Sync,
+    {
+        let lanes = self.lanes;
+        self.run_region(lanes, |_lane, part| {
+            let (start, end) = crate::range::split_evenly(total, lanes, part);
+            if start < end {
+                f(part, start, end);
+            }
+        });
+    }
+
+    /// Parallel mutation of a slice in contiguous chunks of at most
+    /// `grain` elements; `f(start_index, chunk)`.
+    pub fn for_each_chunk<T, F>(&self, data: &mut [T], grain: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        let total = data.len();
+        let base = crate::slice::SendPtr(data.as_mut_ptr());
+        self.for_range(total, grain, move |start, end| {
+            // SAFETY: [start, end) ranges from `for_range` are disjoint and
+            // within bounds, so each chunk is exclusively borrowed.
+            let chunk =
+                unsafe { std::slice::from_raw_parts_mut(base.get().add(start), end - start) };
+            f(start, chunk);
+        });
+    }
+
+    /// Deterministic parallel reduction over `0..total`.
+    ///
+    /// `map` folds one chunk's index range into a partial; partials are
+    /// combined in a fixed pairwise tree (see [`crate::tree_combine`]),
+    /// making the result independent of scheduling.
+    pub fn reduce<T, M, C>(&self, total: usize, grain: usize, identity: T, combine: C, map: M) -> T
+    where
+        T: Send + Clone,
+        M: Fn(std::ops::Range<usize>) -> T + Sync,
+        C: Fn(T, T) -> T + Sync,
+    {
+        let grain = grain.max(1);
+        let n_chunks = total.div_ceil(grain);
+        if n_chunks == 0 {
+            return identity;
+        }
+        let mut partials: Vec<Option<T>> = (0..n_chunks).map(|_| None).collect();
+        let slots = crate::slice::DisjointSlices::new(&mut partials);
+        self.run_region(n_chunks, |_lane, chunk| {
+            let start = chunk * grain;
+            let end = (start + grain).min(total);
+            // SAFETY: each chunk index is visited exactly once.
+            unsafe { slots.write(chunk, Some(map(start..end))) };
+        });
+        crate::reduce::tree_combine(
+            partials.into_iter().map(|p| p.expect("chunk ran")),
+            identity,
+            &combine,
+        )
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut slot = self.shared.slot.lock();
+            slot.shutdown = true;
+            self.shared.work_ready.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, lane: usize) {
+    let mut last_epoch = 0u64;
+    loop {
+        let region_ptr = {
+            let mut slot = shared.slot.lock();
+            loop {
+                if slot.shutdown {
+                    return;
+                }
+                if slot.epoch != last_epoch {
+                    if let Some(ptr) = slot.region {
+                        last_epoch = slot.epoch;
+                        // Adopt under the lock so the caller can observe us
+                        // via `active` before we touch the region unlocked.
+                        // SAFETY: region is live while published.
+                        unsafe { (*ptr).active.fetch_add(1, Ordering::AcqRel) };
+                        break ptr;
+                    }
+                    // Region already retired; skip this epoch.
+                    last_epoch = slot.epoch;
+                }
+                shared.work_ready.wait(&mut slot);
+            }
+        };
+        // SAFETY: `active` was incremented under the lock; the caller will
+        // not free the region until we decrement it again.
+        let region = unsafe { &*region_ptr };
+        drain_region(region, lane);
+        {
+            let _slot = shared.slot.lock();
+            region.active.fetch_sub(1, Ordering::AcqRel);
+            shared.region_done.notify_all();
+        }
+    }
+}
+
+fn drain_region(region: &Region, lane: usize) {
+    let body = region.body;
+    loop {
+        let chunk = region.cursor.fetch_add(1, Ordering::Relaxed);
+        if chunk >= region.n_chunks {
+            break;
+        }
+        let result = catch_unwind(AssertUnwindSafe(|| body(lane, chunk)));
+        if let Err(payload) = result {
+            if !region.panicked.swap(true, Ordering::AcqRel) {
+                *region.panic_payload.lock() = Some(payload);
+            }
+        }
+        region.completed.fetch_add(1, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn runs_every_chunk_exactly_once() {
+        let pool = ThreadPool::new(4);
+        let hits = (0..97).map(|_| AtomicUsize::new(0)).collect::<Vec<_>>();
+        pool.run_region(97, |_lane, chunk| {
+            hits[chunk].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn single_lane_pool_runs_inline() {
+        let pool = ThreadPool::new(1);
+        let sum = AtomicU64::new(0);
+        pool.run_region(10, |lane, chunk| {
+            assert_eq!(lane, 0);
+            sum.fetch_add(chunk as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 45);
+    }
+
+    #[test]
+    fn for_range_covers_whole_domain_without_overlap() {
+        let pool = ThreadPool::new(3);
+        let marks = (0..1000).map(|_| AtomicUsize::new(0)).collect::<Vec<_>>();
+        pool.for_range(1000, 33, |start, end| {
+            for m in &marks[start..end] {
+                m.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(marks.iter().all(|m| m.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn for_each_chunk_writes_disjointly() {
+        let pool = ThreadPool::new(8);
+        let mut v = vec![0usize; 4096];
+        pool.for_each_chunk(&mut v, 100, |start, chunk| {
+            for (i, x) in chunk.iter_mut().enumerate() {
+                *x = start + i;
+            }
+        });
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i));
+    }
+
+    #[test]
+    fn static_schedule_partitions_exactly_once_per_lane() {
+        let pool = ThreadPool::new(5);
+        let marks = (0..1001).map(|_| AtomicUsize::new(0)).collect::<Vec<_>>();
+        let lanes_seen = (0..5).map(|_| AtomicUsize::new(0)).collect::<Vec<_>>();
+        pool.for_range_static(1001, |lane, s, e| {
+            lanes_seen[lane].fetch_add(1, Ordering::Relaxed);
+            for m in &marks[s..e] {
+                m.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(marks.iter().all(|m| m.load(Ordering::Relaxed) == 1));
+        assert!(lanes_seen.iter().all(|l| l.load(Ordering::Relaxed) <= 1));
+    }
+
+    #[test]
+    fn reduce_is_deterministic_across_pool_sizes() {
+        let data: Vec<f64> = (0..10_000).map(|i| (i as f64).sin()).collect();
+        let mut answers = vec![];
+        for lanes in [1, 2, 3, 8] {
+            let pool = ThreadPool::new(lanes);
+            let s = pool.reduce(data.len(), 137, 0.0f64, |a, b| a + b, |r| {
+                r.map(|i| data[i]).sum::<f64>()
+            });
+            answers.push(s.to_bits());
+        }
+        assert!(
+            answers.windows(2).all(|w| w[0] == w[1]),
+            "deterministic reduction must not depend on lane count"
+        );
+    }
+
+    #[test]
+    fn panics_propagate_and_pool_survives() {
+        let pool = ThreadPool::new(4);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run_region(64, |_l, chunk| {
+                if chunk == 13 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(caught.is_err());
+        // Pool must still work afterwards.
+        let n = AtomicUsize::new(0);
+        pool.run_region(64, |_l, _c| {
+            n.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(n.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn zero_chunks_is_a_no_op() {
+        let pool = ThreadPool::new(2);
+        pool.run_region(0, |_l, _c| panic!("must not run"));
+    }
+
+    #[test]
+    fn back_to_back_regions_reuse_workers() {
+        let pool = ThreadPool::new(4);
+        for round in 0..50 {
+            let n = AtomicUsize::new(0);
+            pool.run_region(round + 1, |_l, _c| {
+                n.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(n.load(Ordering::Relaxed), round + 1);
+        }
+    }
+}

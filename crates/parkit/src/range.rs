@@ -1,0 +1,240 @@
+//! Index-range chunking and 2D/3D tiling helpers.
+//!
+//! The DSLs decompose iteration spaces into tiles before handing them to the
+//! pool; the tile shapes also feed the cache model (a tile is the analogue
+//! of a SYCL work-group).
+
+/// Iterator over `[start, end)` chunk boundaries of width `grain`.
+#[derive(Debug, Clone)]
+pub struct Chunks {
+    next: usize,
+    total: usize,
+    grain: usize,
+}
+
+impl Chunks {
+    /// Chunk `0..total` into pieces of at most `grain` elements.
+    pub fn new(total: usize, grain: usize) -> Self {
+        Chunks {
+            next: 0,
+            total,
+            grain: grain.max(1),
+        }
+    }
+
+    /// Number of chunks this iterator yields in total.
+    pub fn count_chunks(total: usize, grain: usize) -> usize {
+        total.div_ceil(grain.max(1))
+    }
+}
+
+impl Iterator for Chunks {
+    type Item = (usize, usize);
+
+    fn next(&mut self) -> Option<(usize, usize)> {
+        if self.next >= self.total {
+            return None;
+        }
+        let start = self.next;
+        let end = (start + self.grain).min(self.total);
+        self.next = end;
+        Some((start, end))
+    }
+}
+
+/// Split `0..total` into exactly `parts` nearly-equal contiguous spans
+/// (sizes differ by at most one). Returns `(start, end)` for `part`.
+///
+/// This is the static (OpenMP `schedule(static)`) decomposition used by
+/// the MPI-rank and NUMA-domain models.
+pub fn split_evenly(total: usize, parts: usize, part: usize) -> (usize, usize) {
+    assert!(parts > 0 && part < parts);
+    let base = total / parts;
+    let rem = total % parts;
+    let start = part * base + part.min(rem);
+    let len = base + usize::from(part < rem);
+    (start, start + len)
+}
+
+/// A rectangular 2D tile `[x0, x1) × [y0, y1)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tile2 {
+    pub x0: usize,
+    pub x1: usize,
+    pub y0: usize,
+    pub y1: usize,
+}
+
+impl Tile2 {
+    /// Points in the tile.
+    pub fn len(&self) -> usize {
+        (self.x1 - self.x0) * (self.y1 - self.y0)
+    }
+
+    /// True if the tile covers no points.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Tile an `nx × ny` domain into tiles of shape `(tx, ty)`, returning
+    /// the tile with the given linear index (x-fastest ordering).
+    pub fn index(nx: usize, ny: usize, tx: usize, ty: usize, tile: usize) -> Tile2 {
+        let (tx, ty) = (tx.max(1), ty.max(1));
+        let tiles_x = nx.div_ceil(tx);
+        let ix = tile % tiles_x;
+        let iy = tile / tiles_x;
+        Tile2 {
+            x0: ix * tx,
+            x1: ((ix + 1) * tx).min(nx),
+            y0: iy * ty,
+            y1: ((iy + 1) * ty).min(ny),
+        }
+    }
+
+    /// Total tiles produced by [`Tile2::index`] for this domain/tile shape.
+    pub fn count(nx: usize, ny: usize, tx: usize, ty: usize) -> usize {
+        nx.div_ceil(tx.max(1)) * ny.div_ceil(ty.max(1))
+    }
+}
+
+/// A rectangular 3D tile `[x0, x1) × [y0, y1) × [z0, z1)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tile3 {
+    pub x0: usize,
+    pub x1: usize,
+    pub y0: usize,
+    pub y1: usize,
+    pub z0: usize,
+    pub z1: usize,
+}
+
+impl Tile3 {
+    /// Points in the tile.
+    pub fn len(&self) -> usize {
+        (self.x1 - self.x0) * (self.y1 - self.y0) * (self.z1 - self.z0)
+    }
+
+    /// True if the tile covers no points.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Tile an `nx × ny × nz` domain into tiles of shape `(tx, ty, tz)`,
+    /// returning the tile with the given linear index (x-fastest).
+    #[allow(clippy::too_many_arguments)]
+    pub fn index(
+        nx: usize,
+        ny: usize,
+        nz: usize,
+        tx: usize,
+        ty: usize,
+        tz: usize,
+        tile: usize,
+    ) -> Tile3 {
+        let (tx, ty, tz) = (tx.max(1), ty.max(1), tz.max(1));
+        let tiles_x = nx.div_ceil(tx);
+        let tiles_y = ny.div_ceil(ty);
+        let ix = tile % tiles_x;
+        let iy = (tile / tiles_x) % tiles_y;
+        let iz = tile / (tiles_x * tiles_y);
+        Tile3 {
+            x0: ix * tx,
+            x1: ((ix + 1) * tx).min(nx),
+            y0: iy * ty,
+            y1: ((iy + 1) * ty).min(ny),
+            z0: iz * tz,
+            z1: ((iz + 1) * tz).min(nz),
+        }
+    }
+
+    /// Total tiles produced by [`Tile3::index`] for this domain/tile shape.
+    pub fn count(nx: usize, ny: usize, nz: usize, tx: usize, ty: usize, tz: usize) -> usize {
+        nx.div_ceil(tx.max(1)) * ny.div_ceil(ty.max(1)) * nz.div_ceil(tz.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_range_exactly() {
+        let spans: Vec<_> = Chunks::new(100, 7).collect();
+        assert_eq!(spans.len(), Chunks::count_chunks(100, 7));
+        assert_eq!(spans[0], (0, 7));
+        assert_eq!(*spans.last().unwrap(), (98, 100));
+        let covered: usize = spans.iter().map(|(s, e)| e - s).sum();
+        assert_eq!(covered, 100);
+    }
+
+    #[test]
+    fn chunks_handle_empty_and_oversized_grain() {
+        assert_eq!(Chunks::new(0, 8).count(), 0);
+        let spans: Vec<_> = Chunks::new(5, 100).collect();
+        assert_eq!(spans, vec![(0, 5)]);
+    }
+
+    #[test]
+    fn split_evenly_is_a_partition() {
+        for total in [0usize, 1, 7, 64, 1000] {
+            for parts in [1usize, 2, 3, 7, 16] {
+                let mut covered = 0;
+                let mut prev_end = 0;
+                for p in 0..parts {
+                    let (s, e) = split_evenly(total, parts, p);
+                    assert_eq!(s, prev_end, "spans must be contiguous");
+                    assert!(e >= s);
+                    covered += e - s;
+                    prev_end = e;
+                }
+                assert_eq!(covered, total);
+            }
+        }
+    }
+
+    #[test]
+    fn split_evenly_sizes_differ_by_at_most_one() {
+        let sizes: Vec<usize> = (0..7)
+            .map(|p| {
+                let (s, e) = split_evenly(100, 7, p);
+                e - s
+            })
+            .collect();
+        let max = *sizes.iter().max().unwrap();
+        let min = *sizes.iter().min().unwrap();
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn tile2_partitions_domain() {
+        let (nx, ny, tx, ty) = (100, 37, 16, 8);
+        let n = Tile2::count(nx, ny, tx, ty);
+        let mut covered = 0;
+        for t in 0..n {
+            let tile = Tile2::index(nx, ny, tx, ty, t);
+            assert!(tile.x1 <= nx && tile.y1 <= ny);
+            covered += tile.len();
+        }
+        assert_eq!(covered, nx * ny);
+    }
+
+    #[test]
+    fn tile3_partitions_domain() {
+        let (nx, ny, nz) = (33, 17, 9);
+        let (tx, ty, tz) = (8, 8, 4);
+        let n = Tile3::count(nx, ny, nz, tx, ty, tz);
+        let mut covered = 0;
+        for t in 0..n {
+            let tile = Tile3::index(nx, ny, nz, tx, ty, tz, t);
+            covered += tile.len();
+        }
+        assert_eq!(covered, nx * ny * nz);
+    }
+
+    #[test]
+    fn degenerate_tile_shapes_are_clamped() {
+        let tile = Tile2::index(4, 4, 0, 0, 0);
+        assert_eq!(tile, Tile2 { x0: 0, x1: 1, y0: 0, y1: 1 });
+        assert_eq!(Tile3::count(4, 4, 4, 0, 0, 0), 64);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests for the parallel substrate.
+
+use parkit::{split_evenly, Chunks, ThreadPool, Tile2, Tile3};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every index in the domain is visited exactly once regardless of
+    /// grain and pool width.
+    #[test]
+    fn for_range_visits_each_index_once(
+        total in 0usize..5000,
+        grain in 1usize..600,
+        lanes in 1usize..9,
+    ) {
+        let pool = ThreadPool::new(lanes);
+        let marks: Vec<AtomicUsize> = (0..total).map(|_| AtomicUsize::new(0)).collect();
+        pool.for_range(total, grain, |s, e| {
+            for m in &marks[s..e] {
+                m.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        prop_assert!(marks.iter().all(|m| m.load(Ordering::Relaxed) == 1));
+    }
+
+    /// Deterministic reduction equals the sequential fold for integers
+    /// and is bit-stable for floats across lane counts.
+    #[test]
+    fn reduce_matches_sequential(
+        xs in proptest::collection::vec(-1000i64..1000, 0..2000),
+        grain in 1usize..300,
+    ) {
+        let pool = ThreadPool::new(4);
+        let got = pool.reduce(xs.len(), grain, 0i64, |a, b| a + b, |r| {
+            r.map(|i| xs[i]).sum::<i64>()
+        });
+        prop_assert_eq!(got, xs.iter().sum::<i64>());
+    }
+
+    #[test]
+    fn float_reduce_bit_stable_across_lanes(
+        xs in proptest::collection::vec(-1.0f64..1.0, 1..800),
+        grain in 1usize..97,
+    ) {
+        let mut bits = None;
+        for lanes in [1usize, 2, 5] {
+            let pool = ThreadPool::new(lanes);
+            let s = pool.reduce(xs.len(), grain, 0.0f64, |a, b| a + b, |r| {
+                r.map(|i| xs[i]).sum::<f64>()
+            });
+            match bits {
+                None => bits = Some(s.to_bits()),
+                Some(b) => prop_assert_eq!(b, s.to_bits()),
+            }
+        }
+    }
+
+    /// split_evenly partitions with near-equal sizes.
+    #[test]
+    fn split_evenly_partitions(total in 0usize..10_000, parts in 1usize..65) {
+        let mut covered = 0usize;
+        let mut sizes = vec![];
+        let mut prev = 0;
+        for p in 0..parts {
+            let (s, e) = split_evenly(total, parts, p);
+            prop_assert_eq!(s, prev);
+            prev = e;
+            covered += e - s;
+            sizes.push(e - s);
+        }
+        prop_assert_eq!(covered, total);
+        let max = sizes.iter().max().unwrap();
+        let min = sizes.iter().min().unwrap();
+        prop_assert!(max - min <= 1);
+    }
+
+    /// Chunk iterator covers the domain in order without gaps.
+    #[test]
+    fn chunks_are_a_partition(total in 0usize..5000, grain in 1usize..700) {
+        let mut next = 0usize;
+        for (s, e) in Chunks::new(total, grain) {
+            prop_assert_eq!(s, next);
+            prop_assert!(e > s && e <= total);
+            next = e;
+        }
+        prop_assert_eq!(next, total.min(next.max(total.min(total))));
+        prop_assert_eq!(next, total);
+    }
+
+    /// 2D tiling is a partition of the domain.
+    #[test]
+    fn tile2_partition(
+        nx in 1usize..120, ny in 1usize..120,
+        tx in 1usize..40, ty in 1usize..40,
+    ) {
+        let n = Tile2::count(nx, ny, tx, ty);
+        let mut covered = 0usize;
+        for t in 0..n {
+            let tile = Tile2::index(nx, ny, tx, ty, t);
+            prop_assert!(tile.x1 <= nx && tile.y1 <= ny);
+            covered += tile.len();
+        }
+        prop_assert_eq!(covered, nx * ny);
+    }
+
+    /// 3D tiling is a partition of the domain.
+    #[test]
+    fn tile3_partition(
+        nx in 1usize..40, ny in 1usize..40, nz in 1usize..40,
+        tx in 1usize..16, ty in 1usize..16, tz in 1usize..16,
+    ) {
+        let n = Tile3::count(nx, ny, nz, tx, ty, tz);
+        let mut covered = 0usize;
+        for t in 0..n {
+            covered += Tile3::index(nx, ny, nz, tx, ty, tz, t).len();
+        }
+        prop_assert_eq!(covered, nx * ny * nz);
+    }
+}

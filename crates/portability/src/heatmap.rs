@@ -1,0 +1,148 @@
+//! ASCII heatmap rendering for the efficiency grids (Figures 10–11).
+//!
+//! The paper presents efficiency as colour-coded grids; in a terminal we
+//! shade each cell with a density glyph so the eye can pick out the same
+//! patterns (the GPU columns' consistency, the CPU SYCL dip, the
+//! Genoa-X >100 % band, the failure holes).
+
+/// One heatmap cell: an efficiency or a failure marker.
+#[derive(Debug, Clone, Copy)]
+pub enum HeatCell {
+    /// Efficiency as a fraction of peak (may exceed 1.0).
+    Value(f64),
+    /// Failed/unavailable configuration (rendered as a hole).
+    Missing(&'static str),
+}
+
+/// Shade for an efficiency value: denser glyph = higher fraction.
+pub fn shade(value: f64) -> char {
+    const RAMP: [char; 8] = [' ', '.', ':', '-', '=', '+', '#', '@'];
+    let idx = ((value / 1.2) * (RAMP.len() - 1) as f64).round() as usize;
+    RAMP[idx.min(RAMP.len() - 1)]
+}
+
+/// Render a labelled grid: rows × columns of cells, each cell shown as
+/// `NN% X` where X is the shade glyph.
+pub fn render(
+    title: &str,
+    col_labels: &[String],
+    rows: &[(String, Vec<HeatCell>)],
+) -> String {
+    let row_w = rows
+        .iter()
+        .map(|(n, _)| n.len())
+        .chain(std::iter::once(8))
+        .max()
+        .unwrap();
+    let mut out = format!("## {title}\n{:row_w$}", "");
+    for label in col_labels {
+        out.push_str(&format!(" | {label:>9}"));
+    }
+    out.push('\n');
+    for (name, cells) in rows {
+        out.push_str(&format!("{name:row_w$}"));
+        for cell in cells {
+            match cell {
+                HeatCell::Value(v) => {
+                    out.push_str(&format!(" | {:>5.0}% {} ", v * 100.0, shade(*v)))
+                }
+                HeatCell::Missing(m) => out.push_str(&format!(" | {m:>8} ")),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Build a heatmap from measurements grouped by a row key.
+pub fn from_measurements(
+    title: &str,
+    ms: &[crate::study::Measurement],
+    row_key: impl Fn(&crate::study::Measurement) -> String,
+) -> String {
+    let mut col_labels: Vec<String> = Vec::new();
+    let mut rows: Vec<(String, Vec<(String, HeatCell)>)> = Vec::new();
+    for m in ms {
+        let col = m.variant.label();
+        if !col_labels.contains(&col) {
+            col_labels.push(col.clone());
+        }
+        let cell = match (&m.runtime, m.efficiency) {
+            (Ok(_), Some(e)) => HeatCell::Value(e),
+            (Err(k), _) => HeatCell::Missing(match k {
+                sycl_sim::FailureKind::Unsupported => "n/a",
+                sycl_sim::FailureKind::CompileError => "ICE",
+                sycl_sim::FailureKind::RuntimeCrash => "crash",
+                sycl_sim::FailureKind::IncorrectResult => "wrong",
+            }),
+            _ => HeatCell::Missing("?"),
+        };
+        let key = row_key(m);
+        match rows.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, cells)) => cells.push((col, cell)),
+            None => rows.push((key, vec![(col, cell)])),
+        }
+    }
+    let grid: Vec<(String, Vec<HeatCell>)> = rows
+        .into_iter()
+        .map(|(k, cells)| {
+            let ordered = col_labels
+                .iter()
+                .map(|c| {
+                    cells
+                        .iter()
+                        .find(|(l, _)| l == c)
+                        .map(|(_, h)| *h)
+                        .unwrap_or(HeatCell::Missing("-"))
+                })
+                .collect();
+            (k, ordered)
+        })
+        .collect();
+    render(title, &col_labels, &grid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shade_is_monotone_in_value() {
+        let ramp: Vec<char> = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0, 1.2]
+            .iter()
+            .map(|&v| shade(v))
+            .collect();
+        // Non-decreasing density along the ramp.
+        let density = |c: char| " .:-=+#@".find(c).unwrap();
+        for pair in ramp.windows(2) {
+            assert!(density(pair[1]) >= density(pair[0]), "{ramp:?}");
+        }
+        assert_eq!(shade(0.0), ' ');
+        assert_eq!(shade(1.2), '@');
+    }
+
+    #[test]
+    fn render_includes_labels_values_and_holes() {
+        let text = render(
+            "demo",
+            &["CUDA".into(), "DPC++".into()],
+            &[
+                ("app_a".into(), vec![HeatCell::Value(0.92), HeatCell::Missing("n/a")]),
+                ("app_b".into(), vec![HeatCell::Value(1.07), HeatCell::Value(0.4)]),
+            ],
+        );
+        assert!(text.contains("92%"));
+        assert!(text.contains("107%"));
+        assert!(text.contains("n/a"));
+        assert!(text.contains("CUDA"));
+    }
+
+    #[test]
+    fn heatmap_from_real_measurements_has_the_failure_holes() {
+        let ms = crate::study::structured_measurements(sycl_sim::PlatformId::GenoaX);
+        let text = from_measurements("genoax", &ms, |m| m.app.to_owned());
+        assert!(text.contains("wrong"), "{text}");
+        assert!(text.contains("cloverleaf2d"));
+        assert!(text.contains('@') || text.contains('#'), "dense cells expected");
+    }
+}

@@ -1,0 +1,160 @@
+//! Plain-text table and CSV rendering for the figure harness.
+
+use crate::study::Measurement;
+use sycl_sim::FailureKind;
+
+/// Render measurements as an aligned text table, one row per app (or
+/// scheme) and one column per variant — mirroring the paper's grouped
+/// bar charts.
+pub fn format_table(title: &str, rows: &[(&str, Vec<(String, MeasCell)>)]) -> String {
+    let mut col_labels: Vec<String> = Vec::new();
+    for (_, cells) in rows {
+        for (label, _) in cells {
+            if !col_labels.contains(label) {
+                col_labels.push(label.clone());
+            }
+        }
+    }
+    let row_w = rows
+        .iter()
+        .map(|(n, _)| n.len())
+        .chain(std::iter::once(8))
+        .max()
+        .unwrap();
+    let col_w = col_labels.iter().map(|l| l.len().max(9)).collect::<Vec<_>>();
+
+    let mut out = String::new();
+    out.push_str(&format!("## {title}\n"));
+    out.push_str(&format!("{:row_w$}", ""));
+    for (label, w) in col_labels.iter().zip(&col_w) {
+        out.push_str(&format!(" | {label:>w$}"));
+    }
+    out.push('\n');
+    out.push_str(&"-".repeat(row_w + col_w.iter().map(|w| w + 3).sum::<usize>()));
+    out.push('\n');
+    for (name, cells) in rows {
+        out.push_str(&format!("{name:row_w$}"));
+        for (label, w) in col_labels.iter().zip(&col_w) {
+            let cell = cells
+                .iter()
+                .find(|(l, _)| l == label)
+                .map(|(_, c)| c.render())
+                .unwrap_or_else(|| "-".to_owned());
+            out.push_str(&format!(" | {cell:>w$}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// A renderable cell: a value or a failure marker.
+#[derive(Debug, Clone, Copy)]
+pub enum MeasCell {
+    /// Runtime in seconds.
+    Seconds(f64),
+    /// Efficiency as a fraction of peak.
+    Efficiency(f64),
+    Failed(FailureKind),
+}
+
+impl MeasCell {
+    fn render(&self) -> String {
+        match self {
+            MeasCell::Seconds(s) => format!("{s:.3}s"),
+            MeasCell::Efficiency(e) => format!("{:.0}%", e * 100.0),
+            MeasCell::Failed(k) => match k {
+                FailureKind::Unsupported => "n/a".to_owned(),
+                FailureKind::CompileError => "ICE".to_owned(),
+                FailureKind::RuntimeCrash => "crash".to_owned(),
+                FailureKind::IncorrectResult => "wrong".to_owned(),
+            },
+        }
+    }
+}
+
+/// Serialize measurements to CSV (one line per measurement).
+pub fn write_csv(measurements: &[Measurement]) -> String {
+    let mut out = String::from("app,platform,variant,scheme,runtime_s,efficiency,status\n");
+    for m in measurements {
+        let (rt, eff, status) = match (&m.runtime, m.efficiency) {
+            (Ok(t), Some(e)) => (format!("{t:.6}"), format!("{e:.4}"), "ok".to_owned()),
+            (Ok(t), None) => (format!("{t:.6}"), String::new(), "ok".to_owned()),
+            (Err(k), _) => (String::new(), String::new(), format!("{k:?}")),
+        };
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{}\n",
+            m.app,
+            m.platform.label(),
+            m.variant.label().replace(' ', "_"),
+            m.scheme.map(|s| s.label()).unwrap_or(""),
+            rt,
+            eff,
+            status
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::study::StudyVariant;
+    use sycl_sim::{PlatformId, Toolchain};
+
+    #[test]
+    fn table_renders_all_columns_and_failures() {
+        let rows = vec![
+            (
+                "app_a",
+                vec![
+                    ("CUDA".to_owned(), MeasCell::Seconds(1.25)),
+                    ("DPC++".to_owned(), MeasCell::Failed(FailureKind::Unsupported)),
+                ],
+            ),
+            ("app_b", vec![("CUDA".to_owned(), MeasCell::Efficiency(0.92))]),
+        ];
+        let t = format_table("Fig X", &rows);
+        assert!(t.contains("Fig X"));
+        assert!(t.contains("1.250s"));
+        assert!(t.contains("n/a"));
+        assert!(t.contains("92%"));
+        assert!(t.contains('-'), "missing cells render as dashes");
+    }
+
+    #[test]
+    fn csv_round_trips_key_fields() {
+        let m = Measurement {
+            app: "rtm",
+            platform: PlatformId::A100,
+            variant: StudyVariant {
+                toolchain: Toolchain::NativeCuda,
+                nd_range: false,
+            },
+            scheme: None,
+            runtime: Ok(0.5),
+            efficiency: Some(0.48),
+            boundary_fraction: Some(0.01),
+        };
+        let csv = write_csv(&[m]);
+        assert!(csv.starts_with("app,platform"));
+        assert!(csv.contains("rtm,a100,CUDA,,0.500000,0.4800,ok"));
+    }
+
+    #[test]
+    fn csv_marks_failures() {
+        let m = Measurement {
+            app: "cloverleaf2d",
+            platform: PlatformId::GenoaX,
+            variant: StudyVariant {
+                toolchain: Toolchain::OpenSycl,
+                nd_range: true,
+            },
+            scheme: None,
+            runtime: Err(FailureKind::IncorrectResult),
+            efficiency: None,
+            boundary_fraction: None,
+        };
+        let csv = write_csv(&[m]);
+        assert!(csv.contains("IncorrectResult"));
+    }
+}

@@ -1,0 +1,29 @@
+//! Per-kernel profiling view: where CloverLeaf 2D's time goes on two very
+//! different machine/toolchain combinations — the analysis behind the
+//! paper's boundary-loop and reduction observations (§4.1/§4.2).
+//!
+//!     cargo run --release --example profile_breakdown
+
+use sycl_portability::prelude::*;
+
+fn main() {
+    for (platform, tc) in [
+        (PlatformId::A100, Toolchain::NativeCuda),
+        (PlatformId::Xeon8360Y, Toolchain::Dpcpp),
+        (PlatformId::Xeon8360Y, Toolchain::OpenSycl),
+    ] {
+        let session = Session::create(
+            SessionConfig::new(platform, tc)
+                .variant(SyclVariant::NdRange([128, 2, 1]))
+                .app("cloverleaf2d")
+                .dry_run(),
+        )
+        .unwrap();
+        miniapps::CloverLeaf2d::paper().run(&session);
+        println!("{}", session.explain());
+    }
+    println!("Note the DPC++ row: every launch pays the OpenCL driver cost, so the");
+    println!("tiny update_halo loops climb the profile — exactly the paper's §4.2");
+    println!("observation (5.4-8.7% of runtime vs 0.34% for MPI+OpenMP). The");
+    println!("calc_dt reduction shows the binary-tree penalty on both SYCL rows.");
+}

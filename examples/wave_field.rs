@@ -1,0 +1,75 @@
+//! Run the RTM wave propagator functionally at a visualisable size and
+//! print an ASCII slice of the expanding wavefront — demonstrating that
+//! the simulated runtime executes real numerics, not stubs.
+//!
+//!     cargo run --release --example wave_field
+
+use ops_dsl::prelude::*;
+use sycl_portability::prelude::*;
+
+fn main() {
+    let n = 41usize;
+    let steps = 12;
+    let session = Session::create(
+        SessionConfig::new(PlatformId::A100, Toolchain::Dpcpp)
+            .variant(SyclVariant::NdRange([32, 8, 1]))
+            .app("wave_field"),
+    )
+    .unwrap();
+
+    let block = Block::new_3d(n, n, n, 4);
+    let mut prev = Dat::<f32>::zeroed(&block, "p_prev");
+    let mut curr = Dat::<f32>::zeroed(&block, "p_curr");
+    let c = (n / 2) as i64;
+    curr.writer().set(c, c, c, 1.0);
+
+    let f32_meta = ops_dsl::DatMeta { elem_bytes: 4.0 };
+    for _ in 0..steps {
+        let p = curr.reader();
+        let w = prev.writer();
+        ParLoop::new("wave_step", block.interior())
+            .read(f32_meta, Stencil::star_3d(4))
+            .read_write(f32_meta)
+            .flops(33.0)
+            .run(&session, |tile| {
+                let coef: [f32; 5] = [-2.847, 1.6, -0.2, 0.0254, -0.0018];
+                for (i, j, k) in tile.iter() {
+                    let mut lap = 3.0 * coef[0] * p.at(i, j, k);
+                    for (s, &cf) in coef.iter().enumerate().skip(1) {
+                        let s = s as i64;
+                        lap += cf
+                            * (p.at(i + s, j, k)
+                                + p.at(i - s, j, k)
+                                + p.at(i, j + s, k)
+                                + p.at(i, j - s, k)
+                                + p.at(i, j, k + s)
+                                + p.at(i, j, k - s));
+                    }
+                    let next = 2.0 * p.at(i, j, k) - w.get(i, j, k) + 0.1 * lap;
+                    w.set(i, j, k, next);
+                }
+            });
+        std::mem::swap(&mut prev, &mut curr);
+    }
+
+    println!(
+        "Wavefront after {steps} steps (z = {c} slice), simulated GPU time {:.1} us:\n",
+        session.elapsed() * 1e6
+    );
+    let shades = [' ', '.', ':', '+', '*', '#', '@'];
+    let max = (0..n as i64)
+        .flat_map(|j| (0..n as i64).map(move |i| (i, j)))
+        .map(|(i, j)| curr.at(i, j, c).abs())
+        .fold(0.0f32, f32::max)
+        .max(1e-12);
+    for j in 0..n as i64 {
+        let row: String = (0..n as i64)
+            .map(|i| {
+                let v = (curr.at(i, j, c).abs() / max * (shades.len() - 1) as f32).round();
+                shades[(v as usize).min(shades.len() - 1)]
+            })
+            .collect();
+        println!("  {row}");
+    }
+    println!("\nThe ring is the 8th-order wavefront; x/y symmetry is exact.");
+}

@@ -1,0 +1,106 @@
+//! Integration tests over the ablation axes DESIGN.md §8 calls out:
+//! the design choices must matter in the direction the paper says.
+
+use bench_harness::ablation;
+use miniapps::App;
+use sycl_sim::{tune, PlatformId, Toolchain};
+
+#[test]
+fn workgroup_tuning_matters_most_on_the_max1100() {
+    // §4.1: "the Max 1100 is more sensitive to the right choice of
+    // workgroup shape" — its sweep spread must exceed the A100's.
+    let kernel = ablation::rtm_wave_kernel();
+    let spread = |p: PlatformId| {
+        let sweep = tune::sweep(p, Toolchain::Dpcpp, &kernel);
+        sweep.last().unwrap().1 / sweep.first().unwrap().1
+    };
+    let a100 = spread(PlatformId::A100);
+    let max = spread(PlatformId::Max1100);
+    assert!(max > a100, "Max spread {max:.1}x vs A100 {a100:.1}x");
+    assert!(a100 > 1.5, "tuning must matter everywhere ({a100:.1}x)");
+}
+
+#[test]
+fn autotuned_shapes_beat_the_flat_heuristics() {
+    // The tuner must never lose to the runtime's flat choice.
+    let kernel = ablation::rtm_wave_kernel();
+    for (p, tc) in [
+        (PlatformId::A100, Toolchain::Dpcpp),
+        (PlatformId::Mi250x, Toolchain::OpenSycl),
+        (PlatformId::Max1100, Toolchain::Dpcpp),
+    ] {
+        let best = tune::sweep(p, tc, &kernel)[0].1;
+        // Time the flat heuristic shape through the same path.
+        let mut flat_kernel = kernel.clone();
+        flat_kernel.nd_shape = None;
+        let platform = sycl_sim::Platform::get(p);
+        let exec = tc.exec_profile(&platform, sycl_sim::SyclVariant::Flat, &flat_kernel);
+        let flat = machine_model::predict(&platform, &flat_kernel.footprint, &exec).total;
+        assert!(
+            best <= flat * 1.001,
+            "{p:?}: tuned {best:.2e} vs flat {flat:.2e}"
+        );
+    }
+}
+
+#[test]
+fn mesh_ordering_sweep_is_monotone_on_gpu_and_cpu() {
+    for p in [PlatformId::A100, PlatformId::Xeon8360Y] {
+        let sweep = ablation::ordering_sweep(p);
+        for pair in sweep.windows(2) {
+            assert!(
+                pair[1].1 >= pair[0].1 * 0.999,
+                "{p:?}: worse ordering must not be faster: {pair:?}"
+            );
+        }
+        let worst = sweep.last().unwrap().1;
+        let best = sweep.first().unwrap().1;
+        assert!(worst > 1.3 * best, "{p:?}: ordering must matter");
+    }
+}
+
+#[test]
+fn growing_the_mi250x_cache_recovers_stencil_efficiency() {
+    let sweep = ablation::cache_sweep();
+    let base = sweep.iter().find(|(s, _, _)| *s == 1.0).unwrap().2;
+    let max_sized = sweep.last().unwrap().2;
+    assert!(
+        max_sized > 1.3 * base,
+        "208 MB must help: {base:.2} -> {max_sized:.2}"
+    );
+}
+
+#[test]
+fn tiny_hierarchical_blocks_hurt_gpu_occupancy() {
+    let sweep = ablation::block_size_sweep(PlatformId::A100);
+    let tiny = sweep.iter().find(|(b, _)| *b == 32).unwrap().1;
+    let tuned = sweep.iter().find(|(b, _)| *b == 256).unwrap().1;
+    assert!(tiny > 1.5 * tuned, "32-item blocks must underfill CUs");
+}
+
+#[test]
+fn rcm_renumbering_recovers_atomics_performance() {
+    // End-to-end: scramble a mesh, renumber it, and verify the locality
+    // (and therefore the modelled gather cost) recovers.
+    use op2_dsl::mesh::{Mesh, Ordering};
+    let scrambled = Mesh::grid(16, 16, 8, Ordering::Shuffled(99));
+    let renumbered = op2_dsl::renumber_mesh(&scrambled);
+    let cost = |locality: f64| {
+        let session = sycl_sim::Session::create(
+            sycl_sim::SessionConfig::new(PlatformId::A100, Toolchain::NativeCuda)
+                .app("mgcfd")
+                .scheme(sycl_sim::Scheme::Atomics)
+                .dry_run(),
+        )
+        .unwrap();
+        let mut app = miniapps::Mgcfd::paper();
+        app.finest.locality = locality;
+        app.run(&session).elapsed
+    };
+    let before = cost(scrambled.stats().locality);
+    let after = cost(renumbered.stats().locality);
+    assert!(
+        after < before,
+        "renumbering must pay off: {before:.3}s -> {after:.3}s"
+    );
+}

@@ -1,0 +1,133 @@
+//! Cross-crate functional tests: the *numerics* of every application must
+//! be identical no matter which platform/toolchain session prices them —
+//! the whole point of a portable programming model.
+
+use miniapps::App;
+use sycl_sim::{PlatformId, Scheme, Session, SessionConfig, SyclVariant, Toolchain};
+
+/// Sessions spanning GPU/CPU, native/SYCL, flat/nd_range.
+fn sessions_for(app: &str) -> Vec<Session> {
+    let mk = |p, tc, v: SyclVariant| {
+        Session::create(SessionConfig::new(p, tc).variant(v).app(app)).ok()
+    };
+    [
+        mk(PlatformId::A100, Toolchain::NativeCuda, SyclVariant::Flat),
+        mk(PlatformId::Mi250x, Toolchain::Dpcpp, SyclVariant::NdRange([64, 4, 1])),
+        mk(PlatformId::Xeon8360Y, Toolchain::Mpi, SyclVariant::Flat),
+        mk(PlatformId::Altra, Toolchain::OpenSycl, SyclVariant::Flat),
+    ]
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+fn assert_validation_identical(app: &dyn App) {
+    let mut reference: Option<f64> = None;
+    for session in sessions_for(app.name()) {
+        let run = app.run(&session);
+        assert!(run.validation.is_finite(), "{}", app.name());
+        match reference {
+            None => reference = Some(run.validation),
+            Some(r) => assert_eq!(
+                r.to_bits(),
+                run.validation.to_bits(),
+                "{}: validation differs across sessions ({r} vs {})",
+                app.name(),
+                run.validation
+            ),
+        }
+    }
+}
+
+#[test]
+fn cloverleaf2d_numerics_are_platform_independent() {
+    assert_validation_identical(&miniapps::CloverLeaf2d::test());
+}
+
+#[test]
+fn cloverleaf3d_numerics_are_platform_independent() {
+    assert_validation_identical(&miniapps::CloverLeaf3d::test());
+}
+
+#[test]
+fn opensbli_numerics_are_platform_independent() {
+    assert_validation_identical(&miniapps::OpenSbli::test(miniapps::SbliVariant::StoreAll));
+    assert_validation_identical(&miniapps::OpenSbli::test(miniapps::SbliVariant::StoreNone));
+}
+
+#[test]
+fn rtm_numerics_are_platform_independent() {
+    assert_validation_identical(&miniapps::Rtm::test());
+}
+
+#[test]
+fn acoustic_numerics_are_platform_independent() {
+    assert_validation_identical(&miniapps::Acoustic::test());
+}
+
+#[test]
+fn mgcfd_colouring_numerics_are_platform_independent() {
+    // Colour-based schemes are deterministic, so the residual must be
+    // bit-identical across sessions.
+    let app = miniapps::Mgcfd::test();
+    let mut reference: Option<f64> = None;
+    for p in [PlatformId::A100, PlatformId::GenoaX] {
+        let tc = if p.is_gpu() {
+            Toolchain::Dpcpp
+        } else {
+            Toolchain::OpenSycl
+        };
+        let s = Session::create(
+            SessionConfig::new(p, tc)
+                .app("mgcfd")
+                .scheme(Scheme::HierColor),
+        )
+        .unwrap();
+        let run = app.run(&s);
+        match reference {
+            None => reference = Some(run.validation),
+            Some(r) => assert_eq!(r.to_bits(), run.validation.to_bits()),
+        }
+    }
+}
+
+#[test]
+fn timing_differs_even_when_numerics_agree() {
+    // The other half of the contract: identical results, different
+    // simulated clocks.
+    let app = miniapps::Rtm::test();
+    let mut times = Vec::new();
+    for session in sessions_for(app.name()) {
+        app.run(&session);
+        times.push(session.elapsed());
+    }
+    times.sort_by(f64::total_cmp);
+    assert!(
+        times.last().unwrap() > &(times[0] * 1.05),
+        "platforms must differ in simulated time: {times:?}"
+    );
+}
+
+#[test]
+fn dry_and_live_runs_price_identically() {
+    // The analytic (dry) path must charge exactly the same simulated
+    // time as the functional path — footprints depend only on sizes.
+    let app = miniapps::CloverLeaf2d::test();
+    let live = Session::create(
+        SessionConfig::new(PlatformId::A100, Toolchain::NativeCuda).app(app.name()),
+    )
+    .unwrap();
+    let dry = Session::create(
+        SessionConfig::new(PlatformId::A100, Toolchain::NativeCuda)
+            .app(app.name())
+            .dry_run(),
+    )
+    .unwrap();
+    let t_live = app.run(&live).elapsed;
+    let t_dry = app.run(&dry).elapsed;
+    assert!(
+        ((t_live - t_dry) / t_live).abs() < 1e-12,
+        "live {t_live} vs dry {t_dry}"
+    );
+    assert_eq!(live.records().len(), dry.records().len());
+}
