@@ -86,7 +86,8 @@ impl State {
                 * ((j as f64 / ny) * std::f64::consts::TAU).cos()
         });
         yvel.fill_with(|i, j, _| {
-            -0.05 * ((i as f64 / nx) * std::f64::consts::TAU).cos()
+            -0.05
+                * ((i as f64 / nx) * std::f64::consts::TAU).cos()
                 * ((j as f64 / ny) * std::f64::consts::TAU).sin()
         });
         State {
@@ -141,12 +142,16 @@ impl App for CloverLeaf2d {
                     .flops(8.0)
                     .transcendentals(1.0)
                     .nd_shape(nd)
-                    .run(session, |tile| {
-                        for (i, j, k) in tile.iter() {
-                            let rho = d.at(i, j, k).max(1e-12);
-                            let pr = (GAMMA - 1.0) * rho * e.at(i, j, k).max(0.0);
-                            p.set(i, j, k, pr);
-                            ss.set(i, j, k, (GAMMA * pr / rho).sqrt());
+                    .run_rows(session, |row| {
+                        let dr = d.row(row);
+                        let er = e.row(row);
+                        let pr = p.row_mut(row);
+                        let cr = ss.row_mut(row);
+                        for x in 0..row.len() {
+                            let rho = dr[x].max(1e-12);
+                            let pv = (GAMMA - 1.0) * rho * er[x].max(0.0);
+                            pr[x] = pv;
+                            cr[x] = (GAMMA * pv / rho).sqrt();
                         }
                     });
             }
@@ -166,17 +171,19 @@ impl App for CloverLeaf2d {
                     .write(vm)
                     .flops(22.0)
                     .nd_shape(nd)
-                    .run(session, |tile| {
-                        for (i, j, k) in tile.iter() {
-                            let div = u.at(i + 1, j, k) - u.at(i - 1, j, k)
-                                + v.at(i, j + 1, k)
-                                - v.at(i, j - 1, k);
-                            let qv = if div < 0.0 {
-                                2.0 * d.at(i, j, k) * div * div
+                    .run_rows(session, |row| {
+                        let dr = d.row(row);
+                        let uc = u.row(row.grow_x(1));
+                        let vn = v.row(row.shift(0, 1, 0));
+                        let vs = v.row(row.shift(0, -1, 0));
+                        let qr = q.row_mut(row);
+                        for x in 0..row.len() {
+                            let div = uc[x + 2] - uc[x] + vn[x] - vs[x];
+                            qr[x] = if div < 0.0 {
+                                2.0 * dr[x] * div * div
                             } else {
                                 0.0
                             };
-                            q.set(i, j, k, qv);
                         }
                     });
             }
@@ -196,12 +203,13 @@ impl App for CloverLeaf2d {
                     .read(st.yvel.meta(), Stencil::point())
                     .flops(12.0)
                     .nd_shape(nd)
-                    .run_reduce(session, f64::INFINITY, f64::min, |tile| {
-                        let mut m = f64::INFINITY;
-                        for (i, j, k) in tile.iter() {
-                            let w = ss.at(i, j, k)
-                                + u.at(i, j, k).abs()
-                                + v.at(i, j, k).abs();
+                    .run_rows_reduce(session, f64::INFINITY, f64::min, |acc, row| {
+                        let sr = ss.row(row);
+                        let ur = u.row(row);
+                        let vr = v.row(row);
+                        let mut m = acc;
+                        for x in 0..row.len() {
+                            let w = sr[x] + ur[x].abs() + vr[x].abs();
                             m = m.min(dx / w.max(1e-12));
                         }
                         m
@@ -284,12 +292,14 @@ impl App for CloverLeaf2d {
                     .read_write(f64_meta())
                     .flops(10.0)
                     .nd_shape(nd)
-                    .run(session, |tile| {
-                        for (i, j, k) in tile.iter() {
-                            let div = fx.at(i - 1, j, k) - fx.at(i, j, k)
-                                + fy.at(i, j - 1, k)
-                                - fy.at(i, j, k);
-                            d.set(i, j, k, d.get(i, j, k) + div);
+                    .run_rows(session, |row| {
+                        let fxc = fx.row(row.grow_x(1));
+                        let fys = fy.row(row.shift(0, -1, 0));
+                        let fyc = fy.row(row);
+                        let dr = d.row_mut(row);
+                        for x in 0..row.len() {
+                            let div = fxc[x] - fxc[x + 1] + fys[x] - fyc[x];
+                            dr[x] += div;
                         }
                     });
             }
@@ -311,11 +321,13 @@ impl App for CloverLeaf2d {
                         for (i, j, k) in tile.iter() {
                             // Mass-weighted upwind average of momentum.
                             let m = 0.25
-                                * (d.at(i - 1, j, k) + d.at(i + 1, j, k)
+                                * (d.at(i - 1, j, k)
+                                    + d.at(i + 1, j, k)
                                     + d.at(i, j - 1, k)
                                     + d.at(i, j + 1, k));
                             let mom = 0.25
-                                * (u.at(i - 1, j, k) + u.at(i + 1, j, k)
+                                * (u.at(i - 1, j, k)
+                                    + u.at(i + 1, j, k)
                                     + u.at(i, j - 1, k)
                                     + u.at(i, j + 1, k));
                             w.set(i, j, k, m * mom);
@@ -333,8 +345,7 @@ impl App for CloverLeaf2d {
                     .run(session, |tile| {
                         for (i, j, k) in tile.iter() {
                             let rho = d2.at(i, j, k).max(1e-12);
-                            let blended =
-                                0.98 * uv.get(i, j, k) + 0.02 * wk.at(i, j, k) / rho;
+                            let blended = 0.98 * uv.get(i, j, k) + 0.02 * wk.at(i, j, k) / rho;
                             uv.set(i, j, k, blended);
                         }
                     });
@@ -361,15 +372,19 @@ impl App for CloverLeaf2d {
                     .read_write(f64_meta())
                     .flops(20.0)
                     .nd_shape(nd)
-                    .run(session, |tile| {
-                        for (i, j, k) in tile.iter() {
-                            let div = (u.at(i + 1, j, k) - u.at(i - 1, j, k)
-                                + v.at(i, j + 1, k)
-                                - v.at(i, j - 1, k))
-                                / (2.0 * dx);
-                            let rho = d.at(i, j, k).max(1e-12);
-                            let de = -(p.at(i, j, k) + q.at(i, j, k)) * div * dt / rho;
-                            e.set(i, j, k, (e.get(i, j, k) + de).max(1e-9));
+                    .run_rows(session, |row| {
+                        let uc = u.row(row.grow_x(1));
+                        let vn = v.row(row.shift(0, 1, 0));
+                        let vs = v.row(row.shift(0, -1, 0));
+                        let dr = d.row(row);
+                        let pr = p.row(row);
+                        let qr = q.row(row);
+                        let er = e.row_mut(row);
+                        for x in 0..row.len() {
+                            let div = (uc[x + 2] - uc[x] + vn[x] - vs[x]) / (2.0 * dx);
+                            let rho = dr[x].max(1e-12);
+                            let de = -(pr[x] + qr[x]) * div * dt / rho;
+                            er[x] = (er[x] + de).max(1e-9);
                         }
                     });
             }
@@ -384,14 +399,19 @@ impl App for CloverLeaf2d {
                 .read(st.energy.meta(), Stencil::point())
                 .flops(3.0)
                 .nd_shape(nd)
-                .run_reduce(session, 0.0, |a, b| a + b, |tile| {
-                    let mut s = 0.0;
-                    for (i, j, k) in tile.iter() {
-                        s += d.at(i, j, k);
-                        let _ = e.at(i, j, k);
-                    }
-                    s
-                });
+                .run_reduce(
+                    session,
+                    0.0,
+                    |a, b| a + b,
+                    |tile| {
+                        let mut s = 0.0;
+                        for (i, j, k) in tile.iter() {
+                            s += d.at(i, j, k);
+                            let _ = e.at(i, j, k);
+                        }
+                        s
+                    },
+                );
         } else {
             // Still price the summary loop on dry runs.
             let lp = ParLoop::new("field_summary", interior)
@@ -486,7 +506,7 @@ mod tests {
         app.run(&s);
         let frac = s.boundary_fraction();
         assert!(frac > 0.0, "halo loops must be latency-accounted");
-        let names: Vec<String> = s.records().iter().map(|r| r.name.clone()).collect();
+        let names: Vec<String> = s.records().iter().map(|r| r.name.to_string()).collect();
         assert!(names.iter().any(|n| n == "update_halo"));
         assert!(names.iter().any(|n| n == "advec_cell"));
     }

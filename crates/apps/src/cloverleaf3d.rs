@@ -211,8 +211,7 @@ impl App for CloverLeaf3d {
                     .nd_shape(nd)
                     .run(session, |tile| {
                         for (i, j, k) in tile.iter() {
-                            let div = fx.at(i - 1, j, k) - fx.at(i, j, k)
-                                + fy.at(i, j - 1, k)
+                            let div = fx.at(i - 1, j, k) - fx.at(i, j, k) + fy.at(i, j - 1, k)
                                 - fy.at(i, j, k)
                                 + fz.at(i, j, k - 1)
                                 - fz.at(i, j, k);
@@ -240,8 +239,7 @@ impl App for CloverLeaf3d {
                     .nd_shape(nd)
                     .run(session, |tile| {
                         for (i, j, k) in tile.iter() {
-                            let div = (u.at(i + 1, j, k) - u.at(i - 1, j, k)
-                                + v.at(i, j + 1, k)
+                            let div = (u.at(i + 1, j, k) - u.at(i - 1, j, k) + v.at(i, j + 1, k)
                                 - v.at(i, j - 1, k)
                                 + w.at(i, j, k + 1)
                                 - w.at(i, j, k - 1))
@@ -261,13 +259,18 @@ impl App for CloverLeaf3d {
                 .read(st.density.meta(), Stencil::point())
                 .flops(2.0)
                 .nd_shape(nd)
-                .run_reduce(session, 0.0, |a, b| a + b, |tile| {
-                    let mut s = 0.0;
-                    for (i, j, k) in tile.iter() {
-                        s += d.at(i, j, k);
-                    }
-                    s
-                });
+                .run_reduce(
+                    session,
+                    0.0,
+                    |a, b| a + b,
+                    |tile| {
+                        let mut s = 0.0;
+                        for (i, j, k) in tile.iter() {
+                            s += d.at(i, j, k);
+                        }
+                        s
+                    },
+                );
         } else {
             ParLoop::new("field_summary", interior)
                 .read(st.density.meta(), Stencil::point())

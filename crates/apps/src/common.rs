@@ -63,10 +63,9 @@ mod tests {
 
     #[test]
     fn alloc_block_shrinks_only_for_dry_runs() {
-        let live = Session::create(
-            SessionConfig::new(PlatformId::A100, Toolchain::NativeCuda).app("t"),
-        )
-        .unwrap();
+        let live =
+            Session::create(SessionConfig::new(PlatformId::A100, Toolchain::NativeCuda).app("t"))
+                .unwrap();
         let dry = Session::create(
             SessionConfig::new(PlatformId::A100, Toolchain::NativeCuda)
                 .app("t")

@@ -155,10 +155,7 @@ impl App for Mgcfd {
                 // flux sweep (owner-compute, §3 of the paper).
                 if ranks > 1 {
                     let cut = stats.estimated_cut_edges(ranks);
-                    session.exchange(
-                        cut as f64 * N_VARS as f64 * 8.0 * 2.0,
-                        (ranks * 6) as u64,
-                    );
+                    session.exchange(cut as f64 * N_VARS as f64 * 8.0 * 2.0, (ranks * 6) as u64);
                 }
 
                 // -- compute_flux: the racy edge loop --------------------
@@ -197,7 +194,11 @@ impl App for Mgcfd {
 
                 // -- time_step: apply and clear residuals ----------------
                 {
-                    let n = if functional { lvl.q.set_size() } else { stats.n_vertices };
+                    let n = if functional {
+                        lvl.q.set_size()
+                    } else {
+                        stats.n_vertices
+                    };
                     let lp = VertexLoop::new("time_step", n, Precision::F64)
                         .arg_rw(N_VARS)
                         .arg_rw(N_VARS)
@@ -265,16 +266,21 @@ impl App for Mgcfd {
                     .flops(2.0 * N_VARS as f64);
                 if functional {
                     let q = levels[0].q.reader();
-                    last_residual = lp.run_reduce(session, 0.0, |a, b| a + b, |lo, hi| {
-                        let mut s = 0.0;
-                        for e in lo..hi {
-                            for v in 0..N_VARS {
-                                let x = q.at(e, v);
-                                s += x * x;
+                    last_residual = lp.run_reduce(
+                        session,
+                        0.0,
+                        |a, b| a + b,
+                        |lo, hi| {
+                            let mut s = 0.0;
+                            for e in lo..hi {
+                                for v in 0..N_VARS {
+                                    let x = q.at(e, v);
+                                    s += x * x;
+                                }
                             }
-                        }
-                        s
-                    });
+                            s
+                        },
+                    );
                 } else {
                     lp.run_reduce(session, 0.0, |a, b| a + b, |_, _| 0.0);
                 }
@@ -293,9 +299,12 @@ impl Mgcfd {
         let stats = mesh.stats();
         let n = mesh.n_vertices;
         let session = Session::create(
-            sycl_sim::SessionConfig::new(sycl_sim::PlatformId::A100, sycl_sim::Toolchain::NativeCuda)
-                .app(apps::MGCFD)
-                .scheme(scheme),
+            sycl_sim::SessionConfig::new(
+                sycl_sim::PlatformId::A100,
+                sycl_sim::Toolchain::NativeCuda,
+            )
+            .app(apps::MGCFD)
+            .scheme(scheme),
         )
         .unwrap();
         let colored = ColoredMesh::prepare(mesh, scheme, 64);
@@ -364,7 +373,7 @@ mod tests {
         let flux_launches = s
             .records()
             .iter()
-            .filter(|r| r.name == "compute_flux")
+            .filter(|r| &*r.name == "compute_flux")
             .count();
         assert!(flux_launches >= 3 * 3, "one per level per iteration");
     }

@@ -189,8 +189,7 @@ impl App for OpenSbli {
                                 let src = q[v].reader();
                                 let rm = rhs_store[v].meta();
                                 let r = rhs_store[v].writer();
-                                let off: [i64; 3] =
-                                    std::array::from_fn(|a| (a == dir) as i64);
+                                let off: [i64; 3] = std::array::from_fn(|a| (a == dir) as i64);
                                 ParLoop::new("sa_deriv", interior)
                                     .read(
                                         f64_meta(),
@@ -214,13 +213,9 @@ impl App for OpenSbli {
                                             };
                                             let centre = src.at(i, j, k);
                                             let g = C1 * (f(1) - f(-1)) + C2 * (f(2) - f(-2));
-                                            let contrib = -ADV[dir] * g
-                                                + NU * (f(1) - 2.0 * centre + f(-1));
-                                            let prev = if dir == 0 {
-                                                0.0
-                                            } else {
-                                                r.get(i, j, k)
-                                            };
+                                            let contrib =
+                                                -ADV[dir] * g + NU * (f(1) - 2.0 * centre + f(-1));
+                                            let prev = if dir == 0 { 0.0 } else { r.get(i, j, k) };
                                             r.set(i, j, k, prev + contrib);
                                         }
                                     });
@@ -243,12 +238,7 @@ impl App for OpenSbli {
                                         let knew =
                                             RK_A[stage] * acc.get(i, j, k) + dt * r.at(i, j, k);
                                         acc.set(i, j, k, knew);
-                                        state.set(
-                                            i,
-                                            j,
-                                            k,
-                                            state.get(i, j, k) + RK_B[stage] * knew,
-                                        );
+                                        state.set(i, j, k, state.get(i, j, k) + RK_B[stage] * knew);
                                     }
                                 });
                         }
@@ -270,14 +260,12 @@ impl App for OpenSbli {
                                 .run(session, |tile| {
                                     for (i, j, k) in tile.iter() {
                                         let f = |dir: usize, sft: i64| {
-                                            let off: [i64; 3] = std::array::from_fn(|a| {
-                                                (a == dir) as i64 * sft
-                                            });
+                                            let off: [i64; 3] =
+                                                std::array::from_fn(|a| (a == dir) as i64 * sft);
                                             src.at(i + off[0], j + off[1], k + off[2])
                                         };
                                         let rhs = rhs_at(src.at(i, j, k), f);
-                                        let knew =
-                                            RK_A[stage] * acc.get(i, j, k) + dt * rhs;
+                                        let knew = RK_A[stage] * acc.get(i, j, k) + dt * rhs;
                                         acc.set(i, j, k, knew);
                                     }
                                 });
@@ -296,8 +284,7 @@ impl App for OpenSbli {
                                             i,
                                             j,
                                             k,
-                                            state.get(i, j, k)
-                                                + RK_B[stage] * kview.at(i, j, k),
+                                            state.get(i, j, k) + RK_B[stage] * kview.at(i, j, k),
                                         );
                                     }
                                 });
@@ -315,13 +302,18 @@ impl App for OpenSbli {
                 .read(q[0].meta(), Stencil::point())
                 .flops(1.0)
                 .nd_shape(nd)
-                .run_reduce(session, 0.0, |a, b| a + b, |tile| {
-                    let mut s = 0.0;
-                    for (i, j, k) in tile.iter() {
-                        s += r.at(i, j, k);
-                    }
-                    s
-                })
+                .run_reduce(
+                    session,
+                    0.0,
+                    |a, b| a + b,
+                    |tile| {
+                        let mut s = 0.0;
+                        for (i, j, k) in tile.iter() {
+                            s += r.at(i, j, k);
+                        }
+                        s
+                    },
+                )
         } else {
             ParLoop::new("checksum", interior)
                 .read(q[0].meta(), Stencil::point())

@@ -93,22 +93,33 @@ impl App for Rtm {
                     .read_write(f32_meta())
                     .flops(33.0)
                     .nd_shape(nd)
-                    .run(session, |tile| {
-                        for (i, j, k) in tile.iter() {
-                            let mut lap = 3.0 * LAP8[0] as f32 * p.at(i, j, k);
+                    .run_rows(session, |row| {
+                        // One grown row serves all x-shifted reads; the
+                        // y/z legs are their own (contiguous) rows.
+                        let pc = p.row(row.grow_x(4));
+                        let pyn: [&[f32]; 4] =
+                            std::array::from_fn(|s| p.row(row.shift(0, s as i64 + 1, 0)));
+                        let pys: [&[f32]; 4] =
+                            std::array::from_fn(|s| p.row(row.shift(0, -(s as i64) - 1, 0)));
+                        let pzn: [&[f32]; 4] =
+                            std::array::from_fn(|s| p.row(row.shift(0, 0, s as i64 + 1)));
+                        let pzs: [&[f32]; 4] =
+                            std::array::from_fn(|s| p.row(row.shift(0, 0, -(s as i64) - 1)));
+                        let vr = v.row(row);
+                        let wr = w.row_mut(row);
+                        for x in 0..row.len() {
+                            let mut lap = 3.0 * LAP8[0] as f32 * pc[x + 4];
                             for (s, &cf) in LAP8.iter().enumerate().skip(1) {
-                                let s = s as i64;
                                 lap += cf as f32
-                                    * (p.at(i + s, j, k)
-                                        + p.at(i - s, j, k)
-                                        + p.at(i, j + s, k)
-                                        + p.at(i, j - s, k)
-                                        + p.at(i, j, k + s)
-                                        + p.at(i, j, k - s));
+                                    * (pc[x + 4 + s]
+                                        + pc[x + 4 - s]
+                                        + pyn[s - 1][x]
+                                        + pys[s - 1][x]
+                                        + pzn[s - 1][x]
+                                        + pzs[s - 1][x]);
                             }
-                            let next =
-                                2.0 * p.at(i, j, k) - w.get(i, j, k) + c2dt2 * v.at(i, j, k) * lap;
-                            w.set(i, j, k, next);
+                            let next = 2.0 * pc[x + 4] - wr[x] + c2dt2 * vr[x] * lap;
+                            wr[x] = next;
                         }
                     });
             }
@@ -143,14 +154,19 @@ impl App for Rtm {
                 .read(curr.meta(), Stencil::point())
                 .flops(2.0)
                 .nd_shape(nd)
-                .run_reduce(session, 0.0f64, |a, b| a + b, |tile| {
-                    let mut s = 0.0f64;
-                    for (i, j, k) in tile.iter() {
-                        let x = p.at(i, j, k) as f64;
-                        s += x * x;
-                    }
-                    s
-                })
+                .run_reduce(
+                    session,
+                    0.0f64,
+                    |a, b| a + b,
+                    |tile| {
+                        let mut s = 0.0f64;
+                        for (i, j, k) in tile.iter() {
+                            let x = p.at(i, j, k) as f64;
+                            s += x * x;
+                        }
+                        s
+                    },
+                )
         } else {
             ParLoop::new("image_energy", interior)
                 .read(f32_meta(), Stencil::point())
@@ -170,10 +186,8 @@ mod tests {
     use sycl_sim::{PlatformId, SessionConfig, Toolchain};
 
     fn live() -> Session {
-        Session::create(
-            SessionConfig::new(PlatformId::A100, Toolchain::NativeCuda).app(apps::RTM),
-        )
-        .unwrap()
+        Session::create(SessionConfig::new(PlatformId::A100, Toolchain::NativeCuda).app(apps::RTM))
+            .unwrap()
     }
 
     #[test]
@@ -220,8 +234,7 @@ mod tests {
                                     + p.at(i, j, k + sft)
                                     + p.at(i, j, k - sft));
                         }
-                        let next =
-                            2.0 * p.at(i, j, k) - w.get(i, j, k) + 0.1 * v.at(i, j, k) * lap;
+                        let next = 2.0 * p.at(i, j, k) - w.get(i, j, k) + 0.1 * v.at(i, j, k) * lap;
                         w.set(i, j, k, next);
                     }
                 });
@@ -250,7 +263,7 @@ mod tests {
         .unwrap();
         let run = Rtm::paper().run(&s);
         assert!(run.elapsed > 0.0);
-        let names: Vec<String> = s.records().iter().map(|r| r.name.clone()).collect();
+        let names: Vec<String> = s.records().iter().map(|r| r.name.to_string()).collect();
         assert!(names.iter().any(|n| n == "wave_step"));
         assert!(names.iter().any(|n| n == "taper"));
     }

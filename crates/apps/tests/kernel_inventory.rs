@@ -40,7 +40,10 @@ fn cloverleaf2d_launches_the_hydro_kernel_chain() {
         "pdv",
         "field_summary",
     ] {
-        assert!(names.iter().any(|n| n == expect), "missing {expect}: {names:?}");
+        assert!(
+            names.iter().any(|n| n == expect),
+            "missing {expect}: {names:?}"
+        );
     }
     // update_halo launches: 4 faces × 3 fields × 2 calls × 50 iters.
     let (_, _, halo_launches) = s
@@ -112,7 +115,11 @@ fn mgcfd_visits_every_level_every_iteration() {
         .into_iter()
         .find(|(n, _, _)| n == "compute_flux")
         .unwrap();
-    assert_eq!(flux.2, app.iterations * app.levels, "one flux per level per iter");
+    assert_eq!(
+        flux.2,
+        app.iterations * app.levels,
+        "one flux per level per iter"
+    );
     let names = kernel_names(&s);
     for expect in ["time_step", "restrict", "residual_norm"] {
         assert!(names.iter().any(|n| n == expect), "missing {expect}");

@@ -200,9 +200,13 @@ impl BabelStream {
                 }
                 let a = &*a;
                 let b = &*b;
-                global_pool().reduce(n, 1 << 14, 0.0, |x, y| x + y, |r| {
-                    r.map(|i| a[i] * b[i]).sum::<f64>()
-                })
+                global_pool().reduce(
+                    n,
+                    1 << 14,
+                    0.0,
+                    |x, y| x + y,
+                    |r| r.map(|i| a[i] * b[i]).sum::<f64>(),
+                )
             }),
         }
     }
@@ -235,8 +239,7 @@ impl BabelStream {
         for _ in 0..reps.max(1) {
             bs.run(session, StreamKernel::Triad);
         }
-        StreamKernel::Triad.arrays_moved() * 8.0 * n as f64 * reps.max(1) as f64
-            / session.elapsed()
+        StreamKernel::Triad.arrays_moved() * 8.0 * n as f64 * reps.max(1) as f64 / session.elapsed()
     }
 }
 
@@ -290,10 +293,8 @@ mod tests {
             (PlatformId::Altra, Toolchain::OpenMp, 167.0),
         ];
         for (p, tc, expect) in cases {
-            let s = Session::create(
-                SessionConfig::new(p, tc).app("babelstream").dry_run(),
-            )
-            .unwrap();
+            let s =
+                Session::create(SessionConfig::new(p, tc).app("babelstream").dry_run()).unwrap();
             let n = table1_len(s.platform());
             let bw = BabelStream::triad_bandwidth(&s, n, 10) / 1e9;
             assert!(

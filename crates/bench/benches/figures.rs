@@ -1,77 +1,97 @@
-//! Criterion benches: one group per paper artifact, so `cargo bench`
-//! regenerates every table and figure, plus micro-benches of the core
-//! runtime primitives (pool, colouring, partitioner, model evaluation).
+//! Plain-harness benches (`cargo bench` with `harness = false`): one
+//! group per paper artifact so benching regenerates every table and
+//! figure, plus micro-benches of the core runtime primitives (pool,
+//! colouring, partitioner, model evaluation). Timing is a simple
+//! best-of-N wall-clock loop — no external bench framework, so the
+//! workspace builds offline.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_table1(c: &mut Criterion) {
-    c.bench_function("table1_stream_triad", |b| {
-        b.iter(|| black_box(bench_harness::table1_rows()))
+/// Run `f` for `iters` iterations, `samples` times; report the best
+/// per-iteration time in a criterion-like line.
+fn bench<F: FnMut()>(name: &str, samples: usize, iters: usize, mut f: F) {
+    let mut best = f64::INFINITY;
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let dt = t0.elapsed().as_secs_f64() / iters as f64;
+        best = best.min(dt);
+    }
+    let (value, unit) = if best >= 1.0 {
+        (best, "s")
+    } else if best >= 1e-3 {
+        (best * 1e3, "ms")
+    } else if best >= 1e-6 {
+        (best * 1e6, "µs")
+    } else {
+        (best * 1e9, "ns")
+    };
+    println!("{name:48} time: {value:10.3} {unit}/iter");
+}
+
+fn bench_table1() {
+    bench("table1_stream_triad", 3, 1, || {
+        black_box(bench_harness::table1_rows());
     });
 }
 
-fn bench_structured_figures(c: &mut Criterion) {
-    let mut g = c.benchmark_group("structured_figures");
-    g.sample_size(10);
+fn bench_structured_figures() {
     for p in portability::gpu_platforms()
         .into_iter()
         .chain(portability::cpu_platforms())
     {
-        g.bench_function(format!("fig_structured_{}", p.label()), |b| {
-            b.iter(|| black_box(portability::structured_measurements(p).len()))
+        bench(&format!("fig_structured_{}", p.label()), 2, 1, || {
+            black_box(portability::structured_measurements(p).len());
         });
     }
-    g.finish();
 }
 
-fn bench_mgcfd_figures(c: &mut Criterion) {
-    let mut g = c.benchmark_group("mgcfd_figures");
-    g.sample_size(10);
+fn bench_mgcfd_figures() {
     for p in portability::gpu_platforms()
         .into_iter()
         .chain(portability::cpu_platforms())
     {
-        g.bench_function(format!("fig_mgcfd_{}", p.label()), |b| {
-            b.iter(|| black_box(portability::unstructured_measurements(p).len()))
+        bench(&format!("fig_mgcfd_{}", p.label()), 2, 1, || {
+            black_box(portability::unstructured_measurements(p).len());
         });
     }
-    g.finish();
 }
 
-fn bench_summary(c: &mut Criterion) {
-    let mut g = c.benchmark_group("summary");
-    g.sample_size(10);
-    g.bench_function("summary_stats_section44", |b| {
-        b.iter(|| black_box(bench_harness::summary_stats().pp_structured))
+fn bench_summary() {
+    bench("summary_stats_section44", 2, 1, || {
+        black_box(bench_harness::summary_stats().pp_structured);
     });
-    g.finish();
 }
 
-fn bench_primitives(c: &mut Criterion) {
+fn bench_primitives() {
     use op2_dsl::color::{GlobalColoring, HierColoring};
     use op2_dsl::mesh::{Mesh, Ordering};
     use op2_dsl::partition::Partition;
 
     let mesh = Mesh::grid(32, 32, 16, Ordering::Natural);
-    c.bench_function("global_coloring_16k_vertices", |b| {
-        b.iter(|| black_box(GlobalColoring::build(&mesh.edges).n_colors()))
+    bench("global_coloring_16k_vertices", 3, 5, || {
+        black_box(GlobalColoring::build(&mesh.edges).n_colors());
     });
-    c.bench_function("hier_coloring_16k_vertices", |b| {
-        b.iter(|| black_box(HierColoring::build(&mesh.edges, 256).n_colors()))
+    bench("hier_coloring_16k_vertices", 3, 5, || {
+        black_box(HierColoring::build(&mesh.edges, 256).n_colors());
     });
-    c.bench_function("rcb_partition_16_parts", |b| {
-        b.iter(|| black_box(Partition::rcb(&mesh, 16).imbalance()))
+    bench("rcb_partition_16_parts", 3, 5, || {
+        black_box(Partition::rcb(&mesh, 16).imbalance());
     });
 
     let pool = parkit::ThreadPool::new(4);
     let data: Vec<f64> = (0..1 << 16).map(|i| (i as f64).sin()).collect();
-    c.bench_function("parkit_reduce_64k", |b| {
-        b.iter(|| {
-            pool.reduce(data.len(), 4096, 0.0f64, |a, x| a + x, |r| {
-                r.map(|i| data[i]).sum::<f64>()
-            })
-        })
+    bench("parkit_reduce_64k", 3, 50, || {
+        black_box(pool.reduce(
+            data.len(),
+            4096,
+            0.0f64,
+            |a, x| a + x,
+            |r| r.map(|i| data[i]).sum::<f64>(),
+        ));
     });
 
     // One model evaluation (the innermost operation of every figure).
@@ -84,39 +104,35 @@ fn bench_primitives(c: &mut Criterion) {
         sycl_sim::Precision::F64,
     );
     let exec = sycl_sim::ExecProfile::native(sycl_sim::PlatformId::A100);
-    c.bench_function("machine_model_predict", |b| {
-        b.iter(|| black_box(machine_model::predict(&platform, &fp, &exec).total))
+    bench("machine_model_predict", 3, 10_000, || {
+        black_box(machine_model::predict(&platform, &fp, &exec).total);
     });
 }
 
-fn bench_ablations(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablations");
-    g.sample_size(10);
-    g.bench_function("workgroup_sweep_rtm", |b| {
-        b.iter(|| {
-            black_box(sycl_sim::tune::sweep(
-                sycl_sim::PlatformId::A100,
-                sycl_sim::Toolchain::Dpcpp,
-                &bench_harness::ablation::rtm_wave_kernel(),
-            ))
-        })
+fn bench_ablations() {
+    bench("workgroup_sweep_rtm", 2, 1, || {
+        black_box(sycl_sim::tune::sweep(
+            sycl_sim::PlatformId::A100,
+            sycl_sim::Toolchain::Dpcpp,
+            &bench_harness::ablation::rtm_wave_kernel(),
+        ));
     });
-    g.bench_function("ordering_sweep_a100", |b| {
-        b.iter(|| black_box(bench_harness::ablation::ordering_sweep(sycl_sim::PlatformId::A100)))
+    bench("ordering_sweep_a100", 2, 1, || {
+        black_box(bench_harness::ablation::ordering_sweep(
+            sycl_sim::PlatformId::A100,
+        ));
     });
-    g.bench_function("cache_capacity_sweep", |b| {
-        b.iter(|| black_box(bench_harness::ablation::cache_sweep()))
+    bench("cache_capacity_sweep", 2, 1, || {
+        black_box(bench_harness::ablation::cache_sweep());
     });
-    g.finish();
 }
 
-criterion_group!(
-    figures,
-    bench_table1,
-    bench_structured_figures,
-    bench_mgcfd_figures,
-    bench_summary,
-    bench_primitives,
-    bench_ablations
-);
-criterion_main!(figures);
+fn main() {
+    // `cargo bench` passes harness flags like `--bench`; ignore them.
+    bench_table1();
+    bench_structured_figures();
+    bench_mgcfd_figures();
+    bench_summary();
+    bench_primitives();
+    bench_ablations();
+}

@@ -131,9 +131,8 @@ pub fn cache_sweep() -> Vec<(f64, f64, f64)> {
 
 /// Render the cache sweep.
 pub fn cache_sweep_text() -> String {
-    let mut out = String::from(
-        "## Ablation: LLC capacity vs RTM efficiency (MI250X base, paper §4.1)\n",
-    );
+    let mut out =
+        String::from("## Ablation: LLC capacity vs RTM efficiency (MI250X base, paper §4.1)\n");
     for (scale, mb, eff) in cache_sweep() {
         out.push_str(&format!(
             "  L2 x{scale:<4} = {mb:6.0} MB -> efficiency {:.0}%\n",
@@ -158,16 +157,12 @@ pub fn block_size_sweep(platform: PlatformId) -> Vec<(usize, f64)> {
         .map(|block| {
             let platform_model = Platform::get(platform);
             let stats = op2_dsl::MeshStats::rotor37();
-            let lp = op2_dsl::EdgeLoop::new(
-                "compute_flux",
-                stats,
-                Scheme::HierColor,
-                Precision::F64,
-            )
-            .vertex_read(5)
-            .vertex_inc(5)
-            .flops(110.0)
-            .block_size(block);
+            let lp =
+                op2_dsl::EdgeLoop::new("compute_flux", stats, Scheme::HierColor, Precision::F64)
+                    .vertex_read(5)
+                    .vertex_inc(5)
+                    .flops(110.0)
+                    .block_size(block);
             let session = Session::create(
                 SessionConfig::new(platform, tc)
                     .variant(SyclVariant::NdRange([block.min(1024), 1, 1]))
@@ -185,7 +180,8 @@ pub fn block_size_sweep(platform: PlatformId) -> Vec<(usize, f64)> {
 
 /// Render the block-size sweep.
 pub fn block_size_sweep_text() -> String {
-    let mut out = String::from("## Ablation: hierarchical block size (paper: GPUs 256, CPUs 4096)\n");
+    let mut out =
+        String::from("## Ablation: hierarchical block size (paper: GPUs 256, CPUs 4096)\n");
     for p in [PlatformId::A100, PlatformId::Xeon8360Y] {
         out.push_str(&format!("{}:\n", Platform::get(p).name));
         for (block, t) in block_size_sweep(p) {

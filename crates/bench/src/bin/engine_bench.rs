@@ -1,0 +1,342 @@
+//! `engine_bench` — wall-clock benchmark of the functional execution
+//! engine itself (not the simulated clocks): row-sliced kernels vs
+//! per-point bodies, the launch-pricing cache vs cold pricing, and
+//! static vs dynamic pool scheduling on an indirect scatter.
+//!
+//! Three bandwidth-bound kernel classes are timed in both engine
+//! configurations:
+//!
+//! * `stencil`  — repeated launches of a 2-D star-1 average
+//!   (baseline: per-point body + cold pricing; fast: `run_rows` +
+//!   pricing cache);
+//! * `reduce`   — repeated sum reductions over a field (baseline:
+//!   `run_reduce` + cold pricing; fast: `run_rows_reduce` + cache);
+//! * `indirect` — colour-ordered edge scatter on an unstructured mesh,
+//!   comparing the pool's two scheduling modes (dynamic chunk cursor vs
+//!   static partition). Colour regions are many and small, so this one
+//!   documents the *tradeoff*: dynamic wins whenever a parked lane's
+//!   wake latency would serialise a static span — static exists for
+//!   lane-pinned determinism and cache affinity, not raw speed here.
+//!
+//! Results (GB/s of bytes actually moved, launches/sec, speedup) print
+//! as a table and are appended-by-overwrite to `results/BENCH_engine.json`.
+
+use op2_dsl::color::HierColoring;
+use op2_dsl::mesh::{Mesh, Ordering};
+use op2_dsl::DatU;
+use ops_dsl::prelude::*;
+use parkit::Schedule;
+use std::fmt::Write as _;
+use std::time::Instant;
+use sycl_sim::{PlatformId, Session, SessionConfig, Toolchain};
+
+/// One measured engine configuration for one kernel class.
+struct Entry {
+    class: &'static str,
+    phase: &'static str,
+    seconds: f64,
+    bytes_moved: f64,
+    launches: usize,
+}
+
+impl Entry {
+    fn gbps(&self) -> f64 {
+        self.bytes_moved / self.seconds / 1e9
+    }
+
+    fn launches_per_sec(&self) -> f64 {
+        self.launches as f64 / self.seconds
+    }
+}
+
+fn session(cached: bool) -> Session {
+    let cfg = SessionConfig::new(PlatformId::A100, Toolchain::NativeCuda).app("engine-bench");
+    let cfg = if cached { cfg } else { cfg.no_pricing_cache() };
+    Session::create(cfg).unwrap()
+}
+
+/// Best-of-`samples` wall-clock for `f` (one run = one workload pass).
+fn time_best(samples: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Repeated-launch star-1 stencil: the workload the pricing cache and
+/// the row slices both target. Ping-pongs so every launch reads what
+/// the previous one wrote.
+fn stencil_class(n: usize, launches: usize, samples: usize) -> (Entry, Entry, f64) {
+    let b = Block::new_2d(n, n, 1);
+    let mut a = Dat::<f64>::zeroed(&b, "a");
+    let mut c = Dat::<f64>::zeroed(&b, "c");
+    a.fill_with(|i, j, _| ((i * 13 + j * 7) % 101) as f64 * 0.01);
+    let interior = b.interior();
+    // 1 dat read + 1 written per launch.
+    let bytes = launches as f64 * (n * n) as f64 * 8.0 * 2.0;
+
+    let baseline = time_best(samples, || {
+        let s = session(false);
+        for it in 0..launches {
+            let (src, dst) = if it % 2 == 0 {
+                (&a, &mut c)
+            } else {
+                (&c, &mut a)
+            };
+            let r = src.reader();
+            let meta = dst.meta();
+            let w = dst.writer();
+            ParLoop::new("star1", interior)
+                .read(src.meta(), Stencil::star_2d(1))
+                .write(meta)
+                .flops(4.0)
+                .run(&s, |tile| {
+                    for (i, j, k) in tile.iter() {
+                        let v = r.at(i - 1, j, k)
+                            + r.at(i + 1, j, k)
+                            + r.at(i, j - 1, k)
+                            + r.at(i, j + 1, k);
+                        w.set(i, j, k, 0.25 * v);
+                    }
+                });
+        }
+    });
+
+    let fast = time_best(samples, || {
+        let s = session(true);
+        for it in 0..launches {
+            let (src, dst) = if it % 2 == 0 {
+                (&a, &mut c)
+            } else {
+                (&c, &mut a)
+            };
+            let r = src.reader();
+            let meta = dst.meta();
+            let w = dst.writer();
+            ParLoop::new("star1", interior)
+                .read(src.meta(), Stencil::star_2d(1))
+                .write(meta)
+                .flops(4.0)
+                .run_rows(&s, |row| {
+                    let cen = r.row(row.grow_x(1));
+                    let south = r.row(row.shift(0, -1, 0));
+                    let north = r.row(row.shift(0, 1, 0));
+                    let out = w.row_mut(row);
+                    for x in 0..row.len() {
+                        out[x] = 0.25 * (cen[x] + cen[x + 2] + south[x] + north[x]);
+                    }
+                });
+        }
+    });
+
+    (
+        Entry {
+            class: "stencil",
+            phase: "baseline",
+            seconds: baseline,
+            bytes_moved: bytes,
+            launches,
+        },
+        Entry {
+            class: "stencil",
+            phase: "fast",
+            seconds: fast,
+            bytes_moved: bytes,
+            launches,
+        },
+        baseline / fast,
+    )
+}
+
+/// Repeated sum reductions (arena-backed partials on the fast path).
+fn reduce_class(n: usize, launches: usize, samples: usize) -> (Entry, Entry, f64) {
+    let b = Block::new_2d(n, n, 1);
+    let mut u = Dat::<f64>::zeroed(&b, "u");
+    u.fill_with(|i, j, _| ((i * 31 + j * 17) % 97) as f64 * 0.001);
+    let interior = b.interior();
+    let r = u.reader();
+    let bytes = launches as f64 * (n * n) as f64 * 8.0;
+
+    let mut sink = 0.0f64;
+    let baseline = time_best(samples, || {
+        let s = session(false);
+        for _ in 0..launches {
+            sink += ParLoop::new("sum", interior)
+                .read(u.meta(), Stencil::point())
+                .run_reduce(
+                    &s,
+                    0.0f64,
+                    |x, y| x + y,
+                    |tile| {
+                        let mut t = 0.0;
+                        for (i, j, k) in tile.iter() {
+                            t += r.at(i, j, k);
+                        }
+                        t
+                    },
+                );
+        }
+    });
+    let mut sink2 = 0.0f64;
+    let fast = time_best(samples, || {
+        let s = session(true);
+        for _ in 0..launches {
+            sink2 += ParLoop::new("sum", interior)
+                .read(u.meta(), Stencil::point())
+                .run_rows_reduce(
+                    &s,
+                    0.0f64,
+                    |x, y| x + y,
+                    |acc, row| {
+                        let mut t = acc;
+                        for &v in r.row(row) {
+                            t += v;
+                        }
+                        t
+                    },
+                );
+        }
+    });
+    assert_eq!(
+        (sink / sink.round().max(1.0)).is_finite(),
+        (sink2 / sink2.round().max(1.0)).is_finite()
+    );
+
+    (
+        Entry {
+            class: "reduce",
+            phase: "baseline",
+            seconds: baseline,
+            bytes_moved: bytes,
+            launches,
+        },
+        Entry {
+            class: "reduce",
+            phase: "fast",
+            seconds: fast,
+            bytes_moved: bytes,
+            launches,
+        },
+        baseline / fast,
+    )
+}
+
+/// Colour-ordered indirect scatter: per-colour pool regions, dynamic
+/// cursor vs static partition scheduling.
+fn indirect_class(passes: usize, samples: usize) -> (Entry, Entry, f64) {
+    let mesh = Mesh::grid(64, 64, 16, Ordering::Natural);
+    let coloring = HierColoring::build(&mesh.edges, 256);
+    let pool = parkit::ThreadPool::new(4);
+    let n_edges = mesh.n_edges();
+    // Per edge: read 2 endpoint ids (8 B) + accumulate 2 f64 (read+write).
+    let bytes = (passes * n_edges) as f64 * (8.0 + 4.0 * 8.0);
+    let launches: usize = passes * coloring.blocks_by_color.len();
+
+    let run_with = |sched: Schedule| {
+        let mut out = DatU::<f64>::zeroed("deg", mesh.n_vertices, 1);
+        let acc = out.accum(false);
+        time_best(samples, || {
+            for _ in 0..passes {
+                for group in &coloring.blocks_by_color {
+                    pool.run_region_sched(group.len(), sched, |_lane, gi| {
+                        let (lo, hi) = coloring.block_range(group[gi] as usize, n_edges);
+                        for e in lo..hi {
+                            acc.add(mesh.edges.at(e, 0), 0, 1.0);
+                            acc.add(mesh.edges.at(e, 1), 0, 1.0);
+                        }
+                    });
+                }
+            }
+        })
+    };
+    let dynamic = run_with(Schedule::Dynamic);
+    let static_ = run_with(Schedule::Static);
+
+    (
+        Entry {
+            class: "indirect",
+            phase: "dynamic",
+            seconds: dynamic,
+            bytes_moved: bytes,
+            launches,
+        },
+        Entry {
+            class: "indirect",
+            phase: "static",
+            seconds: static_,
+            bytes_moved: bytes,
+            launches,
+        },
+        static_ / dynamic,
+    )
+}
+
+fn json(entries: &[Entry], speedups: &[(&str, f64)]) -> String {
+    let mut s = String::from("{\n  \"bench\": \"engine\",\n  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"kernel_class\": \"{}\", \"phase\": \"{}\", \"seconds\": {:.6}, \
+             \"gbps\": {:.3}, \"launches_per_sec\": {:.1}}}{}",
+            e.class,
+            e.phase,
+            e.seconds,
+            e.gbps(),
+            e.launches_per_sec(),
+            if i + 1 < entries.len() { "," } else { "" }
+        );
+    }
+    s.push_str("  ],\n  \"speedup\": {");
+    for (i, (class, sp)) in speedups.iter().enumerate() {
+        let _ = write!(
+            s,
+            "\"{class}\": {sp:.2}{}",
+            if i + 1 < speedups.len() { ", " } else { "" }
+        );
+    }
+    s.push_str("}\n}\n");
+    s
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (n, launches, samples) = if quick { (96, 40, 2) } else { (192, 400, 3) };
+
+    let (sb, sf, s_sp) = stencil_class(n, launches, samples);
+    let (rb, rf, r_sp) = reduce_class(n, launches, samples);
+    let (ib, if_, i_sp) = indirect_class(if quick { 5 } else { 40 }, samples);
+
+    let entries = [sb, sf, rb, rf, ib, if_];
+    println!(
+        "{:10} {:9} {:>10} {:>9} {:>14}",
+        "class", "phase", "seconds", "GB/s", "launches/s"
+    );
+    for e in &entries {
+        println!(
+            "{:10} {:9} {:>10.4} {:>9.2} {:>14.0}",
+            e.class,
+            e.phase,
+            e.seconds,
+            e.gbps(),
+            e.launches_per_sec()
+        );
+    }
+    let speedups = [
+        ("stencil", s_sp),
+        ("reduce", r_sp),
+        ("indirect_dynamic_over_static", i_sp),
+    ];
+    for (class, sp) in &speedups {
+        println!("speedup[{class}] = {sp:.2}x");
+    }
+
+    let out = json(&entries, &speedups);
+    if let Err(e) = std::fs::create_dir_all("results")
+        .and_then(|_| std::fs::write("results/BENCH_engine.json", &out))
+    {
+        eprintln!("could not write results/BENCH_engine.json: {e}");
+    }
+}

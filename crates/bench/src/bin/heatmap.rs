@@ -4,19 +4,23 @@ use portability::heatmap::from_measurements;
 
 fn main() {
     let arg = std::env::args().nth(1);
-    let platforms: Vec<sycl_sim::PlatformId> = match arg.as_deref().and_then(sycl_sim::PlatformId::parse) {
-        Some(p) => vec![p],
-        None => portability::gpu_platforms()
-            .into_iter()
-            .chain(portability::cpu_platforms())
-            .collect(),
-    };
+    let platforms: Vec<sycl_sim::PlatformId> =
+        match arg.as_deref().and_then(sycl_sim::PlatformId::parse) {
+            Some(p) => vec![p],
+            None => portability::gpu_platforms()
+                .into_iter()
+                .chain(portability::cpu_platforms())
+                .collect(),
+        };
     for p in platforms {
         let structured = portability::structured_measurements(p);
         println!(
             "{}",
             from_measurements(
-                &format!("{} — structured efficiency", sycl_sim::Platform::get(p).name),
+                &format!(
+                    "{} — structured efficiency",
+                    sycl_sim::Platform::get(p).name
+                ),
                 &structured,
                 |m| m.app.to_owned(),
             )

@@ -7,9 +7,7 @@ use std::fs;
 use std::path::PathBuf;
 
 fn main() -> std::io::Result<()> {
-    let outdir = PathBuf::from(
-        std::env::args().nth(1).unwrap_or_else(|| "results".into()),
-    );
+    let outdir = PathBuf::from(std::env::args().nth(1).unwrap_or_else(|| "results".into()));
     fs::create_dir_all(&outdir)?;
     let write = |name: &str, content: String| -> std::io::Result<()> {
         let path = outdir.join(name);

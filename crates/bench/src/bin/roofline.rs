@@ -4,11 +4,41 @@ use machine_model::{roofline_text, KernelFootprint, Precision};
 
 fn main() {
     let kernels: Vec<KernelFootprint> = vec![
-        KernelFootprint::streaming("triad", 1 << 20, 24.0 * (1u64 << 20) as f64, 2.0 * (1u64 << 20) as f64, Precision::F64),
-        KernelFootprint::streaming("cloverleaf_advec", 1 << 20, 40.0 * (1u64 << 20) as f64, 10.0 * (1u64 << 20) as f64, Precision::F64),
-        KernelFootprint::streaming("sbli_sn_fused", 1 << 20, 24.0 * (1u64 << 20) as f64, 65.0 * (1u64 << 20) as f64, Precision::F64),
-        KernelFootprint::streaming("rtm_wave", 1 << 20, 16.0 * (1u64 << 20) as f64, 33.0 * (1u64 << 20) as f64, Precision::F32),
-        KernelFootprint::streaming("mgcfd_flux", 1 << 20, 48.0 * (1u64 << 20) as f64, 110.0 * (1u64 << 20) as f64, Precision::F64),
+        KernelFootprint::streaming(
+            "triad",
+            1 << 20,
+            24.0 * (1u64 << 20) as f64,
+            2.0 * (1u64 << 20) as f64,
+            Precision::F64,
+        ),
+        KernelFootprint::streaming(
+            "cloverleaf_advec",
+            1 << 20,
+            40.0 * (1u64 << 20) as f64,
+            10.0 * (1u64 << 20) as f64,
+            Precision::F64,
+        ),
+        KernelFootprint::streaming(
+            "sbli_sn_fused",
+            1 << 20,
+            24.0 * (1u64 << 20) as f64,
+            65.0 * (1u64 << 20) as f64,
+            Precision::F64,
+        ),
+        KernelFootprint::streaming(
+            "rtm_wave",
+            1 << 20,
+            16.0 * (1u64 << 20) as f64,
+            33.0 * (1u64 << 20) as f64,
+            Precision::F32,
+        ),
+        KernelFootprint::streaming(
+            "mgcfd_flux",
+            1 << 20,
+            48.0 * (1u64 << 20) as f64,
+            110.0 * (1u64 << 20) as f64,
+            Precision::F64,
+        ),
     ];
     let refs: Vec<&KernelFootprint> = kernels.iter().collect();
     for p in machine_model::all_platforms() {

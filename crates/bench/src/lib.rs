@@ -38,10 +38,8 @@ pub fn table1_rows() -> Vec<(PlatformId, Toolchain, f64)> {
     cases
         .into_iter()
         .map(|(p, tc)| {
-            let session = Session::create(
-                SessionConfig::new(p, tc).app("babelstream").dry_run(),
-            )
-            .expect("the Table-1 toolchains run BabelStream everywhere");
+            let session = Session::create(SessionConfig::new(p, tc).app("babelstream").dry_run())
+                .expect("the Table-1 toolchains run BabelStream everywhere");
             let n = babelstream::table1_len(session.platform());
             let bw = BabelStream::triad_bandwidth(&session, n, 20);
             (p, tc, bw / 1e9)
@@ -51,9 +49,7 @@ pub fn table1_rows() -> Vec<(PlatformId, Toolchain, f64)> {
 
 /// Render Table 1 as text.
 pub fn table1_text() -> String {
-    let mut out = String::from(
-        "## Table 1: Achieved bandwidth on STREAM Triad (BabelStream)\n",
-    );
+    let mut out = String::from("## Table 1: Achieved bandwidth on STREAM Triad (BabelStream)\n");
     for (p, tc, gbs) in table1_rows() {
         out.push_str(&format!(
             "{:32} {:12} {:7.0} GB/s\n",
@@ -271,9 +267,7 @@ pub fn summary_stats() -> SummaryStats {
     let mg = all_mgcfd();
     let mg_eff = |p: PlatformId, tc: Toolchain, scheme: Scheme| -> Option<f64> {
         mg.iter()
-            .filter(|m| {
-                m.platform == p && m.variant.toolchain == tc && m.scheme == Some(scheme)
-            })
+            .filter(|m| m.platform == p && m.variant.toolchain == tc && m.scheme == Some(scheme))
             .filter_map(|m| m.efficiency)
             .fold(None, |acc: Option<f64>, e| {
                 Some(acc.map_or(e, |a| a.max(e)))
@@ -359,12 +353,18 @@ pub fn gpu_gap(platform: PlatformId, tc: Toolchain, nd: bool, baseline: Toolchai
         let base = portability::measure_structured(
             app.as_ref(),
             platform,
-            portability::StudyVariant { toolchain: baseline, nd_range: false },
+            portability::StudyVariant {
+                toolchain: baseline,
+                nd_range: false,
+            },
         );
         let sycl = portability::measure_structured(
             app.as_ref(),
             platform,
-            portability::StudyVariant { toolchain: tc, nd_range: nd },
+            portability::StudyVariant {
+                toolchain: tc,
+                nd_range: nd,
+            },
         );
         if let (Ok(tb), Ok(ts)) = (base.runtime, sycl.runtime) {
             gaps.push(ts / tb - 1.0);
@@ -383,14 +383,54 @@ pub fn gpu_gaps_text() -> String {
          MI250X vs Cray offload: DPC++ {:8} (paper +2.3%) | OpenSYCL {:8} (paper -9.1%)
          Max 1100 vs OMP offload: DPC++ {:8} (paper -30.2%) | OpenSYCL {:8} (paper -27.6%)
 ",
-        pct(gpu_gap(PlatformId::A100, Toolchain::Dpcpp, true, Toolchain::NativeCuda)),
-        pct(gpu_gap(PlatformId::A100, Toolchain::OpenSycl, true, Toolchain::NativeCuda)),
-        pct(gpu_gap(PlatformId::Mi250x, Toolchain::Dpcpp, true, Toolchain::NativeHip)),
-        pct(gpu_gap(PlatformId::Mi250x, Toolchain::OpenSycl, true, Toolchain::NativeHip)),
-        pct(gpu_gap(PlatformId::Mi250x, Toolchain::Dpcpp, true, Toolchain::OmpOffload)),
-        pct(gpu_gap(PlatformId::Mi250x, Toolchain::OpenSycl, true, Toolchain::OmpOffload)),
-        pct(gpu_gap(PlatformId::Max1100, Toolchain::Dpcpp, true, Toolchain::OmpOffload)),
-        pct(gpu_gap(PlatformId::Max1100, Toolchain::OpenSycl, true, Toolchain::OmpOffload)),
+        pct(gpu_gap(
+            PlatformId::A100,
+            Toolchain::Dpcpp,
+            true,
+            Toolchain::NativeCuda
+        )),
+        pct(gpu_gap(
+            PlatformId::A100,
+            Toolchain::OpenSycl,
+            true,
+            Toolchain::NativeCuda
+        )),
+        pct(gpu_gap(
+            PlatformId::Mi250x,
+            Toolchain::Dpcpp,
+            true,
+            Toolchain::NativeHip
+        )),
+        pct(gpu_gap(
+            PlatformId::Mi250x,
+            Toolchain::OpenSycl,
+            true,
+            Toolchain::NativeHip
+        )),
+        pct(gpu_gap(
+            PlatformId::Mi250x,
+            Toolchain::Dpcpp,
+            true,
+            Toolchain::OmpOffload
+        )),
+        pct(gpu_gap(
+            PlatformId::Mi250x,
+            Toolchain::OpenSycl,
+            true,
+            Toolchain::OmpOffload
+        )),
+        pct(gpu_gap(
+            PlatformId::Max1100,
+            Toolchain::Dpcpp,
+            true,
+            Toolchain::OmpOffload
+        )),
+        pct(gpu_gap(
+            PlatformId::Max1100,
+            Toolchain::OpenSycl,
+            true,
+            Toolchain::OmpOffload
+        )),
     )
 }
 
@@ -422,11 +462,11 @@ pub fn conclusion_stats() -> ConclusionStats {
     let best = |p: PlatformId, app: &str, native: bool| -> Option<f64> {
         structured
             .iter()
-            .filter(|m| {
-                m.platform == p && m.app == app && m.variant.is_native() == native
-            })
+            .filter(|m| m.platform == p && m.app == app && m.variant.is_native() == native)
             .filter_map(|m| m.efficiency)
-            .fold(None, |acc: Option<f64>, e| Some(acc.map_or(e, |a| a.max(e))))
+            .fold(None, |acc: Option<f64>, e| {
+                Some(acc.map_or(e, |a| a.max(e)))
+            })
     };
     let collect = |native: bool, gpus: Option<bool>| -> f64 {
         let vals: Vec<f64> = platforms
@@ -482,8 +522,11 @@ pub fn boundary_fractions_text() -> String {
         .into_iter()
         .chain(portability::cpu_platforms())
     {
-        out.push_str(&format!("{}:
-", sycl_sim::Platform::get(p).name));
+        out.push_str(&format!(
+            "{}:
+",
+            sycl_sim::Platform::get(p).name
+        ));
         for variant in portability::variants_for(p) {
             let mut row = format!("  {:18}", variant.label());
             for app in &apps {

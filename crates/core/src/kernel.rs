@@ -5,7 +5,7 @@ use machine_model::{AccessProfile, KernelFootprint, Precision, StencilProfile};
 /// Source-level properties of a kernel body that determine how well compilers
 /// vectorise it. Set by the DSL code generators (which can see the loop
 /// body), consumed by the toolchain vectorisation model.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct KernelTraits {
     /// Innermost loop walks memory with stride one.
     pub stride_one_inner: bool,

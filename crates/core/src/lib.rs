@@ -58,9 +58,9 @@ pub mod toolchain;
 pub mod tune;
 
 pub use buffer::Buffer;
-pub use real::Real;
 pub use error::{Failure, FailureKind};
 pub use kernel::{Kernel, KernelTraits};
+pub use real::Real;
 pub use session::{LaunchRecord, Session, SessionConfig};
 pub use toolchain::{Scheme, SyclVariant, Toolchain};
 

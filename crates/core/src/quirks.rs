@@ -145,11 +145,23 @@ mod tests {
     fn cloverleaf2d_on_genoax_only_works_with_dpcpp_ndrange() {
         let p = PlatformId::GenoaX;
         assert!(check(apps::CLOVERLEAF2D, p, Toolchain::Dpcpp, ND, None).is_none());
-        assert!(check(apps::CLOVERLEAF2D, p, Toolchain::Dpcpp, SyclVariant::Flat, None).is_some());
+        assert!(check(
+            apps::CLOVERLEAF2D,
+            p,
+            Toolchain::Dpcpp,
+            SyclVariant::Flat,
+            None
+        )
+        .is_some());
         assert!(check(apps::CLOVERLEAF2D, p, Toolchain::OpenSycl, ND, None).is_some());
-        assert!(
-            check(apps::CLOVERLEAF2D, p, Toolchain::OpenSycl, SyclVariant::Flat, None).is_some()
-        );
+        assert!(check(
+            apps::CLOVERLEAF2D,
+            p,
+            Toolchain::OpenSycl,
+            SyclVariant::Flat,
+            None
+        )
+        .is_some());
         // Baselines are fine.
         assert!(check(apps::CLOVERLEAF2D, p, Toolchain::Mpi, ND, None).is_none());
     }
@@ -192,7 +204,14 @@ mod tests {
             PlatformId::Altra,
         ] {
             assert!(
-                check(apps::MGCFD, p, Toolchain::OpenSycl, ND, Some(Scheme::Atomics)).is_none(),
+                check(
+                    apps::MGCFD,
+                    p,
+                    Toolchain::OpenSycl,
+                    ND,
+                    Some(Scheme::Atomics)
+                )
+                .is_none(),
                 "OpenSYCL+atomics must work on {p:?}"
             );
         }
@@ -203,20 +222,37 @@ mod tests {
         let cpu = PlatformId::Xeon8360Y;
         let gpu = PlatformId::A100;
         assert_eq!(
-            check(apps::MGCFD, cpu, Toolchain::OpenSycl, ND, Some(Scheme::GlobalColor))
-                .unwrap()
-                .kind,
+            check(
+                apps::MGCFD,
+                cpu,
+                Toolchain::OpenSycl,
+                ND,
+                Some(Scheme::GlobalColor)
+            )
+            .unwrap()
+            .kind,
             FailureKind::CompileError
         );
         assert_eq!(
-            check(apps::MGCFD, cpu, Toolchain::Dpcpp, ND, Some(Scheme::GlobalColor))
-                .unwrap()
-                .kind,
+            check(
+                apps::MGCFD,
+                cpu,
+                Toolchain::Dpcpp,
+                ND,
+                Some(Scheme::GlobalColor)
+            )
+            .unwrap()
+            .kind,
             FailureKind::RuntimeCrash
         );
-        assert!(
-            check(apps::MGCFD, gpu, Toolchain::OpenSycl, ND, Some(Scheme::GlobalColor)).is_none()
-        );
+        assert!(check(
+            apps::MGCFD,
+            gpu,
+            Toolchain::OpenSycl,
+            ND,
+            Some(Scheme::GlobalColor)
+        )
+        .is_none());
     }
 
     #[test]
@@ -253,18 +289,20 @@ mod tests {
                 PlatformId::Altra,
             ] {
                 let schemes: &[Option<Scheme>] = if app == apps::MGCFD {
-                    &[Some(Scheme::Atomics), Some(Scheme::GlobalColor), Some(Scheme::HierColor)]
+                    &[
+                        Some(Scheme::Atomics),
+                        Some(Scheme::GlobalColor),
+                        Some(Scheme::HierColor),
+                    ]
                 } else {
                     &[None]
                 };
                 let works = [Toolchain::Dpcpp, Toolchain::OpenSycl]
                     .into_iter()
                     .any(|tc| {
-                        [SyclVariant::Flat, ND].into_iter().any(|v| {
-                            schemes
-                                .iter()
-                                .any(|&s| check(app, p, tc, v, s).is_none())
-                        })
+                        [SyclVariant::Flat, ND]
+                            .into_iter()
+                            .any(|v| schemes.iter().any(|&s| check(app, p, tc, v, s).is_none()))
                     });
                 assert!(works, "no working SYCL config for {app} on {p:?}");
             }

@@ -8,19 +8,23 @@
 //! application's numerics are real, and (v) records the result.
 
 use crate::error::Failure;
-use crate::kernel::Kernel;
+use crate::kernel::{Kernel, KernelTraits};
 use crate::quirks;
 use crate::toolchain::{Scheme, SyclVariant, Toolchain};
-use machine_model::{predict, KernelTime, Platform, PlatformId};
-use parking_lot::Mutex;
+use machine_model::{predict, ExecProfile, KernelTime, Platform, PlatformId};
+use parkit::sync::Mutex;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 /// Intra-node MPI message latency (shared-memory transport).
 const MSG_LATENCY: f64 = 0.8e-6;
 
-/// One priced kernel launch.
+/// One priced kernel launch. The name is interned (`Arc<str>`), so
+/// records of repeat launches share one allocation.
 #[derive(Debug, Clone)]
 pub struct LaunchRecord {
-    pub name: String,
+    pub name: Arc<str>,
     pub time: KernelTime,
     pub items: u64,
     pub effective_bytes: f64,
@@ -42,6 +46,10 @@ pub struct SessionConfig {
     /// depend only on sizes; functional validation happens at reduced
     /// sizes in the test suite.
     pub dry_run: bool,
+    /// Memoise launch pricing per kernel fingerprint (on by default).
+    /// Disable to force a full toolchain-model walk on every launch —
+    /// only useful for benchmarking the cache itself.
+    pub pricing_cache: bool,
 }
 
 impl SessionConfig {
@@ -54,6 +62,7 @@ impl SessionConfig {
             app: "unnamed".to_owned(),
             scheme: None,
             dry_run: false,
+            pricing_cache: true,
         }
     }
 
@@ -80,12 +89,96 @@ impl SessionConfig {
         self.dry_run = true;
         self
     }
+
+    /// Disable the launch-pricing cache (see `pricing_cache`).
+    pub fn no_pricing_cache(mut self) -> Self {
+        self.pricing_cache = false;
+        self
+    }
+}
+
+/// Memoised pricing for one kernel fingerprint: everything `launch_timed`
+/// needs to append a ledger entry without re-walking the toolchain model.
+struct CachedPrice {
+    /// The full fingerprint, kept to verify hash-bucket hits exactly.
+    footprint: machine_model::KernelFootprint,
+    traits: KernelTraits,
+    nd_shape: Option<[usize; 3]>,
+    name: Arc<str>,
+    #[allow(dead_code)]
+    exec: ExecProfile,
+    time: KernelTime,
+    boundary: bool,
+}
+
+impl CachedPrice {
+    fn matches(&self, kernel: &Kernel) -> bool {
+        self.footprint == kernel.footprint
+            && self.traits == kernel.traits
+            && self.nd_shape == kernel.nd_shape
+    }
+}
+
+/// Hash every pricing-relevant field of a kernel (f64s by bit pattern).
+/// The session variant/toolchain/platform are fixed per session, so they
+/// are not part of the key.
+fn fingerprint(kernel: &Kernel) -> u64 {
+    use machine_model::AccessProfile;
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    let fp = &kernel.footprint;
+    fp.name.hash(&mut h);
+    fp.items.hash(&mut h);
+    fp.effective_bytes.to_bits().hash(&mut h);
+    fp.flops.to_bits().hash(&mut h);
+    fp.transcendentals.to_bits().hash(&mut h);
+    (fp.precision as u8).hash(&mut h);
+    match &fp.access {
+        AccessProfile::Streamed => 0u8.hash(&mut h),
+        AccessProfile::Stencil(s) => {
+            1u8.hash(&mut h);
+            s.domain.hash(&mut h);
+            s.radius.hash(&mut h);
+            s.dats_read.hash(&mut h);
+            s.dats_written.hash(&mut h);
+        }
+        AccessProfile::Indirect(i) => {
+            2u8.hash(&mut h);
+            i.from_size.hash(&mut h);
+            i.to_size.hash(&mut h);
+            i.arity.to_bits().hash(&mut h);
+            i.locality.to_bits().hash(&mut h);
+            i.indirect_bytes_per_item.to_bits().hash(&mut h);
+        }
+    }
+    match &fp.atomics {
+        None => 0u8.hash(&mut h),
+        Some(a) => {
+            1u8.hash(&mut h);
+            a.updates.hash(&mut h);
+            (a.kind == machine_model::AtomicKind::NativeFp).hash(&mut h);
+        }
+    }
+    fp.reductions.hash(&mut h);
+    let t = &kernel.traits;
+    [
+        t.stride_one_inner,
+        t.indirect_writes,
+        t.complex_body,
+        t.hard_on_neon,
+    ]
+    .hash(&mut h);
+    kernel.nd_shape.hash(&mut h);
+    h.finish()
 }
 
 struct State {
     elapsed: f64,
     comm_time: f64,
     records: Vec<LaunchRecord>,
+    /// Launch-pricing cache: kernel fingerprint hash → memoised price.
+    /// Hits are verified field-for-field against the stored fingerprint,
+    /// so a hash collision degrades to a cold launch, never a wrong price.
+    price_cache: HashMap<u64, CachedPrice>,
 }
 
 /// A live (platform × toolchain × variant × app) execution context.
@@ -115,6 +208,7 @@ impl Session {
                 elapsed: 0.0,
                 comm_time: 0.0,
                 records: Vec::new(),
+                price_cache: HashMap::new(),
             }),
         })
     }
@@ -153,31 +247,81 @@ impl Session {
 
     /// Like [`Session::launch`], also returning the simulated timing.
     pub fn launch_timed<R>(&self, kernel: &Kernel, body: impl FnOnce() -> R) -> (R, KernelTime) {
+        let time = self.price(kernel);
+        (body(), time)
+    }
+
+    /// Price one launch and append it to the ledger. Repeat launches of a
+    /// cached kernel fingerprint cost a hash lookup plus a record push;
+    /// cold launches walk the toolchain and platform models once and
+    /// memoise the result.
+    fn price(&self, kernel: &Kernel) -> KernelTime {
+        let key = fingerprint(kernel);
+        let mut st = self.state.lock();
+
+        if self.cfg.pricing_cache {
+            if let Some(c) = st.price_cache.get(&key) {
+                if c.matches(kernel) {
+                    let time = c.time;
+                    let record = LaunchRecord {
+                        name: Arc::clone(&c.name),
+                        time,
+                        items: c.footprint.items,
+                        effective_bytes: c.footprint.effective_bytes,
+                        boundary: c.boundary,
+                    };
+                    st.elapsed += time.total;
+                    st.records.push(record);
+                    return time;
+                }
+            }
+        }
+
         let exec = self
             .cfg
             .toolchain
             .exec_profile(&self.platform, self.cfg.variant, kernel);
 
         // Toolchain quirks can downgrade the atomic path (MI250X +
-        // OpenSYCL loses the unsafe atomics).
-        let mut footprint = kernel.footprint.clone();
-        if let Some(a) = footprint.atomics.as_mut() {
-            a.kind = self.atomic_kind();
-        }
+        // OpenSYCL loses the unsafe atomics). Only clone the footprint
+        // when a downgrade actually applies.
+        let time = match kernel.footprint.atomics {
+            Some(a) if a.kind != self.atomic_kind() => {
+                let mut fp = kernel.footprint.clone();
+                fp.atomics = Some(machine_model::AtomicProfile {
+                    kind: self.atomic_kind(),
+                    ..a
+                });
+                predict(&self.platform, &fp, &exec)
+            }
+            _ => predict(&self.platform, &kernel.footprint, &exec),
+        };
 
-        let time = predict(&self.platform, &footprint, &exec);
-        {
-            let mut st = self.state.lock();
-            st.elapsed += time.total;
-            st.records.push(LaunchRecord {
-                name: footprint.name.clone(),
-                time,
-                items: footprint.items,
-                effective_bytes: footprint.effective_bytes,
-                boundary: footprint.is_boundary(),
-            });
+        let name: Arc<str> = Arc::from(kernel.footprint.name.as_str());
+        let boundary = kernel.footprint.is_boundary();
+        st.elapsed += time.total;
+        st.records.push(LaunchRecord {
+            name: Arc::clone(&name),
+            time,
+            items: kernel.footprint.items,
+            effective_bytes: kernel.footprint.effective_bytes,
+            boundary,
+        });
+        if self.cfg.pricing_cache {
+            st.price_cache.insert(
+                key,
+                CachedPrice {
+                    footprint: kernel.footprint.clone(),
+                    traits: kernel.traits,
+                    nd_shape: kernel.nd_shape,
+                    name,
+                    exec,
+                    time,
+                    boundary,
+                },
+            );
         }
-        (body(), time)
+        time
     }
 
     /// Account a host→device (or device→host) transfer of `bytes`.
@@ -246,7 +390,7 @@ impl Session {
         let st = self.state.lock();
         let mut agg: HashMap<&str, (f64, usize)> = HashMap::new();
         for r in &st.records {
-            let e = agg.entry(r.name.as_str()).or_insert((0.0, 0));
+            let e = agg.entry(&*r.name).or_insert((0.0, 0));
             e.0 += r.time.total;
             e.1 += 1;
         }
@@ -290,7 +434,7 @@ impl Session {
                 let st = self.state.lock();
                 st.records
                     .iter()
-                    .filter(|r| r.name == name)
+                    .filter(|r| *r.name == *name)
                     .map(|r| r.effective_bytes)
                     .sum()
             };
@@ -421,7 +565,11 @@ mod tests {
         let gpu = session(PlatformId::A100, Toolchain::NativeCuda);
         gpu.transfer(1e9);
         // 1 GB over 25 GB/s = 40 ms.
-        assert!((gpu.elapsed() - 0.04).abs() / 0.04 < 0.01, "{}", gpu.elapsed());
+        assert!(
+            (gpu.elapsed() - 0.04).abs() / 0.04 < 0.01,
+            "{}",
+            gpu.elapsed()
+        );
 
         let cpu = session(PlatformId::GenoaX, Toolchain::OpenMp);
         cpu.transfer(1e9);
@@ -434,5 +582,59 @@ mod tests {
         assert_eq!(s.atomic_kind(), machine_model::AtomicKind::CasLoop);
         let s = session(PlatformId::Mi250x, Toolchain::Dpcpp);
         assert_eq!(s.atomic_kind(), machine_model::AtomicKind::NativeFp);
+    }
+
+    #[test]
+    fn cached_launches_price_identically_to_cold_ones() {
+        let cached = session(PlatformId::A100, Toolchain::NativeCuda);
+        let uncached = Session::create(
+            SessionConfig::new(PlatformId::A100, Toolchain::NativeCuda)
+                .app("test")
+                .no_pricing_cache(),
+        )
+        .unwrap();
+        let k1 = Kernel::streaming("triad", 1 << 20, 3e7, 2e6);
+        let k2 = Kernel::streaming("copy", 1 << 18, 4e6, 0.0);
+        for s in [&cached, &uncached] {
+            for _ in 0..5 {
+                s.launch(&k1, || ());
+                s.launch(&k2, || ());
+            }
+        }
+        assert_eq!(cached.elapsed().to_bits(), uncached.elapsed().to_bits());
+        for (a, b) in cached.records().iter().zip(uncached.records().iter()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.time.total.to_bits(), b.time.total.to_bits());
+        }
+    }
+
+    #[test]
+    fn cache_distinguishes_same_name_different_shape() {
+        // Two kernels sharing a name but differing in size must not
+        // collide in the cache.
+        let s = session(PlatformId::A100, Toolchain::NativeCuda);
+        let big = Kernel::streaming("k", 1 << 24, 3.0 * 8.0 * (1 << 24) as f64, 0.0);
+        let small = Kernel::streaming("k", 1 << 10, 3.0 * 8.0 * (1 << 10) as f64, 0.0);
+        s.launch(&big, || ());
+        s.launch(&small, || ());
+        s.launch(&big, || ());
+        let r = s.records();
+        assert!(r[0].time.total > r[1].time.total * 10.0);
+        assert_eq!(r[0].time.total.to_bits(), r[2].time.total.to_bits());
+    }
+
+    #[test]
+    fn cache_survives_reset_and_interns_names() {
+        let s = session(PlatformId::A100, Toolchain::NativeCuda);
+        let k = Kernel::streaming("triad", 1 << 20, 3e7, 0.0);
+        s.launch(&k, || ());
+        let t0 = s.records()[0].time.total;
+        s.reset();
+        s.launch(&k, || ());
+        s.launch(&k, || ());
+        assert_eq!(s.records()[0].time.total.to_bits(), t0.to_bits());
+        // All records of one kernel share a single interned name.
+        let r = s.records();
+        assert!(Arc::ptr_eq(&r[0].name, &r[1].name));
     }
 }

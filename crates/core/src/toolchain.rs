@@ -9,9 +9,7 @@
 //! what make the figures come out the way the paper reports.
 
 use crate::kernel::Kernel;
-use machine_model::{
-    BackendKind, ChipKind, ExecProfile, Platform, PlatformId, ReductionStrategy,
-};
+use machine_model::{BackendKind, ChipKind, ExecProfile, Platform, PlatformId, ReductionStrategy};
 
 /// The programming approaches compared across the paper's figures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -154,7 +152,9 @@ impl Toolchain {
             // Hand-written CUDA/HIP/offload kernels ship with tuned
             // launch bounds — they always use the app's tuned shape.
             return clamp_shape(
-                kernel.nd_shape.unwrap_or_else(|| self.flat_heuristic(domain)),
+                kernel
+                    .nd_shape
+                    .unwrap_or_else(|| self.flat_heuristic(domain)),
                 domain,
             );
         }
@@ -206,10 +206,7 @@ impl Toolchain {
     /// Fraction of SIMD/FLOP peak the generated code reaches on `platform`
     /// for a kernel with the given traits.
     pub fn vector_efficiency(self, platform: &Platform, kernel: &Kernel) -> f64 {
-        let ChipKind::Cpu {
-            simd_f64_lanes, ..
-        } = platform.chip
-        else {
+        let ChipKind::Cpu { simd_f64_lanes, .. } = platform.chip else {
             return 1.0; // SIMT GPUs don't auto-vectorise.
         };
         // f32 kernels fit twice the lanes, so scalar code loses more.
@@ -447,7 +444,10 @@ mod tests {
         assert!(Toolchain::NativeCuda.supports(A100));
         assert!(!Toolchain::NativeCuda.supports(Mi250x));
         assert!(Toolchain::OmpOffload.supports(Max1100));
-        assert!(!Toolchain::OmpOffload.supports(A100), "LLVM offload to NVIDIA had runtime errors");
+        assert!(
+            !Toolchain::OmpOffload.supports(A100),
+            "LLVM offload to NVIDIA had runtime errors"
+        );
         assert!(!Toolchain::Mpi.supports(A100));
         assert!(!Toolchain::MpiOpenMp.supports(Altra), "single NUMA node");
     }

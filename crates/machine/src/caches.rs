@@ -31,7 +31,6 @@
 use crate::exec::ExecProfile;
 use crate::footprint::{AccessProfile, KernelFootprint};
 use crate::platform::{ChipKind, Platform};
-use serde::{Deserialize, Serialize};
 
 /// Fraction of the LLC usable by one kernel's streams (the rest holds
 /// code, tables, other datasets).
@@ -56,7 +55,7 @@ fn residency(working_set: f64, llc_eff: f64) -> f64 {
 }
 
 /// Traffic split and bandwidth-efficiency factors for one launch.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct MemoryTraffic {
     /// Bytes that must come from / go to DRAM.
     pub dram_bytes: f64,
@@ -70,7 +69,7 @@ pub struct MemoryTraffic {
 
 /// Diagnostic detail of the cache analysis (used by tests and reporting;
 /// mirrors the paper's bytes-per-wave / hit-rate analysis).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct CacheOutcome {
     pub traffic: MemoryTraffic,
     /// Fraction of stencil-neighbour reuse resolved in the private cache.
@@ -188,8 +187,7 @@ pub fn analyze(platform: &Platform, fp: &KernelFootprint, exec: &ExecProfile) ->
             // execution (q→0) re-gathers across the whole dataset, which
             // only the LLC — if big enough — can absorb.
             let total_gather = ind.indirect_bytes_per_item * ind.from_size as f64;
-            let unique = (ind.indirect_bytes_per_item / ind.arity.max(1.0)
-                * ind.to_size as f64)
+            let unique = (ind.indirect_bytes_per_item / ind.arity.max(1.0) * ind.to_size as f64)
                 .min(total_gather);
             let excess = total_gather - unique;
             let cold = excess * (1.0 - q);
@@ -200,8 +198,9 @@ pub fn analyze(platform: &Platform, fp: &KernelFootprint, exec: &ExecProfile) ->
             // multigrid levels that give CPUs >100 % efficiency).
             let resident = residency(fp.effective_bytes, llc_eff);
 
-            let dram_raw =
-                direct_total + unique / line_utilisation + cold * (1.0 - cold_absorb) / line_utilisation;
+            let dram_raw = direct_total
+                + unique / line_utilisation
+                + cold * (1.0 - cold_absorb) / line_utilisation;
             let llc_raw = cold * cold_absorb;
             CacheOutcome {
                 traffic: MemoryTraffic {

@@ -8,12 +8,11 @@
 
 use crate::platform::{Platform, PlatformId};
 use crate::US;
-use serde::{Deserialize, Serialize};
 
 /// The driver path a kernel launch takes. Launch overhead depends on this
 /// — the paper repeatedly attributes CPU-SYCL slowness to DPC++ going
 /// through OpenCL per launch while OpenSYCL compiles straight to OpenMP.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BackendKind {
     /// Native CUDA driver launch (A100).
     Cuda,
@@ -79,7 +78,7 @@ impl BackendKind {
 }
 
 /// How a reduction result is produced.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReductionStrategy {
     /// No reduction in this launch.
     None,
@@ -92,7 +91,7 @@ pub enum ReductionStrategy {
 }
 
 /// The outcome of toolchain decisions for one kernel launch.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct ExecProfile {
     pub backend: BackendKind,
     /// Work-group / tile shape the iteration space was decomposed into.
@@ -152,9 +151,7 @@ mod tests {
         let a100 = platform::a100();
         let mi = platform::mi250x();
         let max = platform::max1100();
-        assert!(
-            BackendKind::Hip.launch_overhead(&mi) > BackendKind::Cuda.launch_overhead(&a100)
-        );
+        assert!(BackendKind::Hip.launch_overhead(&mi) > BackendKind::Cuda.launch_overhead(&a100));
         assert!(
             BackendKind::SyclGpu.launch_overhead(&max)
                 < BackendKind::SyclGpu.launch_overhead(&a100)
@@ -164,7 +161,10 @@ mod tests {
     #[test]
     fn native_backend_selection() {
         assert_eq!(BackendKind::native_for(PlatformId::A100), BackendKind::Cuda);
-        assert_eq!(BackendKind::native_for(PlatformId::Mi250x), BackendKind::Hip);
+        assert_eq!(
+            BackendKind::native_for(PlatformId::Mi250x),
+            BackendKind::Hip
+        );
         assert_eq!(
             BackendKind::native_for(PlatformId::Max1100),
             BackendKind::OmpOffload

@@ -6,10 +6,8 @@
 //! mapping tables used. Everything else describes *structure* (stencil
 //! radii, indirection, atomics) that the cache and throughput models need.
 
-use serde::{Deserialize, Serialize};
-
 /// Floating-point width of a kernel's primary datasets.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Precision {
     F32,
     F64,
@@ -26,7 +24,7 @@ impl Precision {
 }
 
 /// Structured-mesh stencil description (per kernel, merged over its args).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StencilProfile {
     /// Iteration-space extents; unused trailing dims are 1.
     pub domain: [usize; 3],
@@ -58,7 +56,7 @@ impl StencilProfile {
 }
 
 /// Unstructured indirect-access description.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IndirectProfile {
     /// Elements of the *from* set (e.g. edges) this loop iterates over.
     pub from_size: usize,
@@ -74,7 +72,7 @@ pub struct IndirectProfile {
 }
 
 /// Memory-access structure of a kernel.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum AccessProfile {
     /// Pure unit-stride streaming (BabelStream, field copies).
     Streamed,
@@ -85,7 +83,7 @@ pub enum AccessProfile {
 }
 
 /// What kind of atomic resolves the kernel's races.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AtomicKind {
     /// Hardware floating-point atomic add (CUDA `atomicAdd`, HIP
     /// "unsafe" atomics).
@@ -95,7 +93,7 @@ pub enum AtomicKind {
 }
 
 /// Atomic-update volume of a kernel.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AtomicProfile {
     /// Total atomic scalar updates issued by the launch.
     pub updates: u64,
@@ -103,7 +101,7 @@ pub struct AtomicProfile {
 }
 
 /// A complete, backend-independent description of one kernel launch.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct KernelFootprint {
     /// Kernel name (for reports and per-kernel breakdowns).
     pub name: String,
@@ -125,7 +123,13 @@ pub struct KernelFootprint {
 
 impl KernelFootprint {
     /// A streaming kernel touching `bytes` with `flops` total FLOPs.
-    pub fn streaming(name: impl Into<String>, items: u64, bytes: f64, flops: f64, precision: Precision) -> Self {
+    pub fn streaming(
+        name: impl Into<String>,
+        items: u64,
+        bytes: f64,
+        flops: f64,
+        precision: Precision,
+    ) -> Self {
         KernelFootprint {
             name: name.into(),
             items,
@@ -190,7 +194,13 @@ mod tests {
 
     #[test]
     fn streaming_constructor_and_intensity() {
-        let fp = KernelFootprint::streaming("triad", 1 << 20, 3.0 * 8.0 * (1 << 20) as f64, 2.0 * (1 << 20) as f64, Precision::F64);
+        let fp = KernelFootprint::streaming(
+            "triad",
+            1 << 20,
+            3.0 * 8.0 * (1 << 20) as f64,
+            2.0 * (1 << 20) as f64,
+            Precision::F64,
+        );
         let ai = fp.intensity();
         assert!((ai - 2.0 / 24.0).abs() < 1e-12);
         assert!(!fp.is_boundary());

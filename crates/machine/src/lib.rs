@@ -41,8 +41,8 @@ pub use footprint::{
     StencilProfile,
 };
 pub use model::{predict, KernelTime};
-pub use roofline::{roofline_text, Bound, RooflinePoint};
 pub use platform::{all_platforms, ChipKind, Platform, PlatformId};
+pub use roofline::{roofline_text, Bound, RooflinePoint};
 
 /// Gigabytes-per-second to bytes-per-second.
 pub const GB: f64 = 1.0e9;

@@ -18,7 +18,6 @@ use crate::caches;
 use crate::exec::{ExecProfile, ReductionStrategy};
 use crate::footprint::{AtomicKind, KernelFootprint};
 use crate::platform::{ChipKind, Platform};
-use serde::{Deserialize, Serialize};
 
 /// Calibrated CPU binary-tree reduction penalty (paper §4.2: "reductions
 /// take 6-7× more time with SYCL compared to OpenMP").
@@ -27,7 +26,7 @@ const CPU_TREE_REDUCTION_PENALTY: f64 = 6.5;
 const GPU_TREE_REDUCTION_PENALTY: f64 = 1.15;
 
 /// Simulated timing breakdown for one kernel launch.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct KernelTime {
     /// Total simulated seconds for the launch.
     pub total: f64,
@@ -146,8 +145,7 @@ fn occupancy_for_compute(platform: &Platform, fp: &KernelFootprint, exec: &ExecP
             let wg = exec.workgroup_items() as f64;
             let wgs = (fp.items as f64 / wg.max(1.0)).ceil();
             let in_flight = (wg * 32.0).min(2048.0);
-            ((in_flight / 2048.0).min(1.0) * (wgs / compute_units as f64).min(1.0))
-                .clamp(0.02, 1.0)
+            ((in_flight / 2048.0).min(1.0) * (wgs / compute_units as f64).min(1.0)).clamp(0.02, 1.0)
         }
         ChipKind::Cpu { .. } => 1.0,
     }
@@ -243,7 +241,10 @@ mod tests {
         let mi = platform::mi250x();
         let ta = predict(&a100, &fp, &plain_exec(BackendKind::Cuda, [256, 1, 1]));
         let tm = predict(&mi, &fp, &plain_exec(BackendKind::Hip, [256, 1, 1]));
-        assert!(ta.launch > 0.5 * ta.total, "launch must dominate tiny loops");
+        assert!(
+            ta.launch > 0.5 * ta.total,
+            "launch must dominate tiny loops"
+        );
         assert!(tm.total > ta.total, "MI250X pays higher launch latency");
     }
 
@@ -328,7 +329,10 @@ mod tests {
         scalar.vector_efficiency = 0.25;
         let tv = predict(&altra, &fp, &vec).total;
         let ts = predict(&altra, &fp, &scalar).total;
-        assert!(ts > 1.5 * tv, "vectorisation failure must hurt: {ts} vs {tv}");
+        assert!(
+            ts > 1.5 * tv,
+            "vectorisation failure must hurt: {ts} vs {tv}"
+        );
     }
 
     #[test]

@@ -6,10 +6,9 @@
 //! of the same parts. These are *calibration inputs*, not results.
 
 use crate::{GB, US};
-use serde::{Deserialize, Serialize};
 
 /// Identifier for one of the six benchmarked machines.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PlatformId {
     /// NVIDIA A100 40 GB PCIe.
     A100,
@@ -61,7 +60,7 @@ impl PlatformId {
 }
 
 /// Processor organisation.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub enum ChipKind {
     /// Multicore CPU (possibly multi-socket).
     Cpu {
@@ -119,7 +118,7 @@ impl ChipKind {
 }
 
 /// One level of the cache hierarchy.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct CacheLevel {
     /// 1, 2, or 3.
     pub level: u8,
@@ -132,7 +131,7 @@ pub struct CacheLevel {
 }
 
 /// Main-memory characteristics.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct MemorySystem {
     /// Achieved STREAM-Triad bandwidth (paper Table 1), bytes/s.
     pub stream_bw: f64,
@@ -146,7 +145,7 @@ pub struct MemorySystem {
 }
 
 /// Atomic-operation throughput.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct AtomicsSpec {
     /// Hardware floating-point atomic adds per second ("unsafe"/native).
     pub fp_add_per_s: f64,
@@ -158,7 +157,7 @@ pub struct AtomicsSpec {
 }
 
 /// A complete platform description.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Platform {
     pub id: PlatformId,
     /// Human-readable name as used in the paper.

@@ -82,7 +82,13 @@ mod tests {
     use crate::platform;
 
     fn fp(intensity: f64, precision: Precision) -> KernelFootprint {
-        KernelFootprint::streaming("k", 1 << 20, (1 << 20) as f64, intensity * (1 << 20) as f64, precision)
+        KernelFootprint::streaming(
+            "k",
+            1 << 20,
+            (1 << 20) as f64,
+            intensity * (1 << 20) as f64,
+            precision,
+        )
     }
 
     #[test]
@@ -99,8 +105,14 @@ mod tests {
     fn classification_flips_at_the_ridge() {
         let p = platform::xeon8360y();
         let ridge = p.ridge_point(Precision::F64);
-        assert_eq!(p.roofline(&fp(ridge * 0.5, Precision::F64)).bound, Bound::Bandwidth);
-        assert_eq!(p.roofline(&fp(ridge * 2.0, Precision::F64)).bound, Bound::Compute);
+        assert_eq!(
+            p.roofline(&fp(ridge * 0.5, Precision::F64)).bound,
+            Bound::Bandwidth
+        );
+        assert_eq!(
+            p.roofline(&fp(ridge * 2.0, Precision::F64)).bound,
+            Bound::Compute
+        );
     }
 
     #[test]

@@ -61,9 +61,7 @@ fn core_counts_match_section2() {
 fn private_cache_ordering_drives_the_rtm_mechanism() {
     // The L1-per-CU ordering that decides where radius-4 stencil reuse
     // resolves (EXPERIMENTS.md / DESIGN.md §4.1): Max > A100 ≫ MI250X.
-    let l1_per_cu = |p: Platform| {
-        p.caches.last().unwrap().size_bytes / p.chip.cores() as f64
-    };
+    let l1_per_cu = |p: Platform| p.caches.last().unwrap().size_bytes / p.chip.cores() as f64;
     let a100 = l1_per_cu(platform::a100());
     let mi = l1_per_cu(platform::mi250x());
     let max = l1_per_cu(platform::max1100());

@@ -1,11 +1,12 @@
-//! Property-based tests of the performance model: physical sanity must
-//! hold for arbitrary kernels, not just the calibrated ones.
+//! Property-style tests of the performance model: physical sanity must
+//! hold for arbitrary kernels, not just the calibrated ones. Inputs come
+//! from deterministic parameter sweeps (no external property-test
+//! framework: the workspace builds offline with the standard library).
 
 use machine_model::{
     predict, AccessProfile, BackendKind, ExecProfile, KernelFootprint, Platform, PlatformId,
     Precision, ReductionStrategy, StencilProfile,
 };
-use proptest::prelude::*;
 
 fn platforms() -> Vec<Platform> {
     machine_model::all_platforms()
@@ -32,103 +33,125 @@ fn streaming_fp(n: u64, bytes_per_item: f64, flops_per_item: f64) -> KernelFootp
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+/// Deterministic xorshift64* stream for test inputs.
+struct XorShift(u64);
 
-    /// Predicted times are finite and positive on every platform.
-    #[test]
-    fn predictions_are_finite_positive(
-        n in 1u64..(1 << 26),
-        bpi in 1.0f64..64.0,
-        fpi in 0.0f64..200.0,
-        wgx in 1usize..1024,
-    ) {
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        XorShift(seed.max(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn int(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next_u64() % (hi - lo)
+    }
+
+    fn float(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (self.next_u64() % 1_000_000) as f64 / 1_000_000.0 * (hi - lo)
+    }
+}
+
+#[test]
+fn predictions_are_finite_positive() {
+    let mut rng = XorShift::new(11);
+    for _ in 0..48 {
+        let n = rng.int(1, 1 << 26);
+        let bpi = rng.float(1.0, 64.0);
+        let fpi = rng.float(0.0, 200.0);
+        let wgx = rng.int(1, 1024) as usize;
         let fp = streaming_fp(n, bpi, fpi);
         for p in platforms() {
             let t = predict(&p, &fp, &exec_for(&p, [wgx, 1, 1]));
-            prop_assert!(t.total.is_finite() && t.total > 0.0);
-            prop_assert!(t.memory >= 0.0 && t.compute >= 0.0);
+            assert!(t.total.is_finite() && t.total > 0.0, "{}", p.name);
+            assert!(t.memory >= 0.0 && t.compute >= 0.0);
         }
     }
+}
 
-    /// More data never takes less time (same configuration).
-    #[test]
-    fn time_is_monotone_in_bytes(
-        n in 1u64..(1 << 24),
-        bpi in 1.0f64..32.0,
-        extra in 1.01f64..8.0,
-    ) {
+#[test]
+fn time_is_monotone_in_bytes() {
+    let mut rng = XorShift::new(13);
+    for _ in 0..48 {
+        let n = rng.int(1, 1 << 24);
+        let bpi = rng.float(1.0, 32.0);
+        let extra = rng.float(1.01, 8.0);
         let small = streaming_fp(n, bpi, 1.0);
         let big = streaming_fp(n, bpi * extra, 1.0);
         for p in platforms() {
             let e = exec_for(&p, [256, 1, 1]);
             let ts = predict(&p, &small, &e).total;
             let tb = predict(&p, &big, &e).total;
-            prop_assert!(tb >= ts * 0.999, "{}: {tb} < {ts}", p.name);
+            assert!(tb >= ts * 0.999, "{}: {tb} < {ts}", p.name);
         }
     }
+}
 
-    /// More FLOPs never take less time.
-    #[test]
-    fn time_is_monotone_in_flops(
-        n in 1u64..(1 << 24),
-        fpi in 0.0f64..100.0,
-        extra in 1.0f64..50.0,
-    ) {
+#[test]
+fn time_is_monotone_in_flops() {
+    let mut rng = XorShift::new(17);
+    for _ in 0..48 {
+        let n = rng.int(1, 1 << 24);
+        let fpi = rng.float(0.0, 100.0);
+        let extra = rng.float(1.0, 50.0);
         let light = streaming_fp(n, 24.0, fpi);
         let heavy = streaming_fp(n, 24.0, fpi + extra);
         for p in platforms() {
             let e = exec_for(&p, [256, 1, 1]);
-            prop_assert!(
-                predict(&p, &heavy, &e).total >= predict(&p, &light, &e).total * 0.999
-            );
+            assert!(predict(&p, &heavy, &e).total >= predict(&p, &light, &e).total * 0.999);
         }
     }
+}
 
-    /// Effective bandwidth never exceeds the faster of STREAM and the
-    /// LLC (cache-served kernels may beat STREAM — that is the paper's
-    /// >100% efficiency effect — but nothing beats the LLC).
-    #[test]
-    fn effective_bandwidth_is_bounded(
-        n in 1024u64..(1 << 25),
-        bpi in 1.0f64..64.0,
-    ) {
+#[test]
+fn effective_bandwidth_is_bounded() {
+    let mut rng = XorShift::new(19);
+    for _ in 0..48 {
+        let n = rng.int(1024, 1 << 25);
+        let bpi = rng.float(1.0, 64.0);
         let fp = streaming_fp(n, bpi, 1.0);
         for p in platforms() {
             let e = exec_for(&p, [256, 1, 1]);
             let t = predict(&p, &fp, &e);
             let bw = t.effective_bandwidth(&fp);
             let cap = p.mem.stream_bw.max(p.llc().bandwidth) * 1.01;
-            prop_assert!(bw <= cap, "{}: {bw:.3e} > {cap:.3e}", p.name);
+            assert!(bw <= cap, "{}: {bw:.3e} > {cap:.3e}", p.name);
         }
     }
+}
 
-    /// Lower vectorisation efficiency never speeds a kernel up.
-    #[test]
-    fn scalar_code_is_never_faster(
-        n in 1024u64..(1 << 24),
-        fpi in 1.0f64..200.0,
-        eff in 0.05f64..1.0,
-    ) {
+#[test]
+fn scalar_code_is_never_faster() {
+    let mut rng = XorShift::new(23);
+    for _ in 0..48 {
+        let n = rng.int(1024, 1 << 24);
+        let fpi = rng.float(1.0, 200.0);
+        let eff = rng.float(0.05, 1.0);
         let fp = streaming_fp(n, 16.0, fpi);
         for p in platforms().into_iter().filter(|p| !p.id.is_gpu()) {
             let mut fast = exec_for(&p, [256, 1, 1]);
             fast.backend = BackendKind::OmpHost;
             let mut slow = fast;
             slow.vector_efficiency = eff;
-            prop_assert!(
-                predict(&p, &fp, &slow).total >= predict(&p, &fp, &fast).total * 0.999
-            );
+            assert!(predict(&p, &fp, &slow).total >= predict(&p, &fp, &fast).total * 0.999);
         }
     }
+}
 
-    /// Stencil kernels: growing the radius never reduces the time.
-    #[test]
-    fn wider_stencils_cost_no_less(
-        n in 16usize..256,
-        r1 in 0usize..3,
-        dr in 1usize..4,
-    ) {
+#[test]
+fn wider_stencils_cost_no_less() {
+    let mut rng = XorShift::new(29);
+    for _ in 0..32 {
+        let n = rng.int(16, 256) as usize;
+        let r1 = rng.int(0, 3) as usize;
+        let dr = rng.int(1, 4) as usize;
         let mk = |r: usize| {
             let pts = n * n * n;
             KernelFootprint {
@@ -152,19 +175,19 @@ proptest! {
             let e = exec_for(&p, [64, 4, 1]);
             let narrow = predict(&p, &mk(r1), &e).total;
             let wide = predict(&p, &mk(r1 + dr), &e).total;
-            prop_assert!(wide >= narrow * 0.999, "{}", p.name);
+            assert!(wide >= narrow * 0.999, "{}", p.name);
         }
     }
+}
 
-    /// The launch floor dominates as kernels shrink: below some size,
-    /// time stops scaling with items.
-    #[test]
-    fn tiny_kernels_hit_the_launch_floor(items in 1u64..128) {
+#[test]
+fn tiny_kernels_hit_the_launch_floor() {
+    for items in 1u64..128 {
         let fp = streaming_fp(items, 16.0, 1.0);
         for p in platforms() {
             let e = exec_for(&p, [256, 1, 1]);
             let t = predict(&p, &fp, &e);
-            prop_assert!(
+            assert!(
                 t.launch > 0.5 * t.total,
                 "{}: launch {} of total {}",
                 p.name,
@@ -173,10 +196,13 @@ proptest! {
             );
         }
     }
+}
 
-    /// User binary-tree reductions are never cheaper than native ones.
-    #[test]
-    fn tree_reductions_never_win(n in 1024u64..(1 << 24)) {
+#[test]
+fn tree_reductions_never_win() {
+    let mut rng = XorShift::new(31);
+    for _ in 0..48 {
+        let n = rng.int(1024, 1 << 24);
         let mut fp = streaming_fp(n, 24.0, 2.0);
         fp.reductions = 1;
         for p in platforms() {
@@ -184,9 +210,7 @@ proptest! {
             native.reduction = ReductionStrategy::Native;
             let mut tree = native;
             tree.reduction = ReductionStrategy::UserBinaryTree;
-            prop_assert!(
-                predict(&p, &fp, &tree).total >= predict(&p, &fp, &native).total * 0.999
-            );
+            assert!(predict(&p, &fp, &tree).total >= predict(&p, &fp, &native).total * 0.999);
         }
     }
 }

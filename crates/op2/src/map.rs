@@ -13,7 +13,13 @@ pub struct Map {
 
 impl Map {
     /// Build a map; panics if the table shape or entries are invalid.
-    pub fn new(name: &str, from_size: usize, to_size: usize, arity: usize, table: Vec<u32>) -> Self {
+    pub fn new(
+        name: &str,
+        from_size: usize,
+        to_size: usize,
+        arity: usize,
+        table: Vec<u32>,
+    ) -> Self {
         assert_eq!(table.len(), from_size * arity, "map table shape mismatch");
         debug_assert!(
             table.iter().all(|&t| (t as usize) < to_size),

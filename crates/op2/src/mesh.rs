@@ -9,8 +9,39 @@
 //! coordinates and mapping tables only), with controllable ordering.
 
 use crate::map::Map;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+
+/// Seeded xorshift64* generator driving the deterministic shuffle below
+/// (replaces an external RNG crate; the exact stream only needs to be
+/// stable across runs, not match any published generator).
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        // splitmix64 scramble so nearby seeds give unrelated streams.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        XorShift((z ^ (z >> 31)).max(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// Fisher–Yates shuffle with the seeded generator above.
+fn seeded_shuffle<T>(items: &mut [T], seed: u64) {
+    let mut rng = XorShift::new(seed);
+    for i in (1..items.len()).rev() {
+        let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+        items.swap(i, j);
+    }
+}
 
 /// Vertex/edge numbering quality.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,8 +75,7 @@ impl Mesh {
             Ordering::Natural => (0..n_vertices as u32).collect(),
             Ordering::Shuffled(seed) => {
                 let mut p: Vec<u32> = (0..n_vertices as u32).collect();
-                let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-                p.shuffle(&mut rng);
+                seeded_shuffle(&mut p, seed);
                 p
             }
         };

@@ -393,10 +393,8 @@ mod tests {
     use sycl_sim::{PlatformId, SessionConfig, Toolchain};
 
     fn session() -> Session {
-        Session::create(
-            SessionConfig::new(PlatformId::A100, Toolchain::NativeCuda).app("op2-test"),
-        )
-        .unwrap()
+        Session::create(SessionConfig::new(PlatformId::A100, Toolchain::NativeCuda).app("op2-test"))
+            .unwrap()
     }
 
     /// Run the canonical "scatter 1 to both endpoints" kernel under a
@@ -515,10 +513,7 @@ mod tests {
             n_edges: 300,
             locality: 0.9,
         };
-        let loc = |s: Scheme| {
-            EdgeLoop::new("k", stats, s, Precision::F64)
-                .scheme_locality()
-        };
+        let loc = |s: Scheme| EdgeLoop::new("k", stats, s, Precision::F64).scheme_locality();
         // §4.3 bytes/wave: atomics 3500 (best), hier 8600, global 39000.
         assert!(loc(Scheme::Atomics) > loc(Scheme::HierColor));
         assert!(loc(Scheme::HierColor) > loc(Scheme::GlobalColor));
@@ -553,9 +548,12 @@ mod tests {
         let sum = VertexLoop::new("norm", 1000, Precision::F64)
             .arg(1)
             .flops(1.0)
-            .run_reduce(&s, 0.0, |a, b| a + b, |lo, hi| {
-                (lo..hi).map(|e| r.at(e, 0)).sum::<f64>()
-            });
+            .run_reduce(
+                &s,
+                0.0,
+                |a, b| a + b,
+                |lo, hi| (lo..hi).map(|e| r.at(e, 0)).sum::<f64>(),
+            );
         assert_eq!(sum, 999.0 * 1000.0 / 2.0);
 
         let mut out = DatU::<f64>::zeroed("out", 1000, 1);

@@ -1,12 +1,36 @@
-//! Property-based tests over random unstructured meshes: colouring
+//! Property-style tests over generated unstructured meshes: colouring
 //! validity, renumbering, partition balance, and scheme equivalence.
+//! Inputs come from deterministic parameter sweeps (no external
+//! property-test framework: the workspace builds offline with the
+//! standard library alone).
 
 use op2_dsl::color::{GlobalColoring, HierColoring};
 use op2_dsl::mesh::{Mesh, Ordering};
 use op2_dsl::partition::Partition;
 use op2_dsl::renumber::{rcm_permutation, renumber_mesh};
 use op2_dsl::DatU;
-use proptest::prelude::*;
+
+/// Deterministic xorshift64* stream for test inputs.
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        XorShift(seed.max(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn int(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() as usize) % (hi - lo)
+    }
+}
 
 fn arb_mesh(ni: usize, nj: usize, nk: usize, seed: u64) -> Mesh {
     let ordering = if seed.is_multiple_of(2) {
@@ -17,72 +41,87 @@ fn arb_mesh(ni: usize, nj: usize, nk: usize, seed: u64) -> Mesh {
     Mesh::grid(ni, nj, nk, ordering)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Global colouring is valid on arbitrary grid meshes, shuffled or not.
-    #[test]
-    fn global_coloring_valid_on_random_meshes(
-        ni in 2usize..12, nj in 2usize..12, nk in 1usize..8, seed in 0u64..1000,
-    ) {
+#[test]
+fn global_coloring_valid_on_random_meshes() {
+    let mut rng = XorShift::new(3);
+    for _ in 0..32 {
+        let ni = rng.int(2, 12);
+        let nj = rng.int(2, 12);
+        let nk = rng.int(1, 8);
+        let seed = rng.int(0, 1000) as u64;
         let mesh = arb_mesh(ni, nj, nk, seed);
         let c = GlobalColoring::build(&mesh.edges);
-        prop_assert!(c.is_valid(&mesh.edges));
+        assert!(c.is_valid(&mesh.edges));
         let covered: usize = c.by_color.iter().map(|g| g.len()).sum();
-        prop_assert_eq!(covered, mesh.n_edges());
+        assert_eq!(covered, mesh.n_edges());
     }
+}
 
-    /// Hierarchical colouring is valid for any block size.
-    #[test]
-    fn hier_coloring_valid_on_random_meshes(
-        ni in 2usize..10, nj in 2usize..10, nk in 1usize..6,
-        seed in 0u64..1000, block in 1usize..512,
-    ) {
+#[test]
+fn hier_coloring_valid_on_random_meshes() {
+    let mut rng = XorShift::new(5);
+    for _ in 0..32 {
+        let ni = rng.int(2, 10);
+        let nj = rng.int(2, 10);
+        let nk = rng.int(1, 6);
+        let seed = rng.int(0, 1000) as u64;
+        let block = rng.int(1, 512);
         let mesh = arb_mesh(ni, nj, nk, seed);
         let h = HierColoring::build(&mesh.edges, block);
-        prop_assert!(h.is_valid(&mesh.edges));
+        assert!(h.is_valid(&mesh.edges));
     }
+}
 
-    /// RCM always yields a permutation and never worsens locality much.
-    #[test]
-    fn rcm_always_permutes(
-        ni in 2usize..10, nj in 2usize..10, nk in 1usize..6, seed in 0u64..1000,
-    ) {
+#[test]
+fn rcm_always_permutes() {
+    let mut rng = XorShift::new(7);
+    for _ in 0..32 {
+        let ni = rng.int(2, 10);
+        let nj = rng.int(2, 10);
+        let nk = rng.int(1, 6);
+        let seed = rng.int(0, 1000) as u64;
         let mesh = arb_mesh(ni, nj, nk, seed);
         let perm = rcm_permutation(&mesh.edges);
         let mut sorted = perm.clone();
         sorted.sort_unstable();
-        prop_assert!(sorted.iter().enumerate().all(|(i, &p)| i as u32 == p));
+        assert!(sorted.iter().enumerate().all(|(i, &p)| i as u32 == p));
         let renum = renumber_mesh(&mesh);
-        prop_assert_eq!(renum.n_edges(), mesh.n_edges());
-        prop_assert!(renum.stats().locality >= mesh.stats().locality - 0.15);
+        assert_eq!(renum.n_edges(), mesh.n_edges());
+        assert!(renum.stats().locality >= mesh.stats().locality - 0.15);
     }
+}
 
-    /// RCB partitions are balanced for any part count.
-    #[test]
-    fn rcb_balance_holds(
-        ni in 4usize..14, nj in 4usize..14, nk in 1usize..6,
-        parts in 1usize..24,
-    ) {
+#[test]
+fn rcb_balance_holds() {
+    let mut rng = XorShift::new(11);
+    for _ in 0..32 {
+        let ni = rng.int(4, 14);
+        let nj = rng.int(4, 14);
+        let nk = rng.int(1, 6);
+        let parts = rng.int(1, 24);
         let mesh = Mesh::grid(ni, nj, nk, Ordering::Natural);
         let p = Partition::rcb(&mesh, parts);
         // The discretisation bound: no part exceeds ceil(n/parts).
         let n = mesh.n_vertices as f64;
         let bound = (n / parts as f64).ceil() / (n / parts as f64) - 1.0;
-        prop_assert!(
+        assert!(
             p.imbalance() <= bound + 1e-9,
             "imbalance {} > bound {bound}",
             p.imbalance()
         );
-        prop_assert_eq!(p.loads().iter().sum::<usize>(), mesh.n_vertices);
+        assert_eq!(p.loads().iter().sum::<usize>(), mesh.n_vertices);
     }
+}
 
-    /// Scatter-add through any colouring equals the serial result.
-    #[test]
-    fn colored_scatter_equals_serial(
-        ni in 2usize..8, nj in 2usize..8, nk in 1usize..5, seed in 0u64..100,
-        block in 8usize..128,
-    ) {
+#[test]
+fn colored_scatter_equals_serial() {
+    let mut rng = XorShift::new(13);
+    for _ in 0..24 {
+        let ni = rng.int(2, 8);
+        let nj = rng.int(2, 8);
+        let nk = rng.int(1, 5);
+        let seed = rng.int(0, 100) as u64;
+        let block = rng.int(8, 128);
         let mesh = arb_mesh(ni, nj, nk, seed);
         // Serial reference: vertex degrees.
         let mut reference = vec![0.0f64; mesh.n_vertices];
@@ -107,22 +146,26 @@ proptest! {
             }
         }
         for (v, &expect) in reference.iter().enumerate() {
-            prop_assert_eq!(out.at(v, 0), expect, "vertex {}", v);
+            assert_eq!(out.at(v, 0), expect, "vertex {v}");
         }
     }
+}
 
-    /// Map locality is always in [0, 1] and coarsening stats shrink.
-    #[test]
-    fn stats_invariants(
-        ni in 2usize..12, nj in 2usize..12, nk in 1usize..6, seed in 0u64..50,
-        factor in 2usize..16,
-    ) {
+#[test]
+fn stats_invariants() {
+    let mut rng = XorShift::new(17);
+    for _ in 0..32 {
+        let ni = rng.int(2, 12);
+        let nj = rng.int(2, 12);
+        let nk = rng.int(1, 6);
+        let seed = rng.int(0, 50) as u64;
+        let factor = rng.int(2, 16);
         let mesh = arb_mesh(ni, nj, nk, seed);
         let stats = mesh.stats();
-        prop_assert!((0.0..=1.0).contains(&stats.locality));
+        assert!((0.0..=1.0).contains(&stats.locality));
         let coarse = stats.coarsen(factor);
-        prop_assert!(coarse.n_vertices <= stats.n_vertices);
-        prop_assert!(coarse.n_edges <= stats.n_edges);
-        prop_assert!(coarse.n_vertices >= 1);
+        assert!(coarse.n_vertices <= stats.n_vertices);
+        assert!(coarse.n_edges <= stats.n_edges);
+        assert!(coarse.n_vertices >= 1);
     }
 }

@@ -51,7 +51,11 @@ impl Block {
     pub fn interior(&self) -> Range3 {
         Range3 {
             lo: [0, 0, 0],
-            hi: [self.dims[0] as i64, self.dims[1] as i64, self.dims[2] as i64],
+            hi: [
+                self.dims[0] as i64,
+                self.dims[1] as i64,
+                self.dims[2] as i64,
+            ],
         }
     }
 

@@ -1,6 +1,7 @@
 //! Datasets: halo-padded fields over a block, with parallel-safe views.
 
 use crate::block::Block;
+use crate::range::Row;
 use sycl_sim::Real;
 
 /// Metadata handed to loop descriptors (cheap to copy before borrowing
@@ -26,7 +27,13 @@ impl<T: Real> Dat<T> {
     /// Allocate a zero field over `block`.
     pub fn zeroed(block: &Block, name: &str) -> Self {
         let pad = [block.padded(0), block.padded(1), block.padded(2)];
-        let off = std::array::from_fn(|d| if block.dims[d] > 1 { block.halo as i64 } else { 0 });
+        let off = std::array::from_fn(|d| {
+            if block.dims[d] > 1 {
+                block.halo as i64
+            } else {
+                0
+            }
+        });
         Dat {
             name: name.to_owned(),
             data: vec![T::zero(); pad[0] * pad[1] * pad[2]],
@@ -169,6 +176,35 @@ impl<T: Real> ReadView<'_, T> {
         // ranges the DSL constructs (release).
         unsafe { *self.ptr.add(idx) }
     }
+
+    /// Contiguous slice of one x-row; halo spans are valid. The base
+    /// index is computed once for the whole span — the fast path whose
+    /// cost [`ReadView::at`] pays per element.
+    #[inline]
+    pub fn row(&self, r: Row) -> &[T] {
+        let x = r.i0 + self.off[0];
+        let y = r.j + self.off[1];
+        let z = r.k + self.off[2];
+        let len = r.len();
+        debug_assert!(
+            x >= 0
+                && (x as usize) + len <= self.pad[0]
+                && y >= 0
+                && (y as usize) < self.pad[1]
+                && z >= 0
+                && (z as usize) < self.pad[2],
+            "row [{}, {}) at ({}, {}) out of padded bounds {:?}",
+            r.i0,
+            r.i1,
+            r.j,
+            r.k,
+            self.pad
+        );
+        let base = ((z as usize) * self.pad[1] + y as usize) * self.pad[0] + x as usize;
+        // SAFETY: the whole span is in the padded allocation (debug-checked
+        // above, guaranteed by the DSL's ranges in release).
+        unsafe { std::slice::from_raw_parts(self.ptr.add(base), len) }
+    }
 }
 
 /// Exclusive write view into a [`Dat`]; `Copy + Sync` under the tiling
@@ -223,6 +259,39 @@ impl<T: Real> WriteView<'_, T> {
         // SAFETY: as `set`.
         unsafe { *self.ptr.add(self.index(i, j, k)) }
     }
+
+    /// Mutable contiguous slice of one x-row, base index computed once
+    /// for the span (see [`ReadView::row`]).
+    ///
+    /// Aliasing contract as for [`WriteView::set`]: the tiling contract
+    /// makes every point belong to exactly one tile, and a kernel body
+    /// must not hold two overlapping row slices at the same time.
+    #[inline]
+    #[allow(clippy::mut_from_ref)] // the view is the DSL's sanctioned aliasing hole, as `set` is
+    pub fn row_mut(&self, r: Row) -> &mut [T] {
+        let x = r.i0 + self.off[0];
+        let y = r.j + self.off[1];
+        let z = r.k + self.off[2];
+        let len = r.len();
+        debug_assert!(
+            x >= 0
+                && (x as usize) + len <= self.pad[0]
+                && y >= 0
+                && (y as usize) < self.pad[1]
+                && z >= 0
+                && (z as usize) < self.pad[2],
+            "row [{}, {}) at ({}, {}) out of padded bounds {:?}",
+            r.i0,
+            r.i1,
+            r.j,
+            r.k,
+            self.pad
+        );
+        let base = ((z as usize) * self.pad[1] + y as usize) * self.pad[0] + x as usize;
+        // SAFETY: span in bounds as above; exclusivity per the
+        // disjoint-write contract documented on the method.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(base), len) }
+    }
 }
 
 #[cfg(test)]
@@ -251,6 +320,38 @@ mod tests {
             assert_eq!(w.get(2, 3, 1), 7.5);
         }
         assert_eq!(d.reader().at(2, 3, 1), 7.5);
+    }
+
+    #[test]
+    fn row_slices_alias_per_point_access() {
+        let b = Block::new_2d(6, 4, 2);
+        let mut d = Dat::<f64>::zeroed(&b, "u");
+        d.fill_with(|i, j, _| (10 * i + j) as f64);
+        let row = Row {
+            i0: -1,
+            i1: 7,
+            j: 2,
+            k: 0,
+        };
+        let r = d.reader();
+        let s = r.row(row);
+        assert_eq!(s.len(), 8);
+        for (x, &v) in s.iter().enumerate() {
+            assert_eq!(v, r.at(row.i0 + x as i64, row.j, row.k));
+        }
+        // Mutation through the row is visible to per-point reads.
+        let w = d.writer();
+        let m = w.row_mut(Row {
+            i0: 0,
+            i1: 6,
+            j: 1,
+            k: 0,
+        });
+        for v in m.iter_mut() {
+            *v = -1.0;
+        }
+        assert_eq!(d.at(3, 1, 0), -1.0);
+        assert_eq!(d.at(3, 2, 0), 32.0, "neighbouring row untouched");
     }
 
     #[test]

@@ -79,9 +79,8 @@ fn rank_grid(block: &Block, ranks: usize) -> [usize; 3] {
                 continue;
             }
             // Communication surface proxy.
-            let cost = (px - 1) as f64 * ny * nz
-                + (py - 1) as f64 * nx * nz
-                + (pz - 1) as f64 * nx * ny;
+            let cost =
+                (px - 1) as f64 * ny * nz + (py - 1) as f64 * nx * nz + (pz - 1) as f64 * nx * ny;
             if cost < best_cost {
                 best_cost = cost;
                 best = [px, py, pz];

@@ -55,10 +55,10 @@ pub use block::Block;
 pub use dat::{Dat, DatMeta, ReadView, WriteView};
 pub use halo::HaloPlan;
 pub use parloop::ParLoop;
-pub use range::{Range3, TileIter};
+pub use range::{Range3, Row, TileIter};
 pub use stencil::Stencil;
 
 /// Convenience prelude for applications.
 pub mod prelude {
-    pub use crate::{Block, Dat, HaloPlan, ParLoop, Range3, Stencil};
+    pub use crate::{Block, Dat, HaloPlan, ParLoop, Range3, Row, Stencil};
 }

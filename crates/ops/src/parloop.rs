@@ -6,17 +6,29 @@
 //! parallel tiles.
 
 use crate::dat::DatMeta;
-use crate::range::Range3;
+use crate::range::{Range3, Row};
 use crate::stencil::Stencil;
-use parkit::{global_pool, tree_combine, DisjointSlices};
+use parkit::global_pool;
 use sycl_sim::{
     AccessProfile, Kernel, KernelFootprint, KernelTraits, Precision, Session, StencilProfile,
 };
 
-/// Functional tile shape (execution only — the *modelled* work-group
-/// shape comes from the toolchain, so this choice never affects timing,
-/// only how the real computation is spread over host threads).
-const EXEC_TILE: [usize; 3] = [1024, 8, 4];
+/// Functional tile shape for `range` (execution only — the *modelled*
+/// work-group shape comes from the toolchain, so this choice never
+/// affects timing, only how the real computation is spread over host
+/// threads). Tiles hold full x-rows in 8×4-row blocks, so the
+/// per-point and row-sliced paths share one decomposition — and hence
+/// one reduction partial order, keeping the two bit-identical. Ranges
+/// with too few rows to feed the pool (wide 1-D loops) split x instead.
+fn exec_tile(range: &Range3) -> [usize; 3] {
+    let ext = range.extents();
+    let x = if ext[1].max(1) * ext[2].max(1) >= 32 {
+        ext[0].max(1)
+    } else {
+        ext[0].clamp(1, 1024)
+    };
+    [x, 8, 4]
+}
 
 /// Builder for one structured-mesh parallel loop.
 #[derive(Debug, Clone)]
@@ -151,7 +163,7 @@ impl ParLoop {
     /// write only to its tile's points (the usual OPS contract).
     pub fn run(self, session: &Session, body: impl Fn(Range3) + Sync) {
         let kernel = self.kernel();
-        let shape = EXEC_TILE;
+        let shape = exec_tile(&self.range);
         let tiles = self.range.tile_count(shape);
         let range = self.range;
         session.launch(&kernel, || {
@@ -161,10 +173,37 @@ impl ParLoop {
         });
     }
 
+    /// The row-sliced fast path: price the launch and run `body` once
+    /// per contiguous x-row span of each tile.
+    ///
+    /// Bodies pull contiguous slices out of their dats with
+    /// [`ReadView::row`](crate::dat::ReadView::row) /
+    /// [`WriteView::row_mut`](crate::dat::WriteView::row_mut), paying
+    /// the index arithmetic once per row instead of once per point (and
+    /// giving the compiler vectorisable slice loops). Tiles come from
+    /// the same decomposition as [`ParLoop::run`], so both paths cover
+    /// identical points in identical order.
+    pub fn run_rows(self, session: &Session, body: impl Fn(Row) + Sync) {
+        let kernel = self.kernel();
+        let shape = exec_tile(&self.range);
+        let tiles = self.range.tile_count(shape);
+        let range = self.range;
+        session.launch(&kernel, || {
+            if session.executes() {
+                global_pool().run_region(tiles, |_lane, t| {
+                    for row in range.tile(shape, t).rows() {
+                        body(row);
+                    }
+                });
+            }
+        });
+    }
+
     /// Like [`ParLoop::run`] but the loop also produces a reduction:
     /// each tile folds into a partial, partials combine in a fixed
     /// binary tree (deterministic — and exactly the reduction structure
-    /// the paper's SYCL CPU fallback used).
+    /// the paper's SYCL CPU fallback used). Partials live in the pool's
+    /// reusable arena, so the steady path allocates nothing.
     pub fn run_reduce<A>(
         self,
         session: &Session,
@@ -177,24 +216,50 @@ impl ParLoop {
     {
         let mut kernel = self.kernel();
         kernel.footprint.reductions = 1;
-        let shape = EXEC_TILE;
+        let shape = exec_tile(&self.range);
         let tiles = self.range.tile_count(shape);
         let range = self.range;
         session.launch(&kernel, || {
             if !session.executes() {
                 return identity.clone();
             }
-            let mut partials: Vec<Option<A>> = (0..tiles).map(|_| None).collect();
-            let slots = DisjointSlices::new(&mut partials);
-            global_pool().run_region(tiles, |_lane, t| {
-                // SAFETY: each tile index is visited exactly once.
-                unsafe { slots.write(t, Some(body(range.tile(shape, t)))) };
-            });
-            tree_combine(
-                partials.into_iter().map(|p| p.expect("tile ran")),
-                identity,
-                &combine,
-            )
+            global_pool().reduce_chunks(tiles, identity.clone(), &combine, |t| {
+                body(range.tile(shape, t))
+            })
+        })
+    }
+
+    /// Row-sliced reduction. `body` is a *fold*: it takes the tile's
+    /// running accumulator and one row, and returns the updated
+    /// accumulator — so a body that walks its row slice left-to-right
+    /// performs exactly the operation sequence of a per-point
+    /// [`ParLoop::run_reduce`] body, making the two paths bit-identical.
+    pub fn run_rows_reduce<A>(
+        self,
+        session: &Session,
+        identity: A,
+        combine: impl Fn(A, A) -> A + Sync,
+        body: impl Fn(A, Row) -> A + Sync,
+    ) -> A
+    where
+        A: Send + Sync + Clone,
+    {
+        let mut kernel = self.kernel();
+        kernel.footprint.reductions = 1;
+        let shape = exec_tile(&self.range);
+        let tiles = self.range.tile_count(shape);
+        let range = self.range;
+        session.launch(&kernel, || {
+            if !session.executes() {
+                return identity.clone();
+            }
+            global_pool().reduce_chunks(tiles, identity.clone(), &combine, |t| {
+                let mut acc = identity.clone();
+                for row in range.tile(shape, t).rows() {
+                    acc = body(acc, row);
+                }
+                acc
+            })
         })
     }
 }
@@ -282,7 +347,9 @@ mod tests {
             .flops(4.0)
             .run(&s, |tile| {
                 for (i, j, k) in tile.iter() {
-                    let v = r.at(i - 1, j, k) + r.at(i + 1, j, k) + r.at(i, j - 1, k)
+                    let v = r.at(i - 1, j, k)
+                        + r.at(i + 1, j, k)
+                        + r.at(i, j - 1, k)
                         + r.at(i, j + 1, k);
                     w.set(i, j, k, 0.25 * v);
                 }
@@ -300,17 +367,141 @@ mod tests {
         let r = u.reader();
         let total = ParLoop::new("sum", b.interior())
             .read(u.meta(), Stencil::point())
-            .run_reduce(&s, 0.0f64, |a, b| a + b, |tile| {
-                let mut t = 0.0;
-                for (i, j, k) in tile.iter() {
-                    t += r.at(i, j, k);
-                }
-                t
-            });
+            .run_reduce(
+                &s,
+                0.0f64,
+                |a, b| a + b,
+                |tile| {
+                    let mut t = 0.0;
+                    for (i, j, k) in tile.iter() {
+                        t += r.at(i, j, k);
+                    }
+                    t
+                },
+            );
         let expect = u.interior_sum(&b);
         assert!((total - expect).abs() < 1e-9);
         let rec = &s.records()[0];
         assert!(rec.time.reduction > 0.0 || rec.time.total > 0.0);
+    }
+
+    #[test]
+    fn run_rows_executes_every_point_once() {
+        let s = session();
+        let b = Block::new_2d(37, 23, 2);
+        let mut u = Dat::<f64>::zeroed(&b, "u");
+        let meta = u.meta();
+        let w = u.writer();
+        ParLoop::new("fill_rows", b.interior())
+            .write(meta)
+            .run_rows(&s, |row| {
+                for v in w.row_mut(row) {
+                    *v += 1.0;
+                }
+            });
+        assert_eq!(u.interior_sum(&b), (37 * 23) as f64);
+        assert_eq!(s.records().len(), 1);
+    }
+
+    #[test]
+    fn row_and_point_stencils_agree_bitwise() {
+        let s = session();
+        let b = Block::new_2d(41, 29, 1);
+        let mut src = Dat::<f64>::zeroed(&b, "src");
+        src.fill_with(|i, j, _| ((i * 13 + j * 7) % 31) as f64 * 0.37);
+        let mut d_pt = Dat::<f64>::zeroed(&b, "d_pt");
+        let mut d_row = Dat::<f64>::zeroed(&b, "d_row");
+        let r = src.reader();
+        {
+            let meta = d_pt.meta();
+            let w = d_pt.writer();
+            ParLoop::new("avg", b.interior())
+                .read(src.meta(), Stencil::star_2d(1))
+                .write(meta)
+                .run(&s, |tile| {
+                    for (i, j, k) in tile.iter() {
+                        let v = r.at(i - 1, j, k)
+                            + r.at(i + 1, j, k)
+                            + r.at(i, j - 1, k)
+                            + r.at(i, j + 1, k);
+                        w.set(i, j, k, 0.25 * v);
+                    }
+                });
+        }
+        {
+            let meta = d_row.meta();
+            let w = d_row.writer();
+            ParLoop::new("avg_rows", b.interior())
+                .read(src.meta(), Stencil::star_2d(1))
+                .write(meta)
+                .run_rows(&s, |row| {
+                    let c = r.row(row.grow_x(1));
+                    let south = r.row(row.shift(0, -1, 0));
+                    let north = r.row(row.shift(0, 1, 0));
+                    let out = w.row_mut(row);
+                    for x in 0..row.len() {
+                        let v = c[x] + c[x + 2] + south[x] + north[x];
+                        out[x] = 0.25 * v;
+                    }
+                });
+        }
+        for (i, j, k) in b.interior().iter() {
+            assert_eq!(
+                d_pt.at(i, j, k).to_bits(),
+                d_row.at(i, j, k).to_bits(),
+                "mismatch at ({i},{j},{k})"
+            );
+        }
+    }
+
+    #[test]
+    fn row_reduce_matches_point_reduce_bitwise() {
+        let s = session();
+        let b = Block::new_2d(67, 45, 1);
+        let mut u = Dat::<f64>::zeroed(&b, "u");
+        u.fill_with(|i, j, _| ((i * 31 + j * 7) % 13) as f64 * 0.1);
+        let r = u.reader();
+        let by_point = ParLoop::new("sum", b.interior())
+            .read(u.meta(), Stencil::point())
+            .run_reduce(
+                &s,
+                0.0f64,
+                |a, b| a + b,
+                |tile| {
+                    let mut t = 0.0;
+                    for (i, j, k) in tile.iter() {
+                        t += r.at(i, j, k);
+                    }
+                    t
+                },
+            );
+        let by_row = ParLoop::new("sum_rows", b.interior())
+            .read(u.meta(), Stencil::point())
+            .run_rows_reduce(
+                &s,
+                0.0f64,
+                |a, b| a + b,
+                |acc, row| {
+                    let mut t = acc;
+                    for &v in r.row(row) {
+                        t += v;
+                    }
+                    t
+                },
+            );
+        assert_eq!(by_point.to_bits(), by_row.to_bits());
+    }
+
+    #[test]
+    fn exec_tile_gives_full_rows_but_splits_wide_1d_loops() {
+        // Tall 2-D range: full rows.
+        let r2 = Range3::new_2d(0, 500, 0, 100);
+        assert_eq!(exec_tile(&r2), [500, 8, 4]);
+        assert_eq!(r2.tile_count(exec_tile(&r2)), 13);
+        // Wide 1-row range: x splits so the pool still has work.
+        let r1 = Range3::new_2d(0, 1 << 20, 0, 1);
+        assert_eq!(exec_tile(&r1), [1024, 8, 4]);
+        assert_eq!(r1.tile_count(exec_tile(&r1)), 1024);
     }
 
     #[test]

@@ -60,8 +60,7 @@ impl Range3 {
     /// The `t`-th tile (x-fastest ordering) for the given tile shape.
     pub fn tile(&self, shape: [usize; 3], t: usize) -> Range3 {
         let shape = [shape[0].max(1), shape[1].max(1), shape[2].max(1)];
-        let nt: [usize; 3] =
-            std::array::from_fn(|d| self.extent(d).div_ceil(shape[d]).max(1));
+        let nt: [usize; 3] = std::array::from_fn(|d| self.extent(d).div_ceil(shape[d]).max(1));
         let ix = t % nt[0];
         let iy = (t / nt[0]) % nt[1];
         let iz = t / (nt[0] * nt[1]);
@@ -81,6 +80,65 @@ impl Range3 {
             range: *self,
             cur: self.lo,
             done: self.is_empty(),
+        }
+    }
+
+    /// Iterate the contiguous x-rows of this range, j-then-k ordered —
+    /// the traversal [`run_rows`](../parloop/struct.ParLoop.html) uses,
+    /// matching the point order of [`Range3::iter`].
+    pub fn rows(self) -> impl Iterator<Item = Row> {
+        let r = self;
+        (r.lo[2]..r.hi[2]).flat_map(move |k| {
+            (r.lo[1]..r.hi[1]).map(move |j| Row {
+                i0: r.lo[0],
+                i1: r.hi[0],
+                j,
+                k,
+            })
+        })
+    }
+}
+
+/// One contiguous x-span of loop indices: the unit of work handed to
+/// row-sliced kernel bodies (`ParLoop::run_rows`). `i0..i1` is
+/// half-open; `j` and `k` are the fixed row coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Row {
+    pub i0: i64,
+    pub i1: i64,
+    pub j: i64,
+    pub k: i64,
+}
+
+impl Row {
+    /// Points in the row.
+    pub fn len(&self) -> usize {
+        (self.i1 - self.i0).max(0) as usize
+    }
+
+    /// True when the span covers no points.
+    pub fn is_empty(&self) -> bool {
+        self.i1 <= self.i0
+    }
+
+    /// The same span translated by a stencil offset.
+    pub fn shift(&self, di: i64, dj: i64, dk: i64) -> Row {
+        Row {
+            i0: self.i0 + di,
+            i1: self.i1 + di,
+            j: self.j + dj,
+            k: self.k + dk,
+        }
+    }
+
+    /// The span widened by `r` points on both ends (an x-stencil's halo),
+    /// so one slice serves every x-shifted read of the row.
+    pub fn grow_x(&self, r: i64) -> Row {
+        Row {
+            i0: self.i0 - r,
+            i1: self.i1 + r,
+            j: self.j,
+            k: self.k,
         }
     }
 }
@@ -158,6 +216,36 @@ mod tests {
         let pts: Vec<_> = r.iter().collect();
         assert_eq!(pts.len(), 4);
         assert_eq!(pts[0], (-2, -1, 0));
+    }
+
+    #[test]
+    fn rows_cover_the_range_in_point_order() {
+        let r = Range3::new_3d(-2, 5, 1, 4, 0, 3);
+        let via_rows: Vec<_> = r
+            .rows()
+            .flat_map(|row| (row.i0..row.i1).map(move |i| (i, row.j, row.k)))
+            .collect();
+        let via_iter: Vec<_> = r.iter().collect();
+        assert_eq!(via_rows, via_iter);
+        assert_eq!(r.rows().count(), 3 * 3);
+        assert!(r.rows().all(|row| row.len() == 7));
+    }
+
+    #[test]
+    fn row_shift_and_grow() {
+        let row = Row {
+            i0: 0,
+            i1: 8,
+            j: 3,
+            k: 1,
+        };
+        assert_eq!(row.len(), 8);
+        assert!(!row.is_empty());
+        let s = row.shift(-1, 2, -1);
+        assert_eq!((s.i0, s.i1, s.j, s.k), (-1, 7, 5, 0));
+        let g = row.grow_x(4);
+        assert_eq!((g.i0, g.i1), (-4, 12));
+        assert_eq!(g.len(), 16);
     }
 
     #[test]

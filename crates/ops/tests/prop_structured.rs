@@ -1,9 +1,10 @@
-//! Property tests for the structured-mesh DSL: footprint accounting,
-//! tiling coverage, halo-plan arithmetic and parallel-loop correctness
-//! over randomly sized blocks.
+//! Property-style tests for the structured-mesh DSL: footprint
+//! accounting, tiling coverage, halo-plan arithmetic and parallel-loop
+//! correctness over swept block shapes. Inputs come from deterministic
+//! parameter sweeps (no external property-test framework: the workspace
+//! builds offline with the standard library alone).
 
 use ops_dsl::prelude::*;
-use proptest::prelude::*;
 use sycl_sim::{AccessProfile, PlatformId, Session, SessionConfig, Toolchain};
 
 fn session() -> Session {
@@ -13,16 +14,37 @@ fn session() -> Session {
     .unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Deterministic xorshift64* stream for test inputs.
+struct XorShift(u64);
 
-    /// Effective bytes follow the paper's rule exactly: reads + writes
-    /// once, read-writes twice, over the loop's range.
-    #[test]
-    fn effective_bytes_rule(
-        nx in 1usize..200, ny in 1usize..200,
-        reads in 0usize..4, writes in 0usize..3, rws in 0usize..3,
-    ) {
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        XorShift(seed.max(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn int(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() as usize) % (hi - lo)
+    }
+}
+
+#[test]
+fn effective_bytes_rule() {
+    let mut rng = XorShift::new(5);
+    for _ in 0..48 {
+        let nx = rng.int(1, 200);
+        let ny = rng.int(1, 200);
+        let reads = rng.int(0, 4);
+        let writes = rng.int(0, 3);
+        let rws = rng.int(0, 3);
         let b = Block::new_2d(nx, ny, 1);
         let meta = ops_dsl::DatMeta { elem_bytes: 8.0 };
         let mut lp = ParLoop::new("k", b.interior());
@@ -37,12 +59,16 @@ proptest! {
         }
         let k = lp.kernel();
         let expect = (reads + writes + 2 * rws) as f64 * (nx * ny) as f64 * 8.0;
-        prop_assert!((k.footprint.effective_bytes - expect).abs() < 1e-6);
+        assert!((k.footprint.effective_bytes - expect).abs() < 1e-6);
     }
+}
 
-    /// Footprints scale linearly with the iteration range.
-    #[test]
-    fn footprints_scale_linearly(nx in 8usize..128, scale in 2usize..5) {
+#[test]
+fn footprints_scale_linearly() {
+    let mut rng = XorShift::new(7);
+    for _ in 0..48 {
+        let nx = rng.int(8, 128);
+        let scale = rng.int(2, 5);
         let meta = ops_dsl::DatMeta { elem_bytes: 8.0 };
         let mk = |n: usize| {
             ParLoop::new("k", Block::new_2d(n, n, 1).interior())
@@ -54,39 +80,43 @@ proptest! {
         let small = mk(nx);
         let big = mk(nx * scale);
         let factor = (scale * scale) as f64;
-        prop_assert!(
-            (big.footprint.effective_bytes / small.footprint.effective_bytes - factor).abs()
-                < 1e-9
+        assert!(
+            (big.footprint.effective_bytes / small.footprint.effective_bytes - factor).abs() < 1e-9
         );
-        prop_assert!((big.footprint.flops / small.footprint.flops - factor).abs() < 1e-9);
+        assert!((big.footprint.flops / small.footprint.flops - factor).abs() < 1e-9);
     }
+}
 
-    /// Merged stencil radii are the max over the read args.
-    #[test]
-    fn stencil_radii_merge(r1 in 0usize..4, r2 in 0usize..4, r3 in 0usize..4) {
-        let meta = ops_dsl::DatMeta { elem_bytes: 8.0 };
-        let k = ParLoop::new("k", Block::new_3d(32, 32, 32, 4).interior())
-            .read(meta, Stencil::radii(r1, 0, 0))
-            .read(meta, Stencil::radii(0, r2, 0))
-            .read(meta, Stencil::radii(0, 0, r3))
-            .write(meta)
-            .kernel();
-        match k.footprint.access {
-            AccessProfile::Stencil(s) => {
-                prop_assert_eq!(s.radius, [r1, r2, r3]);
+#[test]
+fn stencil_radii_merge() {
+    let meta = ops_dsl::DatMeta { elem_bytes: 8.0 };
+    for r1 in 0..4usize {
+        for r2 in 0..4usize {
+            for r3 in 0..4usize {
+                let k = ParLoop::new("k", Block::new_3d(32, 32, 32, 4).interior())
+                    .read(meta, Stencil::radii(r1, 0, 0))
+                    .read(meta, Stencil::radii(0, r2, 0))
+                    .read(meta, Stencil::radii(0, 0, r3))
+                    .write(meta)
+                    .kernel();
+                match k.footprint.access {
+                    AccessProfile::Stencil(s) => assert_eq!(s.radius, [r1, r2, r3]),
+                    _ => panic!("expected stencil"),
+                }
             }
-            _ => prop_assert!(false, "expected stencil"),
         }
     }
+}
 
-    /// A parallel fill loop touches every interior point exactly once,
-    /// whatever the block shape.
-    #[test]
-    fn par_loop_touches_each_point_once(
-        nx in 1usize..48, ny in 1usize..48, nz in 1usize..8,
-    ) {
+#[test]
+fn par_loop_touches_each_point_once() {
+    let mut rng = XorShift::new(11);
+    for _ in 0..32 {
+        let nx = rng.int(1, 48);
+        let ny = rng.int(1, 48);
+        let nz = rng.int(1, 8);
         let s = session();
-        let b = Block::new_3d(nx.max(1), ny.max(1), nz.max(1), 1);
+        let b = Block::new_3d(nx, ny, nz, 1);
         let mut u = Dat::<f64>::zeroed(&b, "u");
         let meta = u.meta();
         let w = u.writer();
@@ -97,13 +127,16 @@ proptest! {
                     w.set(i, j, k, w.get(i, j, k) + 1.0);
                 }
             });
-        prop_assert_eq!(u.interior_sum(&b), b.points() as f64);
+        assert_eq!(u.interior_sum(&b), b.points() as f64);
     }
+}
 
-    /// Reduction results are independent of the (random) block shape's
-    /// tiling and bit-stable across repeats.
-    #[test]
-    fn reductions_are_stable(nx in 4usize..64, ny in 4usize..64) {
+#[test]
+fn reductions_are_stable() {
+    let mut rng = XorShift::new(13);
+    for _ in 0..24 {
+        let nx = rng.int(4, 64);
+        let ny = rng.int(4, 64);
         let s = session();
         let b = Block::new_2d(nx, ny, 1);
         let mut u = Dat::<f64>::zeroed(&b, "u");
@@ -112,50 +145,61 @@ proptest! {
         let run = || {
             ParLoop::new("sum", b.interior())
                 .read(u.meta(), Stencil::point())
-                .run_reduce(&s, 0.0f64, |a, b| a + b, |tile| {
-                    let mut t = 0.0;
-                    for (i, j, k) in tile.iter() {
-                        t += r.at(i, j, k);
-                    }
-                    t
-                })
+                .run_reduce(
+                    &s,
+                    0.0f64,
+                    |a, b| a + b,
+                    |tile| {
+                        let mut t = 0.0;
+                        for (i, j, k) in tile.iter() {
+                            t += r.at(i, j, k);
+                        }
+                        t
+                    },
+                )
         };
-        prop_assert_eq!(run().to_bits(), run().to_bits());
+        assert_eq!(run().to_bits(), run().to_bits());
     }
+}
 
-    /// Halo plans: volume grows with ranks and depth; a single rank
-    /// never communicates.
-    #[test]
-    fn halo_plan_arithmetic(
-        n in 16usize..256, ranks in 1usize..64, depth in 1usize..5,
-    ) {
+#[test]
+fn halo_plan_arithmetic() {
+    let mut rng = XorShift::new(17);
+    for _ in 0..48 {
+        let n = rng.int(16, 256);
+        let ranks = rng.int(1, 64);
+        let depth = rng.int(1, 5);
         let b = Block::new_2d(n, n, depth);
         let one = HaloPlan::new(&b, 1, depth, 8.0);
-        prop_assert_eq!(one.bytes_per_dat, 0.0);
+        assert_eq!(one.bytes_per_dat, 0.0);
         let many = HaloPlan::new(&b, ranks, depth, 8.0);
-        prop_assert!(many.bytes_per_dat >= 0.0);
+        assert!(many.bytes_per_dat >= 0.0);
         if ranks > 1 {
-            prop_assert!(many.bytes_per_dat > 0.0);
-            prop_assert!(many.messages > 0);
+            assert!(many.bytes_per_dat > 0.0);
+            assert!(many.messages > 0);
             let deeper = HaloPlan::new(&b, ranks, depth + 1, 8.0);
-            prop_assert!(deeper.bytes_per_dat > many.bytes_per_dat);
+            assert!(deeper.bytes_per_dat > many.bytes_per_dat);
         }
     }
+}
 
-    /// Face ranges are thin slabs fully inside the padded block.
-    #[test]
-    fn faces_stay_in_padded_bounds(
-        nx in 4usize..64, ny in 4usize..64, halo in 1usize..4, depth in 1usize..4,
-    ) {
+#[test]
+fn faces_stay_in_padded_bounds() {
+    let mut rng = XorShift::new(19);
+    for _ in 0..48 {
+        let nx = rng.int(4, 64);
+        let ny = rng.int(4, 64);
+        let halo = rng.int(1, 4);
+        let depth = rng.int(1, 4);
         let b = Block::new_2d(nx, ny, halo);
         for dim in 0..2usize {
             for side in [-1i64, 1] {
                 let f = b.face(dim, side, depth.min(halo));
-                prop_assert_eq!(f.extent(dim), depth.min(halo));
-                prop_assert!(f.lo[0] >= -(halo as i64));
-                prop_assert!(f.hi[0] <= (nx + halo) as i64);
-                prop_assert!(f.lo[1] >= -(halo as i64));
-                prop_assert!(f.hi[1] <= (ny + halo) as i64);
+                assert_eq!(f.extent(dim), depth.min(halo));
+                assert!(f.lo[0] >= -(halo as i64));
+                assert!(f.hi[0] <= (nx + halo) as i64);
+                assert!(f.lo[1] >= -(halo as i64));
+                assert!(f.hi[1] <= (ny + halo) as i64);
             }
         }
     }

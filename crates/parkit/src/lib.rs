@@ -10,7 +10,11 @@
 //!
 //! * A fixed pool of worker threads executes *parallel regions*: a region is
 //!   a set of chunks drained from a shared atomic cursor (dynamic / guided
-//!   scheduling, like OpenMP `schedule(dynamic)`).
+//!   scheduling, like OpenMP `schedule(dynamic)`) or pinned to lanes in
+//!   near-equal spans ([`Schedule::Static`]).
+//! * Workers use spin-then-park wakeup: a bounded spin on a lock-free epoch
+//!   hint before falling back to a condvar, so back-to-back regions skip
+//!   the sleep/wake round-trip.
 //! * The calling thread participates in the region, so `ThreadPool::new(n)`
 //!   spawns `n - 1` workers and the caller is the final lane.
 //! * Reductions are **deterministic**: each chunk writes a partial into its
@@ -39,8 +43,9 @@ mod pool;
 mod range;
 mod reduce;
 mod slice;
+pub mod sync;
 
-pub use pool::{PoolConfig, ThreadPool};
+pub use pool::{PoolConfig, Schedule, ThreadPool};
 pub use range::{split_evenly, Chunks, Tile2, Tile3};
 pub use reduce::tree_combine;
 pub use slice::DisjointSlices;

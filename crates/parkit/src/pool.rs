@@ -2,13 +2,27 @@
 //!
 //! The pool executes one *parallel region* at a time (launches from the DSL
 //! layer are always serialised through a queue, so this matches the usage
-//! pattern). A region is described by a chunk count and a closure; workers
-//! and the calling thread drain chunk indices from an atomic cursor.
+//! pattern). A region is described by a chunk count and a closure; with
+//! [`Schedule::Dynamic`] workers and the calling thread drain chunk indices
+//! from an atomic cursor, with [`Schedule::Static`] each lane owns a fixed
+//! contiguous span of chunk indices (no cursor contention).
+//!
+//! Wakeup is spin-then-park: workers watch a lock-free epoch hint for a
+//! bounded number of spin iterations before parking on the condvar, so
+//! back-to-back regions (the steady state of a bandwidth-bound app run)
+//! avoid the sleep/wake round-trip entirely.
 
-use parking_lot::{Condvar, Mutex};
+use crate::sync::{Condvar, Mutex};
+use std::mem::MaybeUninit;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::thread::JoinHandle;
+
+/// Spin iterations a worker burns watching the epoch hint before parking.
+const SPIN_BEFORE_PARK: u32 = 1 << 12;
+
+/// Spin iterations the caller burns watching completion before parking.
+const SPIN_BEFORE_JOIN: u32 = 1 << 12;
 
 /// Configuration for a [`ThreadPool`].
 #[derive(Debug, Clone)]
@@ -30,18 +44,32 @@ impl Default for PoolConfig {
     }
 }
 
+/// How chunk indices are assigned to lanes within a region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Schedule {
+    /// Lanes drain a shared atomic cursor (work-stealing-ish, load-balanced).
+    #[default]
+    Dynamic,
+    /// Each lane owns a fixed near-equal contiguous span of chunks (the
+    /// OpenMP `schedule(static)` shape). Best for uniform chunk costs:
+    /// zero cursor contention and reproducible lane→chunk affinity.
+    Static,
+}
+
 /// A handle to an in-flight parallel region.
 ///
 /// Lives on the caller's stack; workers reach it through a raw pointer that
 /// is only published while the caller is blocked waiting for completion, so
 /// the borrow can never dangle.
 struct Region {
-    /// Next chunk index to execute.
+    /// Next chunk index to execute (dynamic schedule only).
     cursor: AtomicUsize,
     /// Chunks fully executed.
     completed: AtomicUsize,
     /// Total chunks in the region.
     n_chunks: usize,
+    /// Lane count used for the static span split; 0 means dynamic.
+    static_lanes: usize,
     /// Workers currently inside the region body.
     active: AtomicUsize,
     /// Set if any chunk panicked; the payload of the first panic is kept.
@@ -73,6 +101,9 @@ unsafe impl Send for Slot {}
 
 struct Shared {
     slot: Mutex<Slot>,
+    /// Lock-free mirror of `Slot::epoch`, stored under the slot lock.
+    /// Workers spin on this before falling back to the condvar.
+    epoch_hint: AtomicU64,
     /// Workers wait here for a new epoch.
     work_ready: Condvar,
     /// The caller waits here for region completion.
@@ -84,6 +115,9 @@ pub struct ThreadPool {
     shared: std::sync::Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
     lanes: usize,
+    /// Reusable word-aligned scratch for reduction partials, so steady-state
+    /// `reduce` calls allocate nothing once the arena has grown.
+    arena: Mutex<Vec<u64>>,
 }
 
 impl ThreadPool {
@@ -105,6 +139,7 @@ impl ThreadPool {
                 region: None,
                 shutdown: false,
             }),
+            epoch_hint: AtomicU64::new(0),
             work_ready: Condvar::new(),
             region_done: Condvar::new(),
         });
@@ -121,6 +156,7 @@ impl ThreadPool {
             shared,
             workers,
             lanes,
+            arena: Mutex::new(Vec::new()),
         }
     }
 
@@ -138,6 +174,14 @@ impl ThreadPool {
     where
         F: Fn(usize, usize) + Sync,
     {
+        self.run_region_sched(n_chunks, Schedule::Dynamic, body);
+    }
+
+    /// [`ThreadPool::run_region`] with an explicit [`Schedule`].
+    pub fn run_region_sched<F>(&self, n_chunks: usize, sched: Schedule, body: F)
+    where
+        F: Fn(usize, usize) + Sync,
+    {
         if n_chunks == 0 {
             return;
         }
@@ -150,14 +194,17 @@ impl ThreadPool {
         }
 
         let wide: &(dyn Fn(usize, usize) + Sync) = &body;
-        // SAFETY: lifetime erasure only; `run_region` blocks until every
-        // worker has exited the region before `body` goes out of scope.
-        let wide: &'static (dyn Fn(usize, usize) + Sync) =
-            unsafe { std::mem::transmute(wide) };
+        // SAFETY: lifetime erasure only; `run_region_sched` blocks until
+        // every worker has exited the region before `body` goes out of scope.
+        let wide: &'static (dyn Fn(usize, usize) + Sync) = unsafe { std::mem::transmute(wide) };
         let region = Region {
             cursor: AtomicUsize::new(0),
             completed: AtomicUsize::new(0),
             n_chunks,
+            static_lanes: match sched {
+                Schedule::Dynamic => 0,
+                Schedule::Static => self.lanes,
+            },
             active: AtomicUsize::new(0),
             panicked: AtomicBool::new(false),
             panic_payload: Mutex::new(None),
@@ -168,20 +215,54 @@ impl ThreadPool {
             let mut slot = self.shared.slot.lock();
             slot.epoch += 1;
             slot.region = Some(&region as *const Region);
+            // Mirror the epoch outside the lock so spinning workers see it
+            // without contending; published before notify so parked workers
+            // cannot observe the condvar signal ahead of the hint.
+            self.shared.epoch_hint.store(slot.epoch, Ordering::Release);
             self.shared.work_ready.notify_all();
         }
 
         // The caller is lane 0.
         drain_region(&region, 0);
 
-        // Unpublish, then wait for stragglers mid-chunk.
-        {
-            let mut slot = self.shared.slot.lock();
-            slot.region = None;
-            while region.active.load(Ordering::Acquire) != 0
-                || region.completed.load(Ordering::Acquire) != n_chunks
-            {
-                self.shared.region_done.wait(&mut slot);
+        let done = || {
+            region.active.load(Ordering::Acquire) == 0
+                && region.completed.load(Ordering::Acquire) == n_chunks
+        };
+        match sched {
+            Schedule::Dynamic => {
+                // Unpublish first (no new adopters), then spin briefly for
+                // stragglers mid-chunk before parking on the condvar.
+                {
+                    let mut slot = self.shared.slot.lock();
+                    slot.region = None;
+                }
+                let mut spins = 0u32;
+                while !done() && spins < SPIN_BEFORE_JOIN {
+                    spins += 1;
+                    std::hint::spin_loop();
+                }
+                if !done() {
+                    let mut slot = self.shared.slot.lock();
+                    while !done() {
+                        self.shared.region_done.wait(&mut slot);
+                    }
+                }
+            }
+            Schedule::Static => {
+                // Every lane owns chunks, so the region must stay published
+                // until every worker has adopted and drained its span; only
+                // then is it safe to retire the pointer.
+                let mut spins = 0u32;
+                while !done() && spins < SPIN_BEFORE_JOIN {
+                    spins += 1;
+                    std::hint::spin_loop();
+                }
+                let mut slot = self.shared.slot.lock();
+                while !done() {
+                    self.shared.region_done.wait(&mut slot);
+                }
+                slot.region = None;
             }
         }
 
@@ -218,7 +299,7 @@ impl ThreadPool {
         F: Fn(usize, usize, usize) + Sync,
     {
         let lanes = self.lanes;
-        self.run_region(lanes, |_lane, part| {
+        self.run_region_sched(lanes, Schedule::Static, |_lane, part| {
             let (start, end) = crate::range::split_evenly(total, lanes, part);
             if start < end {
                 f(part, start, end);
@@ -257,19 +338,72 @@ impl ThreadPool {
     {
         let grain = grain.max(1);
         let n_chunks = total.div_ceil(grain);
+        self.reduce_chunks(n_chunks, identity, combine, |chunk| {
+            let start = chunk * grain;
+            let end = (start + grain).min(total);
+            map(start..end)
+        })
+    }
+
+    /// Deterministic reduction over explicit chunk indices `0..n_chunks`;
+    /// `map_chunk` folds one chunk into a partial. Partials live in the
+    /// pool's reusable arena, so the steady state allocates nothing.
+    ///
+    /// On panic inside `map_chunk`, already-produced partials are leaked
+    /// (not dropped) before the panic is re-thrown; partial types are
+    /// plain values (`f64`, small structs) throughout this workspace.
+    pub fn reduce_chunks<T, M, C>(
+        &self,
+        n_chunks: usize,
+        identity: T,
+        combine: C,
+        map_chunk: M,
+    ) -> T
+    where
+        T: Send + Clone,
+        M: Fn(usize) -> T + Sync,
+        C: Fn(T, T) -> T + Sync,
+    {
         if n_chunks == 0 {
             return identity;
         }
-        let mut partials: Vec<Option<T>> = (0..n_chunks).map(|_| None).collect();
-        let slots = crate::slice::DisjointSlices::new(&mut partials);
+        let words = (n_chunks * std::mem::size_of::<T>()).div_ceil(std::mem::size_of::<u64>());
+
+        // The arena is word-aligned; types needing stricter alignment (none
+        // in this workspace) fall back to a fresh allocation, as does the
+        // rare case of a contended arena (overlapping reduce from another
+        // thread on the same pool).
+        let mut guard = if std::mem::align_of::<T>() <= std::mem::align_of::<u64>() {
+            self.arena.try_lock()
+        } else {
+            None
+        };
+        let mut fallback: Vec<u64> = Vec::new();
+        let storage: &mut Vec<u64> = match guard.as_mut() {
+            Some(g) => &mut *g,
+            None => &mut fallback,
+        };
+        storage.clear();
+        storage.reserve(words);
+        let base = storage.as_mut_ptr() as *mut MaybeUninit<T>;
+
+        let slots = crate::slice::SendPtr(base);
         self.run_region(n_chunks, |_lane, chunk| {
-            let start = chunk * grain;
-            let end = (start + grain).min(total);
-            // SAFETY: each chunk index is visited exactly once.
-            unsafe { slots.write(chunk, Some(map(start..end))) };
+            // SAFETY: each chunk index is visited exactly once, indices are
+            // in-bounds of the reserved arena, and the stride is the array
+            // stride of `T` (arena alignment checked above).
+            unsafe {
+                slots
+                    .get()
+                    .add(chunk)
+                    .write(MaybeUninit::new(map_chunk(chunk)))
+            };
         });
         crate::reduce::tree_combine(
-            partials.into_iter().map(|p| p.expect("chunk ran")),
+            // SAFETY: every slot was initialised exactly once by the region
+            // (a panic would have propagated out of `run_region` above) and
+            // each value is read out exactly once here.
+            (0..n_chunks).map(|i| unsafe { base.add(i).read().assume_init() }),
             identity,
             &combine,
         )
@@ -292,6 +426,14 @@ impl Drop for ThreadPool {
 fn worker_loop(shared: &Shared, lane: usize) {
     let mut last_epoch = 0u64;
     loop {
+        // Spin phase: watch the lock-free epoch mirror. A new epoch (or a
+        // burnt budget) drops us into the locked protocol below, which
+        // remains the single source of truth.
+        let mut spins = 0u32;
+        while shared.epoch_hint.load(Ordering::Acquire) == last_epoch && spins < SPIN_BEFORE_PARK {
+            spins += 1;
+            std::hint::spin_loop();
+        }
         let region_ptr = {
             let mut slot = shared.slot.lock();
             loop {
@@ -326,20 +468,31 @@ fn worker_loop(shared: &Shared, lane: usize) {
 }
 
 fn drain_region(region: &Region, lane: usize) {
-    let body = region.body;
+    if region.static_lanes > 0 {
+        let (lo, hi) = crate::range::split_evenly(region.n_chunks, region.static_lanes, lane);
+        for chunk in lo..hi {
+            run_chunk(region, lane, chunk);
+        }
+        return;
+    }
     loop {
         let chunk = region.cursor.fetch_add(1, Ordering::Relaxed);
         if chunk >= region.n_chunks {
             break;
         }
-        let result = catch_unwind(AssertUnwindSafe(|| body(lane, chunk)));
-        if let Err(payload) = result {
-            if !region.panicked.swap(true, Ordering::AcqRel) {
-                *region.panic_payload.lock() = Some(payload);
-            }
-        }
-        region.completed.fetch_add(1, Ordering::AcqRel);
+        run_chunk(region, lane, chunk);
     }
+}
+
+fn run_chunk(region: &Region, lane: usize, chunk: usize) {
+    let body = region.body;
+    let result = catch_unwind(AssertUnwindSafe(|| body(lane, chunk)));
+    if let Err(payload) = result {
+        if !region.panicked.swap(true, Ordering::AcqRel) {
+            *region.panic_payload.lock() = Some(payload);
+        }
+    }
+    region.completed.fetch_add(1, Ordering::AcqRel);
 }
 
 #[cfg(test)]
@@ -355,6 +508,42 @@ mod tests {
             hits[chunk].fetch_add(1, Ordering::Relaxed);
         });
         assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn static_schedule_runs_every_chunk_exactly_once() {
+        let pool = ThreadPool::new(4);
+        for n_chunks in [1usize, 2, 3, 4, 7, 97] {
+            let hits = (0..n_chunks)
+                .map(|_| AtomicUsize::new(0))
+                .collect::<Vec<_>>();
+            pool.run_region_sched(n_chunks, Schedule::Static, |_lane, chunk| {
+                hits[chunk].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "static schedule missed chunks at n_chunks={n_chunks}"
+            );
+        }
+    }
+
+    #[test]
+    fn static_schedule_pins_chunks_to_their_lane() {
+        let lanes = 4;
+        let n_chunks = 17;
+        let pool = ThreadPool::new(lanes);
+        let seen_lane: Vec<AtomicUsize> = (0..n_chunks)
+            .map(|_| AtomicUsize::new(usize::MAX))
+            .collect();
+        pool.run_region_sched(n_chunks, Schedule::Static, |lane, chunk| {
+            seen_lane[chunk].store(lane, Ordering::Relaxed);
+        });
+        for lane in 0..lanes {
+            let (lo, hi) = crate::range::split_evenly(n_chunks, lanes, lane);
+            for seen in &seen_lane[lo..hi] {
+                assert_eq!(seen.load(Ordering::Relaxed), lane);
+            }
+        }
     }
 
     #[test]
@@ -413,15 +602,49 @@ mod tests {
         let mut answers = vec![];
         for lanes in [1, 2, 3, 8] {
             let pool = ThreadPool::new(lanes);
-            let s = pool.reduce(data.len(), 137, 0.0f64, |a, b| a + b, |r| {
-                r.map(|i| data[i]).sum::<f64>()
-            });
+            let s = pool.reduce(
+                data.len(),
+                137,
+                0.0f64,
+                |a, b| a + b,
+                |r| r.map(|i| data[i]).sum::<f64>(),
+            );
             answers.push(s.to_bits());
         }
         assert!(
             answers.windows(2).all(|w| w[0] == w[1]),
             "deterministic reduction must not depend on lane count"
         );
+    }
+
+    #[test]
+    fn repeated_reduce_reuses_the_arena_and_stays_bit_identical() {
+        let data: Vec<f64> = (0..50_000).map(|i| (i as f64).cos()).collect();
+        let pool = ThreadPool::new(4);
+        let run = || {
+            pool.reduce(
+                data.len(),
+                512,
+                0.0f64,
+                |a, b| a + b,
+                |r| r.map(|i| data[i]).sum::<f64>(),
+            )
+            .to_bits()
+        };
+        let first = run();
+        for _ in 0..100 {
+            assert_eq!(run(), first);
+        }
+    }
+
+    #[test]
+    fn reduce_chunks_matches_manual_tree() {
+        let pool = ThreadPool::new(3);
+        let got = pool.reduce_chunks(9, 0u64, |a, b| a + b, |c| (c as u64 + 1) * 10);
+        let partials: Vec<u64> = (0..9).map(|c| (c as u64 + 1) * 10).collect();
+        let expect = crate::reduce::tree_combine(partials, 0, &|a, b| a + b);
+        assert_eq!(got, expect);
+        assert_eq!(got, 450);
     }
 
     #[test]
@@ -444,6 +667,24 @@ mod tests {
     }
 
     #[test]
+    fn panics_propagate_from_static_regions_too() {
+        let pool = ThreadPool::new(4);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run_region_sched(64, Schedule::Static, |_l, chunk| {
+                if chunk == 63 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(caught.is_err());
+        let n = AtomicUsize::new(0);
+        pool.run_region_sched(64, Schedule::Static, |_l, _c| {
+            n.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(n.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
     fn zero_chunks_is_a_no_op() {
         let pool = ThreadPool::new(2);
         pool.run_region(0, |_l, _c| panic!("must not run"));
@@ -458,6 +699,23 @@ mod tests {
                 n.fetch_add(1, Ordering::Relaxed);
             });
             assert_eq!(n.load(Ordering::Relaxed), round + 1);
+        }
+    }
+
+    #[test]
+    fn mixed_schedules_back_to_back() {
+        let pool = ThreadPool::new(4);
+        for round in 0..50 {
+            let sched = if round % 2 == 0 {
+                Schedule::Dynamic
+            } else {
+                Schedule::Static
+            };
+            let n = AtomicUsize::new(0);
+            pool.run_region_sched(round + 2, sched, |_l, _c| {
+                n.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(n.load(Ordering::Relaxed), round + 2);
         }
     }
 }

@@ -234,7 +234,15 @@ mod tests {
     #[test]
     fn degenerate_tile_shapes_are_clamped() {
         let tile = Tile2::index(4, 4, 0, 0, 0);
-        assert_eq!(tile, Tile2 { x0: 0, x1: 1, y0: 0, y1: 1 });
+        assert_eq!(
+            tile,
+            Tile2 {
+                x0: 0,
+                x1: 1,
+                y0: 0,
+                y1: 1
+            }
+        );
         assert_eq!(Tile3::count(4, 4, 4, 0, 0, 0), 64);
     }
 }

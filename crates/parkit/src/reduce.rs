@@ -52,7 +52,13 @@ mod tests {
     fn tree_order_is_fixed() {
         // Record the combine order with strings; it must be the balanced
         // pairwise pattern (0,1)(2,3).. independent of anything else.
-        let parts = vec!["a".to_owned(), "b".into(), "c".into(), "d".into(), "e".into()];
+        let parts = vec![
+            "a".to_owned(),
+            "b".into(),
+            "c".into(),
+            "d".into(),
+            "e".into(),
+        ];
         let r = tree_combine(parts, String::new(), &|a, b| format!("({a}{b})"));
         assert_eq!(r, "(((ab)(cd))e)");
     }

@@ -1,20 +1,39 @@
-//! Property-based tests for the parallel substrate.
+//! Property-style tests of the pool and range helpers, driven by
+//! deterministic parameter sweeps (no external property-test framework:
+//! the workspace builds offline with the standard library alone).
 
-use parkit::{split_evenly, Chunks, ThreadPool, Tile2, Tile3};
-use proptest::prelude::*;
+use parkit::{split_evenly, Chunks, Schedule, ThreadPool, Tile2, Tile3};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Deterministic xorshift64* stream for test inputs.
+struct XorShift(u64);
 
-    /// Every index in the domain is visited exactly once regardless of
-    /// grain and pool width.
-    #[test]
-    fn for_range_visits_each_index_once(
-        total in 0usize..5000,
-        grain in 1usize..600,
-        lanes in 1usize..9,
-    ) {
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        XorShift(seed.max(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn in_range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() as usize) % (hi - lo)
+    }
+}
+
+#[test]
+fn for_range_touches_every_index_exactly_once() {
+    let mut rng = XorShift::new(17);
+    for case in 0..24 {
+        let total = rng.in_range(1, 5000);
+        let grain = rng.in_range(1, 700);
+        let lanes = rng.in_range(1, 9);
         let pool = ThreadPool::new(lanes);
         let marks: Vec<AtomicUsize> = (0..total).map(|_| AtomicUsize::new(0)).collect();
         pool.for_range(total, grain, |s, e| {
@@ -22,100 +41,163 @@ proptest! {
                 m.fetch_add(1, Ordering::Relaxed);
             }
         });
-        prop_assert!(marks.iter().all(|m| m.load(Ordering::Relaxed) == 1));
+        assert!(
+            marks.iter().all(|m| m.load(Ordering::Relaxed) == 1),
+            "case {case}: total={total} grain={grain} lanes={lanes}"
+        );
     }
+}
 
-    /// Deterministic reduction equals the sequential fold for integers
-    /// and is bit-stable for floats across lane counts.
-    #[test]
-    fn reduce_matches_sequential(
-        xs in proptest::collection::vec(-1000i64..1000, 0..2000),
-        grain in 1usize..300,
-    ) {
-        let pool = ThreadPool::new(4);
-        let got = pool.reduce(xs.len(), grain, 0i64, |a, b| a + b, |r| {
-            r.map(|i| xs[i]).sum::<i64>()
-        });
-        prop_assert_eq!(got, xs.iter().sum::<i64>());
+#[test]
+fn reduce_matches_sequential_sum() {
+    let mut rng = XorShift::new(23);
+    for _ in 0..16 {
+        let total = rng.in_range(1, 20_000);
+        let grain = rng.in_range(1, 2000);
+        let lanes = rng.in_range(1, 9);
+        let data: Vec<u64> = (0..total).map(|_| rng.next_u64() % 1000).collect();
+        let expect: u64 = data.iter().sum();
+        let pool = ThreadPool::new(lanes);
+        let got = pool.reduce(
+            total,
+            grain,
+            0u64,
+            |a, b| a + b,
+            |r| r.map(|i| data[i]).sum::<u64>(),
+        );
+        assert_eq!(got, expect, "total={total} grain={grain} lanes={lanes}");
     }
+}
 
-    #[test]
-    fn float_reduce_bit_stable_across_lanes(
-        xs in proptest::collection::vec(-1.0f64..1.0, 1..800),
-        grain in 1usize..97,
-    ) {
-        let mut bits = None;
+#[test]
+fn float_reduction_is_bit_stable_across_lane_counts() {
+    let mut rng = XorShift::new(41);
+    for _ in 0..8 {
+        let total = rng.in_range(100, 30_000);
+        let grain = rng.in_range(7, 999);
+        let data: Vec<f64> = (0..total)
+            .map(|_| (rng.next_u64() % 100_000) as f64 * 1e-3 - 50.0)
+            .collect();
+        let mut bits = Vec::new();
         for lanes in [1usize, 2, 5] {
             let pool = ThreadPool::new(lanes);
-            let s = pool.reduce(xs.len(), grain, 0.0f64, |a, b| a + b, |r| {
-                r.map(|i| xs[i]).sum::<f64>()
+            let s = pool.reduce(
+                total,
+                grain,
+                0.0f64,
+                |a, b| a + b,
+                |r| r.map(|i| data[i]).sum::<f64>(),
+            );
+            bits.push(s.to_bits());
+        }
+        assert!(
+            bits.windows(2).all(|w| w[0] == w[1]),
+            "bit drift across lane counts: total={total} grain={grain}"
+        );
+    }
+}
+
+#[test]
+fn static_and_dynamic_schedules_cover_identically() {
+    let mut rng = XorShift::new(59);
+    for _ in 0..12 {
+        let n_chunks = rng.in_range(1, 300);
+        let lanes = rng.in_range(1, 9);
+        let pool = ThreadPool::new(lanes);
+        for sched in [Schedule::Dynamic, Schedule::Static] {
+            let marks: Vec<AtomicUsize> = (0..n_chunks).map(|_| AtomicUsize::new(0)).collect();
+            pool.run_region_sched(n_chunks, sched, |_l, c| {
+                marks[c].fetch_add(1, Ordering::Relaxed);
             });
-            match bits {
-                None => bits = Some(s.to_bits()),
-                Some(b) => prop_assert_eq!(b, s.to_bits()),
-            }
+            assert!(
+                marks.iter().all(|m| m.load(Ordering::Relaxed) == 1),
+                "{sched:?} n_chunks={n_chunks} lanes={lanes}"
+            );
         }
     }
+}
 
-    /// split_evenly partitions with near-equal sizes.
-    #[test]
-    fn split_evenly_partitions(total in 0usize..10_000, parts in 1usize..65) {
-        let mut covered = 0usize;
-        let mut sizes = vec![];
-        let mut prev = 0;
+#[test]
+fn split_evenly_partitions_any_domain() {
+    let mut rng = XorShift::new(71);
+    for _ in 0..200 {
+        let total = rng.in_range(0, 10_000);
+        let parts = rng.in_range(1, 40);
+        let mut prev_end = 0;
+        let mut covered = 0;
+        let mut max_len = 0usize;
+        let mut min_len = usize::MAX;
         for p in 0..parts {
             let (s, e) = split_evenly(total, parts, p);
-            prop_assert_eq!(s, prev);
-            prev = e;
+            assert_eq!(s, prev_end, "spans must be contiguous");
+            assert!(e >= s);
             covered += e - s;
-            sizes.push(e - s);
+            max_len = max_len.max(e - s);
+            min_len = min_len.min(e - s);
+            prev_end = e;
         }
-        prop_assert_eq!(covered, total);
-        let max = sizes.iter().max().unwrap();
-        let min = sizes.iter().min().unwrap();
-        prop_assert!(max - min <= 1);
+        assert_eq!(covered, total);
+        assert!(max_len - min_len <= 1, "near-equal spans");
     }
+}
 
-    /// Chunk iterator covers the domain in order without gaps.
-    #[test]
-    fn chunks_are_a_partition(total in 0usize..5000, grain in 1usize..700) {
-        let mut next = 0usize;
-        for (s, e) in Chunks::new(total, grain) {
-            prop_assert_eq!(s, next);
-            prop_assert!(e > s && e <= total);
-            next = e;
+#[test]
+fn chunks_partition_any_domain() {
+    let mut rng = XorShift::new(83);
+    for _ in 0..200 {
+        let total = rng.in_range(0, 10_000);
+        let grain = rng.in_range(1, 500);
+        let spans: Vec<_> = Chunks::new(total, grain).collect();
+        assert_eq!(spans.len(), Chunks::count_chunks(total, grain));
+        let mut prev_end = 0;
+        for &(s, e) in &spans {
+            assert_eq!(s, prev_end);
+            assert!(e > s && e - s <= grain);
+            prev_end = e;
         }
-        prop_assert_eq!(next, total.min(next.max(total.min(total))));
-        prop_assert_eq!(next, total);
+        assert_eq!(prev_end, total);
+        let covered: usize = spans.iter().map(|(s, e)| e - s).sum();
+        assert_eq!(covered, total);
     }
+}
 
-    /// 2D tiling is a partition of the domain.
-    #[test]
-    fn tile2_partition(
-        nx in 1usize..120, ny in 1usize..120,
-        tx in 1usize..40, ty in 1usize..40,
-    ) {
+#[test]
+fn tile2_partitions_any_domain() {
+    let mut rng = XorShift::new(97);
+    for _ in 0..100 {
+        let nx = rng.in_range(1, 200);
+        let ny = rng.in_range(1, 100);
+        let tx = rng.in_range(1, 64);
+        let ty = rng.in_range(1, 32);
         let n = Tile2::count(nx, ny, tx, ty);
-        let mut covered = 0usize;
+        let mut covered = 0;
         for t in 0..n {
             let tile = Tile2::index(nx, ny, tx, ty, t);
-            prop_assert!(tile.x1 <= nx && tile.y1 <= ny);
+            assert!(tile.x1 <= nx && tile.y1 <= ny);
+            assert!(!tile.is_empty());
             covered += tile.len();
         }
-        prop_assert_eq!(covered, nx * ny);
+        assert_eq!(covered, nx * ny, "nx={nx} ny={ny} tx={tx} ty={ty}");
     }
+}
 
-    /// 3D tiling is a partition of the domain.
-    #[test]
-    fn tile3_partition(
-        nx in 1usize..40, ny in 1usize..40, nz in 1usize..40,
-        tx in 1usize..16, ty in 1usize..16, tz in 1usize..16,
-    ) {
+#[test]
+fn tile3_partitions_any_domain() {
+    let mut rng = XorShift::new(103);
+    for _ in 0..100 {
+        let (nx, ny, nz) = (
+            rng.in_range(1, 80),
+            rng.in_range(1, 60),
+            rng.in_range(1, 40),
+        );
+        let (tx, ty, tz) = (rng.in_range(1, 32), rng.in_range(1, 16), rng.in_range(1, 8));
         let n = Tile3::count(nx, ny, nz, tx, ty, tz);
-        let mut covered = 0usize;
+        let mut covered = 0;
         for t in 0..n {
-            covered += Tile3::index(nx, ny, nz, tx, ty, tz, t).len();
+            let tile = Tile3::index(nx, ny, nz, tx, ty, tz, t);
+            assert!(tile.x1 <= nx && tile.y1 <= ny && tile.z1 <= nz);
+            covered += tile.len();
         }
-        prop_assert_eq!(covered, nx * ny * nz);
+        assert_eq!(covered, nx * ny * nz);
     }
 }

@@ -23,11 +23,7 @@ pub fn shade(value: f64) -> char {
 
 /// Render a labelled grid: rows × columns of cells, each cell shown as
 /// `NN% X` where X is the shade glyph.
-pub fn render(
-    title: &str,
-    col_labels: &[String],
-    rows: &[(String, Vec<HeatCell>)],
-) -> String {
+pub fn render(title: &str, col_labels: &[String], rows: &[(String, Vec<HeatCell>)]) -> String {
     let row_w = rows
         .iter()
         .map(|(n, _)| n.len())
@@ -127,8 +123,14 @@ mod tests {
             "demo",
             &["CUDA".into(), "DPC++".into()],
             &[
-                ("app_a".into(), vec![HeatCell::Value(0.92), HeatCell::Missing("n/a")]),
-                ("app_b".into(), vec![HeatCell::Value(1.07), HeatCell::Value(0.4)]),
+                (
+                    "app_a".into(),
+                    vec![HeatCell::Value(0.92), HeatCell::Missing("n/a")],
+                ),
+                (
+                    "app_b".into(),
+                    vec![HeatCell::Value(1.07), HeatCell::Value(0.4)],
+                ),
             ],
         );
         assert!(text.contains("92%"));
@@ -143,6 +145,9 @@ mod tests {
         let text = from_measurements("genoax", &ms, |m| m.app.to_owned());
         assert!(text.contains("wrong"), "{text}");
         assert!(text.contains("cloverleaf2d"));
-        assert!(text.contains('@') || text.contains('#'), "dense cells expected");
+        assert!(
+            text.contains('@') || text.contains('#'),
+            "dense cells expected"
+        );
     }
 }

@@ -16,7 +16,7 @@ pub mod metrics;
 pub mod report;
 pub mod study;
 
-pub use heatmap::{HeatCell};
+pub use heatmap::HeatCell;
 pub use metrics::{harmonic_mean, mean, pennycook, std_dev};
 pub use report::{format_table, write_csv, MeasCell};
 pub use study::{

@@ -21,7 +21,10 @@ pub fn format_table(title: &str, rows: &[(&str, Vec<(String, MeasCell)>)]) -> St
         .chain(std::iter::once(8))
         .max()
         .unwrap();
-    let col_w = col_labels.iter().map(|l| l.len().max(9)).collect::<Vec<_>>();
+    let col_w = col_labels
+        .iter()
+        .map(|l| l.len().max(9))
+        .collect::<Vec<_>>();
 
     let mut out = String::new();
     out.push_str(&format!("## {title}\n"));
@@ -108,10 +111,16 @@ mod tests {
                 "app_a",
                 vec![
                     ("CUDA".to_owned(), MeasCell::Seconds(1.25)),
-                    ("DPC++".to_owned(), MeasCell::Failed(FailureKind::Unsupported)),
+                    (
+                        "DPC++".to_owned(),
+                        MeasCell::Failed(FailureKind::Unsupported),
+                    ),
                 ],
             ),
-            ("app_b", vec![("CUDA".to_owned(), MeasCell::Efficiency(0.92))]),
+            (
+                "app_b",
+                vec![("CUDA".to_owned(), MeasCell::Efficiency(0.92))],
+            ),
         ];
         let t = format_table("Fig X", &rows);
         assert!(t.contains("Fig X"));

@@ -141,11 +141,7 @@ pub fn measure_structured(
 }
 
 /// Run one MG-CFD configuration (dry-run pricing at Rotor37 size).
-pub fn measure_mgcfd(
-    platform: PlatformId,
-    variant: StudyVariant,
-    scheme: Scheme,
-) -> Measurement {
+pub fn measure_mgcfd(platform: PlatformId, variant: StudyVariant, scheme: Scheme) -> Measurement {
     let app = Mgcfd::paper();
     let cfg = SessionConfig::new(platform, variant.toolchain)
         .variant(variant.sycl_variant(app.nd_shape()))

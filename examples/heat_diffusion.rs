@@ -41,7 +41,9 @@ fn heat_app(session: &Session, n: usize, steps: usize, nd: Option<[usize; 3]>) -
             }
             lp.run(session, |tile| {
                 for (i, j, k) in tile.iter() {
-                    let lap = r.at(i - 1, j, k) + r.at(i + 1, j, k) + r.at(i, j - 1, k)
+                    let lap = r.at(i - 1, j, k)
+                        + r.at(i + 1, j, k)
+                        + r.at(i, j - 1, k)
                         + r.at(i, j + 1, k)
                         - 4.0 * r.at(i, j, k);
                     w.set(i, j, k, r.at(i, j, k) + alpha * lap);
@@ -54,13 +56,18 @@ fn heat_app(session: &Session, n: usize, steps: usize, nd: Option<[usize; 3]>) -
         residual = ParLoop::new("residual", block.interior())
             .read(meta, Stencil::point())
             .flops(2.0)
-            .run_reduce(session, 0.0, |a, b| a + b, |tile| {
-                let mut s = 0.0;
-                for (i, j, k) in tile.iter() {
-                    s += r.at(i, j, k) * r.at(i, j, k);
-                }
-                s
-            });
+            .run_reduce(
+                session,
+                0.0,
+                |a, b| a + b,
+                |tile| {
+                    let mut s = 0.0;
+                    for (i, j, k) in tile.iter() {
+                        s += r.at(i, j, k) * r.at(i, j, k);
+                    }
+                    s
+                },
+            );
     }
     session.transfer(u.bytes());
     residual
@@ -87,10 +94,8 @@ fn main() {
     for p in platforms {
         for tc in [Toolchain::Dpcpp, Toolchain::OpenSycl] {
             let run = |variant: SyclVariant, nd: Option<[usize; 3]>| -> Option<(f64, f64)> {
-                let s = Session::create(
-                    SessionConfig::new(p, tc).variant(variant).app("heat"),
-                )
-                .ok()?;
+                let s =
+                    Session::create(SessionConfig::new(p, tc).variant(variant).app("heat")).ok()?;
                 let res = heat_app(&s, n, steps, nd);
                 Some((s.elapsed(), res))
             };

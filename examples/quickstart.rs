@@ -12,7 +12,10 @@ fn main() {
     let n = 1 << 22;
 
     for (platform, toolchains) in [
-        (PlatformId::A100, vec![Toolchain::NativeCuda, Toolchain::Dpcpp, Toolchain::OpenSycl]),
+        (
+            PlatformId::A100,
+            vec![Toolchain::NativeCuda, Toolchain::Dpcpp, Toolchain::OpenSycl],
+        ),
         (
             PlatformId::Xeon8360Y,
             vec![Toolchain::MpiOpenMp, Toolchain::Dpcpp, Toolchain::OpenSycl],
@@ -31,12 +34,8 @@ fn main() {
             // timing comes from the calibrated platform model.
             let mut y = vec![1.0f64; n];
             let x: Vec<f64> = (0..n).map(|i| (i % 7) as f64).collect();
-            let kernel = sycl_sim::Kernel::streaming(
-                "axpy",
-                n as u64,
-                3.0 * 8.0 * n as f64,
-                2.0 * n as f64,
-            );
+            let kernel =
+                sycl_sim::Kernel::streaming("axpy", n as u64, 3.0 * 8.0 * n as f64, 2.0 * n as f64);
             session.launch(&kernel, || {
                 parkit::global_pool().for_each_chunk(&mut y, 1 << 14, |start, chunk| {
                     for (i, v) in chunk.iter_mut().enumerate() {

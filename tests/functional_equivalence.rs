@@ -7,12 +7,15 @@ use sycl_sim::{PlatformId, Scheme, Session, SessionConfig, SyclVariant, Toolchai
 
 /// Sessions spanning GPU/CPU, native/SYCL, flat/nd_range.
 fn sessions_for(app: &str) -> Vec<Session> {
-    let mk = |p, tc, v: SyclVariant| {
-        Session::create(SessionConfig::new(p, tc).variant(v).app(app)).ok()
-    };
+    let mk =
+        |p, tc, v: SyclVariant| Session::create(SessionConfig::new(p, tc).variant(v).app(app)).ok();
     [
         mk(PlatformId::A100, Toolchain::NativeCuda, SyclVariant::Flat),
-        mk(PlatformId::Mi250x, Toolchain::Dpcpp, SyclVariant::NdRange([64, 4, 1])),
+        mk(
+            PlatformId::Mi250x,
+            Toolchain::Dpcpp,
+            SyclVariant::NdRange([64, 4, 1]),
+        ),
         mk(PlatformId::Xeon8360Y, Toolchain::Mpi, SyclVariant::Flat),
         mk(PlatformId::Altra, Toolchain::OpenSycl, SyclVariant::Flat),
     ]
@@ -130,4 +133,49 @@ fn dry_and_live_runs_price_identically() {
         "live {t_live} vs dry {t_dry}"
     );
     assert_eq!(live.records().len(), dry.records().len());
+}
+
+#[test]
+fn pricing_cache_is_launch_for_launch_equivalent() {
+    // The launch-pricing cache is a pure memoisation: a session with it
+    // disabled must produce the identical ledger — every record's name,
+    // time, and byte accounting, in the same order — and identical
+    // numerics.
+    let app = miniapps::CloverLeaf2d::test();
+    let cached = Session::create(
+        SessionConfig::new(PlatformId::A100, Toolchain::NativeCuda).app(app.name()),
+    )
+    .unwrap();
+    let uncached = Session::create(
+        SessionConfig::new(PlatformId::A100, Toolchain::NativeCuda)
+            .app(app.name())
+            .no_pricing_cache(),
+    )
+    .unwrap();
+    let run_cached = app.run(&cached);
+    let run_uncached = app.run(&uncached);
+    assert_eq!(
+        run_cached.validation.to_bits(),
+        run_uncached.validation.to_bits()
+    );
+    let rc = cached.records();
+    let ru = uncached.records();
+    assert_eq!(rc.len(), ru.len());
+    assert!(
+        rc.len() > 50,
+        "CloverLeaf must relaunch kernels enough to exercise the cache"
+    );
+    for (a, b) in rc.iter().zip(ru.iter()) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.items, b.items);
+        assert_eq!(a.boundary, b.boundary);
+        assert_eq!(a.time.total.to_bits(), b.time.total.to_bits(), "{}", a.name);
+        assert_eq!(
+            a.effective_bytes.to_bits(),
+            b.effective_bytes.to_bits(),
+            "{}",
+            a.name
+        );
+    }
+    assert_eq!(cached.elapsed().to_bits(), uncached.elapsed().to_bits());
 }

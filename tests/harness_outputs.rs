@@ -8,14 +8,7 @@ use portability::write_csv;
 #[test]
 fn table1_text_lists_all_six_platforms() {
     let t = bench_harness::table1_text();
-    for name in [
-        "MI250X",
-        "A100",
-        "Max 1100",
-        "Xeon",
-        "Genoa-X",
-        "Altra",
-    ] {
+    for name in ["MI250X", "A100", "Max 1100", "Xeon", "Genoa-X", "Altra"] {
         assert!(t.contains(name), "missing {name} in:\n{t}");
     }
     assert!(t.contains("GB/s"));

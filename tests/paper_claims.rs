@@ -9,13 +9,28 @@ use portability::{measure_structured, variants_for, StudyVariant};
 use sycl_sim::{PlatformId, Scheme, Toolchain};
 
 fn runtime(app: &dyn miniapps::App, p: PlatformId, tc: Toolchain, nd: bool) -> Option<f64> {
-    measure_structured(app, p, StudyVariant { toolchain: tc, nd_range: nd })
-        .runtime
-        .ok()
+    measure_structured(
+        app,
+        p,
+        StudyVariant {
+            toolchain: tc,
+            nd_range: nd,
+        },
+    )
+    .runtime
+    .ok()
 }
 
 fn efficiency(app: &dyn miniapps::App, p: PlatformId, tc: Toolchain, nd: bool) -> Option<f64> {
-    measure_structured(app, p, StudyVariant { toolchain: tc, nd_range: nd }).efficiency
+    measure_structured(
+        app,
+        p,
+        StudyVariant {
+            toolchain: tc,
+            nd_range: nd,
+        },
+    )
+    .efficiency
 }
 
 #[test]
@@ -120,7 +135,12 @@ fn fig3_mi250x_efficiency_is_consistently_below_the_a100() {
     // efficiency is consistently lower" on the MI250X.
     for app in miniapps::paper_structured_apps() {
         let a100 = efficiency(app.as_ref(), PlatformId::A100, Toolchain::NativeCuda, false);
-        let mi = efficiency(app.as_ref(), PlatformId::Mi250x, Toolchain::NativeHip, false);
+        let mi = efficiency(
+            app.as_ref(),
+            PlatformId::Mi250x,
+            Toolchain::NativeHip,
+            false,
+        );
         assert!(
             mi.unwrap() < a100.unwrap() + 0.02,
             "{}: MI {:?} vs A100 {:?}",
@@ -139,7 +159,10 @@ fn fig3_cray_offload_fails_only_cloverleaf3d() {
         let r = measure_structured(
             app.as_ref(),
             PlatformId::Mi250x,
-            StudyVariant { toolchain: Toolchain::OmpOffload, nd_range: false },
+            StudyVariant {
+                toolchain: Toolchain::OmpOffload,
+                nd_range: false,
+            },
         );
         if app.name() == "cloverleaf3d" {
             assert!(r.runtime.is_err());
@@ -155,7 +178,13 @@ fn fig4_max1100_sycl_ndrange_beats_omp_offload_by_about_30pct() {
     // faster than OpenMP offload."
     let mut ratios = Vec::new();
     for app in miniapps::paper_structured_apps() {
-        let omp = runtime(app.as_ref(), PlatformId::Max1100, Toolchain::OmpOffload, false).unwrap();
+        let omp = runtime(
+            app.as_ref(),
+            PlatformId::Max1100,
+            Toolchain::OmpOffload,
+            false,
+        )
+        .unwrap();
         let dpcpp = runtime(app.as_ref(), PlatformId::Max1100, Toolchain::Dpcpp, true).unwrap();
         ratios.push(omp / dpcpp);
     }
@@ -193,7 +222,14 @@ fn fig6_genoax_cloverleaf2d_only_works_with_dpcpp_ndrange() {
         (Toolchain::OpenSycl, false, false),
     ];
     for (tc, nd, works) in cases {
-        let m = measure_structured(&app, PlatformId::GenoaX, StudyVariant { toolchain: tc, nd_range: nd });
+        let m = measure_structured(
+            &app,
+            PlatformId::GenoaX,
+            StudyVariant {
+                toolchain: tc,
+                nd_range: nd,
+            },
+        );
         assert_eq!(m.runtime.is_ok(), works, "{} nd={nd}", tc.label());
     }
 }
@@ -214,7 +250,14 @@ fn fig6_genoax_exceeds_100pct_efficiency_on_cloverleaf2d() {
 fn fig7_altra_has_no_dpcpp_and_sycl_acoustic_loses_vectorisation() {
     // §4.2.
     let app = miniapps::Acoustic::paper();
-    let m = measure_structured(&app, PlatformId::Altra, StudyVariant { toolchain: Toolchain::Dpcpp, nd_range: true });
+    let m = measure_structured(
+        &app,
+        PlatformId::Altra,
+        StudyVariant {
+            toolchain: Toolchain::Dpcpp,
+            nd_range: true,
+        },
+    );
     assert!(m.runtime.is_err(), "oneAPI only supports x86");
     let omp = runtime(&app, PlatformId::Altra, Toolchain::OpenMp, false).unwrap();
     let sycl = runtime(&app, PlatformId::Altra, Toolchain::OpenSycl, true).unwrap();
@@ -232,18 +275,32 @@ fn fig8_gpu_scheme_ordering_atomics_beats_hierarchical_beats_global() {
             _ => Toolchain::Dpcpp,
         };
         let t = |scheme| {
-            portability::measure_mgcfd(gpu, StudyVariant { toolchain: tc, nd_range: true }, scheme)
-                .runtime
-                .unwrap()
+            portability::measure_mgcfd(
+                gpu,
+                StudyVariant {
+                    toolchain: tc,
+                    nd_range: true,
+                },
+                scheme,
+            )
+            .runtime
+            .unwrap()
         };
         let atomics = t(Scheme::Atomics);
         let hier = t(Scheme::HierColor);
         let global = t(Scheme::GlobalColor);
         // §4.3: "Atomics throughput in the Max 1100 appears to be the
         // limiting factor" — there hierarchical may edge atomics out.
-        let slack = if gpu == PlatformId::Max1100 { 1.4 } else { 1.05 };
+        let slack = if gpu == PlatformId::Max1100 {
+            1.4
+        } else {
+            1.05
+        };
         assert!(atomics <= hier * slack, "{gpu:?}");
-        assert!(global > 1.5 * hier, "{gpu:?}: global {global:.2} hier {hier:.2}");
+        assert!(
+            global > 1.5 * hier,
+            "{gpu:?}: global {global:.2} hier {hier:.2}"
+        );
     }
 }
 
@@ -252,14 +309,20 @@ fn fig8_mi250x_opensycl_atomics_suffer_from_safe_atomics() {
     // §4.3: OpenSYCL could not access the unsafe atomics on the MI250X.
     let hip = portability::measure_mgcfd(
         PlatformId::Mi250x,
-        StudyVariant { toolchain: Toolchain::NativeHip, nd_range: true },
+        StudyVariant {
+            toolchain: Toolchain::NativeHip,
+            nd_range: true,
+        },
         Scheme::Atomics,
     )
     .runtime
     .unwrap();
     let os = portability::measure_mgcfd(
         PlatformId::Mi250x,
-        StudyVariant { toolchain: Toolchain::OpenSycl, nd_range: true },
+        StudyVariant {
+            toolchain: Toolchain::OpenSycl,
+            nd_range: true,
+        },
         Scheme::Atomics,
     )
     .runtime
@@ -273,14 +336,20 @@ fn fig8_a100_opensycl_atomics_outperform_cuda() {
     // A100 (LLVM optimising the flux kernel harder).
     let cuda = portability::measure_mgcfd(
         PlatformId::A100,
-        StudyVariant { toolchain: Toolchain::NativeCuda, nd_range: true },
+        StudyVariant {
+            toolchain: Toolchain::NativeCuda,
+            nd_range: true,
+        },
         Scheme::Atomics,
     )
     .runtime
     .unwrap();
     let os = portability::measure_mgcfd(
         PlatformId::A100,
-        StudyVariant { toolchain: Toolchain::OpenSycl, nd_range: true },
+        StudyVariant {
+            toolchain: Toolchain::OpenSycl,
+            nd_range: true,
+        },
         Scheme::Atomics,
     )
     .runtime
@@ -295,7 +364,10 @@ fn fig9_cpu_mgcfd_mpi_beats_every_sycl_variant() {
     for cpu in [PlatformId::Xeon8360Y, PlatformId::GenoaX, PlatformId::Altra] {
         let mpi = portability::measure_mgcfd(
             cpu,
-            StudyVariant { toolchain: Toolchain::Mpi, nd_range: false },
+            StudyVariant {
+                toolchain: Toolchain::Mpi,
+                nd_range: false,
+            },
             Scheme::Atomics,
         )
         .runtime
@@ -304,11 +376,18 @@ fn fig9_cpu_mgcfd_mpi_beats_every_sycl_variant() {
             for scheme in Scheme::all() {
                 let m = portability::measure_mgcfd(
                     cpu,
-                    StudyVariant { toolchain: tc, nd_range: true },
+                    StudyVariant {
+                        toolchain: tc,
+                        nd_range: true,
+                    },
                     scheme,
                 );
                 if let Ok(t) = m.runtime {
-                    assert!(t > mpi, "{cpu:?} {} {scheme:?}: {t:.2} vs MPI {mpi:.2}", tc.label());
+                    assert!(
+                        t > mpi,
+                        "{cpu:?} {} {scheme:?}: {t:.2} vs MPI {mpi:.2}",
+                        tc.label()
+                    );
                 }
             }
         }
