@@ -55,6 +55,7 @@ impl App for Acoustic {
     }
 
     fn run(&self, session: &Session) -> AppRun {
+        let _span = crate::common::app_span(self.name());
         let logical = self.logical_block();
         let ab = alloc_block(session, logical);
         let interior = logical.interior();

@@ -102,6 +102,7 @@ impl App for CloverLeaf3d {
     }
 
     fn run(&self, session: &Session) -> AppRun {
+        let _span = crate::common::app_span(self.name());
         let logical = self.logical_block();
         let ab = alloc_block(session, logical);
         let mut st = State::new(&ab);

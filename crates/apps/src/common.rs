@@ -29,6 +29,30 @@ pub trait App: Send + Sync {
     fn run(&self, session: &Session) -> AppRun;
 }
 
+/// RAII guard tracing one whole application run. Records a `RegionSpan`
+/// named after the app when dropped (so early returns and panics during
+/// a run still close the span); a no-op when telemetry is disabled.
+pub struct AppSpan {
+    timer: Option<telemetry::SpanTimer>,
+    name: &'static str,
+}
+
+impl Drop for AppSpan {
+    fn drop(&mut self) {
+        if let Some(t) = self.timer.take() {
+            t.finish(telemetry::SpanKind::Region, self.name, 0, 0.0);
+        }
+    }
+}
+
+/// Open the app-level span; hold the guard for the whole `run`.
+pub fn app_span(name: &'static str) -> AppSpan {
+    AppSpan {
+        timer: telemetry::SpanTimer::start(),
+        name,
+    }
+}
+
 /// The block used for *allocation*: full-size when the session executes
 /// kernels, tiny when dry-running (footprints never look at the data).
 pub fn alloc_block(session: &Session, logical: Block) -> Block {

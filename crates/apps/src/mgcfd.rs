@@ -103,6 +103,7 @@ impl App for Mgcfd {
     }
 
     fn run(&self, session: &Session) -> AppRun {
+        let _span = crate::common::app_span(self.name());
         let scheme = Self::scheme(session);
         let block = Self::block_size(session);
         let functional = session.executes() && self.grid.is_some();

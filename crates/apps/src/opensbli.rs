@@ -133,6 +133,7 @@ impl App for OpenSbli {
     }
 
     fn run(&self, session: &Session) -> AppRun {
+        let _span = crate::common::app_span(self.name());
         let logical = self.logical_block();
         let ab = alloc_block(session, logical);
         let interior = logical.interior();

@@ -62,6 +62,7 @@ impl App for Rtm {
     }
 
     fn run(&self, session: &Session) -> AppRun {
+        let _span = crate::common::app_span(self.name());
         let logical = self.logical_block();
         let ab = alloc_block(session, logical);
         let interior = logical.interior();

@@ -21,12 +21,12 @@
 //! Results (GB/s of bytes actually moved, launches/sec, speedup) print
 //! as a table and are appended-by-overwrite to `results/BENCH_engine.json`.
 
+use bench_harness::json::JsonWriter;
 use op2_dsl::color::HierColoring;
 use op2_dsl::mesh::{Mesh, Ordering};
 use op2_dsl::DatU;
 use ops_dsl::prelude::*;
 use parkit::Schedule;
-use std::fmt::Write as _;
 use std::time::Instant;
 use sycl_sim::{PlatformId, Session, SessionConfig, Toolchain};
 
@@ -275,39 +275,52 @@ fn indirect_class(passes: usize, samples: usize) -> (Entry, Entry, f64) {
 }
 
 fn json(entries: &[Entry], speedups: &[(&str, f64)]) -> String {
-    let mut s = String::from("{\n  \"bench\": \"engine\",\n  \"entries\": [\n");
-    for (i, e) in entries.iter().enumerate() {
-        let _ = writeln!(
-            s,
-            "    {{\"kernel_class\": \"{}\", \"phase\": \"{}\", \"seconds\": {:.6}, \
-             \"gbps\": {:.3}, \"launches_per_sec\": {:.1}}}{}",
-            e.class,
-            e.phase,
-            e.seconds,
-            e.gbps(),
-            e.launches_per_sec(),
-            if i + 1 < entries.len() { "," } else { "" }
-        );
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("bench").string("engine");
+    w.key("entries").begin_array();
+    for e in entries {
+        w.begin_object();
+        w.key("kernel_class").string(e.class);
+        w.key("phase").string(e.phase);
+        w.key("seconds").number(e.seconds);
+        w.key("gbps").number(e.gbps());
+        w.key("launches_per_sec").number(e.launches_per_sec());
+        w.end_object();
     }
-    s.push_str("  ],\n  \"speedup\": {");
-    for (i, (class, sp)) in speedups.iter().enumerate() {
-        let _ = write!(
-            s,
-            "\"{class}\": {sp:.2}{}",
-            if i + 1 < speedups.len() { ", " } else { "" }
-        );
+    w.end_array();
+    w.key("speedup").begin_object();
+    for (class, sp) in speedups {
+        w.key(class).number(*sp);
     }
-    s.push_str("}\n}\n");
-    s
+    w.end_object();
+    w.end_object();
+    w.finish()
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let (n, launches, samples) = if quick { (96, 40, 2) } else { (192, 400, 3) };
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let quick = args.iter().any(|a| a == "--quick");
+    // --smoke: minimal sizes, one sample — a seconds-long CI sanity pass.
+    let (n, launches, samples) = if smoke {
+        (32, 6, 1)
+    } else if quick {
+        (96, 40, 2)
+    } else {
+        (192, 400, 3)
+    };
+    let passes = if smoke {
+        1
+    } else if quick {
+        5
+    } else {
+        40
+    };
 
     let (sb, sf, s_sp) = stencil_class(n, launches, samples);
     let (rb, rf, r_sp) = reduce_class(n, launches, samples);
-    let (ib, if_, i_sp) = indirect_class(if quick { 5 } else { 40 }, samples);
+    let (ib, if_, i_sp) = indirect_class(passes, samples);
 
     let entries = [sb, sf, rb, rf, ib, if_];
     println!(
@@ -334,9 +347,8 @@ fn main() {
     }
 
     let out = json(&entries, &speedups);
-    if let Err(e) = std::fs::create_dir_all("results")
-        .and_then(|_| std::fs::write("results/BENCH_engine.json", &out))
-    {
-        eprintln!("could not write results/BENCH_engine.json: {e}");
+    match bench_harness::json::write_results_file("BENCH_engine.json", &out) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write results/BENCH_engine.json: {e}"),
     }
 }

@@ -1,0 +1,200 @@
+//! `profile` — run one application with the telemetry subsystem enabled
+//! and export the trace.
+//!
+//! ```text
+//! profile [<app>] [--platform <label>] [--paper] [--smoke]
+//! ```
+//!
+//! * `<app>` — one of `cloverleaf2d` (default), `cloverleaf3d`,
+//!   `opensbli_sa`, `opensbli_sn`, `rtm`, `acoustic`, `mgcfd`;
+//! * `--platform` — `a100` (default), `mi250x`, `max1100`, `xeon8360y`,
+//!   `genoax`, `altra`; the app runs under the platform's best native
+//!   toolchain, like Table 1;
+//! * `--paper` — price the paper-sized problem through a dry-run
+//!   session instead of executing the test-sized one functionally;
+//! * `--smoke` — self-checking mode for CI: after the run, exit
+//!   non-zero unless the trace parses as JSON, contains at least one
+//!   launch span, and the aggregate table is non-empty.
+//!
+//! Output: the per-kernel aggregate table on stdout, and
+//! `results/PROFILE_<app>.json` — a Chrome `trace_event` document
+//! (loadable as-is in Perfetto / `chrome://tracing`) whose extra
+//! top-level keys carry the aggregate table and the engine counters.
+
+use bench_harness::json::{validate, write_results_file, JsonWriter};
+use miniapps::{Acoustic, App, CloverLeaf2d, CloverLeaf3d, Mgcfd, OpenSbli, Rtm, SbliVariant};
+use sycl_sim::{PlatformId, Scheme, Session, SessionConfig, Toolchain};
+use telemetry::TelemetryConfig;
+
+/// The platform's best native toolchain (the Table-1 pairing).
+fn native_toolchain(p: PlatformId) -> Toolchain {
+    match p {
+        PlatformId::A100 => Toolchain::NativeCuda,
+        PlatformId::Mi250x => Toolchain::NativeHip,
+        PlatformId::Max1100 => Toolchain::Dpcpp,
+        PlatformId::Xeon8360Y | PlatformId::GenoaX => Toolchain::MpiOpenMp,
+        PlatformId::Altra => Toolchain::OpenMp,
+    }
+}
+
+/// Instantiate `name` at paper or test size.
+fn make_app(name: &str, paper: bool) -> Option<Box<dyn App>> {
+    Some(match (name, paper) {
+        ("cloverleaf2d", true) => Box::new(CloverLeaf2d::paper()),
+        ("cloverleaf2d", false) => Box::new(CloverLeaf2d::test()),
+        ("cloverleaf3d", true) => Box::new(CloverLeaf3d::paper()),
+        ("cloverleaf3d", false) => Box::new(CloverLeaf3d::test()),
+        ("opensbli_sa", true) => Box::new(OpenSbli::paper(SbliVariant::StoreAll)),
+        ("opensbli_sa", false) => Box::new(OpenSbli::test(SbliVariant::StoreAll)),
+        ("opensbli_sn", true) => Box::new(OpenSbli::paper(SbliVariant::StoreNone)),
+        ("opensbli_sn", false) => Box::new(OpenSbli::test(SbliVariant::StoreNone)),
+        ("rtm", true) => Box::new(Rtm::paper()),
+        ("rtm", false) => Box::new(Rtm::test()),
+        ("acoustic", true) => Box::new(Acoustic::paper()),
+        ("acoustic", false) => Box::new(Acoustic::test()),
+        ("mgcfd", true) => Box::new(Mgcfd::paper()),
+        ("mgcfd", false) => Box::new(Mgcfd::test()),
+        _ => return None,
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let paper = args.iter().any(|a| a == "--paper");
+    let platform = args
+        .iter()
+        .position(|a| a == "--platform")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| PlatformId::parse(s))
+        .unwrap_or(PlatformId::A100);
+    let app_name = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .filter(|a| {
+            Some(a.as_str())
+                != args
+                    .iter()
+                    .position(|x| x == "--platform")
+                    .and_then(|i| args.get(i + 1))
+                    .map(|s| s.as_str())
+        })
+        .cloned()
+        .unwrap_or_else(|| "cloverleaf2d".to_owned());
+
+    let Some(app) = make_app(&app_name, paper) else {
+        eprintln!(
+            "unknown app {app_name:?}; expected one of cloverleaf2d, cloverleaf3d, \
+             opensbli_sa, opensbli_sn, rtm, acoustic, mgcfd"
+        );
+        std::process::exit(2);
+    };
+
+    let toolchain = native_toolchain(platform);
+    let mut cfg = SessionConfig::new(platform, toolchain).app(app.name());
+    if app.name() == "mgcfd" {
+        cfg = cfg.scheme(Scheme::Atomics);
+    }
+    if paper {
+        cfg = cfg.dry_run();
+    }
+    let session = match Session::create(cfg) {
+        Ok(s) => s,
+        Err(fail) => {
+            eprintln!("{app_name} does not run on {}: {fail}", platform.label());
+            std::process::exit(2);
+        }
+    };
+
+    TelemetryConfig::enabled().install();
+    let before = telemetry::counters().snapshot();
+    let run = app.run(&session);
+    let delta = telemetry::counters().snapshot().since(&before);
+    TelemetryConfig::disabled().install();
+    let events = telemetry::flush();
+
+    let aggs = telemetry::export::aggregate(&events);
+    let launch_spans = events
+        .iter()
+        .filter(|e| e.kind == telemetry::SpanKind::Launch)
+        .count();
+
+    println!(
+        "# {} on {} ({}), {} — sim {:.3} ms, {} launches, {} trace events",
+        app.name(),
+        session.platform().name,
+        toolchain.label(),
+        if paper {
+            "paper size (dry run)"
+        } else {
+            "test size (functional)"
+        },
+        run.elapsed * 1e3,
+        session.records().len(),
+        events.len(),
+    );
+    print!("{}", telemetry::export::aggregate_text(&aggs));
+    println!(
+        "cache {} hits / {} misses | {} regions, {} steals, {} parks, {} wakes | {} spans dropped",
+        delta.pricing_cache_hits,
+        delta.pricing_cache_misses,
+        delta.regions,
+        delta.steals,
+        delta.parks,
+        delta.wakes,
+        delta.spans_dropped,
+    );
+
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("app").string(app.name());
+    w.key("platform").string(platform.label());
+    w.key("toolchain").string(toolchain.label());
+    w.key("mode").string(if paper { "paper" } else { "test" });
+    w.key("sim_elapsed_secs").number(run.elapsed);
+    w.key("ledger_launches").int(session.records().len() as u64);
+    w.key("validation").number(run.validation);
+    w.key("counters");
+    telemetry::export::counters_json(&mut w, &delta);
+    w.key("aggregate");
+    telemetry::export::aggregate_json(&mut w, &aggs);
+    w.key("displayTimeUnit").string("ms");
+    w.key("traceEvents");
+    telemetry::export::chrome_trace_events(&mut w, &events);
+    w.end_object();
+    let doc = w.finish();
+
+    let file = format!("PROFILE_{}.json", app.name());
+    match write_results_file(&file, &doc) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("could not write results/{file}: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    if smoke {
+        if let Err(e) = validate(&doc) {
+            eprintln!("smoke: trace document is malformed JSON: {e}");
+            std::process::exit(1);
+        }
+        if launch_spans == 0 || aggs.is_empty() {
+            eprintln!(
+                "smoke: empty trace ({launch_spans} launch spans, {} aggregate rows)",
+                aggs.len()
+            );
+            std::process::exit(1);
+        }
+        if launch_spans != session.records().len() {
+            eprintln!(
+                "smoke: {} ledger records but {launch_spans} launch spans",
+                session.records().len()
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "smoke OK: {launch_spans} launch spans across {} kernels",
+            aggs.len()
+        );
+    }
+}

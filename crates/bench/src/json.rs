@@ -1,0 +1,38 @@
+//! JSON plumbing for the harness binaries.
+//!
+//! The writer and validator live in [`telemetry::json`] (telemetry sits
+//! at the bottom of the dependency DAG, so the trace exporters and the
+//! bench binaries share one implementation); this module re-exports
+//! them and adds the one filesystem helper every binary ends with.
+
+pub use telemetry::json::{escape, validate, JsonWriter};
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Write `contents` to `results/<name>`, creating the directory first.
+/// Returns the path written.
+pub fn write_results_file(name: &str, contents: &str) -> io::Result<PathBuf> {
+    let dir = Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(name);
+    std::fs::write(&path, contents)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reexported_writer_produces_valid_documents() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("bench").string("engine");
+        w.key("ok").bool(true);
+        w.end_object();
+        let doc = w.finish();
+        validate(&doc).unwrap();
+        assert_eq!(doc, r#"{"bench": "engine", "ok": true}"#);
+    }
+}

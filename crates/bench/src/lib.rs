@@ -17,6 +17,7 @@
 //! `benches/figures.rs`, so `cargo bench` regenerates everything too.
 
 pub mod ablation;
+pub mod json;
 
 use babelstream::BabelStream;
 use portability::{

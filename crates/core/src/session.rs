@@ -246,25 +246,49 @@ impl Session {
     }
 
     /// Like [`Session::launch`], also returning the simulated timing.
+    /// When [`telemetry`] is enabled the launch records a `LaunchSpan`
+    /// carrying the kernel name, iteration count, effective bytes and the
+    /// simulated seconds, so traces can report achieved GB/s per kernel.
     pub fn launch_timed<R>(&self, kernel: &Kernel, body: impl FnOnce() -> R) -> (R, KernelTime) {
-        let time = self.price(kernel);
-        (body(), time)
+        let span = telemetry::SpanTimer::start();
+        let (time, name) = self.price(kernel);
+        let r = body();
+        if let Some(t) = span {
+            telemetry::Counters::add(&telemetry::counters().launches, 1);
+            telemetry::Counters::add(
+                &telemetry::counters().bytes_moved,
+                kernel.footprint.effective_bytes as u64,
+            );
+            t.finish_timed(
+                telemetry::SpanKind::Launch,
+                name,
+                kernel.footprint.items,
+                kernel.footprint.effective_bytes,
+                time.total,
+            );
+        }
+        (r, time)
     }
 
     /// Price one launch and append it to the ledger. Repeat launches of a
     /// cached kernel fingerprint cost a hash lookup plus a record push;
     /// cold launches walk the toolchain and platform models once and
-    /// memoise the result.
-    fn price(&self, kernel: &Kernel) -> KernelTime {
+    /// memoise the result. Also returns the interned kernel name so the
+    /// caller can attach it to a trace span without re-allocating.
+    fn price(&self, kernel: &Kernel) -> (KernelTime, Arc<str>) {
         let key = fingerprint(kernel);
         let mut st = self.state.lock();
 
         if self.cfg.pricing_cache {
             if let Some(c) = st.price_cache.get(&key) {
                 if c.matches(kernel) {
+                    if telemetry::enabled() {
+                        telemetry::Counters::add(&telemetry::counters().pricing_cache_hits, 1);
+                    }
                     let time = c.time;
+                    let name = Arc::clone(&c.name);
                     let record = LaunchRecord {
-                        name: Arc::clone(&c.name),
+                        name: Arc::clone(&name),
                         time,
                         items: c.footprint.items,
                         effective_bytes: c.footprint.effective_bytes,
@@ -272,8 +296,11 @@ impl Session {
                     };
                     st.elapsed += time.total;
                     st.records.push(record);
-                    return time;
+                    return (time, name);
                 }
+            }
+            if telemetry::enabled() {
+                telemetry::Counters::add(&telemetry::counters().pricing_cache_misses, 1);
             }
         }
 
@@ -314,14 +341,14 @@ impl Session {
                     footprint: kernel.footprint.clone(),
                     traits: kernel.traits,
                     nd_shape: kernel.nd_shape,
-                    name,
+                    name: Arc::clone(&name),
                     exec,
                     time,
                     boundary,
                 },
             );
         }
-        time
+        (time, name)
     }
 
     /// Account a host→device (or device→host) transfer of `bytes`.

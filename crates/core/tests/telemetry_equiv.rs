@@ -1,0 +1,117 @@
+//! Telemetry must observe, never perturb: a session priced with
+//! telemetry disabled is bit-identical to one priced with telemetry
+//! never attached at all — and to one priced with telemetry *enabled*.
+//! The subsystem reads the engine; nothing in the engine reads it back.
+
+use std::sync::Arc;
+use sycl_sim::{Kernel, LaunchRecord, PlatformId, Session, SessionConfig, Toolchain};
+use telemetry::TelemetryConfig;
+
+/// A launch mix covering the cache paths: repeated hits on two hot
+/// kernels, a boundary loop, and a reduction, on both cached and
+/// uncached sessions.
+fn run_workload() -> (Vec<LaunchRecord>, f64, Vec<LaunchRecord>, f64) {
+    let cached =
+        Session::create(SessionConfig::new(PlatformId::A100, Toolchain::NativeCuda).app("equiv"))
+            .unwrap();
+    let uncached = Session::create(
+        SessionConfig::new(PlatformId::A100, Toolchain::NativeCuda)
+            .app("equiv")
+            .no_pricing_cache(),
+    )
+    .unwrap();
+    for s in [&cached, &uncached] {
+        let triad = Kernel::streaming("triad", 1 << 20, 3.0 * 8.0 * (1 << 20) as f64, 2e6);
+        let copy = Kernel::streaming("copy", 1 << 18, 2.0 * 8.0 * (1 << 18) as f64, 0.0);
+        let halo = Kernel::streaming("halo", 256, 2.0 * 8.0 * 256.0, 0.0);
+        let mut reduce = Kernel::streaming("norm", 1 << 18, 8.0 * (1 << 18) as f64, 2e5);
+        reduce.footprint.reductions = 1;
+        for _ in 0..7 {
+            s.launch(&triad, || ());
+            s.launch(&copy, || ());
+            s.launch(&halo, || ());
+        }
+        s.launch(&reduce, || ());
+        s.transfer(1e8);
+        s.exchange(1e6, 8);
+    }
+    (
+        cached.records(),
+        cached.elapsed(),
+        uncached.records(),
+        uncached.elapsed(),
+    )
+}
+
+fn assert_bit_identical(
+    (ar, ae, aur, aue): &(Vec<LaunchRecord>, f64, Vec<LaunchRecord>, f64),
+    (br, be, bur, bue): &(Vec<LaunchRecord>, f64, Vec<LaunchRecord>, f64),
+    label: &str,
+) {
+    assert_eq!(ae.to_bits(), be.to_bits(), "{label}: cached elapsed");
+    assert_eq!(aue.to_bits(), bue.to_bits(), "{label}: uncached elapsed");
+    for (x, y) in [(ar, br), (aur, bur)] {
+        assert_eq!(x.len(), y.len(), "{label}: record count");
+        for (a, b) in x.iter().zip(y.iter()) {
+            assert_eq!(a.name, b.name, "{label}");
+            assert_eq!(a.items, b.items, "{label}: {}", a.name);
+            assert_eq!(
+                a.time.total.to_bits(),
+                b.time.total.to_bits(),
+                "{label}: {}",
+                a.name
+            );
+            assert_eq!(
+                a.effective_bytes.to_bits(),
+                b.effective_bytes.to_bits(),
+                "{label}: {}",
+                a.name
+            );
+            assert_eq!(a.boundary, b.boundary, "{label}: {}", a.name);
+        }
+    }
+}
+
+#[test]
+fn disabled_and_enabled_telemetry_leave_ledgers_bit_identical() {
+    // 1. Telemetry never attached: the process default (no install).
+    let never = run_workload();
+
+    // 2. Explicitly disabled.
+    TelemetryConfig::disabled().install();
+    let disabled = run_workload();
+
+    // 3. Enabled, recording every span and counter.
+    TelemetryConfig::enabled().install();
+    let counters_before = telemetry::counters().snapshot();
+    let enabled = run_workload();
+    let delta = telemetry::counters().snapshot().since(&counters_before);
+    TelemetryConfig::disabled().install();
+    let events = telemetry::flush();
+
+    assert_bit_identical(&never, &disabled, "never-attached vs disabled");
+    assert_bit_identical(&never, &enabled, "never-attached vs enabled");
+
+    // The enabled run really was observed: one launch span per ledger
+    // record, cache hits for the repeat launches, and interned names.
+    let per_session = never.0.len() as u64;
+    assert_eq!(delta.launches, 2 * per_session);
+    assert!(delta.pricing_cache_hits >= 7, "{delta:?}");
+    assert_eq!(
+        events
+            .iter()
+            .filter(|e| e.kind == telemetry::SpanKind::Launch)
+            .count() as u64,
+        delta.launches
+    );
+
+    // Launch records still intern names per session (telemetry holds
+    // clones, it does not steal the session's Arcs).
+    let triads: Vec<&Arc<str>> = enabled
+        .0
+        .iter()
+        .filter(|r| &*r.name == "triad")
+        .map(|r| &r.name)
+        .collect();
+    assert!(triads.windows(2).all(|w| Arc::ptr_eq(w[0], w[1])));
+}

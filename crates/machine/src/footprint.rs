@@ -160,6 +160,17 @@ impl KernelFootprint {
             _ => self.items < 4096,
         }
     }
+
+    /// Achieved bandwidth if this footprint's compulsory bytes moved in
+    /// `seconds` — the per-kernel GB/s the telemetry aggregate table and
+    /// the paper's profiling views report.
+    pub fn achieved_gbps(&self, seconds: f64) -> f64 {
+        if seconds > 0.0 {
+            self.effective_bytes / seconds / 1e9
+        } else {
+            0.0
+        }
+    }
 }
 
 #[cfg(test)]
@@ -170,6 +181,13 @@ mod tests {
     fn precision_bytes() {
         assert_eq!(Precision::F32.bytes(), 4.0);
         assert_eq!(Precision::F64.bytes(), 8.0);
+    }
+
+    #[test]
+    fn achieved_gbps_is_bytes_over_time() {
+        let fp = KernelFootprint::streaming("triad", 1 << 20, 24e9, 0.0, Precision::F64);
+        assert_eq!(fp.achieved_gbps(2.0), 12.0);
+        assert_eq!(fp.achieved_gbps(0.0), 0.0);
     }
 
     #[test]

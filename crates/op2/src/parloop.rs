@@ -363,10 +363,13 @@ impl VertexLoop {
     {
         let n = self.set_size;
         let kernel = self.kernel(1);
+        let bytes = kernel.footprint.effective_bytes;
+        let name = self.name;
         session.launch(&kernel, || {
             if !session.executes() {
                 return identity.clone();
             }
+            let span = telemetry::SpanTimer::start();
             let chunks = n.div_ceil(EXEC_CHUNK);
             let mut partials: Vec<Option<A>> = (0..chunks).map(|_| None).collect();
             let slots = DisjointSlices::new(&mut partials);
@@ -376,11 +379,16 @@ impl VertexLoop {
                 // SAFETY: each chunk index visited exactly once.
                 unsafe { slots.write(c, Some(body(lo, hi))) };
             });
-            tree_combine(
+            let out = tree_combine(
                 partials.into_iter().map(|p| p.expect("chunk ran")),
                 identity,
                 &combine,
-            )
+            );
+            if let Some(t) = span {
+                let label: std::sync::Arc<str> = format!("{name}.reduce").into();
+                t.finish(telemetry::SpanKind::Reduce, label, chunks as u64, bytes);
+            }
+            out
         })
     }
 }

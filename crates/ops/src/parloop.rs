@@ -216,16 +216,21 @@ impl ParLoop {
     {
         let mut kernel = self.kernel();
         kernel.footprint.reductions = 1;
+        let bytes = kernel.footprint.effective_bytes;
         let shape = exec_tile(&self.range);
         let tiles = self.range.tile_count(shape);
         let range = self.range;
+        let name = self.name;
         session.launch(&kernel, || {
             if !session.executes() {
                 return identity.clone();
             }
-            global_pool().reduce_chunks(tiles, identity.clone(), &combine, |t| {
+            let span = telemetry::SpanTimer::start();
+            let out = global_pool().reduce_chunks(tiles, identity.clone(), &combine, |t| {
                 body(range.tile(shape, t))
-            })
+            });
+            finish_reduce_span(span, &name, tiles, bytes);
+            out
         })
     }
 
@@ -246,21 +251,36 @@ impl ParLoop {
     {
         let mut kernel = self.kernel();
         kernel.footprint.reductions = 1;
+        let bytes = kernel.footprint.effective_bytes;
         let shape = exec_tile(&self.range);
         let tiles = self.range.tile_count(shape);
         let range = self.range;
+        let name = self.name;
         session.launch(&kernel, || {
             if !session.executes() {
                 return identity.clone();
             }
-            global_pool().reduce_chunks(tiles, identity.clone(), &combine, |t| {
+            let span = telemetry::SpanTimer::start();
+            let out = global_pool().reduce_chunks(tiles, identity.clone(), &combine, |t| {
                 let mut acc = identity.clone();
                 for row in range.tile(shape, t).rows() {
                     acc = body(acc, row);
                 }
                 acc
-            })
+            });
+            finish_reduce_span(span, &name, tiles, bytes);
+            out
         })
+    }
+}
+
+/// Record a `ReduceSpan` named `<kernel>.reduce` carrying the tile count
+/// and the loop's effective bytes. The format allocates only when a span
+/// was actually taken (telemetry enabled).
+fn finish_reduce_span(span: Option<telemetry::SpanTimer>, kernel: &str, tiles: usize, bytes: f64) {
+    if let Some(t) = span {
+        let label: std::sync::Arc<str> = format!("{kernel}.reduce").into();
+        t.finish(telemetry::SpanKind::Reduce, label, tiles as u64, bytes);
     }
 }
 

@@ -23,6 +23,10 @@
 //!   binary tree reductions" the paper had to use for SYCL on CPUs.
 //! * Panics inside a region are caught on worker threads and re-thrown on
 //!   the caller after the region completes, keeping the pool reusable.
+//! * When the [`telemetry`] subsystem is enabled, every region records a
+//!   `RegionSpan` on the calling thread, and the pool counts chunk steals
+//!   (dynamic-cursor chunks claimed by worker lanes), parks and wakes.
+//!   Disabled, each site costs a single branch.
 //!
 //! ```
 //! use parkit::ThreadPool;

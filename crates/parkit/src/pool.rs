@@ -185,11 +185,14 @@ impl ThreadPool {
         if n_chunks == 0 {
             return;
         }
+        // One branch when telemetry is off; a RegionSpan otherwise.
+        let span = telemetry::SpanTimer::start();
         if self.lanes == 1 || n_chunks == 1 {
             // Inline fast path: no publication, no synchronisation.
             for chunk in 0..n_chunks {
                 body(0, chunk);
             }
+            finish_region_span(span, sched, n_chunks);
             return;
         }
 
@@ -274,6 +277,7 @@ impl ThreadPool {
                 .unwrap_or_else(|| Box::new("panic in parkit region"));
             resume_unwind(payload);
         }
+        finish_region_span(span, sched, n_chunks);
     }
 
     /// Parallel loop over `0..total` in chunks of at most `grain`,
@@ -436,6 +440,7 @@ fn worker_loop(shared: &Shared, lane: usize) {
         }
         let region_ptr = {
             let mut slot = shared.slot.lock();
+            let mut parked = false;
             loop {
                 if slot.shutdown {
                     return;
@@ -443,6 +448,9 @@ fn worker_loop(shared: &Shared, lane: usize) {
                 if slot.epoch != last_epoch {
                     if let Some(ptr) = slot.region {
                         last_epoch = slot.epoch;
+                        if parked && telemetry::enabled() {
+                            telemetry::Counters::add(&telemetry::counters().wakes, 1);
+                        }
                         // Adopt under the lock so the caller can observe us
                         // via `active` before we touch the region unlocked.
                         // SAFETY: region is live while published.
@@ -452,6 +460,10 @@ fn worker_loop(shared: &Shared, lane: usize) {
                     // Region already retired; skip this epoch.
                     last_epoch = slot.epoch;
                 }
+                if telemetry::enabled() {
+                    telemetry::Counters::add(&telemetry::counters().parks, 1);
+                }
+                parked = true;
                 shared.work_ready.wait(&mut slot);
             }
         };
@@ -475,12 +487,31 @@ fn drain_region(region: &Region, lane: usize) {
         }
         return;
     }
+    let mut claimed = 0u64;
     loop {
         let chunk = region.cursor.fetch_add(1, Ordering::Relaxed);
         if chunk >= region.n_chunks {
             break;
         }
+        claimed += 1;
         run_chunk(region, lane, chunk);
+    }
+    // Chunks a worker lane pulled off the shared cursor were "stolen"
+    // from the calling thread's plate; one batched bump per drain.
+    if lane != 0 && claimed > 0 && telemetry::enabled() {
+        telemetry::Counters::add(&telemetry::counters().steals, claimed);
+    }
+}
+
+/// Close a region's telemetry span and bump the region counter.
+fn finish_region_span(span: Option<telemetry::SpanTimer>, sched: Schedule, n_chunks: usize) {
+    if let Some(t) = span {
+        telemetry::Counters::add(&telemetry::counters().regions, 1);
+        let name = match sched {
+            Schedule::Dynamic => "pool.region.dynamic",
+            Schedule::Static => "pool.region.static",
+        };
+        t.finish(telemetry::SpanKind::Region, name, n_chunks as u64, 0.0);
     }
 }
 
@@ -688,6 +719,29 @@ mod tests {
     fn zero_chunks_is_a_no_op() {
         let pool = ThreadPool::new(2);
         pool.run_region(0, |_l, _c| panic!("must not run"));
+    }
+
+    #[test]
+    fn regions_emit_telemetry_when_enabled() {
+        telemetry::TelemetryConfig::enabled().install();
+        let before = telemetry::counters().snapshot();
+        let pool = ThreadPool::new(3);
+        pool.run_region(61, |_l, _c| {});
+        pool.run_region_sched(61, Schedule::Static, |_l, _c| {});
+        let delta = telemetry::counters().snapshot().since(&before);
+        let regions: Vec<_> = telemetry::flush()
+            .into_iter()
+            .filter(|e| e.items == 61 && e.kind == telemetry::SpanKind::Region)
+            .collect();
+        telemetry::TelemetryConfig::disabled().install();
+        assert!(delta.regions >= 2);
+        assert!(regions.len() >= 2, "one RegionSpan per region");
+        assert!(regions
+            .iter()
+            .any(|e| e.name.as_str() == "pool.region.dynamic"));
+        assert!(regions
+            .iter()
+            .any(|e| e.name.as_str() == "pool.region.static"));
     }
 
     #[test]

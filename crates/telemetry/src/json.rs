@@ -1,0 +1,387 @@
+//! The workspace's one hand-rolled JSON emitter (and a syntax checker).
+//!
+//! The bench binaries and the trace exporters all write JSON by hand
+//! (the workspace builds offline with std alone — no serde). This
+//! module is the single shared implementation: a [`JsonWriter`] that
+//! tracks nesting and commas so call sites cannot emit structurally
+//! invalid documents, plus [`validate`], a small recursive-descent
+//! syntax checker used by tests and CI gates. `bench_harness::json`
+//! re-exports this module for the harness binaries.
+
+/// Escape `s` as JSON string *contents* (no surrounding quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Streaming JSON writer with automatic comma/nesting management.
+///
+/// ```
+/// use telemetry::json::JsonWriter;
+/// let mut w = JsonWriter::new();
+/// w.begin_object();
+/// w.key("name").string("triad");
+/// w.key("gbps").number(1352.5);
+/// w.key("tags").begin_array();
+/// w.string("gpu").string("stream");
+/// w.end_array();
+/// w.end_object();
+/// assert_eq!(
+///     w.finish(),
+///     r#"{"name": "triad", "gbps": 1352.5, "tags": ["gpu", "stream"]}"#
+/// );
+/// ```
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    out: String,
+    /// One flag per open container: does the next element need a comma?
+    needs_comma: Vec<bool>,
+}
+
+impl JsonWriter {
+    /// An empty writer.
+    pub fn new() -> JsonWriter {
+        JsonWriter::default()
+    }
+
+    fn pre_value(&mut self) {
+        if let Some(nc) = self.needs_comma.last_mut() {
+            if *nc {
+                self.out.push_str(", ");
+            }
+            *nc = true;
+        }
+    }
+
+    /// Open `{`.
+    pub fn begin_object(&mut self) -> &mut Self {
+        self.pre_value();
+        self.out.push('{');
+        self.needs_comma.push(false);
+        self
+    }
+
+    /// Close `}`.
+    pub fn end_object(&mut self) -> &mut Self {
+        self.needs_comma.pop();
+        self.out.push('}');
+        self
+    }
+
+    /// Open `[`.
+    pub fn begin_array(&mut self) -> &mut Self {
+        self.pre_value();
+        self.out.push('[');
+        self.needs_comma.push(false);
+        self
+    }
+
+    /// Close `]`.
+    pub fn end_array(&mut self) -> &mut Self {
+        self.needs_comma.pop();
+        self.out.push(']');
+        self
+    }
+
+    /// Emit `"name": ` for the next value in an object.
+    pub fn key(&mut self, name: &str) -> &mut Self {
+        self.pre_value();
+        self.out.push('"');
+        self.out.push_str(&escape(name));
+        self.out.push_str("\": ");
+        // The value that follows must not add its own comma.
+        if let Some(nc) = self.needs_comma.last_mut() {
+            *nc = false;
+        }
+        self
+    }
+
+    /// A string value.
+    pub fn string(&mut self, v: &str) -> &mut Self {
+        self.pre_value();
+        self.out.push('"');
+        self.out.push_str(&escape(v));
+        self.out.push('"');
+        self
+    }
+
+    /// A float value (non-finite values become `null`, which JSON
+    /// requires).
+    pub fn number(&mut self, v: f64) -> &mut Self {
+        self.pre_value();
+        if v.is_finite() {
+            // Shortest round-trippable form Rust prints; always contains
+            // a digit, never `inf`/`NaN` here.
+            let s = format!("{v}");
+            self.out.push_str(&s);
+        } else {
+            self.out.push_str("null");
+        }
+        self
+    }
+
+    /// An integer value.
+    pub fn int(&mut self, v: u64) -> &mut Self {
+        self.pre_value();
+        self.out.push_str(&v.to_string());
+        self
+    }
+
+    /// A boolean value.
+    pub fn bool(&mut self, v: bool) -> &mut Self {
+        self.pre_value();
+        self.out.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// The document text (call once, after the root value is closed).
+    pub fn finish(self) -> String {
+        debug_assert!(self.needs_comma.is_empty(), "unclosed JSON container");
+        self.out
+    }
+}
+
+/// Check that `s` is one syntactically valid JSON document. Returns the
+/// byte offset and a message on the first error. (A syntax checker, not
+/// a parser: no values are materialised.)
+pub fn validate(s: &str) -> Result<(), String> {
+    let b = s.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(b, &mut pos);
+    value(b, &mut pos)?;
+    skip_ws(b, &mut pos);
+    if pos != b.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    match b.get(*pos) {
+        Some(b'{') => object(b, pos),
+        Some(b'[') => array(b, pos),
+        Some(b'"') => string(b, pos),
+        Some(b't') => literal(b, pos, "true"),
+        Some(b'f') => literal(b, pos, "false"),
+        Some(b'n') => literal(b, pos, "null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, pos),
+        Some(c) => Err(format!("unexpected byte {:?} at {}", *c as char, *pos)),
+        None => Err(format!("unexpected end of input at {pos}", pos = *pos)),
+    }
+}
+
+fn literal(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {}", *pos))
+    }
+}
+
+fn object(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '{'
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {}", *pos));
+        }
+        string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {}", *pos));
+        }
+        *pos += 1;
+        skip_ws(b, pos);
+        value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+fn array(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '['
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // opening '"'
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                match b.get(*pos + 1) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 2,
+                    Some(b'u') => {
+                        let hex = b.get(*pos + 2..*pos + 6).ok_or("truncated \\u escape")?;
+                        if !hex.iter().all(u8::is_ascii_hexdigit) {
+                            return Err(format!("bad \\u escape at byte {}", *pos));
+                        }
+                        *pos += 6;
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                };
+            }
+            c if c < 0x20 => return Err(format!("raw control byte in string at {}", *pos)),
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".to_owned())
+}
+
+fn number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let digits = |b: &[u8], pos: &mut usize| {
+        let s = *pos;
+        while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+        }
+        *pos > s
+    };
+    if !digits(b, pos) {
+        return Err(format!("expected digits at byte {start}"));
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if !digits(b, pos) {
+            return Err(format!("expected fraction digits at byte {}", *pos));
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if !digits(b, pos) {
+            return Err(format!("expected exponent digits at byte {}", *pos));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_handles_nesting_and_commas() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("a").int(1);
+        w.key("b").begin_array();
+        w.begin_object();
+        w.key("x").bool(true);
+        w.end_object();
+        w.number(2.5);
+        w.string("s");
+        w.end_array();
+        w.key("c").string("q\"uote");
+        w.end_object();
+        let doc = w.finish();
+        assert_eq!(
+            doc,
+            r#"{"a": 1, "b": [{"x": true}, 2.5, "s"], "c": "q\"uote"}"#
+        );
+        validate(&doc).unwrap();
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        let mut w = JsonWriter::new();
+        w.begin_array();
+        w.number(f64::NAN).number(f64::INFINITY).number(1.0);
+        w.end_array();
+        let doc = w.finish();
+        assert_eq!(doc, "[null, null, 1]");
+        validate(&doc).unwrap();
+    }
+
+    #[test]
+    fn validator_accepts_valid_documents() {
+        for doc in [
+            "{}",
+            "[]",
+            "null",
+            "-1.5e-3",
+            r#"{"k": [1, 2, {"x": "yé"}], "e": false}"#,
+            "  { \"a\" : [ ] }\n",
+        ] {
+            validate(doc).unwrap_or_else(|e| panic!("{doc}: {e}"));
+        }
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        for doc in [
+            "",
+            "{",
+            "[1, ]",
+            "{\"a\" 1}",
+            "{\"a\": 1,}",
+            "\"unterminated",
+            "01a",
+            "{} trailing",
+            "[1 2]",
+            "nul",
+        ] {
+            assert!(validate(doc).is_err(), "accepted malformed: {doc:?}");
+        }
+    }
+
+    #[test]
+    fn escape_covers_control_characters() {
+        assert_eq!(escape("a\"b\\c\nd\u{1}"), "a\\\"b\\\\c\\nd\\u0001");
+    }
+}

@@ -1,0 +1,74 @@
+//! Acceptance test for the telemetry subsystem end-to-end: profiling a
+//! functional CloverLeaf 2D run must yield a valid Chrome-trace document
+//! with one launch span per ledger record, a non-empty per-kernel
+//! aggregate, and achieved-GB/s figures consistent with the footprints.
+
+use machine_model::{KernelFootprint, Precision};
+use miniapps::{App, CloverLeaf2d};
+use sycl_sim::{PlatformId, Session, SessionConfig, Toolchain};
+use telemetry::TelemetryConfig;
+
+#[test]
+fn profiling_cloverleaf2d_yields_a_complete_trace() {
+    let app = CloverLeaf2d::test();
+    let session = Session::create(
+        SessionConfig::new(PlatformId::A100, Toolchain::NativeCuda).app(app.name()),
+    )
+    .unwrap();
+
+    TelemetryConfig::enabled().install();
+    let before = telemetry::counters().snapshot();
+    let run = app.run(&session);
+    let delta = telemetry::counters().snapshot().since(&before);
+    TelemetryConfig::disabled().install();
+    let events = telemetry::flush();
+
+    // The run did real work and the trace saw all of it: exactly one
+    // launch span per ledger record, in the same order.
+    let records = session.records();
+    assert!(run.validation.is_finite());
+    assert!(!records.is_empty());
+    let launches: Vec<_> = events
+        .iter()
+        .filter(|e| e.kind == telemetry::SpanKind::Launch)
+        .collect();
+    assert_eq!(launches.len(), records.len());
+    assert_eq!(delta.launches as usize, records.len());
+    for (span, rec) in launches.iter().zip(records.iter()) {
+        assert_eq!(span.name.as_str(), &*rec.name);
+        assert_eq!(span.items, rec.items);
+        assert_eq!(span.sim_secs.to_bits(), rec.time.total.to_bits());
+        assert_eq!(span.bytes.to_bits(), rec.effective_bytes.to_bits());
+    }
+    // Flush ordering is the launch order (seq is strictly increasing).
+    assert!(launches.windows(2).all(|w| w[0].seq < w[1].seq));
+
+    // Engine spans rode along: pool regions and tree reductions.
+    assert!(events.iter().any(|e| e.kind == telemetry::SpanKind::Region));
+    assert!(events.iter().any(|e| e.kind == telemetry::SpanKind::Reduce));
+    assert!(delta.pricing_cache_hits > 0);
+
+    // The Chrome-trace document is valid JSON with one event per span.
+    let doc = telemetry::export::chrome_trace(&events);
+    telemetry::json::validate(&doc).unwrap();
+    assert_eq!(doc.matches("\"ph\": \"X\"").count(), events.len());
+    assert!(doc.contains("\"traceEvents\""));
+
+    // The aggregate table covers every kernel, and its achieved-GB/s
+    // column is exactly the footprint rule (bytes over priced seconds).
+    let aggs = telemetry::export::aggregate(&events);
+    assert!(!aggs.is_empty());
+    let names: std::collections::HashSet<&str> = records.iter().map(|r| &*r.name).collect();
+    assert_eq!(aggs.len(), names.len());
+    let total: usize = aggs.iter().map(|a| a.count).sum();
+    assert_eq!(total, records.len());
+    for a in &aggs {
+        let fp = KernelFootprint::streaming(a.name.clone(), 1, a.bytes, 0.0, Precision::F64);
+        assert_eq!(
+            a.sim_gbps().to_bits(),
+            fp.achieved_gbps(a.sim_secs).to_bits(),
+            "{}",
+            a.name
+        );
+    }
+}
