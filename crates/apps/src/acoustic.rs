@@ -12,10 +12,6 @@ use crate::rtm::LAP8;
 use ops_dsl::prelude::*;
 use sycl_sim::{quirks::apps, KernelTraits, Session};
 
-fn f32_meta() -> ops_dsl::DatMeta {
-    ops_dsl::DatMeta { elem_bytes: 4.0 }
-}
-
 /// An acoustic-propagation instance.
 #[derive(Debug, Clone, Copy)]
 pub struct Acoustic {
@@ -84,13 +80,14 @@ impl App for Acoustic {
             halo.exchange(session, 1);
             // Continuous Ricker-style source injection (tiny loop).
             {
+                let cm = curr.meta();
                 let w = curr.writer();
                 let amp = (1.0 - 0.1 * it as f32) * 0.5;
                 ParLoop::new(
                     "inject_source",
                     Range3::new_3d(src, src + 1, src, src + 1, src, src + 1),
                 )
-                .read_write(f32_meta())
+                .read_write(cm)
                 .flops(3.0)
                 .nd_shape(nd)
                 .run(session, |tile| {
@@ -101,13 +98,14 @@ impl App for Acoustic {
             }
             // Leap-frog wave update.
             {
+                let pm = prev.meta();
                 let p = curr.reader();
                 let v = speed.reader();
                 let w = prev.writer();
                 ParLoop::new("acoustic_step", interior)
-                    .read(f32_meta(), Stencil::star_3d(4))
-                    .read(f32_meta(), Stencil::point())
-                    .read_write(f32_meta())
+                    .read(curr.meta(), Stencil::star_3d(4))
+                    .read(speed.meta(), Stencil::point())
+                    .read_write(pm)
                     .flops(40.0)
                     .traits(traits)
                     .nd_shape(nd)
@@ -164,7 +162,7 @@ impl App for Acoustic {
                 )
         } else {
             ParLoop::new("energy", interior)
-                .read(f32_meta(), Stencil::point())
+                .read(curr.meta(), Stencil::point())
                 .flops(2.0)
                 .nd_shape(nd)
                 .run_reduce(session, 0.0f64, |a, b| a + b, |_| 0.0);

@@ -222,14 +222,14 @@ impl App for CloverLeaf2d {
             {
                 let p = st.pressure.reader();
                 let d = st.density.reader();
+                let (um, vm) = (st.xvel.meta(), st.yvel.meta());
                 let u = st.xvel.writer();
                 let v = st.yvel.writer();
-                // Own-point metas captured before the writers above.
                 ParLoop::new("accelerate", interior)
                     .read(st.pressure.meta(), Stencil::star_2d(1))
                     .read(st.density.meta(), Stencil::point())
-                    .read_write(f64_meta())
-                    .read_write(f64_meta())
+                    .read_write(um)
+                    .read_write(vm)
                     .flops(16.0)
                     .nd_shape(nd)
                     .run(session, |tile| {
@@ -286,11 +286,12 @@ impl App for CloverLeaf2d {
             {
                 let fx = st.flux_x.reader();
                 let fy = st.flux_y.reader();
+                let dm = st.density.meta();
                 let d = st.density.writer();
                 ParLoop::new("advec_cell", interior)
                     .read(st.flux_x.meta(), Stencil::star_2d(1))
                     .read(st.flux_y.meta(), Stencil::star_2d(1))
-                    .read_write(f64_meta())
+                    .read_write(dm)
                     .flops(10.0)
                     .nd_shape(nd)
                     .run_rows(session, |row| {
@@ -336,11 +337,12 @@ impl App for CloverLeaf2d {
                     });
                 let wk = st.work.reader();
                 let d2 = st.density.reader();
+                let um = st.xvel.meta();
                 let uv = st.xvel.writer();
                 ParLoop::new("advec_mom", interior)
                     .read(st.work.meta(), Stencil::point())
                     .read(st.density.meta(), Stencil::point())
-                    .read_write(f64_meta())
+                    .read_write(um)
                     .flops(8.0)
                     .nd_shape(nd)
                     .run(session, |tile| {
@@ -363,6 +365,7 @@ impl App for CloverLeaf2d {
                 let d = st.density.reader();
                 let u = st.xvel.reader();
                 let v = st.yvel.reader();
+                let em = st.energy.meta();
                 let e = st.energy.writer();
                 ParLoop::new("pdv", interior)
                     .read(st.pressure.meta(), Stencil::point())
@@ -370,7 +373,7 @@ impl App for CloverLeaf2d {
                     .read(st.density.meta(), Stencil::point())
                     .read(st.xvel.meta(), Stencil::star_2d(1))
                     .read(st.yvel.meta(), Stencil::star_2d(1))
-                    .read_write(f64_meta())
+                    .read_write(em)
                     .flops(20.0)
                     .nd_shape(nd)
                     .run_rows(session, |row| {
@@ -427,12 +430,6 @@ impl App for CloverLeaf2d {
     }
 }
 
-/// Meta for f64 dats whose writers are already borrowed (metadata is
-/// layout-only, so a constant is exact).
-fn f64_meta() -> ops_dsl::DatMeta {
-    ops_dsl::DatMeta { elem_bytes: 8.0 }
-}
-
 /// The reflective halo-update loops. As in the real CloverLeaf, each
 /// (face × field) is its own kernel launch — these tiny, latency-bound
 /// loops are the paper's per-kernel overhead probe (§4.1/§4.2).
@@ -441,14 +438,18 @@ fn update_halo(session: &Session, block: &Block, st: &mut State, nd: [usize; 3])
     let ny = block.dims[1] as i64;
     for (dim, side, extent) in [(0usize, -1i64, nx), (0, 1, nx), (1, -1, ny), (1, 1, ny)] {
         let range = block.face(dim, side, 2);
+        // A depth-2 reflective face reads its mirror up to 3 cells past
+        // the face range in the face dimension.
+        let mirror = Stencil::offset_1d(dim, 3);
+        let metas = [st.density.meta(), st.energy.meta(), st.pressure.meta()];
         let fields = [
             st.density.writer(),
             st.energy.writer(),
             st.pressure.writer(),
         ];
-        for w in fields {
+        for (w, meta) in fields.into_iter().zip(metas) {
             ParLoop::new("update_halo", range)
-                .read_write(f64_meta())
+                .read_write_stencil(meta, mirror)
                 .flops(0.0)
                 .nd_shape(nd)
                 .run(session, |tile| {

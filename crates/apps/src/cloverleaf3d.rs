@@ -11,10 +11,6 @@ use sycl_sim::{quirks::apps, Session};
 
 const GAMMA: f64 = 1.4;
 
-fn f64_meta() -> ops_dsl::DatMeta {
-    ops_dsl::DatMeta { elem_bytes: 8.0 }
-}
-
 /// CloverLeaf 3D instance.
 #[derive(Debug, Clone, Copy)]
 pub struct CloverLeaf3d {
@@ -202,12 +198,13 @@ impl App for CloverLeaf3d {
                 let fx = st.flux[0].reader();
                 let fy = st.flux[1].reader();
                 let fz = st.flux[2].reader();
+                let dm = st.density.meta();
                 let d = st.density.writer();
                 ParLoop::new("advec_cell", interior)
                     .read(st.flux[0].meta(), Stencil::star_3d(1))
                     .read(st.flux[1].meta(), Stencil::star_3d(1))
                     .read(st.flux[2].meta(), Stencil::star_3d(1))
-                    .read_write(f64_meta())
+                    .read_write(dm)
                     .flops(12.0)
                     .nd_shape(nd)
                     .run(session, |tile| {
@@ -228,6 +225,7 @@ impl App for CloverLeaf3d {
                 let u = st.vel[0].reader();
                 let v = st.vel[1].reader();
                 let w = st.vel[2].reader();
+                let em = st.energy.meta();
                 let e = st.energy.writer();
                 ParLoop::new("pdv", interior)
                     .read(st.pressure.meta(), Stencil::point())
@@ -235,7 +233,7 @@ impl App for CloverLeaf3d {
                     .read(st.vel[0].meta(), Stencil::star_3d(1))
                     .read(st.vel[1].meta(), Stencil::star_3d(1))
                     .read(st.vel[2].meta(), Stencil::star_3d(1))
-                    .read_write(f64_meta())
+                    .read_write(em)
                     .flops(22.0)
                     .nd_shape(nd)
                     .run(session, |tile| {
@@ -291,14 +289,18 @@ fn update_halo(session: &Session, block: &Block, st: &mut State, nd: [usize; 3])
     for dim in 0..3usize {
         for side in [-1i64, 1] {
             let range = block.face(dim, side, 2);
+            // A depth-2 reflective face reads its mirror up to 3 cells
+            // past the face range in the face dimension.
+            let mirror = Stencil::offset_1d(dim, 3);
+            let metas = [st.density.meta(), st.energy.meta(), st.pressure.meta()];
             let fields = [
                 st.density.writer(),
                 st.energy.writer(),
                 st.pressure.writer(),
             ];
-            for w in fields {
+            for (w, meta) in fields.into_iter().zip(metas) {
                 ParLoop::new("update_halo", range)
-                    .read_write(f64_meta())
+                    .read_write_stencil(meta, mirror)
                     .nd_shape(nd)
                     .run(session, |tile| {
                         for (i, j, k) in tile.iter() {

@@ -33,10 +33,6 @@ const ADV: [f64; 3] = [0.7, -0.4, 0.2];
 const RK_A: [f64; 3] = [0.0, -5.0 / 9.0, -153.0 / 128.0];
 const RK_B: [f64; 3] = [1.0 / 3.0, 15.0 / 16.0, 8.0 / 15.0];
 
-fn f64_meta() -> ops_dsl::DatMeta {
-    ops_dsl::DatMeta { elem_bytes: 8.0 }
-}
-
 /// Which code-generation variant to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SbliVariant {
@@ -86,9 +82,13 @@ impl OpenSbli {
         for dim in 0..3usize {
             for side in [-1i64, 1] {
                 let range = block.face(dim, side, 2);
+                // The periodic wrap reads from the opposite side of the
+                // domain: a full-extent offset in the face dimension.
+                let wrap = Stencil::offset_1d(dim, n as usize);
+                let meta = dat.meta();
                 let w = dat.writer();
                 ParLoop::new("periodic_halo", range)
-                    .read_write(f64_meta())
+                    .read_write_stencil(meta, wrap)
                     .nd_shape(nd)
                     .run(session, |tile| {
                         for (i, j, k) in tile.iter() {
@@ -193,7 +193,7 @@ impl App for OpenSbli {
                                 let off: [i64; 3] = std::array::from_fn(|a| (a == dir) as i64);
                                 ParLoop::new("sa_deriv", interior)
                                     .read(
-                                        f64_meta(),
+                                        q[v].meta(),
                                         Stencil::radii(
                                             2 * off[0] as usize,
                                             2 * off[1] as usize,
@@ -225,13 +225,14 @@ impl App for OpenSbli {
                         // Phase 2: RK accumulate + state update from the
                         // stored RHS (5 cheap sweeps).
                         for v in 0..N_VARS {
+                            let (km, sm) = (qk[v].meta(), q[v].meta());
                             let r = rhs_store[v].reader();
                             let acc = qk[v].writer();
                             let state = q[v].writer();
                             ParLoop::new("sa_rk_update", interior)
-                                .read(f64_meta(), Stencil::point())
-                                .read_write(f64_meta())
-                                .read_write(f64_meta())
+                                .read(rhs_store[v].meta(), Stencil::point())
+                                .read_write(km)
+                                .read_write(sm)
                                 .flops(6.0)
                                 .nd_shape(nd)
                                 .run(session, |tile| {
@@ -250,11 +251,12 @@ impl App for OpenSbli {
                         // accumulator (reads q, writes qk — race-free),
                         // then a point-wise state update.
                         for v in 0..N_VARS {
+                            let km = qk[v].meta();
                             let src = q[v].reader();
                             let acc = qk[v].writer();
                             ParLoop::new("sn_fused", interior)
-                                .read(f64_meta(), Stencil::star_3d(2))
-                                .read_write(f64_meta())
+                                .read(q[v].meta(), Stencil::star_3d(2))
+                                .read_write(km)
                                 .flops(68.0)
                                 .traits(sn_traits)
                                 .nd_shape(nd)
@@ -272,11 +274,12 @@ impl App for OpenSbli {
                                 });
                         }
                         for v in 0..N_VARS {
+                            let sm = q[v].meta();
                             let kview = qk[v].reader();
                             let state = q[v].writer();
                             ParLoop::new("sn_update", interior)
-                                .read(f64_meta(), Stencil::point())
-                                .read_write(f64_meta())
+                                .read(qk[v].meta(), Stencil::point())
+                                .read_write(sm)
                                 .flops(2.0)
                                 .nd_shape(nd)
                                 .run(session, |tile| {

@@ -19,10 +19,6 @@ pub(crate) const LAP8: [f64; 5] = [
     -1.0 / 560.0,
 ];
 
-fn f32_meta() -> ops_dsl::DatMeta {
-    ops_dsl::DatMeta { elem_bytes: 4.0 }
-}
-
 /// An RTM forward-pass instance.
 #[derive(Debug, Clone, Copy)]
 pub struct Rtm {
@@ -85,13 +81,14 @@ impl App for Rtm {
         for _ in 0..self.iterations {
             halo.exchange(session, 1);
             {
+                let pm = prev.meta();
                 let p = curr.reader();
                 let v = vel.reader();
                 let w = prev.writer(); // p_prev becomes p_next in place
                 ParLoop::new("wave_step", interior)
-                    .read(f32_meta(), Stencil::star_3d(4))
-                    .read(f32_meta(), Stencil::point())
-                    .read_write(f32_meta())
+                    .read(curr.meta(), Stencil::star_3d(4))
+                    .read(vel.meta(), Stencil::point())
+                    .read_write(pm)
                     .flops(33.0)
                     .nd_shape(nd)
                     .run_rows(session, |row| {
@@ -130,9 +127,10 @@ impl App for Rtm {
             for dim in 0..3usize {
                 for side in [-1i64, 1] {
                     let range = logical.face(dim, side, 4);
+                    let cm = curr.meta();
                     let w = curr.writer();
                     ParLoop::new("taper", range)
-                        .read_write(f32_meta())
+                        .read_write(cm)
                         .flops(1.0)
                         .nd_shape(nd)
                         .run(session, |tile| {
@@ -170,7 +168,7 @@ impl App for Rtm {
                 )
         } else {
             ParLoop::new("image_energy", interior)
-                .read(f32_meta(), Stencil::point())
+                .read(curr.meta(), Stencil::point())
                 .flops(2.0)
                 .nd_shape(nd)
                 .run_reduce(session, 0.0f64, |a, b| a + b, |_| 0.0);
@@ -214,13 +212,14 @@ mod tests {
         curr.writer().set(c, c, c, 1.0);
         let nd = app.nd_shape();
         for _ in 0..4 {
+            let pm = prev.meta();
             let p = curr.reader();
             let v = vel.reader();
             let w = prev.writer();
             ParLoop::new("wave_step", ab.interior())
-                .read(f32_meta(), Stencil::star_3d(4))
-                .read(f32_meta(), Stencil::point())
-                .read_write(f32_meta())
+                .read(curr.meta(), Stencil::star_3d(4))
+                .read(vel.meta(), Stencil::point())
+                .read_write(pm)
                 .nd_shape(nd)
                 .run(&s, |tile| {
                     for (i, j, k) in tile.iter() {

@@ -23,11 +23,11 @@ fn session(app: &str) -> Session {
 }
 
 fn f64_meta() -> ops_dsl::DatMeta {
-    ops_dsl::DatMeta { elem_bytes: 8.0 }
+    ops_dsl::DatMeta::anon(8.0)
 }
 
 fn f32_meta() -> ops_dsl::DatMeta {
-    ops_dsl::DatMeta { elem_bytes: 4.0 }
+    ops_dsl::DatMeta::anon(4.0)
 }
 
 #[test]

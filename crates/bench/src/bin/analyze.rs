@@ -1,0 +1,202 @@
+//! `analyze` — run every application under the `sycl-verify` passes.
+//!
+//! ```text
+//! analyze [--app <name>] [--platform <label>] [--smoke]
+//! ```
+//!
+//! * default — verify all seven applications (`mgcfd` under all three
+//!   race-resolution schemes);
+//! * `--app <name>` — verify one of `cloverleaf2d`, `cloverleaf3d`,
+//!   `opensbli_sa`, `opensbli_sn`, `rtm`, `acoustic`, `mgcfd`;
+//! * `--platform` — `a100` (default), `mi250x`, `max1100`, `xeon8360y`,
+//!   `genoax`, `altra`; the platform's best native toolchain is used;
+//! * `--smoke` — the CI subset: CloverLeaf 2D plus MG-CFD under all
+//!   three schemes.
+//!
+//! Each app runs its functional test size with shadow-access recording
+//! attached; the access / plan / footprint findings land on stdout and
+//! in `results/VERIFY_<app>.json`. Exit status: 2 for an unknown app,
+//! 1 when any `Error`-severity diagnostic was found, 0 otherwise.
+
+use bench_harness::json::{validate, write_results_file};
+use miniapps::{Acoustic, App, CloverLeaf2d, CloverLeaf3d, Mgcfd, OpenSbli, Rtm, SbliVariant};
+use sycl_sim::{PlatformId, Scheme, Session, SessionConfig, Toolchain};
+use verify::{report, Diagnostic, Verifier};
+
+/// The platform's best native toolchain (the Table-1 pairing).
+fn native_toolchain(p: PlatformId) -> Toolchain {
+    match p {
+        PlatformId::A100 => Toolchain::NativeCuda,
+        PlatformId::Mi250x => Toolchain::NativeHip,
+        PlatformId::Max1100 => Toolchain::Dpcpp,
+        PlatformId::Xeon8360Y | PlatformId::GenoaX => Toolchain::MpiOpenMp,
+        PlatformId::Altra => Toolchain::OpenMp,
+    }
+}
+
+fn make_app(name: &str) -> Option<Box<dyn App>> {
+    Some(match name {
+        "cloverleaf2d" => Box::new(CloverLeaf2d::test()),
+        "cloverleaf3d" => Box::new(CloverLeaf3d::test()),
+        "opensbli_sa" => Box::new(OpenSbli::test(SbliVariant::StoreAll)),
+        "opensbli_sn" => Box::new(OpenSbli::test(SbliVariant::StoreNone)),
+        "rtm" => Box::new(Rtm::test()),
+        "acoustic" => Box::new(Acoustic::test()),
+        "mgcfd" => Box::new(Mgcfd::test()),
+        _ => return None,
+    })
+}
+
+/// One verification target: an app, under one scheme if it has one.
+struct Target {
+    app: &'static str,
+    scheme: Option<Scheme>,
+}
+
+fn targets_for(app: &str) -> Vec<Target> {
+    if app == "mgcfd" {
+        [Scheme::Atomics, Scheme::GlobalColor, Scheme::HierColor]
+            .into_iter()
+            .map(|s| Target {
+                app: "mgcfd",
+                scheme: Some(s),
+            })
+            .collect()
+    } else {
+        vec![Target {
+            app: match app {
+                "cloverleaf2d" => "cloverleaf2d",
+                "cloverleaf3d" => "cloverleaf3d",
+                "opensbli_sa" => "opensbli_sa",
+                "opensbli_sn" => "opensbli_sn",
+                "rtm" => "rtm",
+                "acoustic" => "acoustic",
+                _ => unreachable!(),
+            },
+            scheme: None,
+        }]
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let platform = args
+        .iter()
+        .position(|a| a == "--platform")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| PlatformId::parse(s))
+        .unwrap_or(PlatformId::A100);
+    let only = args
+        .iter()
+        .position(|a| a == "--app")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let app_names: Vec<&str> = match (&only, smoke) {
+        (Some(name), _) => match make_app(name) {
+            Some(_) => vec![match name.as_str() {
+                "cloverleaf2d" => "cloverleaf2d",
+                "cloverleaf3d" => "cloverleaf3d",
+                "opensbli_sa" => "opensbli_sa",
+                "opensbli_sn" => "opensbli_sn",
+                "rtm" => "rtm",
+                "acoustic" => "acoustic",
+                "mgcfd" => "mgcfd",
+                _ => unreachable!(),
+            }],
+            None => {
+                eprintln!(
+                    "unknown app {name:?}; expected one of cloverleaf2d, cloverleaf3d, \
+                     opensbli_sa, opensbli_sn, rtm, acoustic, mgcfd"
+                );
+                std::process::exit(2);
+            }
+        },
+        (None, true) => vec!["cloverleaf2d", "mgcfd"],
+        (None, false) => vec![
+            "cloverleaf2d",
+            "cloverleaf3d",
+            "opensbli_sa",
+            "opensbli_sn",
+            "rtm",
+            "acoustic",
+            "mgcfd",
+        ],
+    };
+
+    let toolchain = native_toolchain(platform);
+    let mut any_errors = false;
+
+    for app_name in app_names {
+        let mut app_diags: Vec<Diagnostic> = Vec::new();
+        for target in targets_for(app_name) {
+            let mut cfg = SessionConfig::new(platform, toolchain).app(target.app);
+            if let Some(s) = target.scheme {
+                cfg = cfg.scheme(s);
+            }
+            let session = match Session::create(cfg) {
+                Ok(s) => s,
+                Err(fail) => {
+                    eprintln!("{app_name} does not run on {}: {fail}", platform.label());
+                    std::process::exit(2);
+                }
+            };
+            // Attach before the app allocates: datasets only register
+            // with the shadow layer at creation time.
+            let verifier = Verifier::attach(&session);
+            let app = make_app(target.app).expect("validated above");
+            let run = app.run(&session);
+            let diags = verifier.finish(&session);
+
+            let (errors, warnings, infos) = report::tally(&diags);
+            let label = match target.scheme {
+                Some(s) => format!("{app_name} [{}]", s.label()),
+                None => app_name.to_owned(),
+            };
+            println!(
+                "# {label} on {} ({}): {} launches, validation {:.3e} — \
+                 {errors} error(s), {warnings} warning(s), {infos} info(s)",
+                session.platform().name,
+                toolchain.label(),
+                session.records().len(),
+                run.validation,
+            );
+            for d in &diags {
+                println!("  [{}] {} `{}`: {}", d.severity, d.pass, d.kernel, d.detail);
+            }
+            any_errors |= verify::has_errors(&diags);
+            app_diags.extend(diags);
+        }
+
+        // mgcfd merges its three scheme runs into one document; drop
+        // repeats the schemes share.
+        let mut seen: Vec<(String, String)> = Vec::new();
+        app_diags.retain(|d| {
+            let key = (d.kernel.clone(), d.detail.clone());
+            if seen.contains(&key) {
+                false
+            } else {
+                seen.push(key);
+                true
+            }
+        });
+
+        let doc = report::render_app_report(app_name, &app_diags);
+        debug_assert!(validate(&doc).is_ok());
+        let file = format!("VERIFY_{app_name}.json");
+        match write_results_file(&file, &doc) {
+            Ok(path) => println!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("could not write results/{file}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if any_errors {
+        eprintln!("analyze: Error-severity findings (see above)");
+        std::process::exit(1);
+    }
+    println!("analyze OK: no Error-severity findings");
+}

@@ -22,6 +22,9 @@ pub enum FailureKind {
     /// The run completed but validation failed (e.g. CloverLeaf 2D with
     /// DPC++-flat / OpenSYCL on Genoa-X).
     IncorrectResult,
+    /// The `sycl-verify` static/dynamic analysis found `Error`-severity
+    /// findings (undeclared access, invalid colouring, detected race).
+    VerificationFailed,
 }
 
 impl fmt::Display for FailureKind {
@@ -31,6 +34,7 @@ impl fmt::Display for FailureKind {
             FailureKind::CompileError => "compile error",
             FailureKind::RuntimeCrash => "runtime crash",
             FailureKind::IncorrectResult => "incorrect result",
+            FailureKind::VerificationFailed => "verification failed",
         };
         f.write_str(s)
     }
@@ -76,7 +80,13 @@ mod tests {
     #[test]
     fn kinds_are_distinct() {
         use FailureKind::*;
-        let kinds = [Unsupported, CompileError, RuntimeCrash, IncorrectResult];
+        let kinds = [
+            Unsupported,
+            CompileError,
+            RuntimeCrash,
+            IncorrectResult,
+            VerificationFailed,
+        ];
         for (i, a) in kinds.iter().enumerate() {
             for (j, b) in kinds.iter().enumerate() {
                 assert_eq!(i == j, a == b);

@@ -171,6 +171,11 @@ fn fingerprint(kernel: &Kernel) -> u64 {
     h.finish()
 }
 
+/// Callback invoked with every launch record as it is appended to the
+/// ledger (after the state lock is released, so observers may call back
+/// into the session).
+pub type LaunchObserver = Arc<dyn Fn(&LaunchRecord) + Send + Sync>;
+
 struct State {
     elapsed: f64,
     comm_time: f64,
@@ -179,6 +184,9 @@ struct State {
     /// Hits are verified field-for-field against the stored fingerprint,
     /// so a hash collision degrades to a cold launch, never a wrong price.
     price_cache: HashMap<u64, CachedPrice>,
+    /// Optional per-launch observer (the verifier's footprint pass).
+    /// Observes only — pricing and the ledger are unaffected.
+    observer: Option<LaunchObserver>,
 }
 
 /// A live (platform × toolchain × variant × app) execution context.
@@ -209,6 +217,7 @@ impl Session {
                 comm_time: 0.0,
                 records: Vec::new(),
                 price_cache: HashMap::new(),
+                observer: None,
             }),
         })
     }
@@ -231,6 +240,13 @@ impl Session {
     /// The atomic path kernels get in this session.
     pub fn atomic_kind(&self) -> machine_model::AtomicKind {
         quirks::atomic_kind(self.cfg.platform, self.cfg.toolchain)
+    }
+
+    /// Install (or clear) a per-launch observer. The callback sees each
+    /// [`LaunchRecord`] right after it is appended to the ledger; it
+    /// cannot change pricing, timing, or the ledger itself.
+    pub fn set_launch_observer(&self, observer: Option<LaunchObserver>) {
+        self.state.lock().observer = observer;
     }
 
     /// Price and record one kernel launch, then run `body` functionally.
@@ -295,7 +311,12 @@ impl Session {
                         boundary: c.boundary,
                     };
                     st.elapsed += time.total;
-                    st.records.push(record);
+                    st.records.push(record.clone());
+                    let observer = st.observer.clone();
+                    drop(st);
+                    if let Some(obs) = observer {
+                        obs(&record);
+                    }
                     return (time, name);
                 }
             }
@@ -326,14 +347,15 @@ impl Session {
 
         let name: Arc<str> = Arc::from(kernel.footprint.name.as_str());
         let boundary = kernel.footprint.is_boundary();
-        st.elapsed += time.total;
-        st.records.push(LaunchRecord {
+        let record = LaunchRecord {
             name: Arc::clone(&name),
             time,
             items: kernel.footprint.items,
             effective_bytes: kernel.footprint.effective_bytes,
             boundary,
-        });
+        };
+        st.elapsed += time.total;
+        st.records.push(record.clone());
         if self.cfg.pricing_cache {
             st.price_cache.insert(
                 key,
@@ -347,6 +369,11 @@ impl Session {
                     boundary,
                 },
             );
+        }
+        let observer = st.observer.clone();
+        drop(st);
+        if let Some(obs) = observer {
+            obs(&record);
         }
         (time, name)
     }

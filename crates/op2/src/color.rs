@@ -47,19 +47,29 @@ impl GlobalColoring {
 
     /// Validate the colouring invariant against a map.
     pub fn is_valid(&self, map: &Map) -> bool {
+        self.first_conflict(map).is_none()
+    }
+
+    /// First invariant violation: two same-colour edges sharing a
+    /// vertex, as `(edge_a, edge_b, shared_vertex)`.
+    pub fn first_conflict(&self, map: &Map) -> Option<(u32, u32, u32)> {
+        // seen[t] = last same-colour edge incident to target t.
         let mut seen: Vec<i64> = vec![-1; map.to_size()];
         for group in &self.by_color {
-            let stamp = group.as_ptr() as i64; // unique per group
+            for &t in group.iter().flat_map(|&e| map.row(e as usize)) {
+                seen[t as usize] = -1;
+            }
             for &e in group {
                 for &t in map.row(e as usize) {
-                    if seen[t as usize] == stamp {
-                        return false;
+                    let prev = seen[t as usize];
+                    if prev >= 0 {
+                        return Some((prev as u32, e, t));
                     }
-                    seen[t as usize] = stamp;
+                    seen[t as usize] = e as i64;
                 }
             }
         }
-        true
+        None
     }
 }
 
@@ -164,14 +174,22 @@ impl HierColoring {
 
     /// Validate: no two same-colour blocks share a target.
     pub fn is_valid(&self, map: &Map) -> bool {
+        self.first_block_conflict(map).is_none()
+    }
+
+    /// First block-level violation: two same-colour blocks sharing a
+    /// vertex, as `(block_a, block_b, shared_vertex)`.
+    pub fn first_block_conflict(&self, map: &Map) -> Option<(u32, u32, u32)> {
         for group in &self.blocks_by_color {
-            let mut seen = vec![false; map.to_size()];
+            // seen[t] = earlier same-colour block incident to target t.
+            let mut seen: Vec<i64> = vec![-1; map.to_size()];
             for &b in group {
                 let (lo, hi) = self.block_range(b as usize, map.from_size());
                 for e in lo..hi {
                     for &t in map.row(e) {
-                        if seen[t as usize] {
-                            return false;
+                        let prev = seen[t as usize];
+                        if prev >= 0 && prev != b as i64 {
+                            return Some((prev as u32, b, t));
                         }
                     }
                 }
@@ -179,12 +197,43 @@ impl HierColoring {
                 // sharing is fine — blocks run serially inside).
                 for e in lo..hi {
                     for &t in map.row(e) {
-                        seen[t as usize] = true;
+                        seen[t as usize] = b as i64;
                     }
                 }
             }
         }
-        true
+        None
+    }
+
+    /// Validate the intra-block colours (block-local serial phases): no
+    /// two elements of one block with the same intra colour may share a
+    /// vertex.
+    pub fn is_valid_intra(&self, map: &Map) -> bool {
+        self.first_intra_conflict(map).is_none()
+    }
+
+    /// First intra-block violation as `(edge_a, edge_b, shared_vertex)`.
+    pub fn first_intra_conflict(&self, map: &Map) -> Option<(u32, u32, u32)> {
+        let n_blocks = map.from_size().div_ceil(self.block_size);
+        let mut touches: Vec<(u32, u32, u32)> = Vec::new();
+        for b in 0..n_blocks {
+            let (lo, hi) = self.block_range(b, map.from_size());
+            touches.clear();
+            for e in lo..hi {
+                for &t in map.row(e) {
+                    touches.push((t, self.intra_color[e], e as u32));
+                }
+            }
+            // Same (vertex, colour) twice within a block = two edges of
+            // one serial phase sharing the vertex.
+            touches.sort_unstable();
+            for pair in touches.windows(2) {
+                if pair[0].0 == pair[1].0 && pair[0].1 == pair[1].1 {
+                    return Some((pair[0].2, pair[1].2, pair[0].0));
+                }
+            }
+        }
+        None
     }
 }
 

@@ -1,6 +1,7 @@
 //! Unstructured datasets: multi-component fields over a set.
 
 use sycl_sim::Real;
+use telemetry::shadow;
 
 /// A field with `dim` components per set element.
 #[derive(Debug, Clone)]
@@ -9,16 +10,27 @@ pub struct DatU<T> {
     set_size: usize,
     dim: usize,
     data: Vec<T>,
+    /// Shadow-registry id (0 when shadow recording was off at creation).
+    sid: u32,
 }
 
 impl<T: Real> DatU<T> {
     /// Allocate a zeroed field.
     pub fn zeroed(name: &str, set_size: usize, dim: usize) -> Self {
+        let sid = shadow::register_dat(
+            name,
+            T::BYTES,
+            shadow::DatGeom::Set {
+                size: set_size,
+                dim,
+            },
+        );
         DatU {
             name: name.to_owned(),
             set_size,
             dim,
             data: vec![T::zero(); set_size * dim],
+            sid,
         }
     }
 
@@ -29,6 +41,7 @@ impl<T: Real> DatU<T> {
                 self.data[e * self.dim + c] = f(e, c);
             }
         }
+        shadow::mark_all_init(self.sid);
     }
 
     pub fn name(&self) -> &str {
@@ -56,6 +69,7 @@ impl<T: Real> DatU<T> {
 
     /// Mutable host access for setup/validation.
     pub fn host_mut(&mut self) -> &mut [T] {
+        shadow::mark_all_init(self.sid);
         &mut self.data
     }
 
@@ -75,6 +89,7 @@ impl<T: Real> DatU<T> {
             ptr: self.data.as_ptr(),
             dim: self.dim,
             len: self.data.len(),
+            sid: self.sid,
             _marker: std::marker::PhantomData,
         }
     }
@@ -86,6 +101,7 @@ impl<T: Real> DatU<T> {
             ptr: self.data.as_mut_ptr(),
             dim: self.dim,
             len: self.data.len(),
+            sid: self.sid,
             _marker: std::marker::PhantomData,
         }
     }
@@ -99,6 +115,7 @@ impl<T: Real> DatU<T> {
             dim: self.dim,
             len: self.data.len(),
             atomic,
+            sid: self.sid,
             _marker: std::marker::PhantomData,
         }
     }
@@ -109,6 +126,7 @@ pub struct UReadView<'a, T> {
     ptr: *const T,
     dim: usize,
     len: usize,
+    sid: u32,
     _marker: std::marker::PhantomData<&'a [T]>,
 }
 
@@ -128,6 +146,9 @@ impl<T: Real> UReadView<'_, T> {
     pub fn at(&self, e: usize, c: usize) -> T {
         let idx = e * self.dim + c;
         debug_assert!(idx < self.len);
+        if self.sid != 0 {
+            shadow::record_read(self.sid, idx, self.len);
+        }
         // SAFETY: bounds guaranteed by set sizes (debug-checked).
         unsafe { *self.ptr.add(idx) }
     }
@@ -138,6 +159,7 @@ pub struct UWriteView<'a, T> {
     ptr: *mut T,
     dim: usize,
     len: usize,
+    sid: u32,
     _marker: std::marker::PhantomData<&'a mut [T]>,
 }
 
@@ -157,6 +179,9 @@ impl<T: Real> UWriteView<'_, T> {
     pub fn set(&self, e: usize, c: usize, v: T) {
         let idx = e * self.dim + c;
         debug_assert!(idx < self.len);
+        if self.sid != 0 {
+            shadow::record_write(self.sid, idx, self.len);
+        }
         // SAFETY: sole writer of element `e` per the loop contract.
         unsafe { *self.ptr.add(idx) = v };
     }
@@ -166,6 +191,9 @@ impl<T: Real> UWriteView<'_, T> {
     pub fn get(&self, e: usize, c: usize) -> T {
         let idx = e * self.dim + c;
         debug_assert!(idx < self.len);
+        if self.sid != 0 {
+            shadow::record_read(self.sid, idx, self.len);
+        }
         // SAFETY: as `set`.
         unsafe { *self.ptr.add(idx) }
     }
@@ -178,6 +206,7 @@ pub struct Accum<'a, T> {
     dim: usize,
     len: usize,
     atomic: bool,
+    sid: u32,
     _marker: std::marker::PhantomData<&'a mut [T]>,
 }
 
@@ -198,6 +227,16 @@ impl<T: Real> Accum<'_, T> {
     pub fn add(&self, e: usize, c: usize, v: T) {
         let idx = e * self.dim + c;
         debug_assert!(idx < self.len);
+        if self.sid != 0 {
+            if self.atomic {
+                shadow::record_atomic(self.sid, idx, self.len);
+            } else {
+                // A plain increment is a read-modify-write: record both
+                // sides so overlap between concurrent units surfaces.
+                shadow::record_read(self.sid, idx, self.len);
+                shadow::record_write(self.sid, idx, self.len);
+            }
+        }
         if self.atomic {
             // SAFETY: all concurrent accesses in atomic mode go through
             // `atomic_add`.

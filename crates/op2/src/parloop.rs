@@ -8,6 +8,17 @@ use sycl_sim::{
     AccessProfile, AtomicKind, AtomicProfile, IndirectProfile, Kernel, KernelFootprint,
     KernelTraits, Precision, Scheme, Session,
 };
+use telemetry::shadow;
+
+/// Scheme label carried in shadow traces (telemetry sits below
+/// `sycl-sim` in the crate DAG, so it gets a string, not the enum).
+fn scheme_label(s: Scheme) -> &'static str {
+    match s {
+        Scheme::Atomics => "atomics",
+        Scheme::GlobalColor => "global",
+        Scheme::HierColor => "hier",
+    }
+}
 
 /// Estimated colour counts when no real mesh is attached (hex meshes:
 /// 6 edge directions ⇒ ~8 global colours; block graphs colour in ~4).
@@ -32,6 +43,9 @@ pub struct EdgeLoop {
     inc_components_per_edge: usize,
     flops_pp: f64,
     transc_pp: f64,
+    /// Declaration defects the builder saturated over (zero-dim args);
+    /// surfaced as `Error` diagnostics by the verifier.
+    defects: Vec<String>,
 }
 
 impl EdgeLoop {
@@ -50,6 +64,19 @@ impl EdgeLoop {
             inc_components_per_edge: 0,
             flops_pp: 0.0,
             transc_pp: 0.0,
+            defects: Vec::new(),
+        }
+    }
+
+    /// A zero-dim arg would silently price 0 bytes — saturate it to one
+    /// component and record the defect for the verifier.
+    fn check_dim(&mut self, dim: usize, what: &str) -> usize {
+        if dim == 0 {
+            self.defects
+                .push(format!("{}: {what}(0) declares no components; saturated to 1 so the footprint is not silently zero", self.name));
+            1
+        } else {
+            dim
         }
     }
 
@@ -61,12 +88,14 @@ impl EdgeLoop {
 
     /// A `dim`-component dataset on the edge set, read directly.
     pub fn edge_read(mut self, dim: usize) -> Self {
+        let dim = self.check_dim(dim, "edge_read");
         self.direct_bytes += self.stats.n_edges as f64 * dim as f64 * self.precision.bytes();
         self
     }
 
     /// A `dim`-component vertex dataset gathered through the map.
     pub fn vertex_read(mut self, dim: usize) -> Self {
+        let dim = self.check_dim(dim, "vertex_read");
         let elem = self.precision.bytes();
         self.indirect_bytes += self.stats.n_vertices as f64 * dim as f64 * elem;
         self.gathered_per_edge += 2.0 * dim as f64 * elem;
@@ -76,11 +105,17 @@ impl EdgeLoop {
     /// A `dim`-component vertex dataset incremented through the map
     /// (read-modify-write: counted twice, as the paper does).
     pub fn vertex_inc(mut self, dim: usize) -> Self {
+        let dim = self.check_dim(dim, "vertex_inc");
         let elem = self.precision.bytes();
         self.indirect_bytes += 2.0 * self.stats.n_vertices as f64 * dim as f64 * elem;
         self.gathered_per_edge += 2.0 * dim as f64 * elem;
         self.inc_components_per_edge += 2 * dim;
         self
+    }
+
+    /// Declaration defects the builder saturated over.
+    pub fn defects(&self) -> &[String] {
+        &self.defects
     }
 
     /// FLOPs per edge.
@@ -193,6 +228,10 @@ impl EdgeLoop {
         let fraction = 1.0 / passes as f64;
         let kernel = self.pass_kernel(fraction);
         let execute = session.executes() && mesh.is_some();
+        let shadowing = shadow::shadow_on() && execute;
+        if shadowing {
+            self.begin_shadow_loop(mesh.unwrap());
+        }
 
         match self.scheme {
             Scheme::Atomics => {
@@ -200,9 +239,11 @@ impl EdgeLoop {
                     if execute {
                         let n = mesh.unwrap().mesh.n_edges();
                         global_pool().for_range(n, EXEC_CHUNK, |lo, hi| {
+                            shadow::begin_unit();
                             for e in lo..hi {
                                 body(e);
                             }
+                            shadow::end_unit();
                         });
                     }
                 });
@@ -214,12 +255,19 @@ impl EdgeLoop {
                         .global
                         .as_ref()
                         .expect("ColoredMesh::prepare builds the global colouring");
-                    for group in &coloring.by_color {
+                    for (pass, group) in coloring.by_color.iter().enumerate() {
+                        if shadowing && pass > 0 {
+                            // Colour groups launch back-to-back: overlap
+                            // *across* them is the point of the scheme.
+                            shadow::next_phase();
+                        }
                         session.launch(&kernel, || {
                             global_pool().for_range(group.len(), EXEC_CHUNK, |lo, hi| {
+                                shadow::begin_unit();
                                 for &e in &group[lo..hi] {
                                     body(e as usize);
                                 }
+                                shadow::end_unit();
                             });
                         });
                     }
@@ -237,15 +285,20 @@ impl EdgeLoop {
                         .as_ref()
                         .expect("ColoredMesh::prepare builds the hierarchical colouring");
                     let n_edges = colored.mesh.n_edges();
-                    for group in &hier.blocks_by_color {
+                    for (pass, group) in hier.blocks_by_color.iter().enumerate() {
+                        if shadowing && pass > 0 {
+                            shadow::next_phase();
+                        }
                         session.launch(&kernel, || {
                             global_pool().run_region(group.len(), |_lane, gi| {
                                 let (lo, hi) = hier.block_range(group[gi] as usize, n_edges);
                                 // Blocks run serially inside — the
                                 // intra-block colouring orders the edges.
+                                shadow::begin_unit();
                                 for e in lo..hi {
                                     body(e);
                                 }
+                                shadow::end_unit();
                             });
                         });
                     }
@@ -254,6 +307,59 @@ impl EdgeLoop {
                         session.launch(&kernel, || ());
                     }
                 }
+            }
+        }
+        if shadowing {
+            shadow::end_loop();
+        }
+    }
+
+    /// Open the shadow trace for this loop: declaration, builder
+    /// defects, and an up-front proof of the colouring plan (the plan
+    /// validator part of `sycl-verify`).
+    fn begin_shadow_loop(&self, colored: &ColoredMesh) {
+        shadow::begin_loop(shadow::LoopDecl {
+            kernel: self.name.clone(),
+            structured: false,
+            lo: [0; 3],
+            hi: [0; 3],
+            args: Vec::new(),
+            flops_pp: self.flops_pp,
+            transc_pp: self.transc_pp,
+            scheme: Some(scheme_label(self.scheme)),
+        });
+        for d in &self.defects {
+            shadow::note(shadow::NoteKind::DeclDefect, d.clone());
+        }
+        let map = &colored.mesh.edges;
+        if let Some(g) = &colored.global {
+            if let Some((a, b, v)) = g.first_conflict(map) {
+                shadow::note(
+                    shadow::NoteKind::PlanViolation,
+                    format!(
+                        "global colouring invalid: edges {a} and {b} share colour {} and vertex {v}",
+                        g.color[a as usize]
+                    ),
+                );
+            }
+        }
+        if let Some(h) = &colored.hier {
+            if let Some((a, b, v)) = h.first_block_conflict(map) {
+                shadow::note(
+                    shadow::NoteKind::PlanViolation,
+                    format!(
+                        "hierarchical colouring invalid: blocks {a} and {b} share colour {} and vertex {v}",
+                        h.block_color[a as usize]
+                    ),
+                );
+            } else if let Some((a, b, v)) = h.first_intra_conflict(map) {
+                shadow::note(
+                    shadow::NoteKind::PlanViolation,
+                    format!(
+                        "hierarchical intra-block colouring invalid: edges {a} and {b} share colour {} and vertex {v}",
+                        h.intra_color[a as usize]
+                    ),
+                );
             }
         }
     }
@@ -286,6 +392,7 @@ pub struct VertexLoop {
     bytes: f64,
     flops_pp: f64,
     transc_pp: f64,
+    defects: Vec<String>,
 }
 
 impl VertexLoop {
@@ -298,19 +405,38 @@ impl VertexLoop {
             bytes: 0.0,
             flops_pp: 0.0,
             transc_pp: 0.0,
+            defects: Vec::new(),
+        }
+    }
+
+    /// As [`EdgeLoop`]: saturate a zero-dim arg and record the defect.
+    fn check_dim(&mut self, dim: usize, what: &str) -> usize {
+        if dim == 0 {
+            self.defects
+                .push(format!("{}: {what}(0) declares no components; saturated to 1 so the footprint is not silently zero", self.name));
+            1
+        } else {
+            dim
         }
     }
 
     /// A `dim`-component dataset read or written once.
     pub fn arg(mut self, dim: usize) -> Self {
+        let dim = self.check_dim(dim, "arg");
         self.bytes += self.set_size as f64 * dim as f64 * self.precision.bytes();
         self
     }
 
     /// A `dim`-component read-write dataset (counted twice).
     pub fn arg_rw(mut self, dim: usize) -> Self {
+        let dim = self.check_dim(dim, "arg_rw");
         self.bytes += 2.0 * self.set_size as f64 * dim as f64 * self.precision.bytes();
         self
+    }
+
+    /// Declaration defects the builder saturated over.
+    pub fn defects(&self) -> &[String] {
+        &self.defects
     }
 
     /// FLOPs per element.
@@ -339,15 +465,43 @@ impl VertexLoop {
         })
     }
 
+    /// Open the shadow trace for a direct loop.
+    fn begin_shadow_loop(&self) {
+        shadow::begin_loop(shadow::LoopDecl {
+            kernel: self.name.clone(),
+            structured: false,
+            lo: [0; 3],
+            hi: [0; 3],
+            args: Vec::new(),
+            flops_pp: self.flops_pp,
+            transc_pp: self.transc_pp,
+            scheme: None,
+        });
+        for d in &self.defects {
+            shadow::note(shadow::NoteKind::DeclDefect, d.clone());
+        }
+    }
+
     /// Price and run the loop body over element chunks.
     pub fn run(self, session: &Session, body: impl Fn(usize, usize) + Sync) {
         let n = self.set_size;
         let kernel = self.kernel(0);
+        let shadowing = shadow::shadow_on() && session.executes();
+        if shadowing {
+            self.begin_shadow_loop();
+        }
         session.launch(&kernel, || {
             if session.executes() {
-                global_pool().for_range(n, EXEC_CHUNK, body);
+                global_pool().for_range(n, EXEC_CHUNK, |lo, hi| {
+                    shadow::begin_unit();
+                    body(lo, hi);
+                    shadow::end_unit();
+                });
             }
         });
+        if shadowing {
+            shadow::end_loop();
+        }
     }
 
     /// Price and run with a deterministic tree reduction.
@@ -364,8 +518,12 @@ impl VertexLoop {
         let n = self.set_size;
         let kernel = self.kernel(1);
         let bytes = kernel.footprint.effective_bytes;
+        let shadowing = shadow::shadow_on() && session.executes();
+        if shadowing {
+            self.begin_shadow_loop();
+        }
         let name = self.name;
-        session.launch(&kernel, || {
+        let out = session.launch(&kernel, || {
             if !session.executes() {
                 return identity.clone();
             }
@@ -376,8 +534,11 @@ impl VertexLoop {
             global_pool().run_region(chunks, |_lane, c| {
                 let lo = c * EXEC_CHUNK;
                 let hi = (lo + EXEC_CHUNK).min(n);
+                shadow::begin_unit();
+                let partial = body(lo, hi);
+                shadow::end_unit();
                 // SAFETY: each chunk index visited exactly once.
-                unsafe { slots.write(c, Some(body(lo, hi))) };
+                unsafe { slots.write(c, Some(partial)) };
             });
             let out = tree_combine(
                 partials.into_iter().map(|p| p.expect("chunk ran")),
@@ -389,7 +550,11 @@ impl VertexLoop {
                 t.finish(telemetry::SpanKind::Reduce, label, chunks as u64, bytes);
             }
             out
-        })
+        });
+        if shadowing {
+            shadow::end_loop();
+        }
+        out
     }
 }
 
@@ -525,6 +690,29 @@ mod tests {
         // §4.3 bytes/wave: atomics 3500 (best), hier 8600, global 39000.
         assert!(loc(Scheme::Atomics) > loc(Scheme::HierColor));
         assert!(loc(Scheme::HierColor) > loc(Scheme::GlobalColor));
+    }
+
+    #[test]
+    fn zero_dim_args_saturate_and_record_a_defect() {
+        let stats = MeshStats {
+            n_vertices: 100,
+            n_edges: 300,
+            locality: 1.0,
+        };
+        let el = EdgeLoop::new("flux", stats, Scheme::Atomics, Precision::F64).vertex_read(0);
+        assert_eq!(el.defects().len(), 1);
+        assert!(
+            el.defects()[0].contains("vertex_read(0)"),
+            "{:?}",
+            el.defects()
+        );
+        // Saturated to one component, so the footprint is not zero.
+        let k = el.pass_kernel(1.0);
+        assert!(k.footprint.effective_bytes > 300.0 * 2.0 * 4.0);
+
+        let vl = VertexLoop::new("update", 100, Precision::F64).arg_rw(0);
+        assert_eq!(vl.defects().len(), 1);
+        assert!(vl.defects()[0].contains("arg_rw(0)"), "{:?}", vl.defects());
     }
 
     #[test]

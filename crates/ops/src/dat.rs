@@ -3,6 +3,7 @@
 use crate::block::Block;
 use crate::range::Row;
 use sycl_sim::Real;
+use telemetry::shadow;
 
 /// Metadata handed to loop descriptors (cheap to copy before borrowing
 /// the data for views).
@@ -10,6 +11,19 @@ use sycl_sim::Real;
 pub struct DatMeta {
     /// Bytes per element.
     pub elem_bytes: f64,
+    /// Shadow-registry id linking the declaration back to the dataset
+    /// (0 = anonymous: shadow was off at creation, or the declaration
+    /// was written without a dat in hand). Never enters pricing.
+    pub id: u32,
+}
+
+impl DatMeta {
+    /// A declaration-only meta not linked to any dataset. Pricing treats
+    /// it exactly like [`Dat::meta`]; the verifier cannot match its
+    /// accesses, so prefer `dat.meta()` where a dat exists.
+    pub fn anon(elem_bytes: f64) -> Self {
+        DatMeta { elem_bytes, id: 0 }
+    }
 }
 
 /// A field over a block, stored with halo padding, x-fastest.
@@ -21,6 +35,8 @@ pub struct Dat<T> {
     pad: [usize; 3],
     /// Index offset per dimension (halo depth, 0 on degenerate dims).
     off: [i64; 3],
+    /// Shadow-registry id (0 when shadow recording was off at creation).
+    sid: u32,
 }
 
 impl<T: Real> Dat<T> {
@@ -34,11 +50,13 @@ impl<T: Real> Dat<T> {
                 0
             }
         });
+        let sid = shadow::register_dat(name, T::BYTES, shadow::DatGeom::Grid { pad, off });
         Dat {
             name: name.to_owned(),
             data: vec![T::zero(); pad[0] * pad[1] * pad[2]],
             pad,
             off,
+            sid,
         }
     }
 
@@ -58,6 +76,7 @@ impl<T: Real> Dat<T> {
                 }
             }
         }
+        shadow::mark_all_init(self.sid);
     }
 
     /// Dataset name.
@@ -69,6 +88,7 @@ impl<T: Real> Dat<T> {
     pub fn meta(&self) -> DatMeta {
         DatMeta {
             elem_bytes: T::BYTES,
+            id: self.sid,
         }
     }
 
@@ -102,6 +122,7 @@ impl<T: Real> Dat<T> {
             ptr: self.data.as_ptr(),
             pad: self.pad,
             off: self.off,
+            sid: self.sid,
             _marker: std::marker::PhantomData,
         }
     }
@@ -117,6 +138,7 @@ impl<T: Real> Dat<T> {
             ptr: self.data.as_mut_ptr(),
             pad: self.pad,
             off: self.off,
+            sid: self.sid,
             _marker: std::marker::PhantomData,
         }
     }
@@ -141,6 +163,7 @@ pub struct ReadView<'a, T> {
     ptr: *const T,
     pad: [usize; 3],
     off: [i64; 3],
+    sid: u32,
     _marker: std::marker::PhantomData<&'a [T]>,
 }
 
@@ -172,6 +195,9 @@ impl<T: Real> ReadView<'_, T> {
             self.pad
         );
         let idx = ((z as usize) * self.pad[1] + y as usize) * self.pad[0] + x as usize;
+        if self.sid != 0 {
+            shadow::record_read(self.sid, idx, self.pad[0] * self.pad[1] * self.pad[2]);
+        }
         // SAFETY: bounds checked above (debug) / guaranteed by the loop
         // ranges the DSL constructs (release).
         unsafe { *self.ptr.add(idx) }
@@ -201,6 +227,9 @@ impl<T: Real> ReadView<'_, T> {
             self.pad
         );
         let base = ((z as usize) * self.pad[1] + y as usize) * self.pad[0] + x as usize;
+        if self.sid != 0 {
+            shadow::record_read_span(self.sid, base, len, self.pad[0] * self.pad[1] * self.pad[2]);
+        }
         // SAFETY: the whole span is in the padded allocation (debug-checked
         // above, guaranteed by the DSL's ranges in release).
         unsafe { std::slice::from_raw_parts(self.ptr.add(base), len) }
@@ -213,6 +242,7 @@ pub struct WriteView<'a, T> {
     ptr: *mut T,
     pad: [usize; 3],
     off: [i64; 3],
+    sid: u32,
     _marker: std::marker::PhantomData<&'a mut [T]>,
 }
 
@@ -249,15 +279,23 @@ impl<T: Real> WriteView<'_, T> {
     /// Store `v` at (i, j, k).
     #[inline]
     pub fn set(&self, i: i64, j: i64, k: i64, v: T) {
+        let idx = self.index(i, j, k);
+        if self.sid != 0 {
+            shadow::record_write(self.sid, idx, self.pad[0] * self.pad[1] * self.pad[2]);
+        }
         // SAFETY: disjoint-write contract; bounds as in `index`.
-        unsafe { *self.ptr.add(self.index(i, j, k)) = v };
+        unsafe { *self.ptr.add(idx) = v };
     }
 
     /// Read back a value this loop wrote (read-write dats).
     #[inline]
     pub fn get(&self, i: i64, j: i64, k: i64) -> T {
+        let idx = self.index(i, j, k);
+        if self.sid != 0 {
+            shadow::record_read(self.sid, idx, self.pad[0] * self.pad[1] * self.pad[2]);
+        }
         // SAFETY: as `set`.
-        unsafe { *self.ptr.add(self.index(i, j, k)) }
+        unsafe { *self.ptr.add(idx) }
     }
 
     /// Mutable contiguous slice of one x-row, base index computed once
@@ -288,6 +326,10 @@ impl<T: Real> WriteView<'_, T> {
             self.pad
         );
         let base = ((z as usize) * self.pad[1] + y as usize) * self.pad[0] + x as usize;
+        if self.sid != 0 {
+            // A mutable span may be both read and written by the body.
+            shadow::record_write_span(self.sid, base, len, self.pad[0] * self.pad[1] * self.pad[2]);
+        }
         // SAFETY: span in bounds as above; exclusivity per the
         // disjoint-write contract documented on the method.
         unsafe { std::slice::from_raw_parts_mut(self.ptr.add(base), len) }

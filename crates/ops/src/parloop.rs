@@ -12,6 +12,7 @@ use parkit::global_pool;
 use sycl_sim::{
     AccessProfile, Kernel, KernelFootprint, KernelTraits, Precision, Session, StencilProfile,
 };
+use telemetry::shadow;
 
 /// Functional tile shape for `range` (execution only — the *modelled*
 /// work-group shape comes from the toolchain, so this choice never
@@ -37,7 +38,7 @@ pub struct ParLoop {
     range: Range3,
     reads: Vec<(DatMeta, Stencil)>,
     writes: Vec<DatMeta>,
-    rws: Vec<DatMeta>,
+    rws: Vec<(DatMeta, Stencil)>,
     flops_pp: f64,
     transc_pp: f64,
     traits: KernelTraits,
@@ -74,7 +75,16 @@ impl ParLoop {
 
     /// Declare a read-write argument (counted twice, per the paper).
     pub fn read_write(mut self, meta: DatMeta) -> Self {
-        self.rws.push(meta);
+        self.rws.push((meta, Stencil::point()));
+        self
+    }
+
+    /// Declare a read-write argument whose *reads* reach beyond the own
+    /// point (e.g. halo mirrors). The stencil informs the verifier only;
+    /// the priced footprint stays the paper's 2× rule for rw args and
+    /// the priced radius still comes from the read stencils alone.
+    pub fn read_write_stencil(mut self, meta: DatMeta, stencil: Stencil) -> Self {
+        self.rws.push((meta, stencil));
         self
     }
 
@@ -119,7 +129,7 @@ impl ParLoop {
         for m in &self.writes {
             bytes += pts * m.elem_bytes;
         }
-        for m in &self.rws {
+        for (m, _) in &self.rws {
             bytes += 2.0 * pts * m.elem_bytes;
         }
         let precision = if self
@@ -127,7 +137,7 @@ impl ParLoop {
             .iter()
             .map(|(m, _)| m.elem_bytes)
             .chain(self.writes.iter().map(|m| m.elem_bytes))
-            .chain(self.rws.iter().map(|m| m.elem_bytes))
+            .chain(self.rws.iter().map(|(m, _)| m.elem_bytes))
             .any(|b| b >= 8.0)
         {
             Precision::F64
@@ -157,6 +167,44 @@ impl ParLoop {
         k
     }
 
+    /// The declaration as the shadow-access checker sees it. Unlike the
+    /// priced radius, rw stencils *do* count here — the verifier checks
+    /// actual reads against what each argument individually declared.
+    fn loop_decl(&self) -> shadow::LoopDecl {
+        let mut args = Vec::with_capacity(self.reads.len() + self.writes.len() + self.rws.len());
+        for (m, s) in &self.reads {
+            args.push(shadow::ArgDecl {
+                dat: m.id,
+                access: shadow::Access::Read,
+                radius: s.radius,
+            });
+        }
+        for m in &self.writes {
+            args.push(shadow::ArgDecl {
+                dat: m.id,
+                access: shadow::Access::Write,
+                radius: [0; 3],
+            });
+        }
+        for (m, s) in &self.rws {
+            args.push(shadow::ArgDecl {
+                dat: m.id,
+                access: shadow::Access::ReadWrite,
+                radius: s.radius,
+            });
+        }
+        shadow::LoopDecl {
+            kernel: self.name.clone(),
+            structured: true,
+            lo: self.range.lo,
+            hi: self.range.hi,
+            args,
+            flops_pp: self.flops_pp,
+            transc_pp: self.transc_pp,
+            scheme: None,
+        }
+    }
+
     /// Price the launch on `session` and run `body` over parallel tiles.
     ///
     /// `body` receives sub-ranges that partition the loop range; it must
@@ -165,12 +213,23 @@ impl ParLoop {
         let kernel = self.kernel();
         let shape = exec_tile(&self.range);
         let tiles = self.range.tile_count(shape);
+        let shadowing = shadow::shadow_on() && session.executes();
+        if shadowing {
+            shadow::begin_loop(self.loop_decl());
+        }
         let range = self.range;
         session.launch(&kernel, || {
             if session.executes() {
-                global_pool().run_region(tiles, |_lane, t| body(range.tile(shape, t)));
+                global_pool().run_region(tiles, |_lane, t| {
+                    shadow::begin_unit();
+                    body(range.tile(shape, t));
+                    shadow::end_unit();
+                });
             }
         });
+        if shadowing {
+            shadow::end_loop();
+        }
     }
 
     /// The row-sliced fast path: price the launch and run `body` once
@@ -187,16 +246,25 @@ impl ParLoop {
         let kernel = self.kernel();
         let shape = exec_tile(&self.range);
         let tiles = self.range.tile_count(shape);
+        let shadowing = shadow::shadow_on() && session.executes();
+        if shadowing {
+            shadow::begin_loop(self.loop_decl());
+        }
         let range = self.range;
         session.launch(&kernel, || {
             if session.executes() {
                 global_pool().run_region(tiles, |_lane, t| {
+                    shadow::begin_unit();
                     for row in range.tile(shape, t).rows() {
                         body(row);
                     }
+                    shadow::end_unit();
                 });
             }
         });
+        if shadowing {
+            shadow::end_loop();
+        }
     }
 
     /// Like [`ParLoop::run`] but the loop also produces a reduction:
@@ -219,19 +287,30 @@ impl ParLoop {
         let bytes = kernel.footprint.effective_bytes;
         let shape = exec_tile(&self.range);
         let tiles = self.range.tile_count(shape);
+        let shadowing = shadow::shadow_on() && session.executes();
+        if shadowing {
+            shadow::begin_loop(self.loop_decl());
+        }
         let range = self.range;
         let name = self.name;
-        session.launch(&kernel, || {
+        let out = session.launch(&kernel, || {
             if !session.executes() {
                 return identity.clone();
             }
             let span = telemetry::SpanTimer::start();
             let out = global_pool().reduce_chunks(tiles, identity.clone(), &combine, |t| {
-                body(range.tile(shape, t))
+                shadow::begin_unit();
+                let partial = body(range.tile(shape, t));
+                shadow::end_unit();
+                partial
             });
             finish_reduce_span(span, &name, tiles, bytes);
             out
-        })
+        });
+        if shadowing {
+            shadow::end_loop();
+        }
+        out
     }
 
     /// Row-sliced reduction. `body` is a *fold*: it takes the tile's
@@ -254,23 +333,33 @@ impl ParLoop {
         let bytes = kernel.footprint.effective_bytes;
         let shape = exec_tile(&self.range);
         let tiles = self.range.tile_count(shape);
+        let shadowing = shadow::shadow_on() && session.executes();
+        if shadowing {
+            shadow::begin_loop(self.loop_decl());
+        }
         let range = self.range;
         let name = self.name;
-        session.launch(&kernel, || {
+        let out = session.launch(&kernel, || {
             if !session.executes() {
                 return identity.clone();
             }
             let span = telemetry::SpanTimer::start();
             let out = global_pool().reduce_chunks(tiles, identity.clone(), &combine, |t| {
+                shadow::begin_unit();
                 let mut acc = identity.clone();
                 for row in range.tile(shape, t).rows() {
                     acc = body(acc, row);
                 }
+                shadow::end_unit();
                 acc
             });
             finish_reduce_span(span, &name, tiles, bytes);
             out
-        })
+        });
+        if shadowing {
+            shadow::end_loop();
+        }
+        out
     }
 }
 

@@ -46,7 +46,7 @@ fn effective_bytes_rule() {
         let writes = rng.int(0, 3);
         let rws = rng.int(0, 3);
         let b = Block::new_2d(nx, ny, 1);
-        let meta = ops_dsl::DatMeta { elem_bytes: 8.0 };
+        let meta = ops_dsl::DatMeta::anon(8.0);
         let mut lp = ParLoop::new("k", b.interior());
         for _ in 0..reads {
             lp = lp.read(meta, Stencil::point());
@@ -69,7 +69,7 @@ fn footprints_scale_linearly() {
     for _ in 0..48 {
         let nx = rng.int(8, 128);
         let scale = rng.int(2, 5);
-        let meta = ops_dsl::DatMeta { elem_bytes: 8.0 };
+        let meta = ops_dsl::DatMeta::anon(8.0);
         let mk = |n: usize| {
             ParLoop::new("k", Block::new_2d(n, n, 1).interior())
                 .read(meta, Stencil::star_2d(1))
@@ -89,7 +89,7 @@ fn footprints_scale_linearly() {
 
 #[test]
 fn stencil_radii_merge() {
-    let meta = ops_dsl::DatMeta { elem_bytes: 8.0 };
+    let meta = ops_dsl::DatMeta::anon(8.0);
     for r1 in 0..4usize {
         for r2 in 0..4usize {
             for r3 in 0..4usize {

@@ -70,6 +70,7 @@ pub fn from_measurements(
                 sycl_sim::FailureKind::CompileError => "ICE",
                 sycl_sim::FailureKind::RuntimeCrash => "crash",
                 sycl_sim::FailureKind::IncorrectResult => "wrong",
+                sycl_sim::FailureKind::VerificationFailed => "verify",
             }),
             _ => HeatCell::Missing("?"),
         };

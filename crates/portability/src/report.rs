@@ -70,6 +70,7 @@ impl MeasCell {
                 FailureKind::CompileError => "ICE".to_owned(),
                 FailureKind::RuntimeCrash => "crash".to_owned(),
                 FailureKind::IncorrectResult => "wrong".to_owned(),
+                FailureKind::VerificationFailed => "verify".to_owned(),
             },
         }
     }

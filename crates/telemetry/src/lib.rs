@@ -39,6 +39,7 @@ pub mod counters;
 pub mod export;
 pub mod json;
 pub mod ring;
+pub mod shadow;
 
 pub use counters::{counters, CounterSnapshot, Counters};
 pub use ring::{flush, now_ns, Event, Name, SpanKind, SpanTimer};

@@ -1,0 +1,66 @@
+//! The plan validator: prove colouring plans conflict-free before (or
+//! without) running anything.
+//!
+//! These checks are *static* — they need only the plan and the mesh
+//! map, so fixtures and property tests can exercise them directly. The
+//! dynamic half (atomics loops whose shadow trace shows non-atomic RMW
+//! overlap, colour groups that still raced) flows through the shadow
+//! sink in `access.rs`, because it needs an instrumented run.
+
+use crate::{Diagnostic, Pass, Severity};
+use op2_dsl::{GlobalColoring, HierColoring, Map};
+
+/// Prove `coloring` conflict-free over `map`: no two edges of one
+/// colour may share a target vertex, or the colour group's unordered
+/// scatter loses an increment.
+pub fn check_global_coloring(
+    kernel: &str,
+    coloring: &GlobalColoring,
+    map: &Map,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if let Some((a, b, v)) = coloring.first_conflict(map) {
+        out.push(Diagnostic {
+            severity: Severity::Error,
+            kernel: kernel.to_owned(),
+            pass: Pass::Plan,
+            detail: format!(
+                "global colouring is not conflict-free: edges {a} and {b} \
+                 share a colour and both scatter to vertex {v}"
+            ),
+        });
+    }
+    out
+}
+
+/// Prove `coloring` conflict-free over `map` at both levels: blocks of
+/// one block-colour must not share vertices (they run concurrently),
+/// and inside each block no two edges of one intra-colour may share a
+/// vertex either.
+pub fn check_hier_coloring(kernel: &str, coloring: &HierColoring, map: &Map) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if let Some((a, b, v)) = coloring.first_block_conflict(map) {
+        out.push(Diagnostic {
+            severity: Severity::Error,
+            kernel: kernel.to_owned(),
+            pass: Pass::Plan,
+            detail: format!(
+                "hierarchical colouring is not conflict-free: blocks {a} and \
+                 {b} share a block colour and both touch vertex {v}"
+            ),
+        });
+    }
+    if let Some((a, b, v)) = coloring.first_intra_conflict(map) {
+        out.push(Diagnostic {
+            severity: Severity::Error,
+            kernel: kernel.to_owned(),
+            pass: Pass::Plan,
+            detail: format!(
+                "hierarchical colouring is not conflict-free inside a block: \
+                 edges {a} and {b} share an intra-block colour and both \
+                 scatter to vertex {v}"
+            ),
+        });
+    }
+    out
+}

@@ -1,0 +1,49 @@
+//! JSON rendering for verification results (`results/VERIFY_<app>.json`).
+
+use crate::{Diagnostic, Severity};
+use telemetry::json::JsonWriter;
+
+/// Counts by severity.
+pub fn tally(diags: &[Diagnostic]) -> (usize, usize, usize) {
+    let mut errors = 0;
+    let mut warnings = 0;
+    let mut infos = 0;
+    for d in diags {
+        match d.severity {
+            Severity::Error => errors += 1,
+            Severity::Warning => warnings += 1,
+            Severity::Info => infos += 1,
+        }
+    }
+    (errors, warnings, infos)
+}
+
+/// Write one app's verification result as an object:
+/// `{"app": ..., "errors": n, "warnings": n, "infos": n,
+///   "diagnostics": [{"severity", "pass", "kernel", "detail"}, ...]}`.
+pub fn write_app_report(w: &mut JsonWriter, app: &str, diags: &[Diagnostic]) {
+    let (errors, warnings, infos) = tally(diags);
+    w.begin_object();
+    w.key("app").string(app);
+    w.key("errors").int(errors as u64);
+    w.key("warnings").int(warnings as u64);
+    w.key("infos").int(infos as u64);
+    w.key("diagnostics").begin_array();
+    for d in diags {
+        w.begin_object();
+        w.key("severity").string(&d.severity.to_string());
+        w.key("pass").string(&d.pass.to_string());
+        w.key("kernel").string(&d.kernel);
+        w.key("detail").string(&d.detail);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+}
+
+/// Render a standalone single-app document.
+pub fn render_app_report(app: &str, diags: &[Diagnostic]) -> String {
+    let mut w = JsonWriter::new();
+    write_app_report(&mut w, app, diags);
+    w.finish()
+}

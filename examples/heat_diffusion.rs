@@ -22,7 +22,7 @@ fn heat_app(session: &Session, n: usize, steps: usize, nd: Option<[usize; 3]>) -
         }
     });
     let alpha = 0.2;
-    let meta = ops_dsl::DatMeta { elem_bytes: 8.0 };
+    let meta = ops_dsl::DatMeta::anon(8.0);
 
     // Upload once (free on CPUs, PCIe-priced on GPUs).
     session.transfer(2.0 * u.bytes());

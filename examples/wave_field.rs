@@ -23,7 +23,7 @@ fn main() {
     let c = (n / 2) as i64;
     curr.writer().set(c, c, c, 1.0);
 
-    let f32_meta = ops_dsl::DatMeta { elem_bytes: 4.0 };
+    let f32_meta = ops_dsl::DatMeta::anon(4.0);
     for _ in 0..steps {
         let p = curr.reader();
         let w = prev.writer();
