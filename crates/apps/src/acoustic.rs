@@ -7,7 +7,7 @@
 //! on the Ampere Altra (§4.2: "auto-vectorization did not work for SYCL
 //! - but it did for MPI/OpenMP").
 
-use crate::common::{alloc_block, summarise, App, AppRun};
+use crate::common::{alloc_block, phase_span, summarise, App, AppRun};
 use crate::rtm::LAP8;
 use ops_dsl::prelude::*;
 use sycl_sim::{quirks::apps, KernelTraits, Session};
@@ -77,9 +77,13 @@ impl App for Acoustic {
         };
 
         for it in 0..self.iterations {
-            halo.exchange(session, 1);
+            {
+                let _p = phase_span("halo_exchange");
+                halo.exchange(session, 1);
+            }
             // Continuous Ricker-style source injection (tiny loop).
             {
+                let _p = phase_span("inject_source");
                 let cm = curr.meta();
                 let w = curr.writer();
                 let amp = (1.0 - 0.1 * it as f32) * 0.5;
@@ -98,6 +102,7 @@ impl App for Acoustic {
             }
             // Leap-frog wave update.
             {
+                let _p = phase_span("acoustic_step");
                 let pm = prev.meta();
                 let p = curr.reader();
                 let v = speed.reader();
@@ -141,6 +146,7 @@ impl App for Acoustic {
             std::mem::swap(&mut prev, &mut curr);
         }
 
+        let _p = phase_span("energy");
         let validation = if session.executes() {
             let p = curr.reader();
             ParLoop::new("energy", interior)

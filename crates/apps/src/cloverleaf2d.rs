@@ -7,7 +7,7 @@
 //! paper uses to expose per-kernel overheads (§4.1/§4.2). Double
 //! precision, paper size 7680², 50 iterations.
 
-use crate::common::{alloc_block, summarise, App, AppRun};
+use crate::common::{alloc_block, phase_span, summarise, App, AppRun};
 use ops_dsl::prelude::*;
 use sycl_sim::{quirks::apps, Session};
 
@@ -130,6 +130,7 @@ impl App for CloverLeaf2d {
         for _ in 0..self.iterations {
             // -- ideal_gas: equation of state ---------------------------
             {
+                let _p = phase_span("ideal_gas");
                 let d = st.density.reader();
                 let e = st.energy.reader();
                 let (pm, sm) = (st.pressure.meta(), st.soundspeed.meta());
@@ -160,6 +161,7 @@ impl App for CloverLeaf2d {
             // -- viscosity: artificial viscous pressure (compression
             //    limiter on velocity gradients) -------------------------
             {
+                let _p = phase_span("viscosity");
                 let d = st.density.reader();
                 let u = st.xvel.reader();
                 let v = st.yvel.reader();
@@ -190,11 +192,15 @@ impl App for CloverLeaf2d {
             }
 
             // -- update_halo: reflective boundaries (the latency probe) --
-            update_halo(session, &logical, &mut st, nd);
-            halo.exchange(session, 6);
+            {
+                let _p = phase_span("update_halo");
+                update_halo(session, &logical, &mut st, nd);
+                halo.exchange(session, 6);
+            }
 
             // -- calc_dt: CFL reduction ----------------------------------
             let dt = {
+                let _p = phase_span("calc_dt");
                 let ss = st.soundspeed.reader();
                 let u = st.xvel.reader();
                 let v = st.yvel.reader();
@@ -220,6 +226,7 @@ impl App for CloverLeaf2d {
 
             // -- accelerate: pressure-gradient kick ----------------------
             {
+                let _p = phase_span("accelerate");
                 let p = st.pressure.reader();
                 let d = st.density.reader();
                 let (um, vm) = (st.xvel.meta(), st.yvel.meta());
@@ -245,6 +252,7 @@ impl App for CloverLeaf2d {
 
             // -- flux_calc: donor-cell face fluxes -----------------------
             {
+                let _p = phase_span("flux_calc");
                 let d = st.density.reader();
                 let u = st.xvel.reader();
                 let v = st.yvel.reader();
@@ -284,6 +292,7 @@ impl App for CloverLeaf2d {
 
             // -- advec_cell: conservative update -------------------------
             {
+                let _p = phase_span("advec_cell");
                 let fx = st.flux_x.reader();
                 let fy = st.flux_y.reader();
                 let dm = st.density.meta();
@@ -309,6 +318,7 @@ impl App for CloverLeaf2d {
             // -- advec_mom: momentum advection (two sweeps: work array
             //    then velocity update, as the real CloverLeaf does) ------
             {
+                let _p = phase_span("advec_mom");
                 let d = st.density.reader();
                 let u = st.xvel.reader();
                 let wm = st.work.meta();
@@ -356,10 +366,14 @@ impl App for CloverLeaf2d {
 
             // Post-advection halo refresh (the real CloverLeaf updates
             // halos again before the PdV stage).
-            update_halo(session, &logical, &mut st, nd);
+            {
+                let _p = phase_span("update_halo");
+                update_halo(session, &logical, &mut st, nd);
+            }
 
             // -- pdv: compression work -----------------------------------
             {
+                let _p = phase_span("pdv");
                 let p = st.pressure.reader();
                 let q = st.viscosity.reader();
                 let d = st.density.reader();
@@ -395,6 +409,7 @@ impl App for CloverLeaf2d {
         }
 
         // -- field_summary: conserved quantities -------------------------
+        let _p = phase_span("field_summary");
         if session.executes() {
             let d = st.density.reader();
             let e = st.energy.reader();

@@ -5,7 +5,7 @@
 //! boundary loops (7.8 % on the A100, 11.1 % on the MI250X) because the
 //! face-to-volume ratio is higher at 408³ than at 7680².
 
-use crate::common::{alloc_block, summarise, App, AppRun};
+use crate::common::{alloc_block, phase_span, summarise, App, AppRun};
 use ops_dsl::prelude::*;
 use sycl_sim::{quirks::apps, Session};
 
@@ -112,6 +112,7 @@ impl App for CloverLeaf3d {
         for _ in 0..self.iterations {
             // ideal_gas
             {
+                let _p = phase_span("ideal_gas");
                 let d = st.density.reader();
                 let e = st.energy.reader();
                 let (pm, sm) = (st.pressure.meta(), st.soundspeed.meta());
@@ -136,11 +137,15 @@ impl App for CloverLeaf3d {
             }
 
             // update_halo: six faces.
-            update_halo(session, &logical, &mut st, nd);
-            halo.exchange(session, 7);
+            {
+                let _p = phase_span("update_halo");
+                update_halo(session, &logical, &mut st, nd);
+                halo.exchange(session, 7);
+            }
 
             // calc_dt
             let dt = {
+                let _p = phase_span("calc_dt");
                 let ss = st.soundspeed.reader();
                 let u = st.vel[0].reader();
                 let local = ParLoop::new("calc_dt", interior)
@@ -161,6 +166,7 @@ impl App for CloverLeaf3d {
 
             // flux_calc per direction (faces interior to the domain only
             // ⇒ wall fluxes stay zero ⇒ exact conservation).
+            let flux_phase = phase_span("flux_calc");
             for dir in 0..3 {
                 let d = st.density.reader();
                 let v = st.vel[dir].reader();
@@ -190,11 +196,17 @@ impl App for CloverLeaf3d {
                     });
             }
 
+            drop(flux_phase);
+
             // Post-flux halo refresh (as the real CloverLeaf does).
-            update_halo(session, &logical, &mut st, nd);
+            {
+                let _p = phase_span("update_halo");
+                update_halo(session, &logical, &mut st, nd);
+            }
 
             // advec_cell: conservative density update.
             {
+                let _p = phase_span("advec_cell");
                 let fx = st.flux[0].reader();
                 let fy = st.flux[1].reader();
                 let fz = st.flux[2].reader();
@@ -220,6 +232,7 @@ impl App for CloverLeaf3d {
 
             // pdv: compression work on energy.
             {
+                let _p = phase_span("pdv");
                 let p = st.pressure.reader();
                 let d = st.density.reader();
                 let u = st.vel[0].reader();
@@ -252,6 +265,7 @@ impl App for CloverLeaf3d {
         }
 
         // field_summary
+        let _p = phase_span("field_summary");
         if session.executes() {
             let d = st.density.reader();
             validation = ParLoop::new("field_summary", interior)

@@ -9,7 +9,7 @@
 //! and compute the residual norm; restriction/prolongation sweeps move
 //! the state across the multigrid hierarchy.
 
-use crate::common::{summarise, App, AppRun};
+use crate::common::{phase_span, summarise, App, AppRun};
 use op2_dsl::parloop::ColoredMesh;
 use op2_dsl::prelude::*;
 use op2_dsl::DatU;
@@ -161,6 +161,7 @@ impl App for Mgcfd {
 
                 // -- compute_flux: the racy edge loop --------------------
                 {
+                    let _p = phase_span("compute_flux");
                     let lp = EdgeLoop::new("compute_flux", stats, scheme, Precision::F64)
                         .vertex_read(N_VARS)
                         .vertex_inc(N_VARS)
@@ -195,6 +196,7 @@ impl App for Mgcfd {
 
                 // -- time_step: apply and clear residuals ----------------
                 {
+                    let _p = phase_span("time_step");
                     let n = if functional {
                         lvl.q.set_size()
                     } else {
@@ -222,6 +224,7 @@ impl App for Mgcfd {
 
                 // -- restrict to the next level (injection) --------------
                 if l + 1 < levels.len() {
+                    let _p = phase_span("restrict");
                     let coarse_n = levels[l + 1].stats.n_vertices;
                     let ratio = (levels[l].stats.n_vertices / coarse_n.max(1)).max(1);
                     let lp = VertexLoop::new("restrict", coarse_n, Precision::F64)
@@ -256,6 +259,7 @@ impl App for Mgcfd {
 
             // -- residual norm on the finest level (reduction) -----------
             {
+                let _p = phase_span("residual_norm");
                 let stats = levels[0].stats;
                 let n = if functional {
                     levels[0].q.set_size()

@@ -18,7 +18,7 @@
 //! boundaries. Both variants implement *exactly* the same scheme, so
 //! their results must agree to the bit — which the test suite asserts.
 
-use crate::common::{alloc_block, summarise, App, AppRun};
+use crate::common::{alloc_block, phase_span, summarise, App, AppRun};
 use ops_dsl::prelude::*;
 use sycl_sim::{quirks::apps, KernelTraits, Session};
 
@@ -173,16 +173,20 @@ impl App for OpenSbli {
 
         for _ in 0..self.iterations {
             for stage in 0..3 {
-                for d in q.iter_mut() {
-                    Self::periodic_halo(session, &logical, d, nd);
+                {
+                    let _p = phase_span("periodic_halo");
+                    for d in q.iter_mut() {
+                        Self::periodic_halo(session, &logical, d, nd);
+                    }
+                    halo.exchange(session, N_VARS);
                 }
-                halo.exchange(session, N_VARS);
 
                 match self.variant {
                     SbliVariant::StoreAll => {
                         // Phase 1: three derivative sweeps per variable
                         // feeding a stored RHS (15 bandwidth-bound
                         // kernels per stage — the "store all" shape).
+                        let deriv_phase = phase_span("sa_deriv");
                         for v in 0..N_VARS {
                             // One sweep per direction accumulating into
                             // the RHS store; the first sweep initialises.
@@ -222,8 +226,10 @@ impl App for OpenSbli {
                                     });
                             }
                         }
+                        drop(deriv_phase);
                         // Phase 2: RK accumulate + state update from the
                         // stored RHS (5 cheap sweeps).
+                        let _p = phase_span("sa_rk_update");
                         for v in 0..N_VARS {
                             let (km, sm) = (qk[v].meta(), q[v].meta());
                             let r = rhs_store[v].reader();
@@ -250,6 +256,7 @@ impl App for OpenSbli {
                         // RHS on the fly and fold it into the RK
                         // accumulator (reads q, writes qk — race-free),
                         // then a point-wise state update.
+                        let fused_phase = phase_span("sn_fused");
                         for v in 0..N_VARS {
                             let km = qk[v].meta();
                             let src = q[v].reader();
@@ -273,6 +280,8 @@ impl App for OpenSbli {
                                     }
                                 });
                         }
+                        drop(fused_phase);
+                        let _p = phase_span("sn_update");
                         for v in 0..N_VARS {
                             let sm = q[v].meta();
                             let kview = qk[v].reader();
@@ -300,6 +309,7 @@ impl App for OpenSbli {
 
         // Validation: total of q0 (the scheme is conservative under
         // periodic boundaries).
+        let _p = phase_span("checksum");
         let validation = if session.executes() {
             let r = q[0].reader();
             ParLoop::new("checksum", interior)

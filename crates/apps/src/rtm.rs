@@ -6,7 +6,7 @@
 //! locality and vectorization" — in our model that is the radius-4 star
 //! whose tile footprint overwhelms the MI250X's 16 KB L1.
 
-use crate::common::{alloc_block, summarise, App, AppRun};
+use crate::common::{alloc_block, phase_span, summarise, App, AppRun};
 use ops_dsl::prelude::*;
 use sycl_sim::{quirks::apps, Session};
 
@@ -79,8 +79,12 @@ impl App for Rtm {
         }
 
         for _ in 0..self.iterations {
-            halo.exchange(session, 1);
             {
+                let _p = phase_span("halo_exchange");
+                halo.exchange(session, 1);
+            }
+            {
+                let _p = phase_span("wave_step");
                 let pm = prev.meta();
                 let p = curr.reader();
                 let v = vel.reader();
@@ -124,6 +128,7 @@ impl App for Rtm {
             std::mem::swap(&mut prev, &mut curr);
 
             // Sponge taper near the boundary (absorbing layer).
+            let _p = phase_span("taper");
             for dim in 0..3usize {
                 for side in [-1i64, 1] {
                     let range = logical.face(dim, side, 4);
@@ -147,6 +152,7 @@ impl App for Rtm {
 
         // Validation: wavefield energy (finite, non-zero once the source
         // has propagated).
+        let _p = phase_span("image_energy");
         let validation = if session.executes() {
             let p = curr.reader();
             ParLoop::new("image_energy", interior)

@@ -1,0 +1,829 @@
+//! `dashboard` — build the self-contained HTML performance dashboard.
+//!
+//! ```text
+//! dashboard [--apps <a,b,...>] [--platform <label>] [--out <path>] [--skip-study]
+//! ```
+//!
+//! * `--apps` — comma-separated list of apps to trace for the per-kernel
+//!   tables (default: all seven paper apps);
+//! * `--platform` — platform whose native toolchain the traced apps run
+//!   under (default `a100`);
+//! * `--out` — output path (default `results/DASHBOARD.html`);
+//! * `--skip-study` — omit the roofline scatter and portability heatmap
+//!   (skips the cross-product study; the trace tables and baseline
+//!   trajectory still render).
+//!
+//! The output is ONE html file with every byte inline — CSS, SVG charts
+//! and a small sorting script — so it can be attached to a CI run or
+//! mailed around and opened offline. Sections:
+//!
+//! 1. per-kernel wall/sim tables + counter deltas for each traced app;
+//! 2. achieved-bandwidth scatter against each platform's STREAM roof;
+//! 3. the portability (efficiency) heatmap and PP̄ table;
+//! 4. baseline trajectory across every stored `BENCH_*.json` manifest.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use bench_harness::{make_app, native_toolchain, APP_NAMES};
+use machine_model::Platform;
+use metrics::{stats, RunManifest};
+use portability::{
+    cpu_platforms, gpu_platforms, pennycook, structured_measurements, unstructured_measurements,
+    Measurement,
+};
+use sycl_sim::{PlatformId, Scheme, Session, SessionConfig};
+use telemetry::export::KernelAgg;
+use telemetry::{CounterSnapshot, TelemetryConfig};
+
+/// One traced application run feeding the per-kernel tables.
+struct AppTrace {
+    app: String,
+    platform: String,
+    toolchain: String,
+    sim_secs: f64,
+    validation: f64,
+    aggs: Vec<KernelAgg>,
+    delta: CounterSnapshot,
+}
+
+/// A manifest discovered on disk, tagged with where it came from.
+struct StoredManifest {
+    source: &'static str,
+    path: PathBuf,
+    manifest: RunManifest,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag_value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let skip_study = args.iter().any(|a| a == "--skip-study");
+    let platform = flag_value("--platform")
+        .and_then(|s| PlatformId::parse(&s))
+        .unwrap_or(PlatformId::A100);
+    let apps: Vec<String> = flag_value("--apps")
+        .map(|s| s.split(',').map(|a| a.trim().to_owned()).collect())
+        .unwrap_or_else(|| APP_NAMES.iter().map(|s| (*s).to_owned()).collect());
+    let out = flag_value("--out").unwrap_or_else(|| "results/DASHBOARD.html".to_owned());
+
+    for a in &apps {
+        if !APP_NAMES.contains(&a.as_str()) {
+            eprintln!("unknown app {a:?}; expected one of {APP_NAMES:?}");
+            std::process::exit(2);
+        }
+    }
+
+    let mut traces = Vec::new();
+    for a in &apps {
+        match trace_app(a, platform) {
+            Some(t) => traces.push(t),
+            None => eprintln!("note: {a} does not run on {}; skipped", platform.label()),
+        }
+    }
+
+    let study: Vec<(PlatformId, Vec<Measurement>)> = if skip_study {
+        Vec::new()
+    } else {
+        gpu_platforms()
+            .into_iter()
+            .chain(cpu_platforms())
+            .map(|p| {
+                let mut ms = structured_measurements(p);
+                ms.extend(unstructured_measurements(p));
+                (p, ms)
+            })
+            .collect()
+    };
+
+    let manifests = discover_manifests();
+
+    let html = render(&traces, &study, &manifests);
+    let path = Path::new(&out);
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("could not create {}: {e}", dir.display());
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Err(e) = std::fs::write(path, &html) {
+        eprintln!("could not write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "wrote {out} ({} traced apps, {} study platforms, {} stored manifests)",
+        traces.len(),
+        study.len(),
+        manifests.len()
+    );
+}
+
+/// Run one app (test size, functional) under telemetry and aggregate.
+fn trace_app(name: &str, platform: PlatformId) -> Option<AppTrace> {
+    let app = make_app(name, false)?;
+    let toolchain = native_toolchain(platform);
+    let mut cfg = SessionConfig::new(platform, toolchain).app(app.name());
+    if app.name() == "mgcfd" {
+        cfg = cfg.scheme(Scheme::Atomics);
+    }
+    let session = Session::create(cfg).ok()?;
+
+    TelemetryConfig::enabled().install();
+    let before = telemetry::counters().snapshot();
+    let run = app.run(&session);
+    let delta = telemetry::counters().snapshot().delta(&before);
+    TelemetryConfig::disabled().install();
+    let events = telemetry::flush();
+
+    Some(AppTrace {
+        app: name.to_owned(),
+        platform: platform.label().to_owned(),
+        toolchain: toolchain.label().to_owned(),
+        sim_secs: run.elapsed,
+        validation: run.validation,
+        aggs: telemetry::export::aggregate(&events),
+        delta,
+    })
+}
+
+/// Every parseable `BENCH_*.json` under `results/` and
+/// `results/baselines/`, oldest first.
+fn discover_manifests() -> Vec<StoredManifest> {
+    let mut out = Vec::new();
+    for (source, dir) in [("current", "results"), ("baseline", "results/baselines")] {
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if !name.starts_with("BENCH_") || !name.ends_with(".json") {
+                continue;
+            }
+            match RunManifest::load(&path) {
+                Ok(manifest) => out.push(StoredManifest {
+                    source,
+                    path,
+                    manifest,
+                }),
+                Err(e) => eprintln!("note: skipping unreadable manifest {}: {e}", path.display()),
+            }
+        }
+    }
+    out.sort_by_key(|m| (m.manifest.name.clone(), m.manifest.created_unix_secs));
+    out
+}
+
+/// Escape text for embedding in HTML bodies and attributes.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Colour for an efficiency fraction: red (0) through green (≥1).
+fn eff_colour(eff: f64) -> String {
+    let t = (eff / 1.1).clamp(0.0, 1.0);
+    let hue = 120.0 * t;
+    format!("hsl({hue:.0}, 70%, {:.0}%)", 88.0 - 38.0 * t)
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s == 0.0 {
+        "0".to_owned()
+    } else if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else {
+        format!("{:.1} µs", s * 1e6)
+    }
+}
+
+fn render(
+    traces: &[AppTrace],
+    study: &[(PlatformId, Vec<Measurement>)],
+    manifests: &[StoredManifest],
+) -> String {
+    let mut h = String::with_capacity(1 << 18);
+    h.push_str(HEAD);
+    let _ = write!(
+        h,
+        "<header><h1>sycl-sim performance dashboard</h1>\
+         <p class=\"meta\">git <code>{}</code> · generated at unix \
+         <span class=\"ts\" data-unix=\"{}\"></span> · self-contained, no network</p></header>",
+        esc(&metrics::manifest::git_rev()),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+    );
+
+    render_traces(&mut h, traces);
+    if !study.is_empty() {
+        render_roofline(&mut h, study);
+        render_heatmap(&mut h, study);
+    }
+    render_trajectory(&mut h, manifests);
+
+    h.push_str(SCRIPT);
+    h.push_str("</body></html>\n");
+    h
+}
+
+/// Section 1: per-kernel aggregates and counter deltas per traced app.
+fn render_traces(h: &mut String, traces: &[AppTrace]) {
+    h.push_str("<section><h2>Per-kernel aggregates (functional runs)</h2>");
+    if traces.is_empty() {
+        h.push_str("<p>No apps traced.</p></section>");
+        return;
+    }
+    for t in traces {
+        let _ = write!(
+            h,
+            "<details open><summary><b>{}</b> on {} ({}) — sim {}, validation {:.6e}</summary>",
+            esc(&t.app),
+            esc(&t.platform),
+            esc(&t.toolchain),
+            fmt_secs(t.sim_secs),
+            t.validation,
+        );
+        if t.delta.spans_dropped > 0 {
+            let _ = write!(
+                h,
+                "<p class=\"warn\">⚠ {} span(s) dropped by ring overwrite — \
+                 the aggregates below are incomplete</p>",
+                t.delta.spans_dropped
+            );
+        }
+        h.push_str(
+            "<table class=\"sortable\"><thead><tr><th>kernel</th><th>launches</th>\
+             <th>total wall</th><th>p50</th><th>p95</th><th>p99</th>\
+             <th>sim time</th><th>sim GB/s</th></tr></thead><tbody>",
+        );
+        for a in &t.aggs {
+            let _ = write!(
+                h,
+                "<tr><td>{}</td><td class=\"n\">{}</td><td class=\"n\" data-v=\"{}\">{}</td>\
+                 <td class=\"n\" data-v=\"{}\">{}</td><td class=\"n\" data-v=\"{}\">{}</td>\
+                 <td class=\"n\" data-v=\"{}\">{}</td><td class=\"n\" data-v=\"{}\">{}</td>\
+                 <td class=\"n\">{:.1}</td></tr>",
+                esc(&a.name),
+                a.count,
+                a.total_secs,
+                fmt_secs(a.total_secs),
+                a.p50_secs,
+                fmt_secs(a.p50_secs),
+                a.p95_secs,
+                fmt_secs(a.p95_secs),
+                a.p99_secs,
+                fmt_secs(a.p99_secs),
+                a.sim_secs,
+                fmt_secs(a.sim_secs),
+                a.sim_gbps(),
+            );
+        }
+        h.push_str("</tbody></table></details>");
+    }
+
+    h.push_str(
+        "<h3>Counter deltas per run</h3>\
+         <table><thead><tr><th>app</th><th>launches</th><th>cache hits</th>\
+         <th>cache misses</th><th>regions</th><th>steals</th><th>parks</th>\
+         <th>wakes</th><th>bytes moved</th><th>spans dropped</th></tr></thead><tbody>",
+    );
+    for t in traces {
+        let d = &t.delta;
+        let _ = write!(
+            h,
+            "<tr><td>{}</td><td class=\"n\">{}</td><td class=\"n\">{}</td>\
+             <td class=\"n\">{}</td><td class=\"n\">{}</td><td class=\"n\">{}</td>\
+             <td class=\"n\">{}</td><td class=\"n\">{}</td><td class=\"n\">{}</td>\
+             <td class=\"n\">{}</td></tr>",
+            esc(&t.app),
+            d.launches,
+            d.pricing_cache_hits,
+            d.pricing_cache_misses,
+            d.regions,
+            d.steals,
+            d.parks,
+            d.wakes,
+            d.bytes_moved,
+            d.spans_dropped,
+        );
+    }
+    h.push_str("</tbody></table></section>");
+}
+
+/// Section 2: achieved GB/s per (app, variant) against the STREAM roof.
+fn render_roofline(h: &mut String, study: &[(PlatformId, Vec<Measurement>)]) {
+    h.push_str(
+        "<section><h2>Achieved bandwidth vs STREAM roof</h2>\
+         <p>Each point is one (app, variant) configuration priced at paper size; \
+         the dashed line is the platform's STREAM-Triad roof (Table 1). \
+         Blue = native toolchain, orange = SYCL. Hover points for details.</p>\
+         <div class=\"panels\">",
+    );
+    const W: f64 = 380.0;
+    const H: f64 = 230.0;
+    const ML: f64 = 52.0;
+    const MR: f64 = 10.0;
+    const MT: f64 = 26.0;
+    const MB: f64 = 56.0;
+    for (pid, ms) in study {
+        let plat = Platform::get(*pid);
+        let roof = plat.mem.stream_bw / 1e9;
+        let y_max = roof * 1.18;
+        let apps: Vec<&str> = {
+            let mut v: Vec<&str> = Vec::new();
+            for m in ms {
+                if !v.contains(&m.app) {
+                    v.push(m.app);
+                }
+            }
+            v
+        };
+        let sx = |slot: f64| ML + (W - ML - MR) * slot;
+        let sy = |gbps: f64| MT + (H - MT - MB) * (1.0 - (gbps / y_max).clamp(0.0, 1.0));
+        let _ = write!(
+            h,
+            "<svg viewBox=\"0 0 {W} {H}\" role=\"img\">\
+             <text x=\"{}\" y=\"16\" class=\"title\">{}</text>\
+             <line x1=\"{ML}\" y1=\"{MT}\" x2=\"{ML}\" y2=\"{}\" class=\"axis\"/>\
+             <line x1=\"{ML}\" y1=\"{}\" x2=\"{}\" y2=\"{}\" class=\"axis\"/>",
+            W / 2.0,
+            esc(plat.name),
+            H - MB,
+            H - MB,
+            W - MR,
+            H - MB,
+        );
+        // Roof line + y ticks.
+        let _ = write!(
+            h,
+            "<line x1=\"{ML}\" y1=\"{0:.1}\" x2=\"{1}\" y2=\"{0:.1}\" class=\"roof\"/>\
+             <text x=\"{1}\" y=\"{2:.1}\" class=\"rooflab\" text-anchor=\"end\">roof {3:.0} GB/s</text>",
+            sy(roof),
+            W - MR,
+            sy(roof) - 4.0,
+            roof,
+        );
+        for frac in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let v = roof * frac;
+            let _ = write!(
+                h,
+                "<text x=\"{:.1}\" y=\"{:.1}\" class=\"tick\" text-anchor=\"end\">{v:.0}</text>",
+                ML - 4.0,
+                sy(v) + 3.0,
+            );
+        }
+        // X category labels.
+        for (i, app) in apps.iter().enumerate() {
+            let x = sx((i as f64 + 0.5) / apps.len() as f64);
+            let _ = write!(
+                h,
+                "<text x=\"{x:.1}\" y=\"{:.1}\" class=\"tick\" \
+                 transform=\"rotate(-35 {x:.1} {:.1})\" text-anchor=\"end\">{}</text>",
+                H - MB + 12.0,
+                H - MB + 12.0,
+                esc(app),
+            );
+        }
+        // Points.
+        for m in ms {
+            let (Ok(_), Some(eff)) = (&m.runtime, m.efficiency) else {
+                continue;
+            };
+            let slot = apps.iter().position(|a| *a == m.app).unwrap_or(0);
+            let vs = ms
+                .iter()
+                .filter(|x| x.app == m.app)
+                .position(|x| std::ptr::eq(x, m))
+                .unwrap_or(0);
+            let n_var = ms.iter().filter(|x| x.app == m.app).count().max(1);
+            let x = sx(
+                (slot as f64 + 0.18 + 0.64 * (vs as f64 + 0.5) / n_var as f64) / apps.len() as f64,
+            );
+            let gbps = eff * roof;
+            let class = if m.variant.is_native() {
+                "pnat"
+            } else {
+                "psyc"
+            };
+            let scheme = m.scheme.map(|s| format!(" [{s:?}]")).unwrap_or_default();
+            let _ = write!(
+                h,
+                "<circle cx=\"{x:.1}\" cy=\"{:.1}\" r=\"3.2\" class=\"{class}\">\
+                 <title>{} · {}{}: {gbps:.0} GB/s ({:.0}% of roof)</title></circle>",
+                sy(gbps),
+                esc(m.app),
+                esc(&m.variant.label()),
+                esc(&scheme),
+                eff * 100.0,
+            );
+        }
+        h.push_str("</svg>");
+    }
+    h.push_str("</div></section>");
+}
+
+/// Best (highest-efficiency) cell for (app, variant label) on a platform.
+fn best_cell<'m>(ms: &'m [Measurement], app: &str, variant: &str) -> Option<&'m Measurement> {
+    ms.iter()
+        .filter(|m| m.app == app && m.variant.label() == variant)
+        .max_by(|a, b| {
+            let ea = a.efficiency.unwrap_or(-1.0);
+            let eb = b.efficiency.unwrap_or(-1.0);
+            ea.partial_cmp(&eb).unwrap_or(std::cmp::Ordering::Equal)
+        })
+}
+
+/// Section 3: efficiency heatmap per platform + Pennycook PP̄ table.
+fn render_heatmap(h: &mut String, study: &[(PlatformId, Vec<Measurement>)]) {
+    h.push_str(
+        "<section><h2>Portability heatmap (achieved efficiency)</h2>\
+         <p>Efficiency = effective bandwidth / STREAM roof, per (app, variant); \
+         MG-CFD shows its best race-resolution scheme. Holes are failed or \
+         unsupported configurations, as in Figures 10–11.</p>",
+    );
+    for (pid, ms) in study {
+        let plat = Platform::get(*pid);
+        let variants: Vec<String> = {
+            let mut v = Vec::new();
+            for m in ms {
+                let l = m.variant.label();
+                if !v.contains(&l) {
+                    v.push(l);
+                }
+            }
+            v
+        };
+        let apps: Vec<&str> = {
+            let mut v: Vec<&str> = Vec::new();
+            for m in ms {
+                if !v.contains(&m.app) {
+                    v.push(m.app);
+                }
+            }
+            v
+        };
+        let _ = write!(
+            h,
+            "<h3>{}</h3><table class=\"heat\"><thead><tr><th></th>",
+            esc(plat.name)
+        );
+        for v in &variants {
+            let _ = write!(h, "<th>{}</th>", esc(v));
+        }
+        h.push_str("</tr></thead><tbody>");
+        for app in &apps {
+            let _ = write!(h, "<tr><td>{}</td>", esc(app));
+            for v in &variants {
+                match best_cell(ms, app, v) {
+                    Some(m) => match (&m.runtime, m.efficiency) {
+                        (Ok(_), Some(eff)) => {
+                            let _ = write!(
+                                h,
+                                "<td class=\"n\" style=\"background:{}\">{:.0}%</td>",
+                                eff_colour(eff),
+                                eff * 100.0,
+                            );
+                        }
+                        (Err(k), _) => {
+                            let _ = write!(h, "<td class=\"hole\">{k:?}</td>");
+                        }
+                        _ => h.push_str("<td class=\"hole\">?</td>"),
+                    },
+                    None => h.push_str("<td class=\"hole\">-</td>"),
+                }
+            }
+            h.push_str("</tr>");
+        }
+        h.push_str("</tbody></table>");
+    }
+
+    // PP̄ across the full platform set, per app: best-native vs best-SYCL.
+    h.push_str(
+        "<h3>Pennycook PP̄ across all six platforms</h3>\
+         <table><thead><tr><th>app</th><th>best native</th><th>best SYCL</th></tr></thead><tbody>",
+    );
+    let apps: Vec<&str> = {
+        let mut v: Vec<&str> = Vec::new();
+        for (_, ms) in study {
+            for m in ms {
+                if !v.contains(&m.app) {
+                    v.push(m.app);
+                }
+            }
+        }
+        v
+    };
+    for app in &apps {
+        let best = |native: bool| -> Vec<Option<f64>> {
+            study
+                .iter()
+                .map(|(_, ms)| {
+                    ms.iter()
+                        .filter(|m| m.app == *app && m.variant.is_native() == native)
+                        .filter_map(|m| m.efficiency)
+                        .fold(None, |acc: Option<f64>, e| {
+                            Some(acc.map_or(e, |a| a.max(e)))
+                        })
+                })
+                .collect()
+        };
+        let fmt_pp = |effs: Vec<Option<f64>>| {
+            let pp = pennycook(&effs, false);
+            if pp == 0.0 {
+                "—".to_owned()
+            } else {
+                format!("{:.0}%", pp * 100.0)
+            }
+        };
+        let _ = write!(
+            h,
+            "<tr><td>{}</td><td class=\"n\">{}</td><td class=\"n\">{}</td></tr>",
+            esc(app),
+            fmt_pp(best(true)),
+            fmt_pp(best(false)),
+        );
+    }
+    h.push_str("</tbody></table></section>");
+}
+
+/// Section 4: trajectory of per-kernel medians across stored manifests.
+fn render_trajectory(h: &mut String, manifests: &[StoredManifest]) {
+    h.push_str("<section><h2>Baseline trajectory</h2>");
+    if manifests.is_empty() {
+        h.push_str(
+            "<p>No <code>BENCH_*.json</code> manifests found under <code>results/</code> — \
+             run <code>bench_gate --quick --bless</code> to create baselines.</p></section>",
+        );
+        return;
+    }
+
+    h.push_str(
+        "<table><thead><tr><th>manifest</th><th>source</th><th>git</th><th>platform</th>\
+         <th>threads</th><th>reps</th><th>kernels</th><th>created</th></tr></thead><tbody>",
+    );
+    for sm in manifests {
+        let m = &sm.manifest;
+        let _ = write!(
+            h,
+            "<tr><td>{}</td><td>{}</td><td><code>{}</code></td><td>{}</td>\
+             <td class=\"n\">{}</td><td class=\"n\">{}</td><td class=\"n\">{}</td>\
+             <td><span class=\"ts\" data-unix=\"{}\"></span></td></tr>",
+            esc(&m.name),
+            sm.source,
+            esc(&m.git_rev),
+            esc(&m.platform),
+            m.threads,
+            m.repetitions,
+            m.kernels.len(),
+            m.created_unix_secs,
+        );
+    }
+    h.push_str("</tbody></table>");
+
+    // One chart per manifest name with ≥2 snapshots; otherwise a note.
+    let mut names: Vec<&str> = Vec::new();
+    for sm in manifests {
+        if !names.contains(&sm.manifest.name.as_str()) {
+            names.push(&sm.manifest.name);
+        }
+    }
+    for name in names {
+        let snaps: Vec<&StoredManifest> = manifests
+            .iter()
+            .filter(|m| m.manifest.name == name)
+            .collect();
+        let _ = write!(h, "<h3>{}</h3>", esc(name));
+        if snaps.len() < 2 {
+            let _ = write!(
+                h,
+                "<p>Only one snapshot stored ({}); the trajectory grows as baselines \
+                 are re-blessed over time.</p>",
+                esc(&snaps[0].path.display().to_string()),
+            );
+            render_snapshot_bars(h, snaps[0]);
+            continue;
+        }
+        render_trajectory_chart(h, &snaps);
+    }
+    h.push_str("</section>");
+}
+
+/// Horizontal bars of per-kernel medians for a single snapshot.
+fn render_snapshot_bars(h: &mut String, sm: &StoredManifest) {
+    let mut rows: Vec<(&str, f64)> = sm
+        .manifest
+        .kernels
+        .iter()
+        .map(|k| (k.name.as_str(), stats::median(&k.samples)))
+        .collect();
+    rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    rows.truncate(12);
+    let max = rows.first().map(|r| r.1).unwrap_or(0.0).max(1e-12);
+    h.push_str("<table class=\"bars\"><tbody>");
+    for (name, med) in rows {
+        let _ = write!(
+            h,
+            "<tr><td>{}</td><td class=\"n\">{}</td>\
+             <td class=\"barcell\"><div class=\"bar\" style=\"width:{:.1}%\"></div></td></tr>",
+            esc(name),
+            fmt_secs(med),
+            (med / max * 100.0).clamp(0.5, 100.0),
+        );
+    }
+    h.push_str("</tbody></table>");
+}
+
+/// Line chart of per-kernel medians, normalised to the first snapshot.
+fn render_trajectory_chart(h: &mut String, snaps: &[&StoredManifest]) {
+    const W: f64 = 760.0;
+    const H: f64 = 260.0;
+    const ML: f64 = 46.0;
+    const MR: f64 = 170.0;
+    const MT: f64 = 14.0;
+    const MB: f64 = 34.0;
+    const PALETTE: [&str; 8] = [
+        "#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd", "#8c564b", "#e377c2", "#17becf",
+    ];
+
+    // Kernels present in the first snapshot, largest medians first.
+    let first = &snaps[0].manifest;
+    let mut kernels: Vec<&str> = first.kernels.iter().map(|k| k.name.as_str()).collect();
+    kernels.sort_by(|a, b| {
+        let med = |n: &str| {
+            first
+                .kernel(n)
+                .map(|k| stats::median(&k.samples))
+                .unwrap_or(0.0)
+        };
+        med(b)
+            .partial_cmp(&med(a))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    kernels.truncate(PALETTE.len());
+
+    // Series of (snapshot index, ratio-vs-first).
+    let mut series: Vec<(&str, Vec<(usize, f64)>)> = Vec::new();
+    let mut y_lo: f64 = 0.9;
+    let mut y_hi: f64 = 1.1;
+    for name in &kernels {
+        let base = first
+            .kernel(name)
+            .map(|k| stats::median(&k.samples))
+            .unwrap_or(0.0);
+        if base <= 0.0 {
+            continue;
+        }
+        let pts: Vec<(usize, f64)> = snaps
+            .iter()
+            .enumerate()
+            .filter_map(|(i, sm)| {
+                sm.manifest
+                    .kernel(name)
+                    .map(|k| (i, stats::median(&k.samples) / base))
+            })
+            .collect();
+        for &(_, r) in &pts {
+            y_lo = y_lo.min(r);
+            y_hi = y_hi.max(r);
+        }
+        series.push((name, pts));
+    }
+    y_lo = (y_lo - 0.05).max(0.0);
+    y_hi += 0.05;
+
+    let sx = |i: usize| ML + (W - ML - MR) * (i as f64 + 0.5) / snaps.len() as f64;
+    let sy = |r: f64| MT + (H - MT - MB) * (1.0 - (r - y_lo) / (y_hi - y_lo));
+
+    let _ = write!(
+        h,
+        "<svg viewBox=\"0 0 {W} {H}\" role=\"img\">\
+         <line x1=\"{ML}\" y1=\"{MT}\" x2=\"{ML}\" y2=\"{0}\" class=\"axis\"/>\
+         <line x1=\"{ML}\" y1=\"{0}\" x2=\"{1}\" y2=\"{0}\" class=\"axis\"/>\
+         <line x1=\"{ML}\" y1=\"{2:.1}\" x2=\"{1}\" y2=\"{2:.1}\" class=\"roof\"/>\
+         <text x=\"{3:.1}\" y=\"{4:.1}\" class=\"tick\" text-anchor=\"end\">1.00×</text>",
+        H - MB,
+        W - MR,
+        sy(1.0),
+        ML - 4.0,
+        sy(1.0) + 3.0,
+    );
+    for (i, sm) in snaps.iter().enumerate() {
+        let _ = write!(
+            h,
+            "<text x=\"{:.1}\" y=\"{:.1}\" class=\"tick\" text-anchor=\"middle\">{} ({})</text>",
+            sx(i),
+            H - MB + 14.0,
+            esc(&sm.manifest.git_rev),
+            sm.source,
+        );
+    }
+    for (si, (name, pts)) in series.iter().enumerate() {
+        let colour = PALETTE[si % PALETTE.len()];
+        let mut d = String::new();
+        for &(i, r) in pts {
+            let _ = write!(d, "{:.1},{:.1} ", sx(i), sy(r));
+        }
+        let _ = write!(
+            h,
+            "<polyline points=\"{}\" fill=\"none\" stroke=\"{colour}\" stroke-width=\"1.6\"/>",
+            d.trim_end(),
+        );
+        for &(i, r) in pts {
+            let _ = write!(
+                h,
+                "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"2.6\" fill=\"{colour}\">\
+                 <title>{}: {r:.3}× vs first snapshot</title></circle>",
+                sx(i),
+                sy(r),
+                esc(name),
+            );
+        }
+        let _ = write!(
+            h,
+            "<text x=\"{:.1}\" y=\"{:.1}\" class=\"leg\" fill=\"{colour}\">{}</text>",
+            W - MR + 8.0,
+            MT + 12.0 + 13.0 * si as f64,
+            esc(name),
+        );
+    }
+    h.push_str("</svg>");
+}
+
+const HEAD: &str = r#"<!DOCTYPE html>
+<html lang="en"><head><meta charset="utf-8">
+<title>sycl-sim performance dashboard</title>
+<style>
+body { font: 13px/1.45 system-ui, sans-serif; margin: 1.2rem 2rem; color: #1c2330; }
+h1 { font-size: 1.3rem; margin: 0; }
+h2 { font-size: 1.05rem; border-bottom: 1px solid #d5dbe4; padding-bottom: .25rem; margin-top: 1.6rem; }
+h3 { font-size: .92rem; margin: 1rem 0 .3rem; }
+.meta { color: #5a6575; margin: .2rem 0 0; }
+code { background: #f0f2f6; padding: 0 .25em; border-radius: 3px; }
+table { border-collapse: collapse; margin: .4rem 0 .8rem; }
+th, td { border: 1px solid #d5dbe4; padding: .18rem .5rem; text-align: left; }
+th { background: #f0f2f6; cursor: pointer; user-select: none; }
+td.n { text-align: right; font-variant-numeric: tabular-nums; }
+td.hole { background: #eceef2; color: #8a93a1; text-align: center; font-size: .82em; }
+.warn { background: #fff3cd; border: 1px solid #e5c75a; padding: .3rem .6rem; border-radius: 4px; }
+.panels { display: flex; flex-wrap: wrap; gap: .6rem; }
+.panels svg { width: 380px; height: 230px; }
+svg { background: #fbfcfe; border: 1px solid #d5dbe4; border-radius: 4px; }
+svg .axis { stroke: #7a8494; stroke-width: 1; }
+svg .roof { stroke: #c0392b; stroke-width: 1; stroke-dasharray: 5 3; }
+svg .rooflab { fill: #c0392b; font-size: 9px; }
+svg .title { font-size: 11px; font-weight: 600; text-anchor: middle; fill: #1c2330; }
+svg .tick { font-size: 8.5px; fill: #5a6575; }
+svg .leg { font-size: 9.5px; }
+svg .pnat { fill: #1f77b4; opacity: .85; }
+svg .psyc { fill: #ff7f0e; opacity: .85; }
+details summary { margin: .5rem 0 .2rem; }
+.bars td { border: none; padding: .08rem .5rem; }
+.barcell { width: 340px; }
+.bar { background: #6699cc; height: .65rem; border-radius: 2px; }
+</style></head><body>
+"#;
+
+const SCRIPT: &str = r#"<script>
+// Render unix timestamps in the reader's locale.
+for (const el of document.querySelectorAll('.ts')) {
+  const s = Number(el.dataset.unix);
+  el.textContent = s ? new Date(s * 1000).toISOString().replace('T', ' ').slice(0, 19) + 'Z' : '?';
+}
+// Click-to-sort for kernel tables: numeric via data-v, else text.
+for (const th of document.querySelectorAll('table.sortable th')) {
+  th.addEventListener('click', () => {
+    const table = th.closest('table');
+    const idx = [...th.parentNode.children].indexOf(th);
+    const dir = th.dataset.dir === 'asc' ? -1 : 1;
+    th.dataset.dir = dir === 1 ? 'asc' : 'desc';
+    const rows = [...table.tBodies[0].rows];
+    rows.sort((a, b) => {
+      const [ca, cb] = [a.cells[idx], b.cells[idx]];
+      const [va, vb] = [ca.dataset.v ?? ca.textContent, cb.dataset.v ?? cb.textContent];
+      const [na, nb] = [parseFloat(va), parseFloat(vb)];
+      return (isNaN(na) || isNaN(nb)) ? dir * va.localeCompare(vb) : dir * (na - nb);
+    });
+    rows.forEach(r => table.tBodies[0].appendChild(r));
+  });
+}
+</script>
+"#;

@@ -19,9 +19,12 @@
 //!   lane-pinned determinism and cache affinity, not raw speed here.
 //!
 //! Results (GB/s of bytes actually moved, launches/sec, speedup) print
-//! as a table and are appended-by-overwrite to `results/BENCH_engine.json`.
+//! as a table, and the run is persisted as a `sycl-metrics` manifest at
+//! `results/BENCH_engine.json` — per-entry repetition samples, wall
+//! summaries and the engine counter delta — which is what `bench_gate`
+//! compares against the committed baseline.
 
-use bench_harness::json::JsonWriter;
+use metrics::{Histogram, KernelSummary, RunManifest};
 use op2_dsl::color::HierColoring;
 use op2_dsl::mesh::{Mesh, Ordering};
 use op2_dsl::DatU;
@@ -29,23 +32,35 @@ use ops_dsl::prelude::*;
 use parkit::Schedule;
 use std::time::Instant;
 use sycl_sim::{PlatformId, Session, SessionConfig, Toolchain};
+use telemetry::TelemetryConfig;
 
 /// One measured engine configuration for one kernel class.
 struct Entry {
     class: &'static str,
     phase: &'static str,
-    seconds: f64,
+    /// Per-repetition wall-clock seconds of one workload pass.
+    samples: Vec<f64>,
     bytes_moved: f64,
     launches: usize,
 }
 
 impl Entry {
+    /// Best (minimum) repetition.
+    fn seconds(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
     fn gbps(&self) -> f64 {
-        self.bytes_moved / self.seconds / 1e9
+        self.bytes_moved / self.seconds() / 1e9
     }
 
     fn launches_per_sec(&self) -> f64 {
-        self.launches as f64 / self.seconds
+        self.launches as f64 / self.seconds()
+    }
+
+    /// `class/phase`, the name the gate matches kernels by.
+    fn key(&self) -> String {
+        format!("{}/{}", self.class, self.phase)
     }
 }
 
@@ -55,15 +70,15 @@ fn session(cached: bool) -> Session {
     Session::create(cfg).unwrap()
 }
 
-/// Best-of-`samples` wall-clock for `f` (one run = one workload pass).
-fn time_best(samples: usize, mut f: impl FnMut()) -> f64 {
-    let mut best = f64::INFINITY;
-    for _ in 0..samples {
-        let t0 = Instant::now();
-        f();
-        best = best.min(t0.elapsed().as_secs_f64());
-    }
-    best
+/// Wall-clock of `samples` repetitions of `f` (one run = one pass).
+fn time_samples(samples: usize, mut f: impl FnMut()) -> Vec<f64> {
+    (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect()
 }
 
 /// Repeated-launch star-1 stencil: the workload the pricing cache and
@@ -78,7 +93,7 @@ fn stencil_class(n: usize, launches: usize, samples: usize) -> (Entry, Entry, f6
     // 1 dat read + 1 written per launch.
     let bytes = launches as f64 * (n * n) as f64 * 8.0 * 2.0;
 
-    let baseline = time_best(samples, || {
+    let baseline = time_samples(samples, || {
         let s = session(false);
         for it in 0..launches {
             let (src, dst) = if it % 2 == 0 {
@@ -105,7 +120,7 @@ fn stencil_class(n: usize, launches: usize, samples: usize) -> (Entry, Entry, f6
         }
     });
 
-    let fast = time_best(samples, || {
+    let fast = time_samples(samples, || {
         let s = session(true);
         for it in 0..launches {
             let (src, dst) = if it % 2 == 0 {
@@ -132,22 +147,24 @@ fn stencil_class(n: usize, launches: usize, samples: usize) -> (Entry, Entry, f6
         }
     });
 
+    let speedup = baseline.iter().copied().fold(f64::INFINITY, f64::min)
+        / fast.iter().copied().fold(f64::INFINITY, f64::min);
     (
         Entry {
             class: "stencil",
             phase: "baseline",
-            seconds: baseline,
+            samples: baseline,
             bytes_moved: bytes,
             launches,
         },
         Entry {
             class: "stencil",
             phase: "fast",
-            seconds: fast,
+            samples: fast,
             bytes_moved: bytes,
             launches,
         },
-        baseline / fast,
+        speedup,
     )
 }
 
@@ -161,7 +178,7 @@ fn reduce_class(n: usize, launches: usize, samples: usize) -> (Entry, Entry, f64
     let bytes = launches as f64 * (n * n) as f64 * 8.0;
 
     let mut sink = 0.0f64;
-    let baseline = time_best(samples, || {
+    let baseline = time_samples(samples, || {
         let s = session(false);
         for _ in 0..launches {
             sink += ParLoop::new("sum", interior)
@@ -181,7 +198,7 @@ fn reduce_class(n: usize, launches: usize, samples: usize) -> (Entry, Entry, f64
         }
     });
     let mut sink2 = 0.0f64;
-    let fast = time_best(samples, || {
+    let fast = time_samples(samples, || {
         let s = session(true);
         for _ in 0..launches {
             sink2 += ParLoop::new("sum", interior)
@@ -205,22 +222,24 @@ fn reduce_class(n: usize, launches: usize, samples: usize) -> (Entry, Entry, f64
         (sink2 / sink2.round().max(1.0)).is_finite()
     );
 
+    let speedup = baseline.iter().copied().fold(f64::INFINITY, f64::min)
+        / fast.iter().copied().fold(f64::INFINITY, f64::min);
     (
         Entry {
             class: "reduce",
             phase: "baseline",
-            seconds: baseline,
+            samples: baseline,
             bytes_moved: bytes,
             launches,
         },
         Entry {
             class: "reduce",
             phase: "fast",
-            seconds: fast,
+            samples: fast,
             bytes_moved: bytes,
             launches,
         },
-        baseline / fast,
+        speedup,
     )
 }
 
@@ -238,7 +257,7 @@ fn indirect_class(passes: usize, samples: usize) -> (Entry, Entry, f64) {
     let run_with = |sched: Schedule| {
         let mut out = DatU::<f64>::zeroed("deg", mesh.n_vertices, 1);
         let acc = out.accum(false);
-        time_best(samples, || {
+        time_samples(samples, || {
             for _ in 0..passes {
                 for group in &coloring.blocks_by_color {
                     pool.run_region_sched(group.len(), sched, |_lane, gi| {
@@ -255,47 +274,58 @@ fn indirect_class(passes: usize, samples: usize) -> (Entry, Entry, f64) {
     let dynamic = run_with(Schedule::Dynamic);
     let static_ = run_with(Schedule::Static);
 
+    let speedup = static_.iter().copied().fold(f64::INFINITY, f64::min)
+        / dynamic.iter().copied().fold(f64::INFINITY, f64::min);
     (
         Entry {
             class: "indirect",
             phase: "dynamic",
-            seconds: dynamic,
+            samples: dynamic,
             bytes_moved: bytes,
             launches,
         },
         Entry {
             class: "indirect",
             phase: "static",
-            seconds: static_,
+            samples: static_,
             bytes_moved: bytes,
             launches,
         },
-        static_ / dynamic,
+        speedup,
     )
 }
 
-fn json(entries: &[Entry], speedups: &[(&str, f64)]) -> String {
-    let mut w = JsonWriter::new();
-    w.begin_object();
-    w.key("bench").string("engine");
-    w.key("entries").begin_array();
-    for e in entries {
-        w.begin_object();
-        w.key("kernel_class").string(e.class);
-        w.key("phase").string(e.phase);
-        w.key("seconds").number(e.seconds);
-        w.key("gbps").number(e.gbps());
-        w.key("launches_per_sec").number(e.launches_per_sec());
-        w.end_object();
+/// Persist the run as a `sycl-metrics` manifest.
+fn manifest(entries: &[Entry], reps: u32, counters: telemetry::CounterSnapshot) -> RunManifest {
+    let kernels = entries
+        .iter()
+        .map(|e| {
+            let mut h = Histogram::new();
+            for &s in &e.samples {
+                h.record(s);
+            }
+            KernelSummary {
+                name: e.key(),
+                wall: h.summary(),
+                samples: e.samples.clone(),
+                sim_secs: 0.0,
+                bytes: e.bytes_moved,
+                gbps: e.gbps(),
+            }
+        })
+        .collect();
+    RunManifest {
+        name: "engine".to_owned(),
+        git_rev: metrics::manifest::git_rev(),
+        platform: "host-wall".to_owned(),
+        threads: std::thread::available_parallelism().map_or(1, |n| n.get() as u32),
+        repetitions: reps,
+        created_unix_secs: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_secs()),
+        kernels,
+        counters,
     }
-    w.end_array();
-    w.key("speedup").begin_object();
-    for (class, sp) in speedups {
-        w.key(class).number(*sp);
-    }
-    w.end_object();
-    w.end_object();
-    w.finish()
 }
 
 fn main() {
@@ -318,9 +348,19 @@ fn main() {
         40
     };
 
+    // Counters only bump with telemetry enabled; the overhead (one
+    // relaxed add per site, one ring push per span) is identical for
+    // the baseline and fast phases, so speedups are unaffected.
+    TelemetryConfig::enabled().install();
+    let before = telemetry::counters().snapshot();
+
     let (sb, sf, s_sp) = stencil_class(n, launches, samples);
     let (rb, rf, r_sp) = reduce_class(n, launches, samples);
     let (ib, if_, i_sp) = indirect_class(passes, samples);
+
+    let delta = telemetry::counters().snapshot().delta(&before);
+    TelemetryConfig::disabled().install();
+    telemetry::flush(); // drop the trace; this bench keeps counters only
 
     let entries = [sb, sf, rb, rf, ib, if_];
     println!(
@@ -332,7 +372,7 @@ fn main() {
             "{:10} {:9} {:>10.4} {:>9.2} {:>14.0}",
             e.class,
             e.phase,
-            e.seconds,
+            e.seconds(),
             e.gbps(),
             e.launches_per_sec()
         );
@@ -345,9 +385,17 @@ fn main() {
     for (class, sp) in &speedups {
         println!("speedup[{class}] = {sp:.2}x");
     }
+    println!(
+        "counters: {} launches, cache {} hits / {} misses, {} regions, {} steals",
+        delta.launches,
+        delta.pricing_cache_hits,
+        delta.pricing_cache_misses,
+        delta.regions,
+        delta.steals,
+    );
 
-    let out = json(&entries, &speedups);
-    match bench_harness::json::write_results_file("BENCH_engine.json", &out) {
+    let m = manifest(&entries, samples as u32, delta);
+    match bench_harness::json::write_results_file("BENCH_engine.json", &(m.to_json() + "\n")) {
         Ok(path) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write results/BENCH_engine.json: {e}"),
     }

@@ -22,41 +22,9 @@
 //! top-level keys carry the aggregate table and the engine counters.
 
 use bench_harness::json::{validate, write_results_file, JsonWriter};
-use miniapps::{Acoustic, App, CloverLeaf2d, CloverLeaf3d, Mgcfd, OpenSbli, Rtm, SbliVariant};
-use sycl_sim::{PlatformId, Scheme, Session, SessionConfig, Toolchain};
+use bench_harness::{make_app, native_toolchain};
+use sycl_sim::{PlatformId, Scheme, Session, SessionConfig};
 use telemetry::TelemetryConfig;
-
-/// The platform's best native toolchain (the Table-1 pairing).
-fn native_toolchain(p: PlatformId) -> Toolchain {
-    match p {
-        PlatformId::A100 => Toolchain::NativeCuda,
-        PlatformId::Mi250x => Toolchain::NativeHip,
-        PlatformId::Max1100 => Toolchain::Dpcpp,
-        PlatformId::Xeon8360Y | PlatformId::GenoaX => Toolchain::MpiOpenMp,
-        PlatformId::Altra => Toolchain::OpenMp,
-    }
-}
-
-/// Instantiate `name` at paper or test size.
-fn make_app(name: &str, paper: bool) -> Option<Box<dyn App>> {
-    Some(match (name, paper) {
-        ("cloverleaf2d", true) => Box::new(CloverLeaf2d::paper()),
-        ("cloverleaf2d", false) => Box::new(CloverLeaf2d::test()),
-        ("cloverleaf3d", true) => Box::new(CloverLeaf3d::paper()),
-        ("cloverleaf3d", false) => Box::new(CloverLeaf3d::test()),
-        ("opensbli_sa", true) => Box::new(OpenSbli::paper(SbliVariant::StoreAll)),
-        ("opensbli_sa", false) => Box::new(OpenSbli::test(SbliVariant::StoreAll)),
-        ("opensbli_sn", true) => Box::new(OpenSbli::paper(SbliVariant::StoreNone)),
-        ("opensbli_sn", false) => Box::new(OpenSbli::test(SbliVariant::StoreNone)),
-        ("rtm", true) => Box::new(Rtm::paper()),
-        ("rtm", false) => Box::new(Rtm::test()),
-        ("acoustic", true) => Box::new(Acoustic::paper()),
-        ("acoustic", false) => Box::new(Acoustic::test()),
-        ("mgcfd", true) => Box::new(Mgcfd::paper()),
-        ("mgcfd", false) => Box::new(Mgcfd::test()),
-        _ => return None,
-    })
-}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -109,7 +77,7 @@ fn main() {
     TelemetryConfig::enabled().install();
     let before = telemetry::counters().snapshot();
     let run = app.run(&session);
-    let delta = telemetry::counters().snapshot().since(&before);
+    let delta = telemetry::counters().snapshot().delta(&before);
     TelemetryConfig::disabled().install();
     let events = telemetry::flush();
 
@@ -133,7 +101,10 @@ fn main() {
         session.records().len(),
         events.len(),
     );
-    print!("{}", telemetry::export::aggregate_text(&aggs));
+    print!(
+        "{}",
+        telemetry::export::aggregate_text(&aggs, delta.spans_dropped)
+    );
     println!(
         "cache {} hits / {} misses | {} regions, {} steals, {} parks, {} wakes | {} spans dropped",
         delta.pricing_cache_hits,
@@ -157,7 +128,7 @@ fn main() {
     w.key("counters");
     telemetry::export::counters_json(&mut w, &delta);
     w.key("aggregate");
-    telemetry::export::aggregate_json(&mut w, &aggs);
+    telemetry::export::aggregate_json(&mut w, &aggs, delta.spans_dropped);
     w.key("displayTimeUnit").string("ms");
     w.key("traceEvents");
     telemetry::export::chrome_trace_events(&mut w, &events);

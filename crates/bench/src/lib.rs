@@ -551,3 +551,48 @@ pub fn parse_platform_arg(default: PlatformId) -> PlatformId {
         .and_then(|a| PlatformId::parse(&a))
         .unwrap_or(default)
 }
+
+/// The platform's best native toolchain (the Table-1 pairing), used by
+/// the `profile` and `dashboard` binaries when tracing an app.
+pub fn native_toolchain(p: PlatformId) -> Toolchain {
+    match p {
+        PlatformId::A100 => Toolchain::NativeCuda,
+        PlatformId::Mi250x => Toolchain::NativeHip,
+        PlatformId::Max1100 => Toolchain::Dpcpp,
+        PlatformId::Xeon8360Y | PlatformId::GenoaX => Toolchain::MpiOpenMp,
+        PlatformId::Altra => Toolchain::OpenMp,
+    }
+}
+
+/// All app names `make_app` accepts, in paper order.
+pub const APP_NAMES: [&str; 7] = [
+    "cloverleaf2d",
+    "cloverleaf3d",
+    "opensbli_sa",
+    "opensbli_sn",
+    "rtm",
+    "acoustic",
+    "mgcfd",
+];
+
+/// Instantiate an app by CLI name at paper or test size.
+pub fn make_app(name: &str, paper: bool) -> Option<Box<dyn miniapps::App>> {
+    use miniapps::{Acoustic, CloverLeaf2d, CloverLeaf3d, Mgcfd, OpenSbli, Rtm, SbliVariant};
+    Some(match (name, paper) {
+        ("cloverleaf2d", true) => Box::new(CloverLeaf2d::paper()),
+        ("cloverleaf2d", false) => Box::new(CloverLeaf2d::test()),
+        ("cloverleaf3d", true) => Box::new(CloverLeaf3d::paper()),
+        ("cloverleaf3d", false) => Box::new(CloverLeaf3d::test()),
+        ("opensbli_sa", true) => Box::new(OpenSbli::paper(SbliVariant::StoreAll)),
+        ("opensbli_sa", false) => Box::new(OpenSbli::test(SbliVariant::StoreAll)),
+        ("opensbli_sn", true) => Box::new(OpenSbli::paper(SbliVariant::StoreNone)),
+        ("opensbli_sn", false) => Box::new(OpenSbli::test(SbliVariant::StoreNone)),
+        ("rtm", true) => Box::new(Rtm::paper()),
+        ("rtm", false) => Box::new(Rtm::test()),
+        ("acoustic", true) => Box::new(Acoustic::paper()),
+        ("acoustic", false) => Box::new(Acoustic::test()),
+        ("mgcfd", true) => Box::new(Mgcfd::paper()),
+        ("mgcfd", false) => Box::new(Mgcfd::test()),
+        _ => return None,
+    })
+}

@@ -114,4 +114,28 @@ fn disabled_and_enabled_telemetry_leave_ledgers_bit_identical() {
         .map(|r| &r.name)
         .collect();
     assert!(triads.windows(2).all(|w| Arc::ptr_eq(w[0], w[1])));
+
+    // 4. Enabled with the metrics registry actively recording: the
+    // histogram/counter layer above telemetry must be just as invisible
+    // to the engine as the span layer itself.
+    TelemetryConfig::enabled().install();
+    metrics::registry().flush(); // drop anything earlier tests shed
+    let with_metrics = run_workload();
+    metrics::registry().record_labelled("equiv.sim_secs", "triad", with_metrics.1);
+    metrics::registry().add("equiv.runs", "workload", 1);
+    TelemetryConfig::disabled().install();
+    let metric_events = telemetry::flush();
+    metrics::ingest_events(&metric_events);
+    let snap = metrics::registry().flush();
+
+    assert_bit_identical(&never, &with_metrics, "never-attached vs metrics-enabled");
+
+    // The registry really observed the run: per-kernel wall histograms
+    // from the ingested spans plus the directly recorded series.
+    let triad_wall = snap
+        .hist("launch.wall_secs", "triad")
+        .expect("triad launch histogram");
+    assert_eq!(triad_wall.count(), 2 * 7); // two sessions × seven launches
+    assert!(snap.hist("equiv.sim_secs", "triad").is_some());
+    assert_eq!(snap.counter("equiv.runs", "workload"), 1);
 }

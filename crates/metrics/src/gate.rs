@@ -1,0 +1,360 @@
+//! The regression gate: compare a fresh run manifest against a
+//! committed baseline, kernel by kernel.
+//!
+//! A kernel is only **confirmed regressed** when two independent tests
+//! agree (see [`crate::stats`]):
+//!
+//! 1. the median slowdown ratio exceeds the tolerance band *and* the
+//!    interquartile ranges have separated (current q1 above baseline
+//!    q3 — the middle halves of the two samples do not touch), and
+//! 2. the bootstrap 95 % CI on the ratio of medians lies entirely above
+//!    the tolerance band.
+//!
+//! One test firing alone marks the kernel *suspect* — reported loudly,
+//! but not a CI failure, so a single noisy repetition cannot go red.
+//! Deterministic simulated runtimes (zero variance) degrade cleanly:
+//! both tests reduce to an exact ratio check.
+
+use crate::manifest::RunManifest;
+use crate::stats::{bootstrap_ratio_ci, median, quartiles, Tolerance};
+use std::fmt::Write as _;
+
+/// How the gate compares.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GateConfig {
+    pub tolerance: Tolerance,
+    /// Bootstrap resamples per kernel.
+    pub bootstrap_iters: usize,
+    /// Resampler seed (fixed → reproducible gate runs).
+    pub seed: u64,
+}
+
+impl Default for GateConfig {
+    fn default() -> GateConfig {
+        GateConfig {
+            tolerance: Tolerance::sim(),
+            bootstrap_iters: 2000,
+            seed: 0x5eed_cafe,
+        }
+    }
+}
+
+/// Per-kernel outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Within the tolerance band.
+    Pass,
+    /// Confidently faster than baseline (CI entirely below 1).
+    Improved,
+    /// Exactly one of the two tests fired — worth a look, not a failure.
+    Suspect,
+    /// Both tests agree: slower beyond tolerance.
+    Regressed,
+    /// Not enough samples on one side to compare.
+    NoData,
+}
+
+impl Verdict {
+    fn label(self) -> &'static str {
+        match self {
+            Verdict::Pass => "pass",
+            Verdict::Improved => "improved",
+            Verdict::Suspect => "SUSPECT",
+            Verdict::Regressed => "REGRESSED",
+            Verdict::NoData => "no-data",
+        }
+    }
+}
+
+/// One kernel's comparison, with the evidence behind the verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelVerdict {
+    pub name: String,
+    pub verdict: Verdict,
+    /// `median(current) / median(baseline)`.
+    pub ratio: f64,
+    /// Bootstrap 95 % CI on the ratio of medians.
+    pub ci: (f64, f64),
+    /// Did the interquartile ranges separate (current above baseline)?
+    pub iqr_separated: bool,
+    pub baseline_median: f64,
+    pub current_median: f64,
+}
+
+/// The gate's full output for one manifest pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateReport {
+    /// Manifest name compared.
+    pub name: String,
+    pub tolerance: Tolerance,
+    pub kernels: Vec<KernelVerdict>,
+    /// Baseline kernels the current run no longer measures.
+    pub missing_in_current: Vec<String>,
+    /// Current kernels the baseline has never seen.
+    pub new_in_current: Vec<String>,
+}
+
+impl GateReport {
+    /// Confirmed regressions, in baseline order.
+    pub fn regressed(&self) -> Vec<&KernelVerdict> {
+        self.kernels
+            .iter()
+            .filter(|k| k.verdict == Verdict::Regressed)
+            .collect()
+    }
+
+    /// True when nothing regressed and no baseline kernel vanished.
+    pub fn passed(&self) -> bool {
+        self.regressed().is_empty() && self.missing_in_current.is_empty()
+    }
+
+    /// Human-readable table plus a one-line PASS/FAIL summary.
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "gate: {} (tolerance +{:.1}%)",
+            self.name,
+            (self.tolerance.max_ratio - 1.0) * 100.0
+        );
+        let _ = writeln!(
+            out,
+            "  {:<28} {:>12} {:>12} {:>8} {:>17}  verdict",
+            "kernel", "base p50 s", "cur p50 s", "ratio", "ratio CI95"
+        );
+        for k in &self.kernels {
+            let _ = writeln!(
+                out,
+                "  {:<28} {:>12.3e} {:>12.3e} {:>8.3} [{:.3}, {:.3}]  {}",
+                k.name,
+                k.baseline_median,
+                k.current_median,
+                k.ratio,
+                k.ci.0,
+                k.ci.1,
+                k.verdict.label()
+            );
+        }
+        for name in &self.missing_in_current {
+            let _ = writeln!(out, "  {name:<28} MISSING from current run");
+        }
+        for name in &self.new_in_current {
+            let _ = writeln!(out, "  {name:<28} new (no baseline; not gated)");
+        }
+        let regressed = self.regressed();
+        if self.passed() {
+            let _ = writeln!(out, "PASS: no confirmed regressions");
+        } else if regressed.is_empty() {
+            let _ = writeln!(
+                out,
+                "FAIL: baseline kernel(s) missing: {}",
+                self.missing_in_current.join(", ")
+            );
+        } else {
+            let names: Vec<&str> = regressed.iter().map(|k| k.name.as_str()).collect();
+            let _ = writeln!(
+                out,
+                "FAIL: {} confirmed regression(s): {}",
+                names.len(),
+                names.join(", ")
+            );
+        }
+        out
+    }
+}
+
+fn judge(current: &[f64], baseline: &[f64], cfg: &GateConfig) -> KernelVerdict {
+    let cur_med = median(current);
+    let base_med = median(baseline);
+    if current.is_empty() || baseline.is_empty() || base_med <= 0.0 {
+        return KernelVerdict {
+            name: String::new(),
+            verdict: Verdict::NoData,
+            ratio: 1.0,
+            ci: (1.0, 1.0),
+            iqr_separated: false,
+            baseline_median: base_med,
+            current_median: cur_med,
+        };
+    }
+    let ratio = cur_med / base_med;
+    let (cur_q1, _, _) = quartiles(current);
+    let (_, _, base_q3) = quartiles(baseline);
+    let iqr_separated = cur_q1 > base_q3;
+    let ci = bootstrap_ratio_ci(current, baseline, cfg.bootstrap_iters, cfg.seed);
+    let tol = cfg.tolerance.max_ratio;
+    let iqr_test = ratio > tol && iqr_separated;
+    let boot_test = ci.0 > tol;
+    let verdict = match (iqr_test, boot_test) {
+        (true, true) => Verdict::Regressed,
+        (false, false) => {
+            if ci.1 < 1.0 && ratio < 1.0 / tol {
+                Verdict::Improved
+            } else {
+                Verdict::Pass
+            }
+        }
+        _ => Verdict::Suspect,
+    };
+    KernelVerdict {
+        name: String::new(),
+        verdict,
+        ratio,
+        ci,
+        iqr_separated,
+        baseline_median: base_med,
+        current_median: cur_med,
+    }
+}
+
+/// Compare `current` against `baseline`, kernel by kernel (matched by
+/// name; baseline order).
+pub fn compare(current: &RunManifest, baseline: &RunManifest, cfg: &GateConfig) -> GateReport {
+    let mut kernels = Vec::new();
+    let mut missing = Vec::new();
+    for bk in &baseline.kernels {
+        match current.kernel(&bk.name) {
+            Some(ck) => {
+                let mut v = judge(&ck.samples, &bk.samples, cfg);
+                v.name = bk.name.clone();
+                kernels.push(v);
+            }
+            None => missing.push(bk.name.clone()),
+        }
+    }
+    let new_in_current = current
+        .kernels
+        .iter()
+        .filter(|ck| baseline.kernel(&ck.name).is_none())
+        .map(|ck| ck.name.clone())
+        .collect();
+    GateReport {
+        name: current.name.clone(),
+        tolerance: cfg.tolerance,
+        kernels,
+        missing_in_current: missing,
+        new_in_current,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+    use crate::manifest::KernelSummary;
+    use telemetry::CounterSnapshot;
+
+    fn manifest(kernels: Vec<(&str, Vec<f64>)>) -> RunManifest {
+        RunManifest {
+            name: "engine".into(),
+            git_rev: "test".into(),
+            platform: "xeon-8360y".into(),
+            threads: 4,
+            repetitions: 5,
+            created_unix_secs: 1,
+            kernels: kernels
+                .into_iter()
+                .map(|(name, samples)| {
+                    let mut h = Histogram::new();
+                    for &s in &samples {
+                        h.record(s);
+                    }
+                    KernelSummary {
+                        name: name.into(),
+                        wall: h.summary(),
+                        samples,
+                        sim_secs: 0.0,
+                        bytes: 0.0,
+                        gbps: 0.0,
+                    }
+                })
+                .collect(),
+            counters: CounterSnapshot::default(),
+        }
+    }
+
+    fn noisy(center: f64) -> Vec<f64> {
+        (0..7)
+            .map(|i| center * (1.0 + 0.01 * (i as f64 - 3.0)))
+            .collect()
+    }
+
+    #[test]
+    fn identical_runs_pass() {
+        let m = manifest(vec![("triad", noisy(1e-3)), ("halo", noisy(2e-4))]);
+        let report = compare(&m, &m, &GateConfig::default());
+        assert!(report.passed());
+        assert!(report
+            .kernels
+            .iter()
+            .all(|k| k.verdict == Verdict::Pass || k.verdict == Verdict::Improved));
+        assert!(report.text().contains("PASS"));
+    }
+
+    #[test]
+    fn injected_slowdown_fails_naming_the_kernel() {
+        let base = manifest(vec![("triad", noisy(1e-3)), ("halo", noisy(2e-4))]);
+        let slow = manifest(vec![
+            ("triad", noisy(1e-3)),
+            // 3× the tolerance band beyond baseline.
+            ("halo", noisy(2e-4 * (1.0 + 3.0 * 0.02))),
+        ]);
+        let report = compare(&slow, &base, &GateConfig::default());
+        assert!(!report.passed());
+        let regressed = report.regressed();
+        assert_eq!(regressed.len(), 1);
+        assert_eq!(regressed[0].name, "halo");
+        assert!(regressed[0].iqr_separated);
+        assert!(regressed[0].ci.0 > GateConfig::default().tolerance.max_ratio);
+        let text = report.text();
+        assert!(text.contains("FAIL"), "{text}");
+        assert!(text.contains("halo"), "{text}");
+    }
+
+    #[test]
+    fn zero_variance_samples_gate_exactly() {
+        let base = manifest(vec![("k", vec![1e-3; 5])]);
+        let same = compare(&base, &base, &GateConfig::default());
+        assert!(same.passed());
+        let slow = manifest(vec![("k", vec![1.1e-3; 5])]);
+        let report = compare(&slow, &base, &GateConfig::default());
+        assert_eq!(report.regressed().len(), 1, "{}", report.text());
+    }
+
+    #[test]
+    fn within_tolerance_drift_passes() {
+        let base = manifest(vec![("k", vec![1e-3; 5])]);
+        let drift = manifest(vec![("k", vec![1.01e-3; 5])]);
+        let report = compare(&drift, &base, &GateConfig::default());
+        assert!(report.passed(), "{}", report.text());
+    }
+
+    #[test]
+    fn improvement_is_recognised() {
+        let base = manifest(vec![("k", noisy(1e-3))]);
+        let fast = manifest(vec![("k", noisy(0.8e-3))]);
+        let report = compare(&fast, &base, &GateConfig::default());
+        assert!(report.passed());
+        assert_eq!(report.kernels[0].verdict, Verdict::Improved);
+    }
+
+    #[test]
+    fn missing_and_new_kernels_are_reported() {
+        let base = manifest(vec![("old", noisy(1e-3)), ("stable", noisy(1e-3))]);
+        let cur = manifest(vec![("stable", noisy(1e-3)), ("fresh", noisy(1e-3))]);
+        let report = compare(&cur, &base, &GateConfig::default());
+        assert_eq!(report.missing_in_current, vec!["old".to_owned()]);
+        assert_eq!(report.new_in_current, vec!["fresh".to_owned()]);
+        assert!(!report.passed(), "a vanished baseline kernel must fail");
+        assert!(report.text().contains("MISSING"));
+    }
+
+    #[test]
+    fn empty_samples_yield_no_data_not_a_failure() {
+        let base = manifest(vec![("k", vec![])]);
+        let cur = manifest(vec![("k", vec![1.0])]);
+        let report = compare(&cur, &base, &GateConfig::default());
+        assert_eq!(report.kernels[0].verdict, Verdict::NoData);
+        assert!(report.passed());
+    }
+}

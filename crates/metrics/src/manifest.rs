@@ -1,0 +1,324 @@
+//! Run manifests: the `BENCH_<name>.json` files the bench binaries
+//! write and the baseline store keeps.
+//!
+//! A manifest records everything the gate and the dashboard need to
+//! re-interpret a run later: where it came from (git revision, platform
+//! model, thread count), how hard it tried (repetitions), what it
+//! measured (per-kernel wall summaries *and* the raw per-repetition
+//! samples — the bootstrap needs the samples, the dashboard the
+//! summaries), and what the engine did while measuring (a counter
+//! snapshot delta). Manifests round-trip: [`RunManifest::to_json`]
+//! writes through the shared `JsonWriter`, [`RunManifest::parse`] reads
+//! back through [`crate::jsonv`].
+
+use crate::hist::Summary;
+use crate::jsonv::{self, Json};
+use std::io;
+use std::path::Path;
+use telemetry::json::JsonWriter;
+use telemetry::CounterSnapshot;
+
+/// Schema tag written into every manifest.
+pub const SCHEMA: &str = "sycl-metrics/manifest-v1";
+
+/// One kernel's (or phase's) measurements within a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelSummary {
+    pub name: String,
+    /// Distribution of the per-repetition timings (seconds).
+    pub wall: Summary,
+    /// Raw per-repetition timings, seconds — what the gate bootstraps.
+    pub samples: Vec<f64>,
+    /// Simulated seconds per repetition (0.0 when not priced).
+    pub sim_secs: f64,
+    /// Effective bytes moved per repetition.
+    pub bytes: f64,
+    /// Achieved bandwidth, GB/s (under the simulated clock when priced).
+    pub gbps: f64,
+}
+
+/// One bench/profile run, as persisted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunManifest {
+    /// Manifest name — `BENCH_<name>.json`.
+    pub name: String,
+    pub git_rev: String,
+    /// Platform model the run priced against (or "host" for wall-clock).
+    pub platform: String,
+    pub threads: u32,
+    /// Repetitions each kernel was timed for.
+    pub repetitions: u32,
+    /// Seconds since the Unix epoch when the run finished.
+    pub created_unix_secs: u64,
+    pub kernels: Vec<KernelSummary>,
+    /// Engine counter deltas over the measured interval.
+    pub counters: CounterSnapshot,
+}
+
+/// Best-effort short git revision of the working tree ("unknown" when
+/// git is unavailable).
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+fn summary_json(w: &mut JsonWriter, s: &Summary) {
+    w.begin_object();
+    w.key("count").int(s.count);
+    w.key("mean").number(s.mean);
+    w.key("ci95").number(s.ci95);
+    w.key("p50").number(s.p50);
+    w.key("p90").number(s.p90);
+    w.key("p99").number(s.p99);
+    w.key("min").number(s.min);
+    w.key("max").number(s.max);
+    w.key("sum").number(s.sum);
+    w.end_object();
+}
+
+fn summary_parse(j: &Json) -> Result<Summary, String> {
+    let f = |k: &str| j.f64_of(k).ok_or_else(|| format!("summary missing '{k}'"));
+    Ok(Summary {
+        count: j.u64_of("count").ok_or("summary missing 'count'")?,
+        mean: f("mean")?,
+        ci95: f("ci95")?,
+        p50: f("p50")?,
+        p90: f("p90")?,
+        p99: f("p99")?,
+        min: f("min")?,
+        max: f("max")?,
+        sum: f("sum")?,
+    })
+}
+
+fn counters_json(w: &mut JsonWriter, c: &CounterSnapshot) {
+    w.begin_object();
+    w.key("launches").int(c.launches);
+    w.key("pricingCacheHits").int(c.pricing_cache_hits);
+    w.key("pricingCacheMisses").int(c.pricing_cache_misses);
+    w.key("regions").int(c.regions);
+    w.key("steals").int(c.steals);
+    w.key("parks").int(c.parks);
+    w.key("wakes").int(c.wakes);
+    w.key("bytesMoved").int(c.bytes_moved);
+    w.key("spansDropped").int(c.spans_dropped);
+    w.end_object();
+}
+
+fn counters_parse(j: &Json) -> Result<CounterSnapshot, String> {
+    let g = |k: &str| j.u64_of(k).ok_or_else(|| format!("counters missing '{k}'"));
+    Ok(CounterSnapshot {
+        launches: g("launches")?,
+        pricing_cache_hits: g("pricingCacheHits")?,
+        pricing_cache_misses: g("pricingCacheMisses")?,
+        regions: g("regions")?,
+        steals: g("steals")?,
+        parks: g("parks")?,
+        wakes: g("wakes")?,
+        bytes_moved: g("bytesMoved")?,
+        spans_dropped: g("spansDropped")?,
+    })
+}
+
+impl RunManifest {
+    /// Serialise to the `BENCH_<name>.json` document.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("schema").string(SCHEMA);
+        w.key("name").string(&self.name);
+        w.key("gitRev").string(&self.git_rev);
+        w.key("platform").string(&self.platform);
+        w.key("threads").int(self.threads as u64);
+        w.key("repetitions").int(self.repetitions as u64);
+        w.key("createdUnixSecs").int(self.created_unix_secs);
+        w.key("counters");
+        counters_json(&mut w, &self.counters);
+        w.key("kernels").begin_array();
+        for k in &self.kernels {
+            w.begin_object();
+            w.key("name").string(&k.name);
+            w.key("simSecs").number(k.sim_secs);
+            w.key("bytes").number(k.bytes);
+            w.key("gbps").number(k.gbps);
+            w.key("samples").begin_array();
+            for &s in &k.samples {
+                w.number(s);
+            }
+            w.end_array();
+            w.key("wall");
+            summary_json(&mut w, &k.wall);
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+        w.finish()
+    }
+
+    /// Parse a manifest document (rejects unknown schema tags).
+    pub fn parse(text: &str) -> Result<RunManifest, String> {
+        let doc = jsonv::parse(text).map_err(|e| e.to_string())?;
+        let schema = doc.str_of("schema").ok_or("missing 'schema'")?;
+        if schema != SCHEMA {
+            return Err(format!("unknown manifest schema '{schema}'"));
+        }
+        let kernels = doc
+            .get("kernels")
+            .and_then(Json::as_arr)
+            .ok_or("missing 'kernels'")?
+            .iter()
+            .map(|k| -> Result<KernelSummary, String> {
+                Ok(KernelSummary {
+                    name: k.str_of("name").ok_or("kernel missing 'name'")?.to_owned(),
+                    wall: summary_parse(k.get("wall").ok_or("kernel missing 'wall'")?)?,
+                    samples: k
+                        .get("samples")
+                        .and_then(Json::as_arr)
+                        .ok_or("kernel missing 'samples'")?
+                        .iter()
+                        .map(|v| v.as_f64().ok_or_else(|| "bad sample".to_owned()))
+                        .collect::<Result<Vec<f64>, String>>()?,
+                    sim_secs: k.f64_of("simSecs").ok_or("kernel missing 'simSecs'")?,
+                    bytes: k.f64_of("bytes").ok_or("kernel missing 'bytes'")?,
+                    gbps: k.f64_of("gbps").ok_or("kernel missing 'gbps'")?,
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(RunManifest {
+            name: doc.str_of("name").ok_or("missing 'name'")?.to_owned(),
+            git_rev: doc.str_of("gitRev").ok_or("missing 'gitRev'")?.to_owned(),
+            platform: doc
+                .str_of("platform")
+                .ok_or("missing 'platform'")?
+                .to_owned(),
+            threads: doc.u64_of("threads").ok_or("missing 'threads'")? as u32,
+            repetitions: doc.u64_of("repetitions").ok_or("missing 'repetitions'")? as u32,
+            created_unix_secs: doc
+                .u64_of("createdUnixSecs")
+                .ok_or("missing 'createdUnixSecs'")?,
+            kernels,
+            counters: counters_parse(doc.get("counters").ok_or("missing 'counters'")?)?,
+        })
+    }
+
+    /// Read and parse a manifest file.
+    pub fn load(path: &Path) -> io::Result<RunManifest> {
+        let text = std::fs::read_to_string(path)?;
+        RunManifest::parse(&text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{path:?}: {e}")))
+    }
+
+    /// Write the manifest document (plus trailing newline) to `path`,
+    /// creating parent directories.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        std::fs::write(path, self.to_json() + "\n")
+    }
+
+    /// The kernel entry called `name`, if present.
+    pub fn kernel(&self, name: &str) -> Option<&KernelSummary> {
+        self.kernels.iter().find(|k| k.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+
+    fn sample_manifest() -> RunManifest {
+        let mut h = Histogram::new();
+        for v in [1.0e-3, 1.1e-3, 0.9e-3] {
+            h.record(v);
+        }
+        RunManifest {
+            name: "engine".into(),
+            git_rev: "abc1234".into(),
+            platform: "xeon-8360y".into(),
+            threads: 8,
+            repetitions: 3,
+            created_unix_secs: 1_700_000_000,
+            kernels: vec![
+                KernelSummary {
+                    name: "triad \"hot\"".into(),
+                    wall: h.summary(),
+                    samples: vec![1.0e-3, 1.1e-3, 0.9e-3],
+                    sim_secs: 2.5e-4,
+                    bytes: 2.4e7,
+                    gbps: 96.0,
+                },
+                KernelSummary {
+                    name: "halo".into(),
+                    wall: Summary::default(),
+                    samples: vec![],
+                    sim_secs: 0.0,
+                    bytes: 0.0,
+                    gbps: 0.0,
+                },
+            ],
+            counters: CounterSnapshot {
+                launches: 42,
+                bytes_moved: 1 << 30,
+                spans_dropped: 0,
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn manifest_round_trips() {
+        let m = sample_manifest();
+        let text = m.to_json();
+        telemetry::json::validate(&text).unwrap();
+        let back = RunManifest::parse(&text).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn unknown_schema_is_rejected() {
+        let text = sample_manifest().to_json().replace(SCHEMA, "other/v9");
+        let err = RunManifest::parse(&text).unwrap_err();
+        assert!(err.contains("schema"), "{err}");
+    }
+
+    #[test]
+    fn missing_fields_are_reported_by_name() {
+        let m = sample_manifest();
+        let text = m.to_json().replace("\"gitRev\"", "\"gitRevX\"");
+        let err = RunManifest::parse(&text).unwrap_err();
+        assert!(err.contains("gitRev"), "{err}");
+    }
+
+    #[test]
+    fn save_and_load_round_trip_via_disk() {
+        let m = sample_manifest();
+        let dir = std::env::temp_dir().join(format!("metrics-manifest-{}", std::process::id()));
+        let path = dir.join("nested").join("BENCH_engine.json");
+        m.save(&path).unwrap();
+        let back = RunManifest::load(&path).unwrap();
+        assert_eq!(back, m);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn kernel_lookup_by_name() {
+        let m = sample_manifest();
+        assert!(m.kernel("halo").is_some());
+        assert!(m.kernel("absent").is_none());
+    }
+
+    #[test]
+    fn git_rev_never_panics() {
+        let r = git_rev();
+        assert!(!r.is_empty());
+    }
+}

@@ -1,0 +1,241 @@
+//! Order statistics and the bootstrap behind the regression gate.
+//!
+//! The gate never compares two single numbers: each benchmark runs
+//! several repetitions, and the question "did it get slower?" is asked
+//! of the two *samples*. Two complementary tests are used:
+//!
+//! * **Interquartile separation** — the current run's lower quartile
+//!   sits above the baseline's upper quartile, i.e. the middle halves
+//!   of the two distributions do not even touch. Robust and scale-free
+//!   but blunt (small consistent shifts keep overlap).
+//! * **Bootstrap ratio CI** ([`bootstrap_ratio_ci`]) — resample both
+//!   repetition sets with replacement, form the ratio of medians, and
+//!   take the 2.5 %/97.5 % percentiles of the resampled ratios. The
+//!   resampler is a seeded xorshift64*, so a gate run is reproducible.
+//!
+//! Degenerate samples are first-class: deterministic simulated runtimes
+//! repeat exactly, giving zero-variance samples whose bootstrap CI
+//! collapses to a point — the ratio test still reads correctly.
+
+/// Median of a sample (not required to be sorted). 0.0 when empty.
+pub fn median(sample: &[f64]) -> f64 {
+    if sample.is_empty() {
+        return 0.0;
+    }
+    let mut s = sample.to_vec();
+    s.sort_by(f64::total_cmp);
+    let n = s.len();
+    if n % 2 == 1 {
+        s[n / 2]
+    } else {
+        0.5 * (s[n / 2 - 1] + s[n / 2])
+    }
+}
+
+/// (q1, median, q3) by linear interpolation. Zeros when empty.
+pub fn quartiles(sample: &[f64]) -> (f64, f64, f64) {
+    if sample.is_empty() {
+        return (0.0, 0.0, 0.0);
+    }
+    let mut s = sample.to_vec();
+    s.sort_by(f64::total_cmp);
+    let at = |q: f64| -> f64 {
+        let pos = q * (s.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        s[lo] * (1.0 - frac) + s[hi] * frac
+    };
+    (at(0.25), at(0.5), at(0.75))
+}
+
+/// xorshift64* — the workspace's stock seeded generator (no `rand`).
+struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    fn new(seed: u64) -> XorShift64 {
+        XorShift64 {
+            state: seed.max(1), // the all-zero state is absorbing
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform index into `0..n`.
+    fn index(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// Bootstrap confidence interval on `median(current) / median(baseline)`.
+///
+/// Draws `iters` resamples (with replacement) from each sample, forms
+/// the ratio of resampled medians, and returns the (2.5 %, 97.5 %)
+/// percentiles of those ratios. Deterministic for a given `seed`.
+/// Returns `(1.0, 1.0)` when either sample is empty or the baseline
+/// median is zero (nothing meaningful to compare).
+pub fn bootstrap_ratio_ci(
+    current: &[f64],
+    baseline: &[f64],
+    iters: usize,
+    seed: u64,
+) -> (f64, f64) {
+    if current.is_empty() || baseline.is_empty() || median(baseline) == 0.0 {
+        return (1.0, 1.0);
+    }
+    let mut rng = XorShift64::new(seed);
+    let mut ratios = Vec::with_capacity(iters);
+    let mut cur = vec![0.0; current.len()];
+    let mut base = vec![0.0; baseline.len()];
+    for _ in 0..iters {
+        for c in cur.iter_mut() {
+            *c = current[rng.index(current.len())];
+        }
+        for b in base.iter_mut() {
+            *b = baseline[rng.index(baseline.len())];
+        }
+        let mb = median(&base);
+        if mb > 0.0 {
+            ratios.push(median(&cur) / mb);
+        }
+    }
+    if ratios.is_empty() {
+        return (1.0, 1.0);
+    }
+    ratios.sort_by(f64::total_cmp);
+    let pick =
+        |q: f64| ratios[((q * (ratios.len() - 1) as f64).round() as usize).min(ratios.len() - 1)];
+    (pick(0.025), pick(0.975))
+}
+
+/// A per-platform tolerance band: the slowdown ratio a kernel may show
+/// before the gate treats it as a candidate regression.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerance {
+    /// Maximum acceptable `current / baseline` median ratio.
+    pub max_ratio: f64,
+}
+
+impl Tolerance {
+    /// A band allowing `pct` percent slowdown (`Tolerance::percent(5.0)`
+    /// accepts ratios up to 1.05).
+    pub fn percent(pct: f64) -> Tolerance {
+        Tolerance {
+            max_ratio: 1.0 + pct.max(0.0) / 100.0,
+        }
+    }
+
+    /// For simulated (deterministic) runtimes: they repeat bit-exactly,
+    /// so any drift is a model change — 2 %.
+    pub fn sim() -> Tolerance {
+        Tolerance::percent(2.0)
+    }
+
+    /// For wall-clock timings on shared CI hosts: noisy — 30 %.
+    pub fn wall() -> Tolerance {
+        Tolerance::percent(30.0)
+    }
+
+    /// Platform-class band for simulated runtimes: the deterministic
+    /// model repeats exactly everywhere, but GPU platforms price from
+    /// coarser STREAM/roofline figures, so give them a point more slack.
+    pub fn for_platform(platform: &str) -> Tolerance {
+        let p = platform.to_ascii_lowercase();
+        let gpu = ["a100", "v100", "h100", "mi100", "mi250", "pvc", "gpu"]
+            .iter()
+            .any(|k| p.contains(k));
+        if gpu {
+            Tolerance::percent(3.0)
+        } else {
+            Tolerance::sim()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_handles_odd_even_empty() {
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(median(&[3.0]), 3.0);
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+
+    #[test]
+    fn quartiles_interpolate() {
+        let (q1, q2, q3) = quartiles(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!((q1, q2, q3), (2.0, 3.0, 4.0));
+        let (q1, _, q3) = quartiles(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(q1, 1.75);
+        assert_eq!(q3, 3.25);
+        assert_eq!(quartiles(&[7.0]), (7.0, 7.0, 7.0));
+    }
+
+    #[test]
+    fn bootstrap_is_deterministic_for_a_seed() {
+        let cur = [1.1, 1.2, 1.15, 1.18, 1.12];
+        let base = [1.0, 1.02, 0.98, 1.01, 0.99];
+        let a = bootstrap_ratio_ci(&cur, &base, 500, 42);
+        let b = bootstrap_ratio_ci(&cur, &base, 500, 42);
+        assert_eq!(a, b);
+        let c = bootstrap_ratio_ci(&cur, &base, 500, 43);
+        // A different seed may move the endpoints a little, never a lot.
+        assert!((a.0 - c.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn bootstrap_ci_brackets_a_real_slowdown() {
+        let base = [1.0, 1.01, 0.99, 1.0, 1.02, 0.98, 1.0];
+        let cur: Vec<f64> = base.iter().map(|v| v * 1.5).collect();
+        let (lo, hi) = bootstrap_ratio_ci(&cur, &base, 1000, 7);
+        assert!(lo > 1.2, "lower bound {lo} should be well above 1");
+        assert!(hi < 1.8, "upper bound {hi} should bracket 1.5");
+    }
+
+    #[test]
+    fn bootstrap_ci_straddles_one_for_identical_samples() {
+        let s = [1.0, 1.05, 0.95, 1.02, 0.98];
+        let (lo, hi) = bootstrap_ratio_ci(&s, &s, 1000, 7);
+        assert!(lo <= 1.0 && hi >= 1.0, "({lo}, {hi}) should contain 1");
+    }
+
+    #[test]
+    fn zero_variance_samples_collapse_to_a_point() {
+        let base = [2.0, 2.0, 2.0];
+        let cur = [2.5, 2.5, 2.5];
+        let (lo, hi) = bootstrap_ratio_ci(&cur, &base, 200, 1);
+        assert_eq!((lo, hi), (1.25, 1.25));
+        let same = bootstrap_ratio_ci(&base, &base, 200, 1);
+        assert_eq!(same, (1.0, 1.0));
+    }
+
+    #[test]
+    fn degenerate_inputs_return_unit_ratio() {
+        assert_eq!(bootstrap_ratio_ci(&[], &[1.0], 100, 1), (1.0, 1.0));
+        assert_eq!(bootstrap_ratio_ci(&[1.0], &[], 100, 1), (1.0, 1.0));
+        assert_eq!(bootstrap_ratio_ci(&[1.0], &[0.0], 100, 1), (1.0, 1.0));
+    }
+
+    #[test]
+    fn tolerance_bands() {
+        assert!((Tolerance::percent(5.0).max_ratio - 1.05).abs() < 1e-12);
+        assert_eq!(Tolerance::percent(-3.0).max_ratio, 1.0);
+        assert!(Tolerance::wall().max_ratio > Tolerance::sim().max_ratio);
+        assert!(
+            Tolerance::for_platform("nvidia-a100").max_ratio
+                > Tolerance::for_platform("xeon-8360y").max_ratio
+        );
+    }
+}

@@ -88,6 +88,14 @@ impl CounterSnapshot {
             spans_dropped: self.spans_dropped - earlier.spans_dropped,
         }
     }
+
+    /// Per-interval counters for a bench iteration: what happened
+    /// between `earlier` and this snapshot. (Alias of
+    /// [`CounterSnapshot::since`] under the name bench loops read
+    /// naturally: `after.delta(&before)`.)
+    pub fn delta(&self, earlier: &CounterSnapshot) -> CounterSnapshot {
+        self.since(earlier)
+    }
 }
 
 /// The process-wide counter set.

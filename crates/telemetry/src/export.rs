@@ -60,9 +60,12 @@ pub struct KernelAgg {
     pub name: String,
     /// Launches of this kernel in the trace.
     pub count: usize,
-    /// Total / mean / p99 wall-clock time of the launch spans, seconds.
+    /// Total / mean wall-clock time of the launch spans, seconds.
     pub total_secs: f64,
     pub mean_secs: f64,
+    /// Wall-clock percentiles of the launch spans, seconds.
+    pub p50_secs: f64,
+    pub p95_secs: f64,
     pub p99_secs: f64,
     /// Total simulated seconds the launches were priced at.
     pub sim_secs: f64,
@@ -98,14 +101,17 @@ pub fn aggregate(events: &[Event]) -> Vec<KernelAgg> {
         .map(|(name, mut d)| {
             d.sort_unstable();
             let total_ns: u64 = d.iter().sum();
-            let p99 = d[((d.len() as f64 * 0.99).ceil() as usize).clamp(1, d.len()) - 1];
+            // Nearest-rank percentile of the sorted durations.
+            let pctl = |q: f64| d[((d.len() as f64 * q).ceil() as usize).clamp(1, d.len()) - 1];
             let (sim_secs, bytes) = sums[name];
             KernelAgg {
                 name: name.to_owned(),
                 count: d.len(),
                 total_secs: total_ns as f64 / 1e9,
                 mean_secs: total_ns as f64 / 1e9 / d.len() as f64,
-                p99_secs: p99 as f64 / 1e9,
+                p50_secs: pctl(0.50) as f64 / 1e9,
+                p95_secs: pctl(0.95) as f64 / 1e9,
+                p99_secs: pctl(0.99) as f64 / 1e9,
                 sim_secs,
                 bytes,
             }
@@ -115,18 +121,37 @@ pub fn aggregate(events: &[Event]) -> Vec<KernelAgg> {
     out
 }
 
-/// Render the aggregate as a text table.
-pub fn aggregate_text(aggs: &[KernelAgg]) -> String {
-    let mut out = String::from(
-        "kernel                 launches   wall-ms  mean-us   p99-us    sim-ms  GB/s(sim)\n",
+/// The warning line emitted when a trace lost spans to ring overwrite.
+fn dropped_warning(spans_dropped: u64) -> String {
+    format!(
+        "{spans_dropped} span(s) dropped by ring overwrite — this trace is INCOMPLETE; \
+         raise TelemetryConfig::ring_capacity"
+    )
+}
+
+/// Render the aggregate as a text table. A nonzero `spans_dropped`
+/// (from the counter delta over the traced interval) prepends a loud
+/// warning header — a truncated trace must not look complete.
+pub fn aggregate_text(aggs: &[KernelAgg], spans_dropped: u64) -> String {
+    let mut out = String::new();
+    if spans_dropped > 0 {
+        out.push_str(&format!(
+            "!!! WARNING: {}\n",
+            dropped_warning(spans_dropped)
+        ));
+    }
+    out.push_str(
+        "kernel                 launches   wall-ms  mean-us   p50-us   p95-us   p99-us    sim-ms  GB/s(sim)\n",
     );
     for a in aggs {
         out.push_str(&format!(
-            "{:22} {:8} {:9.3} {:8.1} {:8.1} {:9.3} {:10.1}\n",
+            "{:22} {:8} {:9.3} {:8.1} {:8.1} {:8.1} {:8.1} {:9.3} {:10.1}\n",
             a.name,
             a.count,
             a.total_secs * 1e3,
             a.mean_secs * 1e6,
+            a.p50_secs * 1e6,
+            a.p95_secs * 1e6,
             a.p99_secs * 1e6,
             a.sim_secs * 1e3,
             a.sim_gbps(),
@@ -135,15 +160,23 @@ pub fn aggregate_text(aggs: &[KernelAgg]) -> String {
     out
 }
 
-/// Write the aggregate as a JSON array.
-pub fn aggregate_json(w: &mut JsonWriter, aggs: &[KernelAgg]) {
-    w.begin_array();
+/// Write the aggregate as a JSON object: `spans_dropped` (plus a
+/// `warning` string when nonzero) and the per-kernel `kernels` array.
+pub fn aggregate_json(w: &mut JsonWriter, aggs: &[KernelAgg], spans_dropped: u64) {
+    w.begin_object();
+    w.key("spans_dropped").int(spans_dropped);
+    if spans_dropped > 0 {
+        w.key("warning").string(&dropped_warning(spans_dropped));
+    }
+    w.key("kernels").begin_array();
     for a in aggs {
         w.begin_object();
         w.key("kernel").string(&a.name);
         w.key("launches").int(a.count as u64);
         w.key("wall_secs").number(a.total_secs);
         w.key("mean_secs").number(a.mean_secs);
+        w.key("p50_secs").number(a.p50_secs);
+        w.key("p95_secs").number(a.p95_secs);
         w.key("p99_secs").number(a.p99_secs);
         w.key("sim_secs").number(a.sim_secs);
         w.key("bytes").number(a.bytes);
@@ -151,6 +184,7 @@ pub fn aggregate_json(w: &mut JsonWriter, aggs: &[KernelAgg]) {
         w.end_object();
     }
     w.end_array();
+    w.end_object();
 }
 
 /// Write a counter snapshot as a JSON object.
@@ -211,7 +245,9 @@ mod tests {
         assert_eq!(aggs.len(), 2, "region spans are not kernels");
         let k = aggs.iter().find(|a| a.name == "k").unwrap();
         assert_eq!(k.count, 100);
-        // p99 of durations 1000..1990 step 10 = the 99th sorted value.
+        // Percentiles of durations 1000..1990 step 10 (nearest rank).
+        assert_eq!(k.p50_secs, 1490.0 / 1e9);
+        assert_eq!(k.p95_secs, 1940.0 / 1e9);
         assert_eq!(k.p99_secs, 1980.0 / 1e9);
         assert!((k.bytes - 100e6).abs() < 1.0);
         assert!((k.sim_gbps() - 100e6 / 1e-3 / 1e9).abs() < 1e-9);
@@ -223,13 +259,37 @@ mod tests {
     fn aggregate_renders_as_table_and_json() {
         let events = vec![ev("triad", SpanKind::Launch, 0, 1_000_000, 24e6, 1e-3)];
         let aggs = aggregate(&events);
-        let text = aggregate_text(&aggs);
+        let text = aggregate_text(&aggs, 0);
         assert!(text.contains("triad"));
+        assert!(text.contains("p50-us") && text.contains("p95-us"));
+        assert!(!text.contains("WARNING"));
         let mut w = JsonWriter::new();
-        aggregate_json(&mut w, &aggs);
+        aggregate_json(&mut w, &aggs, 0);
         let doc = w.finish();
         crate::json::validate(&doc).unwrap();
         assert!(doc.contains("\"kernel\": \"triad\""));
+        assert!(doc.contains("\"p50_secs\"") && doc.contains("\"p95_secs\""));
+        assert!(doc.contains("\"spans_dropped\": 0"));
+        assert!(!doc.contains("warning"));
+    }
+
+    #[test]
+    fn dropped_spans_make_both_outputs_shout() {
+        let events = vec![ev("triad", SpanKind::Launch, 0, 1_000_000, 24e6, 1e-3)];
+        let aggs = aggregate(&events);
+        let text = aggregate_text(&aggs, 17);
+        assert!(
+            text.starts_with("!!! WARNING: 17 span(s) dropped"),
+            "{text}"
+        );
+        assert!(text.contains("INCOMPLETE"));
+        let mut w = JsonWriter::new();
+        aggregate_json(&mut w, &aggs, 17);
+        let doc = w.finish();
+        crate::json::validate(&doc).unwrap();
+        assert!(doc.contains("\"spans_dropped\": 17"));
+        assert!(doc.contains("\"warning\""));
+        assert!(doc.contains("INCOMPLETE"));
     }
 
     #[test]

@@ -58,6 +58,9 @@ pub enum SpanKind {
     Region,
     /// One deterministic tree reduction.
     Reduce,
+    /// One named application phase (e.g. a CloverLeaf `advec_cell`
+    /// sweep): a group of launches under one algorithmic step.
+    Phase,
 }
 
 impl SpanKind {
@@ -67,6 +70,7 @@ impl SpanKind {
             SpanKind::Launch => "launch",
             SpanKind::Region => "region",
             SpanKind::Reduce => "reduce",
+            SpanKind::Phase => "phase",
         }
     }
 }
@@ -261,6 +265,7 @@ mod tests {
         assert_eq!(SpanKind::Launch.label(), "launch");
         assert_eq!(SpanKind::Region.label(), "region");
         assert_eq!(SpanKind::Reduce.label(), "reduce");
+        assert_eq!(SpanKind::Phase.label(), "phase");
     }
 
     #[test]
