@@ -10,6 +10,7 @@
 use crate::common::{alloc_block, phase_span, summarise, App, AppRun};
 use crate::rtm::LAP8;
 use ops_dsl::prelude::*;
+use ops_dsl::{DatMeta, ReadView, WriteView};
 use sycl_sim::{quirks::apps, KernelTraits, Session};
 
 /// An acoustic-propagation instance.
@@ -76,81 +77,51 @@ impl App for Acoustic {
             hard_on_neon: false,
         };
 
-        for it in 0..self.iterations {
-            {
-                let _p = phase_span("halo_exchange");
-                halo.exchange(session, 1);
-            }
-            // Continuous Ricker-style source injection (tiny loop).
-            {
-                let _p = phase_span("inject_source");
-                let cm = curr.meta();
-                let w = curr.writer();
+        // The source amplitude decays per iteration while the recorded
+        // graphs stay fixed: the replay loop stores the amplitude here
+        // and the recorded injection body loads it.
+        let amp_bits = std::sync::atomic::AtomicU32::new(0);
+
+        // Two parity graphs encode the ping-pong swap (see `rtm`).
+        {
+            let cm = curr.meta();
+            let pm = prev.meta();
+            let vm = speed.meta();
+            let cw = curr.writer();
+            let pw = prev.writer();
+            let v = speed.reader();
+            let amp_bits = &amp_bits;
+
+            let mut even = session.record();
+            record_acoustic_iter(
+                &mut even, &halo, cw, cm, pw, pm, v, vm, interior, nd, src, c2dt2, traits, amp_bits,
+            );
+            let even = even.finish();
+            let mut odd = session.record();
+            record_acoustic_iter(
+                &mut odd, &halo, pw, pm, cw, cm, v, vm, interior, nd, src, c2dt2, traits, amp_bits,
+            );
+            let odd = odd.finish();
+
+            let graphs = [even, odd];
+            for it in 0..self.iterations {
                 let amp = (1.0 - 0.1 * it as f32) * 0.5;
-                ParLoop::new(
-                    "inject_source",
-                    Range3::new_3d(src, src + 1, src, src + 1, src, src + 1),
-                )
-                .read_write(cm)
-                .flops(3.0)
-                .nd_shape(nd)
-                .run(session, |tile| {
-                    for (i, j, k) in tile.iter() {
-                        w.set(i, j, k, w.get(i, j, k) + amp);
-                    }
-                });
+                amp_bits.store(amp.to_bits(), std::sync::atomic::Ordering::Relaxed);
+                graphs[it % 2].replay(session);
             }
-            // Leap-frog wave update.
-            {
-                let _p = phase_span("acoustic_step");
-                let pm = prev.meta();
-                let p = curr.reader();
-                let v = speed.reader();
-                let w = prev.writer();
-                ParLoop::new("acoustic_step", interior)
-                    .read(curr.meta(), Stencil::star_3d(4))
-                    .read(speed.meta(), Stencil::point())
-                    .read_write(pm)
-                    .flops(40.0)
-                    .traits(traits)
-                    .nd_shape(nd)
-                    .run_rows(session, |row| {
-                        let pc = p.row(row.grow_x(4));
-                        let pyn: [&[f32]; 4] =
-                            std::array::from_fn(|s| p.row(row.shift(0, s as i64 + 1, 0)));
-                        let pys: [&[f32]; 4] =
-                            std::array::from_fn(|s| p.row(row.shift(0, -(s as i64) - 1, 0)));
-                        let pzn: [&[f32]; 4] =
-                            std::array::from_fn(|s| p.row(row.shift(0, 0, s as i64 + 1)));
-                        let pzs: [&[f32]; 4] =
-                            std::array::from_fn(|s| p.row(row.shift(0, 0, -(s as i64) - 1)));
-                        let vr = v.row(row);
-                        let wr = w.row_mut(row);
-                        for x in 0..row.len() {
-                            let mut lap = 3.0 * LAP8[0] as f32 * pc[x + 4];
-                            for (s, &cf) in LAP8.iter().enumerate().skip(1) {
-                                lap += cf as f32
-                                    * (pc[x + 4 + s]
-                                        + pc[x + 4 - s]
-                                        + pyn[s - 1][x]
-                                        + pys[s - 1][x]
-                                        + pzn[s - 1][x]
-                                        + pzs[s - 1][x]);
-                            }
-                            let c2 = vr[x] * vr[x];
-                            let next = 2.0 * pc[x + 4] - wr[x] + c2dt2 * c2 * lap;
-                            wr[x] = next;
-                        }
-                    });
-            }
-            std::mem::swap(&mut prev, &mut curr);
         }
+        // After N swaps the wavefield lives in `curr` for even N.
+        let field = if self.iterations.is_multiple_of(2) {
+            &curr
+        } else {
+            &prev
+        };
 
         let _p = phase_span("energy");
         let validation = if session.executes() {
-            let p = curr.reader();
+            let p = field.reader();
             ParLoop::new("energy", interior)
-                .read(curr.meta(), Stencil::point())
+                .read(field.meta(), Stencil::point())
                 .flops(2.0)
                 .nd_shape(nd)
                 .run_rows_reduce(
@@ -168,7 +139,7 @@ impl App for Acoustic {
                 )
         } else {
             ParLoop::new("energy", interior)
-                .read(curr.meta(), Stencil::point())
+                .read(field.meta(), Stencil::point())
                 .flops(2.0)
                 .nd_shape(nd)
                 .run_reduce(session, 0.0f64, |a, b| a + b, |_| 0.0);
@@ -177,6 +148,85 @@ impl App for Acoustic {
 
         summarise(session, validation)
     }
+}
+
+/// Record one acoustic iteration: halo exchange, source injection into
+/// `cur` (amplitude loaded from `amp_bits` at replay time), and the
+/// density-weighted leap-frog step reading `cur` into `nxt`.
+#[allow(clippy::too_many_arguments)]
+fn record_acoustic_iter<'a>(
+    g: &mut sycl_sim::GraphBuilder<'a>,
+    halo: &HaloPlan,
+    cur: WriteView<'a, f32>,
+    cur_m: DatMeta,
+    nxt: WriteView<'a, f32>,
+    nxt_m: DatMeta,
+    v: ReadView<'a, f32>,
+    vm: DatMeta,
+    interior: Range3,
+    nd: [usize; 3],
+    src: i64,
+    c2dt2: f32,
+    traits: KernelTraits,
+    amp_bits: &'a std::sync::atomic::AtomicU32,
+) {
+    g.phase("halo_exchange");
+    halo.record_exchange(g, 1);
+    g.end_phase();
+
+    // Continuous Ricker-style source injection (tiny loop).
+    g.phase("inject_source");
+    ParLoop::new(
+        "inject_source",
+        Range3::new_3d(src, src + 1, src, src + 1, src, src + 1),
+    )
+    .read_write(cur_m)
+    .flops(3.0)
+    .nd_shape(nd)
+    .record(g, move |tile| {
+        let amp = f32::from_bits(amp_bits.load(std::sync::atomic::Ordering::Relaxed));
+        for (i, j, k) in tile.iter() {
+            cur.set(i, j, k, cur.get(i, j, k) + amp);
+        }
+    });
+    g.end_phase();
+
+    // Leap-frog wave update.
+    g.phase("acoustic_step");
+    ParLoop::new("acoustic_step", interior)
+        .read(cur_m, Stencil::star_3d(4))
+        .read(vm, Stencil::point())
+        .read_write(nxt_m)
+        .flops(40.0)
+        .traits(traits)
+        .nd_shape(nd)
+        .record_rows(g, move |row| {
+            let pc = cur.row(row.grow_x(4));
+            let pyn: [&[f32]; 4] = std::array::from_fn(|s| cur.row(row.shift(0, s as i64 + 1, 0)));
+            let pys: [&[f32]; 4] =
+                std::array::from_fn(|s| cur.row(row.shift(0, -(s as i64) - 1, 0)));
+            let pzn: [&[f32]; 4] = std::array::from_fn(|s| cur.row(row.shift(0, 0, s as i64 + 1)));
+            let pzs: [&[f32]; 4] =
+                std::array::from_fn(|s| cur.row(row.shift(0, 0, -(s as i64) - 1)));
+            let vr = v.row(row);
+            let wr = nxt.row_mut(row);
+            for x in 0..row.len() {
+                let mut lap = 3.0 * LAP8[0] as f32 * pc[x + 4];
+                for (s, &cf) in LAP8.iter().enumerate().skip(1) {
+                    lap += cf as f32
+                        * (pc[x + 4 + s]
+                            + pc[x + 4 - s]
+                            + pyn[s - 1][x]
+                            + pys[s - 1][x]
+                            + pzn[s - 1][x]
+                            + pzs[s - 1][x]);
+                }
+                let c2 = vr[x] * vr[x];
+                let next = 2.0 * pc[x + 4] - wr[x] + c2dt2 * c2 * lap;
+                wr[x] = next;
+            }
+        });
+    g.end_phase();
 }
 
 #[cfg(test)]

@@ -9,6 +9,7 @@
 
 use crate::common::{alloc_block, phase_span, summarise, App, AppRun};
 use ops_dsl::prelude::*;
+use ops_dsl::{DatMeta, WriteView};
 use sycl_sim::{quirks::apps, Session};
 
 const GAMMA: f64 = 1.4;
@@ -126,91 +127,114 @@ impl App for CloverLeaf2d {
         let halo = HaloPlan::for_session(&logical, session, 2, 8.0);
         let nd = self.nd_shape();
 
-        let mut validation = f64::NAN;
-        for _ in 0..self.iterations {
+        // The timestep crosses launch boundaries: the CFL reduction's
+        // sink stores it here and later recorded bodies load it, so one
+        // recorded iteration stays valid for every replay.
+        let dt_bits = std::sync::atomic::AtomicU64::new(0.01f64.to_bits());
+        let load_dt = || f64::from_bits(dt_bits.load(std::sync::atomic::Ordering::Relaxed));
+
+        // Record one timestep, then replay it `iterations` times: the
+        // graph prices and commits each replay under a single lock pair
+        // instead of one per launch.
+        {
+            // Metas first (shared borrows), then one exclusive view per
+            // dat shared by every recorded body — reads on written dats
+            // go through the same view.
+            let dm = st.density.meta();
+            let em = st.energy.meta();
+            let pm = st.pressure.meta();
+            let sm = st.soundspeed.meta();
+            let um = st.xvel.meta();
+            let vm = st.yvel.meta();
+            let fxm = st.flux_x.meta();
+            let fym = st.flux_y.meta();
+            let qm = st.viscosity.meta();
+            let wm = st.work.meta();
+            let d = st.density.writer();
+            let e = st.energy.writer();
+            let p = st.pressure.writer();
+            let ss = st.soundspeed.writer();
+            let u = st.xvel.writer();
+            let v = st.yvel.writer();
+            let fx = st.flux_x.writer();
+            let fy = st.flux_y.writer();
+            let q = st.viscosity.writer();
+            let w = st.work.writer();
+            let dt_bits = &dt_bits;
+            let load_dt = &load_dt;
+
+            let mut g = session.record();
+
             // -- ideal_gas: equation of state ---------------------------
-            {
-                let _p = phase_span("ideal_gas");
-                let d = st.density.reader();
-                let e = st.energy.reader();
-                let (pm, sm) = (st.pressure.meta(), st.soundspeed.meta());
-                let p = st.pressure.writer();
-                let ss = st.soundspeed.writer();
-                ParLoop::new("ideal_gas", interior)
-                    .read(st.density.meta(), Stencil::point())
-                    .read(st.energy.meta(), Stencil::point())
-                    .write(pm)
-                    .write(sm)
-                    .flops(8.0)
-                    .transcendentals(1.0)
-                    .nd_shape(nd)
-                    .run_rows(session, |row| {
-                        let dr = d.row(row);
-                        let er = e.row(row);
-                        let pr = p.row_mut(row);
-                        let cr = ss.row_mut(row);
-                        for x in 0..row.len() {
-                            let rho = dr[x].max(1e-12);
-                            let pv = (GAMMA - 1.0) * rho * er[x].max(0.0);
-                            pr[x] = pv;
-                            cr[x] = (GAMMA * pv / rho).sqrt();
-                        }
-                    });
-            }
+            g.phase("ideal_gas");
+            ParLoop::new("ideal_gas", interior)
+                .read(dm, Stencil::point())
+                .read(em, Stencil::point())
+                .write(pm)
+                .write(sm)
+                .flops(8.0)
+                .transcendentals(1.0)
+                .nd_shape(nd)
+                .record_rows(&mut g, move |row| {
+                    let dr = d.row(row);
+                    let er = e.row(row);
+                    let pr = p.row_mut(row);
+                    let cr = ss.row_mut(row);
+                    for x in 0..row.len() {
+                        let rho = dr[x].max(1e-12);
+                        let pv = (GAMMA - 1.0) * rho * er[x].max(0.0);
+                        pr[x] = pv;
+                        cr[x] = (GAMMA * pv / rho).sqrt();
+                    }
+                });
+            g.end_phase();
 
             // -- viscosity: artificial viscous pressure (compression
             //    limiter on velocity gradients) -------------------------
-            {
-                let _p = phase_span("viscosity");
-                let d = st.density.reader();
-                let u = st.xvel.reader();
-                let v = st.yvel.reader();
-                let vm = st.viscosity.meta();
-                let q = st.viscosity.writer();
-                ParLoop::new("viscosity", interior)
-                    .read(st.density.meta(), Stencil::point())
-                    .read(st.xvel.meta(), Stencil::star_2d(1))
-                    .read(st.yvel.meta(), Stencil::star_2d(1))
-                    .write(vm)
-                    .flops(22.0)
-                    .nd_shape(nd)
-                    .run_rows(session, |row| {
-                        let dr = d.row(row);
-                        let uc = u.row(row.grow_x(1));
-                        let vn = v.row(row.shift(0, 1, 0));
-                        let vs = v.row(row.shift(0, -1, 0));
-                        let qr = q.row_mut(row);
-                        for x in 0..row.len() {
-                            let div = uc[x + 2] - uc[x] + vn[x] - vs[x];
-                            qr[x] = if div < 0.0 {
-                                2.0 * dr[x] * div * div
-                            } else {
-                                0.0
-                            };
-                        }
-                    });
-            }
+            g.phase("viscosity");
+            ParLoop::new("viscosity", interior)
+                .read(dm, Stencil::point())
+                .read(um, Stencil::star_2d(1))
+                .read(vm, Stencil::star_2d(1))
+                .write(qm)
+                .flops(22.0)
+                .nd_shape(nd)
+                .record_rows(&mut g, move |row| {
+                    let dr = d.row(row);
+                    let uc = u.row(row.grow_x(1));
+                    let vn = v.row(row.shift(0, 1, 0));
+                    let vs = v.row(row.shift(0, -1, 0));
+                    let qr = q.row_mut(row);
+                    for x in 0..row.len() {
+                        let div = uc[x + 2] - uc[x] + vn[x] - vs[x];
+                        qr[x] = if div < 0.0 {
+                            2.0 * dr[x] * div * div
+                        } else {
+                            0.0
+                        };
+                    }
+                });
+            g.end_phase();
 
             // -- update_halo: reflective boundaries (the latency probe) --
-            {
-                let _p = phase_span("update_halo");
-                update_halo(session, &logical, &mut st, nd);
-                halo.exchange(session, 6);
-            }
+            g.phase("update_halo");
+            record_update_halo(&mut g, &logical, [(d, dm), (e, em), (p, pm)], nd);
+            halo.record_exchange(&mut g, 6);
+            g.end_phase();
 
             // -- calc_dt: CFL reduction ----------------------------------
-            let dt = {
-                let _p = phase_span("calc_dt");
-                let ss = st.soundspeed.reader();
-                let u = st.xvel.reader();
-                let v = st.yvel.reader();
-                let local = ParLoop::new("calc_dt", interior)
-                    .read(st.soundspeed.meta(), Stencil::point())
-                    .read(st.xvel.meta(), Stencil::point())
-                    .read(st.yvel.meta(), Stencil::point())
-                    .flops(12.0)
-                    .nd_shape(nd)
-                    .run_rows_reduce(session, f64::INFINITY, f64::min, |acc, row| {
+            g.phase("calc_dt");
+            ParLoop::new("calc_dt", interior)
+                .read(sm, Stencil::point())
+                .read(um, Stencil::point())
+                .read(vm, Stencil::point())
+                .flops(12.0)
+                .nd_shape(nd)
+                .record_rows_reduce(
+                    &mut g,
+                    f64::INFINITY,
+                    f64::min,
+                    move |acc, row| {
                         let sr = ss.row(row);
                         let ur = u.row(row);
                         let vr = v.row(row);
@@ -220,193 +244,171 @@ impl App for CloverLeaf2d {
                             m = m.min(dx / w.max(1e-12));
                         }
                         m
-                    });
-                (0.2 * local).clamp(1e-9, 0.01)
-            };
+                    },
+                    move |local| {
+                        let dt = (0.2 * local).clamp(1e-9, 0.01);
+                        dt_bits.store(dt.to_bits(), std::sync::atomic::Ordering::Relaxed);
+                    },
+                );
+            g.end_phase();
 
             // -- accelerate: pressure-gradient kick ----------------------
-            {
-                let _p = phase_span("accelerate");
-                let p = st.pressure.reader();
-                let d = st.density.reader();
-                let (um, vm) = (st.xvel.meta(), st.yvel.meta());
-                let u = st.xvel.writer();
-                let v = st.yvel.writer();
-                ParLoop::new("accelerate", interior)
-                    .read(st.pressure.meta(), Stencil::star_2d(1))
-                    .read(st.density.meta(), Stencil::point())
-                    .read_write(um)
-                    .read_write(vm)
-                    .flops(16.0)
-                    .nd_shape(nd)
-                    .run(session, |tile| {
-                        for (i, j, k) in tile.iter() {
-                            let rho = d.at(i, j, k).max(1e-12);
-                            let gx = (p.at(i + 1, j, k) - p.at(i - 1, j, k)) / (2.0 * dx);
-                            let gy = (p.at(i, j + 1, k) - p.at(i, j - 1, k)) / (2.0 * dx);
-                            u.set(i, j, k, u.get(i, j, k) - dt * gx / rho);
-                            v.set(i, j, k, v.get(i, j, k) - dt * gy / rho);
-                        }
-                    });
-            }
+            g.phase("accelerate");
+            ParLoop::new("accelerate", interior)
+                .read(pm, Stencil::star_2d(1))
+                .read(dm, Stencil::point())
+                .read_write(um)
+                .read_write(vm)
+                .flops(16.0)
+                .nd_shape(nd)
+                .record(&mut g, move |tile| {
+                    let dt = load_dt();
+                    for (i, j, k) in tile.iter() {
+                        let rho = d.get(i, j, k).max(1e-12);
+                        let gx = (p.get(i + 1, j, k) - p.get(i - 1, j, k)) / (2.0 * dx);
+                        let gy = (p.get(i, j + 1, k) - p.get(i, j - 1, k)) / (2.0 * dx);
+                        u.set(i, j, k, u.get(i, j, k) - dt * gx / rho);
+                        v.set(i, j, k, v.get(i, j, k) - dt * gy / rho);
+                    }
+                });
+            g.end_phase();
 
             // -- flux_calc: donor-cell face fluxes -----------------------
-            {
-                let _p = phase_span("flux_calc");
-                let d = st.density.reader();
-                let u = st.xvel.reader();
-                let v = st.yvel.reader();
-                let (fxm, fym) = (st.flux_x.meta(), st.flux_y.meta());
-                let fx = st.flux_x.writer();
-                let fy = st.flux_y.writer();
-                // Faces between i and i+1 exist for i < nx-1 (wall fluxes
-                // stay zero ⇒ exact conservation).
-                let face_range = Range3::new_2d(0, nx - 1, 0, ny - 1);
-                ParLoop::new("flux_calc", face_range)
-                    .read(st.density.meta(), Stencil::star_2d(1))
-                    .read(st.xvel.meta(), Stencil::star_2d(1))
-                    .read(st.yvel.meta(), Stencil::star_2d(1))
-                    .write(fxm)
-                    .write(fym)
-                    .flops(12.0)
-                    .nd_shape(nd)
-                    .run(session, |tile| {
-                        for (i, j, k) in tile.iter() {
-                            let ux = 0.5 * (u.at(i, j, k) + u.at(i + 1, j, k));
-                            let upwind_x = if ux > 0.0 {
-                                d.at(i, j, k)
-                            } else {
-                                d.at(i + 1, j, k)
-                            };
-                            fx.set(i, j, k, dt * ux * upwind_x / dx);
-                            let vy = 0.5 * (v.at(i, j, k) + v.at(i, j + 1, k));
-                            let upwind_y = if vy > 0.0 {
-                                d.at(i, j, k)
-                            } else {
-                                d.at(i, j + 1, k)
-                            };
-                            fy.set(i, j, k, dt * vy * upwind_y / dx);
-                        }
-                    });
-            }
+            g.phase("flux_calc");
+            // Faces between i and i+1 exist for i < nx-1 (wall fluxes
+            // stay zero ⇒ exact conservation).
+            let face_range = Range3::new_2d(0, nx - 1, 0, ny - 1);
+            ParLoop::new("flux_calc", face_range)
+                .read(dm, Stencil::star_2d(1))
+                .read(um, Stencil::star_2d(1))
+                .read(vm, Stencil::star_2d(1))
+                .write(fxm)
+                .write(fym)
+                .flops(12.0)
+                .nd_shape(nd)
+                .record(&mut g, move |tile| {
+                    let dt = load_dt();
+                    for (i, j, k) in tile.iter() {
+                        let ux = 0.5 * (u.get(i, j, k) + u.get(i + 1, j, k));
+                        let upwind_x = if ux > 0.0 {
+                            d.get(i, j, k)
+                        } else {
+                            d.get(i + 1, j, k)
+                        };
+                        fx.set(i, j, k, dt * ux * upwind_x / dx);
+                        let vy = 0.5 * (v.get(i, j, k) + v.get(i, j + 1, k));
+                        let upwind_y = if vy > 0.0 {
+                            d.get(i, j, k)
+                        } else {
+                            d.get(i, j + 1, k)
+                        };
+                        fy.set(i, j, k, dt * vy * upwind_y / dx);
+                    }
+                });
+            g.end_phase();
 
             // -- advec_cell: conservative update -------------------------
-            {
-                let _p = phase_span("advec_cell");
-                let fx = st.flux_x.reader();
-                let fy = st.flux_y.reader();
-                let dm = st.density.meta();
-                let d = st.density.writer();
-                ParLoop::new("advec_cell", interior)
-                    .read(st.flux_x.meta(), Stencil::star_2d(1))
-                    .read(st.flux_y.meta(), Stencil::star_2d(1))
-                    .read_write(dm)
-                    .flops(10.0)
-                    .nd_shape(nd)
-                    .run_rows(session, |row| {
-                        let fxc = fx.row(row.grow_x(1));
-                        let fys = fy.row(row.shift(0, -1, 0));
-                        let fyc = fy.row(row);
-                        let dr = d.row_mut(row);
-                        for x in 0..row.len() {
-                            let div = fxc[x] - fxc[x + 1] + fys[x] - fyc[x];
-                            dr[x] += div;
-                        }
-                    });
-            }
+            g.phase("advec_cell");
+            ParLoop::new("advec_cell", interior)
+                .read(fxm, Stencil::star_2d(1))
+                .read(fym, Stencil::star_2d(1))
+                .read_write(dm)
+                .flops(10.0)
+                .nd_shape(nd)
+                .record_rows(&mut g, move |row| {
+                    let fxc = fx.row(row.grow_x(1));
+                    let fys = fy.row(row.shift(0, -1, 0));
+                    let fyc = fy.row(row);
+                    let dr = d.row_mut(row);
+                    for x in 0..row.len() {
+                        let div = fxc[x] - fxc[x + 1] + fys[x] - fyc[x];
+                        dr[x] += div;
+                    }
+                });
+            g.end_phase();
 
             // -- advec_mom: momentum advection (two sweeps: work array
             //    then velocity update, as the real CloverLeaf does) ------
-            {
-                let _p = phase_span("advec_mom");
-                let d = st.density.reader();
-                let u = st.xvel.reader();
-                let wm = st.work.meta();
-                let w = st.work.writer();
-                ParLoop::new("advec_mom", interior)
-                    .read(st.density.meta(), Stencil::star_2d(2))
-                    .read(st.xvel.meta(), Stencil::star_2d(2))
-                    .write(wm)
-                    .flops(28.0)
-                    .nd_shape(nd)
-                    .run(session, |tile| {
-                        for (i, j, k) in tile.iter() {
-                            // Mass-weighted upwind average of momentum.
-                            let m = 0.25
-                                * (d.at(i - 1, j, k)
-                                    + d.at(i + 1, j, k)
-                                    + d.at(i, j - 1, k)
-                                    + d.at(i, j + 1, k));
-                            let mom = 0.25
-                                * (u.at(i - 1, j, k)
-                                    + u.at(i + 1, j, k)
-                                    + u.at(i, j - 1, k)
-                                    + u.at(i, j + 1, k));
-                            w.set(i, j, k, m * mom);
-                        }
-                    });
-                let wk = st.work.reader();
-                let d2 = st.density.reader();
-                let um = st.xvel.meta();
-                let uv = st.xvel.writer();
-                ParLoop::new("advec_mom", interior)
-                    .read(st.work.meta(), Stencil::point())
-                    .read(st.density.meta(), Stencil::point())
-                    .read_write(um)
-                    .flops(8.0)
-                    .nd_shape(nd)
-                    .run(session, |tile| {
-                        for (i, j, k) in tile.iter() {
-                            let rho = d2.at(i, j, k).max(1e-12);
-                            let blended = 0.98 * uv.get(i, j, k) + 0.02 * wk.at(i, j, k) / rho;
-                            uv.set(i, j, k, blended);
-                        }
-                    });
-            }
+            g.phase("advec_mom");
+            ParLoop::new("advec_mom", interior)
+                .read(dm, Stencil::star_2d(2))
+                .read(um, Stencil::star_2d(2))
+                .write(wm)
+                .flops(28.0)
+                .nd_shape(nd)
+                .record(&mut g, move |tile| {
+                    for (i, j, k) in tile.iter() {
+                        // Mass-weighted upwind average of momentum.
+                        let m = 0.25
+                            * (d.get(i - 1, j, k)
+                                + d.get(i + 1, j, k)
+                                + d.get(i, j - 1, k)
+                                + d.get(i, j + 1, k));
+                        let mom = 0.25
+                            * (u.get(i - 1, j, k)
+                                + u.get(i + 1, j, k)
+                                + u.get(i, j - 1, k)
+                                + u.get(i, j + 1, k));
+                        w.set(i, j, k, m * mom);
+                    }
+                });
+            ParLoop::new("advec_mom", interior)
+                .read(wm, Stencil::point())
+                .read(dm, Stencil::point())
+                .read_write(um)
+                .flops(8.0)
+                .nd_shape(nd)
+                .record(&mut g, move |tile| {
+                    for (i, j, k) in tile.iter() {
+                        let rho = d.get(i, j, k).max(1e-12);
+                        let blended = 0.98 * u.get(i, j, k) + 0.02 * w.get(i, j, k) / rho;
+                        u.set(i, j, k, blended);
+                    }
+                });
+            g.end_phase();
 
             // Post-advection halo refresh (the real CloverLeaf updates
             // halos again before the PdV stage).
-            {
-                let _p = phase_span("update_halo");
-                update_halo(session, &logical, &mut st, nd);
-            }
+            g.phase("update_halo");
+            record_update_halo(&mut g, &logical, [(d, dm), (e, em), (p, pm)], nd);
+            g.end_phase();
 
             // -- pdv: compression work -----------------------------------
-            {
-                let _p = phase_span("pdv");
-                let p = st.pressure.reader();
-                let q = st.viscosity.reader();
-                let d = st.density.reader();
-                let u = st.xvel.reader();
-                let v = st.yvel.reader();
-                let em = st.energy.meta();
-                let e = st.energy.writer();
-                ParLoop::new("pdv", interior)
-                    .read(st.pressure.meta(), Stencil::point())
-                    .read(st.viscosity.meta(), Stencil::point())
-                    .read(st.density.meta(), Stencil::point())
-                    .read(st.xvel.meta(), Stencil::star_2d(1))
-                    .read(st.yvel.meta(), Stencil::star_2d(1))
-                    .read_write(em)
-                    .flops(20.0)
-                    .nd_shape(nd)
-                    .run_rows(session, |row| {
-                        let uc = u.row(row.grow_x(1));
-                        let vn = v.row(row.shift(0, 1, 0));
-                        let vs = v.row(row.shift(0, -1, 0));
-                        let dr = d.row(row);
-                        let pr = p.row(row);
-                        let qr = q.row(row);
-                        let er = e.row_mut(row);
-                        for x in 0..row.len() {
-                            let div = (uc[x + 2] - uc[x] + vn[x] - vs[x]) / (2.0 * dx);
-                            let rho = dr[x].max(1e-12);
-                            let de = -(pr[x] + qr[x]) * div * dt / rho;
-                            er[x] = (er[x] + de).max(1e-9);
-                        }
-                    });
+            g.phase("pdv");
+            ParLoop::new("pdv", interior)
+                .read(pm, Stencil::point())
+                .read(qm, Stencil::point())
+                .read(dm, Stencil::point())
+                .read(um, Stencil::star_2d(1))
+                .read(vm, Stencil::star_2d(1))
+                .read_write(em)
+                .flops(20.0)
+                .nd_shape(nd)
+                .record_rows(&mut g, move |row| {
+                    let dt = load_dt();
+                    let uc = u.row(row.grow_x(1));
+                    let vn = v.row(row.shift(0, 1, 0));
+                    let vs = v.row(row.shift(0, -1, 0));
+                    let dr = d.row(row);
+                    let pr = p.row(row);
+                    let qr = q.row(row);
+                    let er = e.row_mut(row);
+                    for x in 0..row.len() {
+                        let div = (uc[x + 2] - uc[x] + vn[x] - vs[x]) / (2.0 * dx);
+                        let rho = dr[x].max(1e-12);
+                        let de = -(pr[x] + qr[x]) * div * dt / rho;
+                        er[x] = (er[x] + de).max(1e-9);
+                    }
+                });
+            g.end_phase();
+
+            let g = g.finish();
+            for _ in 0..self.iterations {
+                g.replay(session);
             }
         }
+
+        let mut validation = f64::NAN;
 
         // -- field_summary: conserved quantities -------------------------
         let _p = phase_span("field_summary");
@@ -445,10 +447,15 @@ impl App for CloverLeaf2d {
     }
 }
 
-/// The reflective halo-update loops. As in the real CloverLeaf, each
-/// (face × field) is its own kernel launch — these tiny, latency-bound
-/// loops are the paper's per-kernel overhead probe (§4.1/§4.2).
-fn update_halo(session: &Session, block: &Block, st: &mut State, nd: [usize; 3]) {
+/// Record the reflective halo-update loops. As in the real CloverLeaf,
+/// each (face × field) is its own kernel launch — these tiny, latency-
+/// bound loops are the paper's per-kernel overhead probe (§4.1/§4.2).
+fn record_update_halo<'a>(
+    g: &mut sycl_sim::GraphBuilder<'a>,
+    block: &Block,
+    fields: [(WriteView<'a, f64>, DatMeta); 3],
+    nd: [usize; 3],
+) {
     let nx = block.dims[0] as i64;
     let ny = block.dims[1] as i64;
     for (dim, side, extent) in [(0usize, -1i64, nx), (0, 1, nx), (1, -1, ny), (1, 1, ny)] {
@@ -456,18 +463,12 @@ fn update_halo(session: &Session, block: &Block, st: &mut State, nd: [usize; 3])
         // A depth-2 reflective face reads its mirror up to 3 cells past
         // the face range in the face dimension.
         let mirror = Stencil::offset_1d(dim, 3);
-        let metas = [st.density.meta(), st.energy.meta(), st.pressure.meta()];
-        let fields = [
-            st.density.writer(),
-            st.energy.writer(),
-            st.pressure.writer(),
-        ];
-        for (w, meta) in fields.into_iter().zip(metas) {
+        for (w, meta) in fields {
             ParLoop::new("update_halo", range)
                 .read_write_stencil(meta, mirror)
                 .flops(0.0)
                 .nd_shape(nd)
-                .run(session, |tile| {
+                .record(g, move |tile| {
                     for (i, j, k) in tile.iter() {
                         // Mirror index inside the domain for this face.
                         let (mi, mj) = match (dim, side > 0) {
@@ -545,6 +546,25 @@ mod tests {
         let eff = run.effective_bandwidth / s.platform().mem.stream_bw;
         assert!(eff > 0.5 && eff < 1.2, "efficiency {eff}");
         assert!(run.boundary_fraction < 0.2);
+    }
+
+    #[test]
+    fn replayed_and_eager_launch_paths_are_bit_identical() {
+        // The graph replay must leave the ledger (and the physics)
+        // exactly as per-launch eager execution would.
+        let app = CloverLeaf2d::test();
+        let replayed = live_session();
+        let eager = Session::create(
+            SessionConfig::new(PlatformId::A100, Toolchain::NativeCuda)
+                .app(apps::CLOVERLEAF2D)
+                .eager_launches(),
+        )
+        .unwrap();
+        let a = app.run(&replayed);
+        let b = app.run(&eager);
+        assert_eq!(replayed.ledger_digest(), eager.ledger_digest());
+        assert_eq!(replayed.elapsed().to_bits(), eager.elapsed().to_bits());
+        assert_eq!(a.validation.to_bits(), b.validation.to_bits());
     }
 
     #[test]

@@ -7,6 +7,7 @@
 
 use crate::common::{alloc_block, phase_span, summarise, App, AppRun};
 use ops_dsl::prelude::*;
+use ops_dsl::{DatMeta, WriteView};
 use sycl_sim::{quirks::apps, Session};
 
 const GAMMA: f64 = 1.4;
@@ -108,161 +109,179 @@ impl App for CloverLeaf3d {
         let halo = HaloPlan::for_session(&logical, session, 2, 8.0);
         let nd = self.nd_shape();
 
-        let mut validation = f64::NAN;
-        for _ in 0..self.iterations {
+        // The CFL timestep crosses launch boundaries within a replay via
+        // this bit-cell (stored by the reduction sink, loaded by flux
+        // and pdv bodies).
+        let dt_bits = std::sync::atomic::AtomicU64::new(0.01f64.to_bits());
+        let load_dt = || f64::from_bits(dt_bits.load(std::sync::atomic::Ordering::Relaxed));
+
+        // Record one timestep, replay it `iterations` times.
+        {
+            let dm = st.density.meta();
+            let em = st.energy.meta();
+            let pm = st.pressure.meta();
+            let sm = st.soundspeed.meta();
+            let vms = [st.vel[0].meta(), st.vel[1].meta(), st.vel[2].meta()];
+            let fms = [st.flux[0].meta(), st.flux[1].meta(), st.flux[2].meta()];
+            let d = st.density.writer();
+            let e = st.energy.writer();
+            let p = st.pressure.writer();
+            let ss = st.soundspeed.writer();
+            // Velocities are never written by the 3-D step: plain readers.
+            let [v0, v1, v2] = &st.vel;
+            let vel = [v0.reader(), v1.reader(), v2.reader()];
+            let [f0, f1, f2] = &mut st.flux;
+            let flux = [f0.writer(), f1.writer(), f2.writer()];
+            let dt_bits = &dt_bits;
+            let load_dt = &load_dt;
+
+            let mut g = session.record();
+
             // ideal_gas
-            {
-                let _p = phase_span("ideal_gas");
-                let d = st.density.reader();
-                let e = st.energy.reader();
-                let (pm, sm) = (st.pressure.meta(), st.soundspeed.meta());
-                let p = st.pressure.writer();
-                let ss = st.soundspeed.writer();
-                ParLoop::new("ideal_gas", interior)
-                    .read(st.density.meta(), Stencil::point())
-                    .read(st.energy.meta(), Stencil::point())
-                    .write(pm)
-                    .write(sm)
-                    .flops(8.0)
-                    .transcendentals(1.0)
-                    .nd_shape(nd)
-                    .run(session, |tile| {
-                        for (i, j, k) in tile.iter() {
-                            let rho = d.at(i, j, k).max(1e-12);
-                            let pr = (GAMMA - 1.0) * rho * e.at(i, j, k).max(0.0);
-                            p.set(i, j, k, pr);
-                            ss.set(i, j, k, (GAMMA * pr / rho).sqrt());
-                        }
-                    });
-            }
+            g.phase("ideal_gas");
+            ParLoop::new("ideal_gas", interior)
+                .read(dm, Stencil::point())
+                .read(em, Stencil::point())
+                .write(pm)
+                .write(sm)
+                .flops(8.0)
+                .transcendentals(1.0)
+                .nd_shape(nd)
+                .record(&mut g, move |tile| {
+                    for (i, j, k) in tile.iter() {
+                        let rho = d.get(i, j, k).max(1e-12);
+                        let pr = (GAMMA - 1.0) * rho * e.get(i, j, k).max(0.0);
+                        p.set(i, j, k, pr);
+                        ss.set(i, j, k, (GAMMA * pr / rho).sqrt());
+                    }
+                });
+            g.end_phase();
 
             // update_halo: six faces.
-            {
-                let _p = phase_span("update_halo");
-                update_halo(session, &logical, &mut st, nd);
-                halo.exchange(session, 7);
-            }
+            g.phase("update_halo");
+            record_update_halo(&mut g, &logical, [(d, dm), (e, em), (p, pm)], nd);
+            halo.record_exchange(&mut g, 7);
+            g.end_phase();
 
             // calc_dt
-            let dt = {
-                let _p = phase_span("calc_dt");
-                let ss = st.soundspeed.reader();
-                let u = st.vel[0].reader();
-                let local = ParLoop::new("calc_dt", interior)
-                    .read(st.soundspeed.meta(), Stencil::point())
-                    .read(st.vel[0].meta(), Stencil::point())
-                    .flops(10.0)
-                    .nd_shape(nd)
-                    .run_reduce(session, f64::INFINITY, f64::min, |tile| {
+            g.phase("calc_dt");
+            let u0 = vel[0];
+            ParLoop::new("calc_dt", interior)
+                .read(sm, Stencil::point())
+                .read(vms[0], Stencil::point())
+                .flops(10.0)
+                .nd_shape(nd)
+                .record_reduce(
+                    &mut g,
+                    f64::INFINITY,
+                    f64::min,
+                    move |tile| {
                         let mut m = f64::INFINITY;
                         for (i, j, k) in tile.iter() {
-                            let w = ss.at(i, j, k) + u.at(i, j, k).abs();
+                            let w = ss.get(i, j, k) + u0.at(i, j, k).abs();
                             m = m.min(dx / w.max(1e-12));
                         }
                         m
-                    });
-                (0.2 * local).clamp(1e-9, 0.01)
-            };
+                    },
+                    move |local| {
+                        let dt = (0.2 * local).clamp(1e-9, 0.01);
+                        dt_bits.store(dt.to_bits(), std::sync::atomic::Ordering::Relaxed);
+                    },
+                );
+            g.end_phase();
 
             // flux_calc per direction (faces interior to the domain only
             // ⇒ wall fluxes stay zero ⇒ exact conservation).
-            let flux_phase = phase_span("flux_calc");
+            g.phase("flux_calc");
             for dir in 0..3 {
-                let d = st.density.reader();
-                let v = st.vel[dir].reader();
-                let fm = st.flux[dir].meta();
-                let f = st.flux[dir].writer();
+                let v = vel[dir];
+                let f = flux[dir];
                 let mut hi = [n, n, n];
                 hi[dir] = n - 1;
                 let face_range = Range3::new_3d(0, hi[0], 0, hi[1], 0, hi[2]);
                 let off: [i64; 3] = std::array::from_fn(|a| (a == dir) as i64);
                 ParLoop::new("flux_calc", face_range)
-                    .read(st.density.meta(), Stencil::star_3d(1))
-                    .read(st.vel[dir].meta(), Stencil::star_3d(1))
-                    .write(fm)
+                    .read(dm, Stencil::star_3d(1))
+                    .read(vms[dir], Stencil::star_3d(1))
+                    .write(fms[dir])
                     .flops(8.0)
                     .nd_shape(nd)
-                    .run(session, |tile| {
+                    .record(&mut g, move |tile| {
+                        let dt = load_dt();
                         for (i, j, k) in tile.iter() {
                             let un =
                                 0.5 * (v.at(i, j, k) + v.at(i + off[0], j + off[1], k + off[2]));
                             let up = if un > 0.0 {
-                                d.at(i, j, k)
+                                d.get(i, j, k)
                             } else {
-                                d.at(i + off[0], j + off[1], k + off[2])
+                                d.get(i + off[0], j + off[1], k + off[2])
                             };
                             f.set(i, j, k, dt * un * up / dx);
                         }
                     });
             }
-
-            drop(flux_phase);
+            g.end_phase();
 
             // Post-flux halo refresh (as the real CloverLeaf does).
-            {
-                let _p = phase_span("update_halo");
-                update_halo(session, &logical, &mut st, nd);
-            }
+            g.phase("update_halo");
+            record_update_halo(&mut g, &logical, [(d, dm), (e, em), (p, pm)], nd);
+            g.end_phase();
 
             // advec_cell: conservative density update.
-            {
-                let _p = phase_span("advec_cell");
-                let fx = st.flux[0].reader();
-                let fy = st.flux[1].reader();
-                let fz = st.flux[2].reader();
-                let dm = st.density.meta();
-                let d = st.density.writer();
-                ParLoop::new("advec_cell", interior)
-                    .read(st.flux[0].meta(), Stencil::star_3d(1))
-                    .read(st.flux[1].meta(), Stencil::star_3d(1))
-                    .read(st.flux[2].meta(), Stencil::star_3d(1))
-                    .read_write(dm)
-                    .flops(12.0)
-                    .nd_shape(nd)
-                    .run(session, |tile| {
-                        for (i, j, k) in tile.iter() {
-                            let div = fx.at(i - 1, j, k) - fx.at(i, j, k) + fy.at(i, j - 1, k)
-                                - fy.at(i, j, k)
-                                + fz.at(i, j, k - 1)
-                                - fz.at(i, j, k);
-                            d.set(i, j, k, d.get(i, j, k) + div);
-                        }
-                    });
-            }
+            g.phase("advec_cell");
+            let [fx, fy, fz] = flux;
+            ParLoop::new("advec_cell", interior)
+                .read(fms[0], Stencil::star_3d(1))
+                .read(fms[1], Stencil::star_3d(1))
+                .read(fms[2], Stencil::star_3d(1))
+                .read_write(dm)
+                .flops(12.0)
+                .nd_shape(nd)
+                .record(&mut g, move |tile| {
+                    for (i, j, k) in tile.iter() {
+                        let div = fx.get(i - 1, j, k) - fx.get(i, j, k) + fy.get(i, j - 1, k)
+                            - fy.get(i, j, k)
+                            + fz.get(i, j, k - 1)
+                            - fz.get(i, j, k);
+                        d.set(i, j, k, d.get(i, j, k) + div);
+                    }
+                });
+            g.end_phase();
 
             // pdv: compression work on energy.
-            {
-                let _p = phase_span("pdv");
-                let p = st.pressure.reader();
-                let d = st.density.reader();
-                let u = st.vel[0].reader();
-                let v = st.vel[1].reader();
-                let w = st.vel[2].reader();
-                let em = st.energy.meta();
-                let e = st.energy.writer();
-                ParLoop::new("pdv", interior)
-                    .read(st.pressure.meta(), Stencil::point())
-                    .read(st.density.meta(), Stencil::point())
-                    .read(st.vel[0].meta(), Stencil::star_3d(1))
-                    .read(st.vel[1].meta(), Stencil::star_3d(1))
-                    .read(st.vel[2].meta(), Stencil::star_3d(1))
-                    .read_write(em)
-                    .flops(22.0)
-                    .nd_shape(nd)
-                    .run(session, |tile| {
-                        for (i, j, k) in tile.iter() {
-                            let div = (u.at(i + 1, j, k) - u.at(i - 1, j, k) + v.at(i, j + 1, k)
-                                - v.at(i, j - 1, k)
-                                + w.at(i, j, k + 1)
-                                - w.at(i, j, k - 1))
-                                / (2.0 * dx);
-                            let rho = d.at(i, j, k).max(1e-12);
-                            let de = -p.at(i, j, k) * div * dt / rho;
-                            e.set(i, j, k, (e.get(i, j, k) + de).max(1e-9));
-                        }
-                    });
+            g.phase("pdv");
+            let [u, v, w] = vel;
+            ParLoop::new("pdv", interior)
+                .read(pm, Stencil::point())
+                .read(dm, Stencil::point())
+                .read(vms[0], Stencil::star_3d(1))
+                .read(vms[1], Stencil::star_3d(1))
+                .read(vms[2], Stencil::star_3d(1))
+                .read_write(em)
+                .flops(22.0)
+                .nd_shape(nd)
+                .record(&mut g, move |tile| {
+                    let dt = load_dt();
+                    for (i, j, k) in tile.iter() {
+                        let div = (u.at(i + 1, j, k) - u.at(i - 1, j, k) + v.at(i, j + 1, k)
+                            - v.at(i, j - 1, k)
+                            + w.at(i, j, k + 1)
+                            - w.at(i, j, k - 1))
+                            / (2.0 * dx);
+                        let rho = d.get(i, j, k).max(1e-12);
+                        let de = -p.get(i, j, k) * div * dt / rho;
+                        e.set(i, j, k, (e.get(i, j, k) + de).max(1e-9));
+                    }
+                });
+            g.end_phase();
+
+            let g = g.finish();
+            for _ in 0..self.iterations {
+                g.replay(session);
             }
         }
+
+        let mut validation = f64::NAN;
 
         // field_summary
         let _p = phase_span("field_summary");
@@ -296,9 +315,14 @@ impl App for CloverLeaf3d {
     }
 }
 
-/// Six reflective boundary faces; one launch per (face × field), as
-/// the real code generator emits.
-fn update_halo(session: &Session, block: &Block, st: &mut State, nd: [usize; 3]) {
+/// Record the six reflective boundary faces; one launch per
+/// (face × field), as the real code generator emits.
+fn record_update_halo<'a>(
+    g: &mut sycl_sim::GraphBuilder<'a>,
+    block: &Block,
+    fields: [(WriteView<'a, f64>, DatMeta); 3],
+    nd: [usize; 3],
+) {
     let n = block.dims[0] as i64;
     for dim in 0..3usize {
         for side in [-1i64, 1] {
@@ -306,17 +330,11 @@ fn update_halo(session: &Session, block: &Block, st: &mut State, nd: [usize; 3])
             // A depth-2 reflective face reads its mirror up to 3 cells
             // past the face range in the face dimension.
             let mirror = Stencil::offset_1d(dim, 3);
-            let metas = [st.density.meta(), st.energy.meta(), st.pressure.meta()];
-            let fields = [
-                st.density.writer(),
-                st.energy.writer(),
-                st.pressure.writer(),
-            ];
-            for (w, meta) in fields.into_iter().zip(metas) {
+            for (w, meta) in fields {
                 ParLoop::new("update_halo", range)
                     .read_write_stencil(meta, mirror)
                     .nd_shape(nd)
-                    .run(session, |tile| {
+                    .record(g, move |tile| {
                         for (i, j, k) in tile.iter() {
                             let mut m = [i, j, k];
                             m[dim] = if side < 0 {

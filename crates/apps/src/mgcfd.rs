@@ -9,7 +9,7 @@
 //! and compute the residual norm; restriction/prolongation sweeps move
 //! the state across the multigrid hierarchy.
 
-use crate::common::{phase_span, summarise, App, AppRun};
+use crate::common::{summarise, App, AppRun};
 use op2_dsl::parloop::ColoredMesh;
 use op2_dsl::prelude::*;
 use op2_dsl::DatU;
@@ -143,155 +143,171 @@ impl App for Mgcfd {
         };
 
         let dt = 1e-3;
-        let mut last_residual = f64::NAN;
         let ranks = session.ranks();
+        // The finest-level residual norm escapes the recorded graph
+        // through this bit-cell (written by the reduction sink on every
+        // replay; read back after the last one).
+        let res_bits = std::sync::atomic::AtomicU64::new(f64::NAN.to_bits());
 
-        for _ in 0..self.iterations {
-            // V-cycle: smooth on each level, finest to coarsest.
-            for l in 0..levels.len() {
-                let lvl = &mut levels[l];
-                let stats = lvl.stats;
+        // Record one V-cycle plus the residual reduction; replay it per
+        // iteration.
+        {
+            let res_bits = &res_bits;
+            // One exclusive view pair per level, shared by every recorded
+            // body that touches that level (the flux loop's accumulator
+            // is the same res view, re-cast).
+            let lvls: Vec<_> = levels
+                .iter_mut()
+                .map(|l| {
+                    (
+                        l.stats,
+                        l.colored.as_ref(),
+                        l.q.set_size(),
+                        l.q.writer(),
+                        l.res.writer(),
+                    )
+                })
+                .collect();
+
+            let mut g = session.record();
+            for l in 0..lvls.len() {
+                let (stats, colored, q_n, qv, rv) = lvls[l];
 
                 // MPI variants exchange the halo flow state before the
                 // flux sweep (owner-compute, §3 of the paper).
                 if ranks > 1 {
                     let cut = stats.estimated_cut_edges(ranks);
-                    session.exchange(cut as f64 * N_VARS as f64 * 8.0 * 2.0, (ranks * 6) as u64);
+                    g.exchange(cut as f64 * N_VARS as f64 * 8.0 * 2.0, (ranks * 6) as u64);
                 }
 
                 // -- compute_flux: the racy edge loop --------------------
-                {
-                    let _p = phase_span("compute_flux");
-                    let lp = EdgeLoop::new("compute_flux", stats, scheme, Precision::F64)
-                        .vertex_read(N_VARS)
-                        .vertex_inc(N_VARS)
-                        .flops(110.0)
-                        .transcendentals(1.0)
-                        .block_size(block);
-                    let atomic = lp.uses_atomics();
-                    if let Some(colored) = lvl.colored.as_ref() {
-                        let edges = colored.mesh.edges.clone();
-                        let qr = lvl.q.reader();
-                        let acc = lvl.res.accum(atomic);
-                        lp.run(session, Some(colored), |e| {
-                            let a = edges.at(e, 0);
-                            let b = edges.at(e, 1);
-                            let mut ql = [0.0; N_VARS];
-                            let mut qb = [0.0; N_VARS];
-                            for v in 0..N_VARS {
-                                ql[v] = qr.at(a, v);
-                                qb[v] = qr.at(b, v);
-                            }
-                            let mut f = [0.0; N_VARS];
-                            rusanov(&ql, &qb, &mut f);
-                            for v in 0..N_VARS {
-                                acc.add(a, v, -f[v]);
-                                acc.add(b, v, f[v]);
-                            }
-                        });
-                    } else {
-                        lp.run(session, None, |_| {});
-                    }
+                g.phase("compute_flux");
+                let lp = EdgeLoop::new("compute_flux", stats, scheme, Precision::F64)
+                    .vertex_read(N_VARS)
+                    .vertex_inc(N_VARS)
+                    .flops(110.0)
+                    .transcendentals(1.0)
+                    .block_size(block);
+                let atomic = lp.uses_atomics();
+                if let Some(colored) = colored {
+                    let edges = colored.mesh.edges.clone();
+                    let acc = rv.to_accum(atomic);
+                    lp.record(&mut g, Some(colored), move |e| {
+                        let a = edges.at(e, 0);
+                        let b = edges.at(e, 1);
+                        let mut ql = [0.0; N_VARS];
+                        let mut qb = [0.0; N_VARS];
+                        for v in 0..N_VARS {
+                            ql[v] = qv.get(a, v);
+                            qb[v] = qv.get(b, v);
+                        }
+                        let mut f = [0.0; N_VARS];
+                        rusanov(&ql, &qb, &mut f);
+                        for v in 0..N_VARS {
+                            acc.add(a, v, -f[v]);
+                            acc.add(b, v, f[v]);
+                        }
+                    });
+                } else {
+                    lp.record(&mut g, None, |_| {});
                 }
+                g.end_phase();
 
                 // -- time_step: apply and clear residuals ----------------
-                {
-                    let _p = phase_span("time_step");
-                    let n = if functional {
-                        lvl.q.set_size()
-                    } else {
-                        stats.n_vertices
-                    };
-                    let lp = VertexLoop::new("time_step", n, Precision::F64)
-                        .arg_rw(N_VARS)
-                        .arg_rw(N_VARS)
-                        .flops(3.0 * N_VARS as f64);
-                    if functional {
-                        let q = lvl.q.writer();
-                        let r = lvl.res.writer();
-                        lp.run(session, |lo, hi| {
-                            for e in lo..hi {
-                                for v in 0..N_VARS {
-                                    q.set(e, v, q.get(e, v) + dt * r.get(e, v));
-                                    r.set(e, v, 0.0);
-                                }
+                g.phase("time_step");
+                let n = if functional { q_n } else { stats.n_vertices };
+                let lp = VertexLoop::new("time_step", n, Precision::F64)
+                    .arg_rw(N_VARS)
+                    .arg_rw(N_VARS)
+                    .flops(3.0 * N_VARS as f64);
+                if functional {
+                    lp.record(&mut g, move |lo, hi| {
+                        for e in lo..hi {
+                            for v in 0..N_VARS {
+                                qv.set(e, v, qv.get(e, v) + dt * rv.get(e, v));
+                                rv.set(e, v, 0.0);
                             }
-                        });
-                    } else {
-                        lp.run(session, |_, _| {});
-                    }
+                        }
+                    });
+                } else {
+                    lp.record(&mut g, |_, _| {});
                 }
+                g.end_phase();
 
                 // -- restrict to the next level (injection) --------------
-                if l + 1 < levels.len() {
-                    let _p = phase_span("restrict");
-                    let coarse_n = levels[l + 1].stats.n_vertices;
-                    let ratio = (levels[l].stats.n_vertices / coarse_n.max(1)).max(1);
-                    let lp = VertexLoop::new("restrict", coarse_n, Precision::F64)
-                        .arg(N_VARS)
-                        .arg(N_VARS)
-                        .flops(N_VARS as f64);
+                if l + 1 < lvls.len() {
+                    g.phase("restrict");
                     if functional {
-                        let coarse_n_real = levels[l + 1].q.set_size();
-                        let fine_n = levels[l].q.set_size();
-                        let (fine, rest) = levels.split_at_mut(l + 1);
-                        let fq = fine[l].q.reader();
-                        let cq = rest[0].q.writer();
+                        let coarse_n_real = lvls[l + 1].2;
+                        let fine_n = q_n;
+                        let cq = lvls[l + 1].3;
                         let ratio_real = (fine_n / coarse_n_real.max(1)).max(1);
-                        let lp = VertexLoop::new("restrict", coarse_n_real, Precision::F64)
+                        VertexLoop::new("restrict", coarse_n_real, Precision::F64)
                             .arg(N_VARS)
                             .arg(N_VARS)
-                            .flops(N_VARS as f64);
-                        lp.run(session, |lo, hi| {
-                            for e in lo..hi {
-                                let src = (e * ratio_real).min(fine_n - 1);
-                                for v in 0..N_VARS {
-                                    cq.set(e, v, fq.at(src, v));
+                            .flops(N_VARS as f64)
+                            .record(&mut g, move |lo, hi| {
+                                for e in lo..hi {
+                                    let src = (e * ratio_real).min(fine_n - 1);
+                                    for v in 0..N_VARS {
+                                        cq.set(e, v, qv.get(src, v));
+                                    }
                                 }
-                            }
-                        });
+                            });
                     } else {
-                        let _ = ratio;
-                        lp.run(session, |_, _| {});
+                        let coarse_n = lvls[l + 1].0.n_vertices;
+                        VertexLoop::new("restrict", coarse_n, Precision::F64)
+                            .arg(N_VARS)
+                            .arg(N_VARS)
+                            .flops(N_VARS as f64)
+                            .record(&mut g, |_, _| {});
                     }
+                    g.end_phase();
                 }
             }
 
             // -- residual norm on the finest level (reduction) -----------
-            {
-                let _p = phase_span("residual_norm");
-                let stats = levels[0].stats;
-                let n = if functional {
-                    levels[0].q.set_size()
-                } else {
-                    stats.n_vertices
-                };
-                let lp = VertexLoop::new("residual_norm", n, Precision::F64)
-                    .arg(N_VARS)
-                    .flops(2.0 * N_VARS as f64);
-                if functional {
-                    let q = levels[0].q.reader();
-                    last_residual = lp.run_reduce(
-                        session,
-                        0.0,
-                        |a, b| a + b,
-                        |lo, hi| {
-                            let mut s = 0.0;
-                            for e in lo..hi {
-                                for v in 0..N_VARS {
-                                    let x = q.at(e, v);
-                                    s += x * x;
-                                }
+            g.phase("residual_norm");
+            let (stats, _, q_n, qv, _) = lvls[0];
+            let n = if functional { q_n } else { stats.n_vertices };
+            let lp = VertexLoop::new("residual_norm", n, Precision::F64)
+                .arg(N_VARS)
+                .flops(2.0 * N_VARS as f64);
+            if functional {
+                lp.record_reduce(
+                    &mut g,
+                    0.0,
+                    |a, b| a + b,
+                    move |lo, hi| {
+                        let mut s = 0.0;
+                        for e in lo..hi {
+                            for v in 0..N_VARS {
+                                let x = qv.get(e, v);
+                                s += x * x;
                             }
-                            s
-                        },
-                    );
-                } else {
-                    lp.run_reduce(session, 0.0, |a, b| a + b, |_, _| 0.0);
-                }
+                        }
+                        s
+                    },
+                    move |s| {
+                        res_bits.store(s.to_bits(), std::sync::atomic::Ordering::Relaxed);
+                    },
+                );
+            } else {
+                lp.record_reduce(&mut g, 0.0, |a, b| a + b, |_, _| 0.0, |_| {});
+            }
+            g.end_phase();
+
+            let g = g.finish();
+            for _ in 0..self.iterations {
+                g.replay(session);
             }
         }
 
+        let last_residual = if functional {
+            f64::from_bits(res_bits.load(std::sync::atomic::Ordering::Relaxed))
+        } else {
+            f64::NAN
+        };
         summarise(session, last_residual)
     }
 }
@@ -381,6 +397,33 @@ mod tests {
             .filter(|r| &*r.name == "compute_flux")
             .count();
         assert!(flux_launches >= 3 * 3, "one per level per iteration");
+    }
+
+    #[test]
+    fn replayed_and_eager_launch_paths_are_bit_identical_under_every_scheme() {
+        for scheme in Scheme::all() {
+            let make = |eager: bool| {
+                let mut cfg = SessionConfig::new(PlatformId::A100, Toolchain::NativeCuda)
+                    .app(apps::MGCFD)
+                    .scheme(scheme);
+                if eager {
+                    cfg = cfg.eager_launches();
+                }
+                Session::create(cfg).unwrap()
+            };
+            let app = Mgcfd::test();
+            let replayed = make(false);
+            let eager = make(true);
+            let a = app.run(&replayed);
+            let b = app.run(&eager);
+            assert_eq!(
+                replayed.ledger_digest(),
+                eager.ledger_digest(),
+                "{scheme:?}: ledger digests diverge between replay and eager"
+            );
+            assert_eq!(replayed.elapsed().to_bits(), eager.elapsed().to_bits());
+            assert_eq!(a.validation.to_bits(), b.validation.to_bits());
+        }
     }
 
     #[test]

@@ -20,6 +20,7 @@
 
 use crate::common::{alloc_block, phase_span, summarise, App, AppRun};
 use ops_dsl::prelude::*;
+use ops_dsl::{DatMeta, WriteView};
 use sycl_sim::{quirks::apps, KernelTraits, Session};
 
 const N_VARS: usize = 5;
@@ -71,11 +72,12 @@ impl OpenSbli {
         Block::new_3d(self.n, self.n, self.n, 2)
     }
 
-    /// Periodic halo fill for one field.
-    fn periodic_halo(
-        session: &Session,
+    /// Record the periodic halo fill for one field.
+    fn record_periodic_halo<'a>(
+        g: &mut sycl_sim::GraphBuilder<'a>,
         block: &Block,
-        dat: &mut ops_dsl::Dat<f64>,
+        w: WriteView<'a, f64>,
+        meta: DatMeta,
         nd: [usize; 3],
     ) {
         let n = block.dims[0] as i64;
@@ -85,12 +87,10 @@ impl OpenSbli {
                 // The periodic wrap reads from the opposite side of the
                 // domain: a full-extent offset in the face dimension.
                 let wrap = Stencil::offset_1d(dim, n as usize);
-                let meta = dat.meta();
-                let w = dat.writer();
                 ParLoop::new("periodic_halo", range)
                     .read_write_stencil(meta, wrap)
                     .nd_shape(nd)
-                    .run(session, |tile| {
+                    .record(g, move |tile| {
                         for (i, j, k) in tile.iter() {
                             let mut m = [i, j, k];
                             m[dim] = (m[dim] + n) % n;
@@ -171,52 +171,60 @@ impl App for OpenSbli {
             hard_on_neon: true,
         };
 
-        for _ in 0..self.iterations {
+        // Record one full 3-stage RK iteration — the stage coefficients
+        // bake into the recorded nodes — and replay it per iteration.
+        {
+            let qm: Vec<DatMeta> = q.iter().map(|d| d.meta()).collect();
+            let km: Vec<DatMeta> = qk.iter().map(|d| d.meta()).collect();
+            let rm: Vec<DatMeta> = rhs_store.iter().map(|d| d.meta()).collect();
+            let qw: Vec<WriteView<'_, f64>> = q.iter_mut().map(|d| d.writer()).collect();
+            let kw: Vec<WriteView<'_, f64>> = qk.iter_mut().map(|d| d.writer()).collect();
+            let rw: Vec<WriteView<'_, f64>> = rhs_store.iter_mut().map(|d| d.writer()).collect();
+
+            let mut g = session.record();
             for stage in 0..3 {
-                {
-                    let _p = phase_span("periodic_halo");
-                    for d in q.iter_mut() {
-                        Self::periodic_halo(session, &logical, d, nd);
-                    }
-                    halo.exchange(session, N_VARS);
+                g.phase("periodic_halo");
+                for v in 0..N_VARS {
+                    Self::record_periodic_halo(&mut g, &logical, qw[v], qm[v], nd);
                 }
+                halo.record_exchange(&mut g, N_VARS);
+                g.end_phase();
 
                 match self.variant {
                     SbliVariant::StoreAll => {
                         // Phase 1: three derivative sweeps per variable
                         // feeding a stored RHS (15 bandwidth-bound
                         // kernels per stage — the "store all" shape).
-                        let deriv_phase = phase_span("sa_deriv");
+                        g.phase("sa_deriv");
                         for v in 0..N_VARS {
                             // One sweep per direction accumulating into
                             // the RHS store; the first sweep initialises.
                             for dir in 0..3usize {
-                                let src = q[v].reader();
-                                let rm = rhs_store[v].meta();
-                                let r = rhs_store[v].writer();
+                                let src = qw[v];
+                                let r = rw[v];
                                 let off: [i64; 3] = std::array::from_fn(|a| (a == dir) as i64);
                                 ParLoop::new("sa_deriv", interior)
                                     .read(
-                                        q[v].meta(),
+                                        qm[v],
                                         Stencil::radii(
                                             2 * off[0] as usize,
                                             2 * off[1] as usize,
                                             2 * off[2] as usize,
                                         ),
                                     )
-                                    .read_write(rm)
+                                    .read_write(rm[v])
                                     .flops(11.0)
                                     .nd_shape(nd)
-                                    .run(session, |tile| {
+                                    .record(&mut g, move |tile| {
                                         for (i, j, k) in tile.iter() {
                                             let f = |s: i64| {
-                                                src.at(
+                                                src.get(
                                                     i + s * off[0],
                                                     j + s * off[1],
                                                     k + s * off[2],
                                                 )
                                             };
-                                            let centre = src.at(i, j, k);
+                                            let centre = src.get(i, j, k);
                                             let g = C1 * (f(1) - f(-1)) + C2 * (f(2) - f(-2));
                                             let contrib =
                                                 -ADV[dir] * g + NU * (f(1) - 2.0 * centre + f(-1));
@@ -226,84 +234,89 @@ impl App for OpenSbli {
                                     });
                             }
                         }
-                        drop(deriv_phase);
+                        g.end_phase();
                         // Phase 2: RK accumulate + state update from the
                         // stored RHS (5 cheap sweeps).
-                        let _p = phase_span("sa_rk_update");
+                        g.phase("sa_rk_update");
                         for v in 0..N_VARS {
-                            let (km, sm) = (qk[v].meta(), q[v].meta());
-                            let r = rhs_store[v].reader();
-                            let acc = qk[v].writer();
-                            let state = q[v].writer();
+                            let r = rw[v];
+                            let acc = kw[v];
+                            let state = qw[v];
+                            let (rk_a, rk_b) = (RK_A[stage], RK_B[stage]);
                             ParLoop::new("sa_rk_update", interior)
-                                .read(rhs_store[v].meta(), Stencil::point())
-                                .read_write(km)
-                                .read_write(sm)
+                                .read(rm[v], Stencil::point())
+                                .read_write(km[v])
+                                .read_write(qm[v])
                                 .flops(6.0)
                                 .nd_shape(nd)
-                                .run(session, |tile| {
+                                .record(&mut g, move |tile| {
                                     for (i, j, k) in tile.iter() {
-                                        let knew =
-                                            RK_A[stage] * acc.get(i, j, k) + dt * r.at(i, j, k);
+                                        let knew = rk_a * acc.get(i, j, k) + dt * r.get(i, j, k);
                                         acc.set(i, j, k, knew);
-                                        state.set(i, j, k, state.get(i, j, k) + RK_B[stage] * knew);
+                                        state.set(i, j, k, state.get(i, j, k) + rk_b * knew);
                                     }
                                 });
                         }
+                        g.end_phase();
                     }
                     SbliVariant::StoreNone => {
                         // Fused kernel per variable: recompute the whole
                         // RHS on the fly and fold it into the RK
                         // accumulator (reads q, writes qk — race-free),
                         // then a point-wise state update.
-                        let fused_phase = phase_span("sn_fused");
+                        g.phase("sn_fused");
                         for v in 0..N_VARS {
-                            let km = qk[v].meta();
-                            let src = q[v].reader();
-                            let acc = qk[v].writer();
+                            let src = qw[v];
+                            let acc = kw[v];
+                            let rk_a = RK_A[stage];
                             ParLoop::new("sn_fused", interior)
-                                .read(q[v].meta(), Stencil::star_3d(2))
-                                .read_write(km)
+                                .read(qm[v], Stencil::star_3d(2))
+                                .read_write(km[v])
                                 .flops(68.0)
                                 .traits(sn_traits)
                                 .nd_shape(nd)
-                                .run(session, |tile| {
+                                .record(&mut g, move |tile| {
                                     for (i, j, k) in tile.iter() {
                                         let f = |dir: usize, sft: i64| {
                                             let off: [i64; 3] =
                                                 std::array::from_fn(|a| (a == dir) as i64 * sft);
-                                            src.at(i + off[0], j + off[1], k + off[2])
+                                            src.get(i + off[0], j + off[1], k + off[2])
                                         };
-                                        let rhs = rhs_at(src.at(i, j, k), f);
-                                        let knew = RK_A[stage] * acc.get(i, j, k) + dt * rhs;
+                                        let rhs = rhs_at(src.get(i, j, k), f);
+                                        let knew = rk_a * acc.get(i, j, k) + dt * rhs;
                                         acc.set(i, j, k, knew);
                                     }
                                 });
                         }
-                        drop(fused_phase);
-                        let _p = phase_span("sn_update");
+                        g.end_phase();
+                        g.phase("sn_update");
                         for v in 0..N_VARS {
-                            let sm = q[v].meta();
-                            let kview = qk[v].reader();
-                            let state = q[v].writer();
+                            let kview = kw[v];
+                            let state = qw[v];
+                            let rk_b = RK_B[stage];
                             ParLoop::new("sn_update", interior)
-                                .read(qk[v].meta(), Stencil::point())
-                                .read_write(sm)
+                                .read(km[v], Stencil::point())
+                                .read_write(qm[v])
                                 .flops(2.0)
                                 .nd_shape(nd)
-                                .run(session, |tile| {
+                                .record(&mut g, move |tile| {
                                     for (i, j, k) in tile.iter() {
                                         state.set(
                                             i,
                                             j,
                                             k,
-                                            state.get(i, j, k) + RK_B[stage] * kview.at(i, j, k),
+                                            state.get(i, j, k) + rk_b * kview.get(i, j, k),
                                         );
                                     }
                                 });
                         }
+                        g.end_phase();
                     }
                 }
+            }
+            let g = g.finish();
+            for _ in 0..self.iterations {
+                g.replay(session);
             }
         }
 

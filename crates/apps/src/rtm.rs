@@ -8,6 +8,7 @@
 
 use crate::common::{alloc_block, phase_span, summarise, App, AppRun};
 use ops_dsl::prelude::*;
+use ops_dsl::{DatMeta, ReadView, WriteView};
 use sycl_sim::{quirks::apps, Session};
 
 /// 8th-order central second-derivative coefficients (h=1).
@@ -78,85 +79,48 @@ impl App for Rtm {
             curr.writer().set(c, c, c.min(ab.dims[2] as i64 - 1), 1.0);
         }
 
-        for _ in 0..self.iterations {
-            {
-                let _p = phase_span("halo_exchange");
-                halo.exchange(session, 1);
-            }
-            {
-                let _p = phase_span("wave_step");
-                let pm = prev.meta();
-                let p = curr.reader();
-                let v = vel.reader();
-                let w = prev.writer(); // p_prev becomes p_next in place
-                ParLoop::new("wave_step", interior)
-                    .read(curr.meta(), Stencil::star_3d(4))
-                    .read(vel.meta(), Stencil::point())
-                    .read_write(pm)
-                    .flops(33.0)
-                    .nd_shape(nd)
-                    .run_rows(session, |row| {
-                        // One grown row serves all x-shifted reads; the
-                        // y/z legs are their own (contiguous) rows.
-                        let pc = p.row(row.grow_x(4));
-                        let pyn: [&[f32]; 4] =
-                            std::array::from_fn(|s| p.row(row.shift(0, s as i64 + 1, 0)));
-                        let pys: [&[f32]; 4] =
-                            std::array::from_fn(|s| p.row(row.shift(0, -(s as i64) - 1, 0)));
-                        let pzn: [&[f32]; 4] =
-                            std::array::from_fn(|s| p.row(row.shift(0, 0, s as i64 + 1)));
-                        let pzs: [&[f32]; 4] =
-                            std::array::from_fn(|s| p.row(row.shift(0, 0, -(s as i64) - 1)));
-                        let vr = v.row(row);
-                        let wr = w.row_mut(row);
-                        for x in 0..row.len() {
-                            let mut lap = 3.0 * LAP8[0] as f32 * pc[x + 4];
-                            for (s, &cf) in LAP8.iter().enumerate().skip(1) {
-                                lap += cf as f32
-                                    * (pc[x + 4 + s]
-                                        + pc[x + 4 - s]
-                                        + pyn[s - 1][x]
-                                        + pys[s - 1][x]
-                                        + pzn[s - 1][x]
-                                        + pzs[s - 1][x]);
-                            }
-                            let next = 2.0 * pc[x + 4] - wr[x] + c2dt2 * vr[x] * lap;
-                            wr[x] = next;
-                        }
-                    });
-            }
-            std::mem::swap(&mut prev, &mut curr);
+        // The ping-pong swap is encoded as two parity graphs: the even
+        // graph reads `curr` and writes `prev`, the odd graph the
+        // reverse. Replaying them alternately reproduces the eager
+        // swap-per-iteration loop with one ledger lock per iteration.
+        {
+            let cm = curr.meta();
+            let pm = prev.meta();
+            let vm = vel.meta();
+            let cw = curr.writer();
+            let pw = prev.writer();
+            let v = vel.reader();
 
-            // Sponge taper near the boundary (absorbing layer).
-            let _p = phase_span("taper");
-            for dim in 0..3usize {
-                for side in [-1i64, 1] {
-                    let range = logical.face(dim, side, 4);
-                    let cm = curr.meta();
-                    let w = curr.writer();
-                    ParLoop::new("taper", range)
-                        .read_write(cm)
-                        .flops(1.0)
-                        .nd_shape(nd)
-                        .run(session, |tile| {
-                            for (i, j, k) in tile.iter() {
-                                let inb = |x: i64| (-4..n + 4).contains(&x);
-                                if inb(i) && inb(j) && inb(k) {
-                                    w.set(i, j, k, 0.9 * w.get(i, j, k));
-                                }
-                            }
-                        });
-                }
+            let mut even = session.record();
+            record_rtm_iter(
+                &mut even, &halo, cw, cm, pw, pm, v, vm, &logical, nd, n, c2dt2,
+            );
+            let even = even.finish();
+            let mut odd = session.record();
+            record_rtm_iter(
+                &mut odd, &halo, pw, pm, cw, cm, v, vm, &logical, nd, n, c2dt2,
+            );
+            let odd = odd.finish();
+
+            let graphs = [even, odd];
+            for it in 0..self.iterations {
+                graphs[it % 2].replay(session);
             }
         }
+        // After N swaps the wavefield lives in `curr` for even N.
+        let field = if self.iterations.is_multiple_of(2) {
+            &curr
+        } else {
+            &prev
+        };
 
         // Validation: wavefield energy (finite, non-zero once the source
         // has propagated).
         let _p = phase_span("image_energy");
         let validation = if session.executes() {
-            let p = curr.reader();
+            let p = field.reader();
             ParLoop::new("image_energy", interior)
-                .read(curr.meta(), Stencil::point())
+                .read(field.meta(), Stencil::point())
                 .flops(2.0)
                 .nd_shape(nd)
                 .run_reduce(
@@ -174,7 +138,7 @@ impl App for Rtm {
                 )
         } else {
             ParLoop::new("image_energy", interior)
-                .read(curr.meta(), Stencil::point())
+                .read(field.meta(), Stencil::point())
                 .flops(2.0)
                 .nd_shape(nd)
                 .run_reduce(session, 0.0f64, |a, b| a + b, |_| 0.0);
@@ -183,6 +147,89 @@ impl App for Rtm {
 
         summarise(session, validation)
     }
+}
+
+/// Record one leap-frog iteration: halo exchange, the 8th-order wave
+/// step reading `cur` and updating `nxt` in place, then the sponge taper
+/// over the freshly written field (which the eager loop reached *after*
+/// its `mem::swap`).
+#[allow(clippy::too_many_arguments)]
+fn record_rtm_iter<'a>(
+    g: &mut sycl_sim::GraphBuilder<'a>,
+    halo: &HaloPlan,
+    cur: WriteView<'a, f32>,
+    cur_m: DatMeta,
+    nxt: WriteView<'a, f32>,
+    nxt_m: DatMeta,
+    v: ReadView<'a, f32>,
+    vm: DatMeta,
+    logical: &Block,
+    nd: [usize; 3],
+    n: i64,
+    c2dt2: f32,
+) {
+    let interior = logical.interior();
+    g.phase("halo_exchange");
+    halo.record_exchange(g, 1);
+    g.end_phase();
+
+    g.phase("wave_step");
+    ParLoop::new("wave_step", interior)
+        .read(cur_m, Stencil::star_3d(4))
+        .read(vm, Stencil::point())
+        .read_write(nxt_m)
+        .flops(33.0)
+        .nd_shape(nd)
+        .record_rows(g, move |row| {
+            // One grown row serves all x-shifted reads; the y/z legs are
+            // their own (contiguous) rows.
+            let pc = cur.row(row.grow_x(4));
+            let pyn: [&[f32]; 4] = std::array::from_fn(|s| cur.row(row.shift(0, s as i64 + 1, 0)));
+            let pys: [&[f32]; 4] =
+                std::array::from_fn(|s| cur.row(row.shift(0, -(s as i64) - 1, 0)));
+            let pzn: [&[f32]; 4] = std::array::from_fn(|s| cur.row(row.shift(0, 0, s as i64 + 1)));
+            let pzs: [&[f32]; 4] =
+                std::array::from_fn(|s| cur.row(row.shift(0, 0, -(s as i64) - 1)));
+            let vr = v.row(row);
+            let wr = nxt.row_mut(row);
+            for x in 0..row.len() {
+                let mut lap = 3.0 * LAP8[0] as f32 * pc[x + 4];
+                for (s, &cf) in LAP8.iter().enumerate().skip(1) {
+                    lap += cf as f32
+                        * (pc[x + 4 + s]
+                            + pc[x + 4 - s]
+                            + pyn[s - 1][x]
+                            + pys[s - 1][x]
+                            + pzn[s - 1][x]
+                            + pzs[s - 1][x]);
+                }
+                let next = 2.0 * pc[x + 4] - wr[x] + c2dt2 * vr[x] * lap;
+                wr[x] = next;
+            }
+        });
+    g.end_phase();
+
+    // Sponge taper near the boundary (absorbing layer) on the freshly
+    // written field.
+    g.phase("taper");
+    for dim in 0..3usize {
+        for side in [-1i64, 1] {
+            let range = logical.face(dim, side, 4);
+            ParLoop::new("taper", range)
+                .read_write(nxt_m)
+                .flops(1.0)
+                .nd_shape(nd)
+                .record(g, move |tile| {
+                    for (i, j, k) in tile.iter() {
+                        let inb = |x: i64| (-4..n + 4).contains(&x);
+                        if inb(i) && inb(j) && inb(k) {
+                            nxt.set(i, j, k, 0.9 * nxt.get(i, j, k));
+                        }
+                    }
+                });
+        }
+    }
+    g.end_phase();
 }
 
 #[cfg(test)]

@@ -5,12 +5,15 @@
 //! bench_gate [--smoke] [--bless] [--quick] [--platform <label>]
 //! ```
 //!
-//! Two manifests are produced per run:
+//! Three manifests are produced per run:
 //!
 //! * `BENCH_gate_engine.json` — wall-clock of the functional engine
 //!   (cached/uncached stencil, row-sliced reduce), gated with the loose
 //!   wall tolerance ([`Tolerance::wall`]): host timings are noisy, and
 //!   baselines only transfer between runs on the *same* machine;
+//! * `BENCH_gate_service.json` — wall-clock of the sharded service
+//!   layer (concurrent eager submits and graph replays behind admission
+//!   control), also gated with the wall tolerance;
 //! * `BENCH_gate_apps_<platform>.json` — per-kernel **simulated**
 //!   seconds of the mini-apps at test size, gated with the tight
 //!   per-platform tolerance: the pricing model is deterministic, so any
@@ -288,6 +291,95 @@ fn engine_manifest(reps: u32, n: usize, launches: usize) -> RunManifest {
     )
 }
 
+/// Wall-clock of the service layer: per-shard threads driving eager
+/// submits and graph replays over one parkit pool behind admission
+/// control. Times the contended launch path end to end (admission +
+/// per-shard ledger + pricing), so it is gated with the loose wall
+/// tolerance like the engine manifest.
+fn service_manifest(reps: u32, launches: usize) -> RunManifest {
+    use sycl_sim::{Kernel, Service, ServiceConfig};
+    const SHARDS: usize = 4;
+    let svc = Service::new(ServiceConfig::new(SHARDS, 2), |_| {
+        SessionConfig::new(PlatformId::A100, Toolchain::NativeCuda).app("gate-service")
+    })
+    .unwrap();
+    let items = 1u64 << 14;
+    let k = Kernel::streaming("svc", items, (items * 8) as f64, 0.0);
+    let bytes = (SHARDS * launches) as f64 * (items * 8) as f64;
+
+    let submit_pass = || {
+        std::thread::scope(|scope| {
+            for i in 0..SHARDS {
+                let (svc, k) = (&svc, &k);
+                scope.spawn(move || {
+                    for _ in 0..launches {
+                        svc.submit(i, k, || ());
+                    }
+                });
+            }
+        });
+    };
+    // One graph of `launches` nodes per shard, recorded once; each pass
+    // replays them concurrently (one admission slot + one ledger lock
+    // per replay).
+    let graphs: Vec<_> = (0..SHARDS)
+        .map(|i| {
+            let mut g = svc.shard(i).record();
+            for _ in 0..launches {
+                g.launch(&k, |_| {});
+            }
+            g.finish()
+        })
+        .collect();
+    let replay_pass = || {
+        std::thread::scope(|scope| {
+            for (i, g) in graphs.iter().enumerate() {
+                let svc = &svc;
+                scope.spawn(move || svc.replay(i, g));
+            }
+        });
+    };
+
+    let time = |f: &dyn Fn()| -> Vec<f64> {
+        f(); // warmup: pool spin-up, cold pricing
+        (0..reps)
+            .map(|_| {
+                let t0 = Instant::now();
+                f();
+                t0.elapsed().as_secs_f64()
+            })
+            .collect()
+    };
+    let submit = time(&submit_pass);
+    let replay = time(&replay_pass);
+
+    let kernels = [("service/submit", submit), ("service/replay", replay)]
+        .into_iter()
+        .map(|(name, samples)| {
+            let mut h = Histogram::new();
+            for &s in &samples {
+                h.record(s);
+            }
+            let best = samples.iter().copied().fold(f64::INFINITY, f64::min);
+            KernelSummary {
+                name: name.to_owned(),
+                wall: h.summary(),
+                samples,
+                sim_secs: 0.0,
+                bytes,
+                gbps: bytes / best / 1e9,
+            }
+        })
+        .collect();
+    finish_manifest(
+        "gate_service".to_owned(),
+        "host-wall".to_owned(),
+        reps,
+        kernels,
+        telemetry::CounterSnapshot::default(),
+    )
+}
+
 /// Clone `m` with one kernel's samples slowed by `factor` — the smoke
 /// fixture the gate must catch.
 fn inject_slowdown(m: &RunManifest, kernel: &str, factor: f64) -> RunManifest {
@@ -383,8 +475,10 @@ fn main() {
     // Wall-clock needs more repetitions than the deterministic sim
     // times to give the bootstrap a usable sample.
     let engine = engine_manifest(reps * 3, n, launches);
+    let service = service_manifest(reps * 3, launches);
     let apps = apps_manifest(platform, reps, smoke_mode);
     persist(&engine);
+    persist(&service);
     persist(&apps);
 
     let engine_cfg = GateConfig {
@@ -395,7 +489,11 @@ fn main() {
         tolerance: Tolerance::for_platform(platform.label()),
         ..GateConfig::default()
     };
-    let pairs = [(&engine, engine_cfg), (&apps, apps_cfg)];
+    let pairs = [
+        (&engine, engine_cfg),
+        (&service, engine_cfg),
+        (&apps, apps_cfg),
+    ];
 
     if smoke_mode {
         if smoke(&pairs) {

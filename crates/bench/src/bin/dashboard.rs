@@ -18,9 +18,12 @@
 //! mailed around and opened offline. Sections:
 //!
 //! 1. per-kernel wall/sim tables + counter deltas for each traced app;
-//! 2. achieved-bandwidth scatter against each platform's STREAM roof;
-//! 3. the portability (efficiency) heatmap and PP̄ table;
-//! 4. baseline trajectory across every stored `BENCH_*.json` manifest.
+//! 2. scheduler health: the registry histograms the pool and the op2
+//!    colouring planner record while the apps run (steal latency,
+//!    chunks per region, colours and bytes per wave, admission waits);
+//! 3. achieved-bandwidth scatter against each platform's STREAM roof;
+//! 4. the portability (efficiency) heatmap and PP̄ table;
+//! 5. baseline trajectory across every stored `BENCH_*.json` manifest.
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -85,6 +88,9 @@ fn main() {
             None => eprintln!("note: {a} does not run on {}; skipped", platform.label()),
         }
     }
+    // Everything the pool and the colouring planner recorded into the
+    // metrics registry while the traces ran, merged across threads.
+    let sched = metrics::registry().flush();
 
     let study: Vec<(PlatformId, Vec<Measurement>)> = if skip_study {
         Vec::new()
@@ -102,7 +108,7 @@ fn main() {
 
     let manifests = discover_manifests();
 
-    let html = render(&traces, &study, &manifests);
+    let html = render(&traces, &sched, &study, &manifests);
     let path = Path::new(&out);
     if let Some(dir) = path.parent() {
         if !dir.as_os_str().is_empty() {
@@ -216,6 +222,7 @@ fn fmt_secs(s: f64) -> String {
 
 fn render(
     traces: &[AppTrace],
+    sched: &metrics::registry::Snapshot,
     study: &[(PlatformId, Vec<Measurement>)],
     manifests: &[StoredManifest],
 ) -> String {
@@ -234,6 +241,7 @@ fn render(
     );
 
     render_traces(&mut h, traces);
+    render_scheduler(&mut h, sched);
     if !study.is_empty() {
         render_roofline(&mut h, study);
         render_heatmap(&mut h, study);
@@ -329,7 +337,51 @@ fn render_traces(h: &mut String, traces: &[AppTrace]) {
     h.push_str("</tbody></table></section>");
 }
 
-/// Section 2: achieved GB/s per (app, variant) against the STREAM roof.
+/// Section 2: scheduler health — the histograms the parkit pool, the
+/// op2 colouring planner and the service layer record into the metrics
+/// registry while the traced apps run.
+fn render_scheduler(h: &mut String, snap: &metrics::registry::Snapshot) {
+    h.push_str(
+        "<section><h2>Scheduler health</h2>\
+         <p>Registry histograms recorded during the traced runs: pool steal \
+         latency and region chunking, colouring-planner colour counts and \
+         bytes per conflict-free wave, service admission waits. Units are in \
+         the metric name; a colour count or steal latency drifting up across \
+         runs is scheduler degradation the per-kernel tables cannot show.</p>",
+    );
+    let keys = snap.hist_keys();
+    if keys.is_empty() {
+        h.push_str("<p>No scheduler metrics recorded.</p></section>");
+        return;
+    }
+    h.push_str(
+        "<table class=\"sortable\"><thead><tr><th>metric</th><th>label</th>\
+         <th>count</th><th>mean</th><th>p50</th><th>p95</th><th>max</th></tr></thead><tbody>",
+    );
+    for key in keys {
+        let Some(hist) = snap.hist(&key.0, &key.1) else {
+            continue;
+        };
+        let _ = write!(
+            h,
+            "<tr><td>{}</td><td>{}</td><td class=\"n\">{}</td>\
+             <td class=\"n\" data-v=\"{3}\">{3:.2}</td>\
+             <td class=\"n\" data-v=\"{4}\">{4:.2}</td>\
+             <td class=\"n\" data-v=\"{5}\">{5:.2}</td>\
+             <td class=\"n\" data-v=\"{6}\">{6:.2}</td></tr>",
+            esc(&key.0),
+            esc(&key.1),
+            hist.count(),
+            hist.mean(),
+            hist.quantile(0.5),
+            hist.quantile(0.95),
+            hist.max(),
+        );
+    }
+    h.push_str("</tbody></table></section>");
+}
+
+/// Section 3: achieved GB/s per (app, variant) against the STREAM roof.
 fn render_roofline(h: &mut String, study: &[(PlatformId, Vec<Measurement>)]) {
     h.push_str(
         "<section><h2>Achieved bandwidth vs STREAM roof</h2>\
@@ -452,7 +504,7 @@ fn best_cell<'m>(ms: &'m [Measurement], app: &str, variant: &str) -> Option<&'m 
         })
 }
 
-/// Section 3: efficiency heatmap per platform + Pennycook PP̄ table.
+/// Section 4: efficiency heatmap per platform + Pennycook PP̄ table.
 fn render_heatmap(h: &mut String, study: &[(PlatformId, Vec<Measurement>)]) {
     h.push_str(
         "<section><h2>Portability heatmap (achieved efficiency)</h2>\
@@ -565,7 +617,7 @@ fn render_heatmap(h: &mut String, study: &[(PlatformId, Vec<Measurement>)]) {
     h.push_str("</tbody></table></section>");
 }
 
-/// Section 4: trajectory of per-kernel medians across stored manifests.
+/// Section 5: trajectory of per-kernel medians across stored manifests.
 fn render_trajectory(h: &mut String, manifests: &[StoredManifest]) {
     h.push_str("<section><h2>Baseline trajectory</h2>");
     if manifests.is_empty() {

@@ -243,6 +243,74 @@ fn reduce_class(n: usize, launches: usize, samples: usize) -> (Entry, Entry, f64
     )
 }
 
+/// Record-once/replay-many vs eager per-launch over the same sequence
+/// of streaming kernels with trivial bodies. Neither path enters a pool
+/// region, so this times the launch layers themselves: the eager loop
+/// pays price-lookup + ledger lock + span per launch, the replay prices
+/// the whole sequence under one cache lock and commits it under one
+/// ledger lock.
+fn replay_class(launches: usize, replays: usize, samples: usize) -> (Entry, Entry, f64) {
+    use sycl_sim::Kernel;
+    let ks: Vec<Kernel> = (0..launches)
+        .map(|i| {
+            let items = 1u64 << (10 + (i % 4));
+            Kernel::streaming("graph_node", items, (items * 8) as f64, 0.0)
+        })
+        .collect();
+    // Simulated footprint bytes: what each launch prices, per replay.
+    let bytes = replays as f64 * (launches as f64) * ((1u64 << 11) * 8) as f64;
+    let total_launches = replays * launches;
+    let sink = std::sync::atomic::AtomicU64::new(0);
+
+    let eager = time_samples(samples, || {
+        let s = session(true);
+        for _ in 0..replays {
+            for k in &ks {
+                s.launch(k, || {
+                    sink.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                });
+            }
+        }
+    });
+
+    let replay = time_samples(samples, || {
+        let s = session(true);
+        let mut g = s.record();
+        for k in &ks {
+            let sink = &sink;
+            g.launch(k, move |executes| {
+                if executes {
+                    sink.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+            });
+        }
+        let g = g.finish();
+        for _ in 0..replays {
+            g.replay(&s);
+        }
+    });
+
+    let speedup = eager.iter().copied().fold(f64::INFINITY, f64::min)
+        / replay.iter().copied().fold(f64::INFINITY, f64::min);
+    (
+        Entry {
+            class: "replay",
+            phase: "eager",
+            samples: eager,
+            bytes_moved: bytes,
+            launches: total_launches,
+        },
+        Entry {
+            class: "replay",
+            phase: "replayed",
+            samples: replay,
+            bytes_moved: bytes,
+            launches: total_launches,
+        },
+        speedup,
+    )
+}
+
 /// Colour-ordered indirect scatter: per-colour pool regions, dynamic
 /// cursor vs static partition scheduling.
 fn indirect_class(passes: usize, samples: usize) -> (Entry, Entry, f64) {
@@ -362,7 +430,12 @@ fn main() {
     TelemetryConfig::disabled().install();
     telemetry::flush(); // drop the trace; this bench keeps counters only
 
-    let entries = [sb, sf, rb, rf, ib, if_];
+    // Replay runs with telemetry off: its phases differ only in the
+    // launch layers, and a per-launch span (paid identically by both)
+    // would dilute exactly the overhead this class measures.
+    let (ge, gr, g_sp) = replay_class(launches.max(32), 4 * passes.max(8), samples);
+
+    let entries = [sb, sf, rb, rf, ib, if_, ge, gr];
     println!(
         "{:10} {:9} {:>10} {:>9} {:>14}",
         "class", "phase", "seconds", "GB/s", "launches/s"
@@ -381,6 +454,7 @@ fn main() {
         ("stencil", s_sp),
         ("reduce", r_sp),
         ("indirect_dynamic_over_static", i_sp),
+        ("replay_over_eager", g_sp),
     ];
     for (class, sp) in &speedups {
         println!("speedup[{class}] = {sp:.2}x");

@@ -1,0 +1,393 @@
+//! Record-once / replay-many launch graphs.
+//!
+//! A [`GraphBuilder`] records a sequence of launches (plus transfers,
+//! halo exchanges and phase markers) as [`LaunchNode`]s with functional
+//! bodies. [`LaunchGraph::replay`] then runs the four launch layers in
+//! batch: the whole graph is priced under **one** pricing-cache lock
+//! acquisition, the bodies execute back-to-back, and the whole sequence
+//! commits under **one** ledger lock acquisition — instead of one of
+//! each per launch on the eager path.
+//!
+//! The non-negotiable invariant: a replayed graph leaves the ledger
+//! **bit-identical** to launching the same sequence eagerly. Commit
+//! applies ops in recorded order with the same floating-point
+//! accumulation, the same interning and the same observer ordering. A
+//! session built with [`SessionConfig::eager_launches`] makes `replay`
+//! fall back to the per-launch path, which is how the equivalence tests
+//! cross-check the two.
+
+use crate::kernel::Kernel;
+use crate::launch::commit::{exchange_cost, transfer_cost};
+use crate::launch::execute::LaunchSpan;
+use crate::launch::record::LaunchNode;
+use crate::session::{LaunchRecord, Session};
+use std::sync::Arc;
+
+/// One recorded operation.
+// Launch dominates real graphs (phases/exchanges are bookkeeping), so
+// the large variant stays inline rather than paying a Box per node.
+#[allow(clippy::large_enum_variant)]
+enum GraphOp<'a> {
+    /// A kernel launch: the fingerprinted node plus its functional body.
+    /// The body receives `session.executes()` at replay time.
+    Launch {
+        node: LaunchNode,
+        body: Box<dyn Fn(bool) + Sync + 'a>,
+    },
+    /// A halo exchange (`Session::exchange` equivalent).
+    Exchange { bytes: f64, messages: u64 },
+    /// A host↔device transfer (`Session::transfer` equivalent).
+    Transfer { bytes: f64 },
+    /// Open a named phase span (telemetry only, no ledger effect).
+    PhaseBegin { name: &'static str },
+    /// Close the innermost open phase span.
+    PhaseEnd,
+}
+
+/// Records a launch sequence; [`GraphBuilder::finish`] freezes it into a
+/// [`LaunchGraph`]. Obtained from [`Session::record`].
+#[derive(Default)]
+pub struct GraphBuilder<'a> {
+    ops: Vec<GraphOp<'a>>,
+}
+
+impl<'a> GraphBuilder<'a> {
+    pub(crate) fn new() -> GraphBuilder<'a> {
+        GraphBuilder { ops: Vec::new() }
+    }
+
+    /// Record one launch. `body` is the functional kernel body; it is
+    /// called on every replay with `session.executes()` as its argument
+    /// (dry-run sessions replay pricing without running bodies).
+    pub fn launch(&mut self, kernel: &Kernel, body: impl Fn(bool) + Sync + 'a) {
+        self.ops.push(GraphOp::Launch {
+            node: LaunchNode::new(kernel),
+            body: Box::new(body),
+        });
+    }
+
+    /// Record a halo exchange (see [`Session::exchange`]).
+    pub fn exchange(&mut self, bytes: f64, messages: u64) {
+        self.ops.push(GraphOp::Exchange { bytes, messages });
+    }
+
+    /// Record a host↔device transfer (see [`Session::transfer`]).
+    pub fn transfer(&mut self, bytes: f64) {
+        self.ops.push(GraphOp::Transfer { bytes });
+    }
+
+    /// Open a named phase span covering the ops recorded until the
+    /// matching [`GraphBuilder::end_phase`].
+    pub fn phase(&mut self, name: &'static str) {
+        self.ops.push(GraphOp::PhaseBegin { name });
+    }
+
+    /// Close the innermost open phase.
+    pub fn end_phase(&mut self) {
+        self.ops.push(GraphOp::PhaseEnd);
+    }
+
+    /// Ops recorded so far.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Freeze the recording.
+    pub fn finish(self) -> LaunchGraph<'a> {
+        let launches = self
+            .ops
+            .iter()
+            .filter(|op| matches!(op, GraphOp::Launch { .. }))
+            .count() as u64;
+        LaunchGraph {
+            ops: self.ops,
+            launches,
+        }
+    }
+}
+
+/// A frozen launch sequence, replayable any number of times on any
+/// session whose config the recorded kernels are valid for.
+pub struct LaunchGraph<'a> {
+    ops: Vec<GraphOp<'a>>,
+    launches: u64,
+}
+
+impl LaunchGraph<'_> {
+    /// Ops in the graph.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when the graph records nothing.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Launch ops in the graph.
+    pub fn n_launches(&self) -> u64 {
+        self.launches
+    }
+
+    /// Replay the graph on `session`: price every launch in one pass
+    /// (served by the fingerprint cache under a single lock), execute
+    /// the functional bodies, then append the whole sequence to the
+    /// ledger under a single lock acquisition. Observers fire per record
+    /// in ledger order after the lock is released.
+    ///
+    /// On sessions configured with [`crate::SessionConfig::eager_launches`]
+    /// the replay degrades to per-launch eager calls; the resulting
+    /// ledger is bit-identical either way.
+    pub fn replay(&self, session: &Session) {
+        if !session.config().graph_replay {
+            return self.replay_eager(session);
+        }
+        let replay_span = telemetry::SpanTimer::start();
+
+        // Price: one pass over the graph, one cache lock acquisition.
+        let priced: Vec<_> = {
+            let ctx = session.price_context();
+            let mut cache = session.price_cache();
+            self.ops
+                .iter()
+                .map(|op| match op {
+                    GraphOp::Launch { node, .. } => Some(cache.price(&ctx, &node.kernel, node.key)),
+                    _ => None,
+                })
+                .collect()
+        };
+
+        // Execute: run the functional bodies with per-launch spans.
+        let executes = session.executes();
+        let mut phases: Vec<(&'static str, Option<telemetry::SpanTimer>)> = Vec::new();
+        for (op, p) in self.ops.iter().zip(&priced) {
+            match op {
+                GraphOp::Launch { node, body } => {
+                    let span = LaunchSpan::start();
+                    body(executes);
+                    let p = p.as_ref().expect("launch ops are priced");
+                    span.finish(
+                        Arc::clone(&p.name),
+                        node.kernel.footprint.items,
+                        node.kernel.footprint.effective_bytes,
+                        p.time.total,
+                    );
+                }
+                GraphOp::PhaseBegin { name } => {
+                    phases.push((name, telemetry::SpanTimer::start()));
+                }
+                GraphOp::PhaseEnd => {
+                    if let Some((name, Some(t))) = phases.pop() {
+                        t.finish(telemetry::SpanKind::Phase, name, 0, 0.0);
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // Commit: the whole sequence under one ledger lock, ops applied
+        // in recorded order so the f64 accumulation is bit-identical to
+        // the eager path.
+        let mut observations: Vec<LaunchRecord> = Vec::new();
+        let observer = {
+            let mut led = session.ledger();
+            for (op, p) in self.ops.iter().zip(&priced) {
+                match op {
+                    GraphOp::Launch { .. } => {
+                        let rec = led.append(p.as_ref().expect("launch ops are priced"));
+                        observations.push(rec);
+                    }
+                    GraphOp::Exchange { bytes, messages } => {
+                        if let Some(t) =
+                            exchange_cost(session.platform(), session.ranks(), *bytes, *messages)
+                        {
+                            led.charge_comm(t);
+                        }
+                    }
+                    GraphOp::Transfer { bytes } => {
+                        if let Some(t) = transfer_cost(session.platform(), *bytes) {
+                            led.charge_comm(t);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            led.observer.clone()
+        };
+        if let Some(obs) = observer {
+            for rec in &observations {
+                obs(rec);
+            }
+        }
+
+        if let Some(t) = replay_span {
+            t.finish(
+                telemetry::SpanKind::Replay,
+                "graph.replay",
+                self.launches,
+                0.0,
+            );
+        }
+    }
+
+    /// The eager fallback: each op goes through the per-launch session
+    /// API, exactly as un-graphed code would.
+    fn replay_eager(&self, session: &Session) {
+        let executes = session.executes();
+        let mut phases: Vec<(&'static str, Option<telemetry::SpanTimer>)> = Vec::new();
+        for op in &self.ops {
+            match op {
+                GraphOp::Launch { node, body } => {
+                    session.launch(&node.kernel, || body(executes));
+                }
+                GraphOp::Exchange { bytes, messages } => session.exchange(*bytes, *messages),
+                GraphOp::Transfer { bytes } => session.transfer(*bytes),
+                GraphOp::PhaseBegin { name } => {
+                    phases.push((name, telemetry::SpanTimer::start()));
+                }
+                GraphOp::PhaseEnd => {
+                    if let Some((name, Some(t))) = phases.pop() {
+                        t.finish(telemetry::SpanKind::Phase, name, 0, 0.0);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::SessionConfig;
+    use crate::toolchain::Toolchain;
+    use machine_model::PlatformId;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn session() -> Session {
+        Session::create(SessionConfig::new(PlatformId::A100, Toolchain::NativeCuda).app("graph"))
+            .unwrap()
+    }
+
+    fn eager_session() -> Session {
+        Session::create(
+            SessionConfig::new(PlatformId::A100, Toolchain::NativeCuda)
+                .app("graph")
+                .eager_launches(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn replay_matches_eager_launches_bit_for_bit() {
+        let k1 = Kernel::streaming("triad", 1 << 20, 3e7, 2e6);
+        let k2 = Kernel::streaming("copy", 1 << 18, 4e6, 0.0);
+
+        let batched = session();
+        let eager = session();
+        let mut g = batched.record();
+        g.launch(&k1, |_| {});
+        g.launch(&k2, |_| {});
+        g.transfer(1e6);
+        g.exchange(1e6, 8);
+        let g = g.finish();
+        for _ in 0..3 {
+            g.replay(&batched);
+        }
+        for _ in 0..3 {
+            eager.launch(&k1, || ());
+            eager.launch(&k2, || ());
+            eager.transfer(1e6);
+            eager.exchange(1e6, 8);
+        }
+        assert_eq!(batched.ledger_digest(), eager.ledger_digest());
+        assert_eq!(batched.elapsed().to_bits(), eager.elapsed().to_bits());
+    }
+
+    #[test]
+    fn eager_launches_config_falls_back_per_launch_with_equal_ledger() {
+        let k = Kernel::streaming("x", 1 << 16, 1e6, 0.0);
+        let batched = session();
+        let eager = eager_session();
+        for s in [&batched, &eager] {
+            let mut g = s.record();
+            g.phase("step");
+            g.launch(&k, |_| {});
+            g.launch(&k, |_| {});
+            g.end_phase();
+            let g = g.finish();
+            assert_eq!(g.n_launches(), 2);
+            g.replay(s);
+            g.replay(s);
+        }
+        assert_eq!(batched.ledger_digest(), eager.ledger_digest());
+        assert_eq!(batched.records().len(), 4);
+    }
+
+    #[test]
+    fn bodies_observe_executes_and_run_per_replay() {
+        let k = Kernel::streaming("x", 1 << 16, 1e6, 0.0);
+        let live = session();
+        let dry = Session::create(
+            SessionConfig::new(PlatformId::A100, Toolchain::NativeCuda)
+                .app("graph")
+                .dry_run(),
+        )
+        .unwrap();
+        let ran = AtomicUsize::new(0);
+        let mut g = live.record();
+        g.launch(&k, |executes| {
+            if executes {
+                ran.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        let g = g.finish();
+        g.replay(&live);
+        g.replay(&live);
+        assert_eq!(ran.load(Ordering::Relaxed), 2);
+        g.replay(&dry);
+        assert_eq!(ran.load(Ordering::Relaxed), 2, "dry runs price only");
+        assert_eq!(dry.records().len(), 1);
+    }
+
+    #[test]
+    fn replay_after_reset_reprices_identically() {
+        let k = Kernel::streaming("triad", 1 << 20, 3e7, 0.0);
+        let s = session();
+        let mut g = s.record();
+        g.launch(&k, |_| {});
+        let g = g.finish();
+        g.replay(&s);
+        let first = s.ledger_digest();
+        s.reset();
+        g.replay(&s);
+        assert_eq!(
+            s.ledger_digest(),
+            first,
+            "reset + replay reproduces the ledger"
+        );
+    }
+
+    #[test]
+    fn observers_fire_in_ledger_order_after_commit() {
+        let k1 = Kernel::streaming("a", 1 << 16, 1e6, 0.0);
+        let k2 = Kernel::streaming("b", 1 << 16, 1e6, 0.0);
+        let s = session();
+        let seen: Arc<parkit::sync::Mutex<Vec<String>>> =
+            Arc::new(parkit::sync::Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        s.set_launch_observer(Some(Arc::new(move |r: &LaunchRecord| {
+            sink.lock().push(r.name.to_string());
+        })));
+        let mut g = s.record();
+        g.launch(&k1, |_| {});
+        g.launch(&k2, |_| {});
+        let g = g.finish();
+        g.replay(&s);
+        assert_eq!(&*seen.lock(), &["a", "b"]);
+    }
+}

@@ -1,0 +1,129 @@
+//! Layer 4 — **commit**: append priced work to the session ledger.
+//! The ledger mutex is the only lock this layer takes, and an append is
+//! the only thing done under it — observers run after release.
+
+use crate::launch::price::Priced;
+use crate::session::{LaunchObserver, LaunchRecord};
+use machine_model::Platform;
+use std::sync::Arc;
+
+/// Intra-node MPI message latency (shared-memory transport).
+const MSG_LATENCY: f64 = 0.8e-6;
+
+/// The session's committed state: the simulated clock and the per-launch
+/// ledger. Lives behind `Session`'s ledger mutex; the pricing cache has
+/// its own lock, so a commit never waits on a cold pricing walk.
+pub(crate) struct Ledger {
+    pub elapsed: f64,
+    pub comm_time: f64,
+    pub records: Vec<LaunchRecord>,
+    /// Optional per-launch observer (the verifier's footprint pass).
+    /// Observes only — pricing and the ledger are unaffected. Invoked
+    /// by the caller *after* the ledger lock is released.
+    pub observer: Option<LaunchObserver>,
+}
+
+impl Ledger {
+    pub fn new() -> Ledger {
+        Ledger {
+            elapsed: 0.0,
+            comm_time: 0.0,
+            records: Vec::new(),
+            observer: None,
+        }
+    }
+
+    /// Append one priced launch: advance the clock, push the record.
+    /// Returns the record so the caller can invoke the observer after
+    /// releasing the lock.
+    pub fn append(&mut self, p: &Priced) -> LaunchRecord {
+        let record = LaunchRecord {
+            name: Arc::clone(&p.name),
+            time: p.time,
+            items: p.items,
+            effective_bytes: p.effective_bytes,
+            boundary: p.boundary,
+        };
+        self.elapsed += p.time.total;
+        self.records.push(record.clone());
+        record
+    }
+
+    /// Charge communication time (transfers, halo exchanges).
+    pub fn charge_comm(&mut self, t: f64) {
+        self.elapsed += t;
+        self.comm_time += t;
+    }
+}
+
+/// Host↔device transfer cost: free on CPU platforms (`None`), priced at
+/// the interconnect bandwidth plus a fixed setup latency on GPUs — the
+/// cost SYCL buffers hide behind accessor creation.
+pub(crate) fn transfer_cost(platform: &Platform, bytes: f64) -> Option<f64> {
+    platform.interconnect_bw.map(|bw| 10.0e-6 + bytes / bw)
+}
+
+/// Halo-exchange cost between `ranks` MPI ranks: latency per message
+/// plus a copy through the memory system (in + out ⇒ half of STREAM).
+/// Single-rank sessions exchange nothing (`None`).
+pub(crate) fn exchange_cost(
+    platform: &Platform,
+    ranks: usize,
+    bytes: f64,
+    messages: u64,
+) -> Option<f64> {
+    if ranks <= 1 {
+        return None;
+    }
+    Some(messages as f64 * MSG_LATENCY + bytes / (0.5 * platform.mem.stream_bw))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machine_model::{KernelTime, PlatformId};
+
+    fn priced(name: &str, total: f64) -> Priced {
+        Priced {
+            time: KernelTime {
+                total,
+                memory: total,
+                compute: 0.0,
+                atomics: 0.0,
+                launch: 0.0,
+                reduction: 0.0,
+                traffic: machine_model::MemoryTraffic {
+                    dram_bytes: 0.0,
+                    llc_bytes: 0.0,
+                    bandwidth_efficiency: 1.0,
+                },
+            },
+            name: Arc::from(name),
+            items: 7,
+            effective_bytes: 56.0,
+            boundary: false,
+        }
+    }
+
+    #[test]
+    fn append_advances_the_clock_in_order() {
+        let mut led = Ledger::new();
+        led.append(&priced("a", 1.0));
+        led.append(&priced("b", 2.0));
+        assert_eq!(led.elapsed, 3.0);
+        assert_eq!(led.records.len(), 2);
+        assert_eq!(&*led.records[1].name, "b");
+        assert_eq!(led.comm_time, 0.0);
+    }
+
+    #[test]
+    fn comm_costs_match_the_session_formulas() {
+        let gpu = Platform::get(PlatformId::A100);
+        let t = transfer_cost(&gpu, 1e9).unwrap();
+        assert!((t - 0.04).abs() / 0.04 < 0.01, "{t}");
+        let cpu = Platform::get(PlatformId::GenoaX);
+        assert!(transfer_cost(&cpu, 1e9).is_none());
+        assert!(exchange_cost(&gpu, 1, 1e9, 100).is_none());
+        assert!(exchange_cost(&cpu, 4, 1e9, 100).unwrap() > 0.0);
+    }
+}

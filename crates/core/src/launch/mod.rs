@@ -1,0 +1,18 @@
+//! The launch path, split into four explicit, separately-testable layers:
+//!
+//! 1. [`record`] — build a [`LaunchNode`] from kernel + traits, no lock.
+//! 2. [`price`] — quirks + toolchain `ExecProfile` + platform model,
+//!    served by the fingerprint cache.
+//! 3. [`execute`] — the functional body on parkit, plus launch telemetry.
+//! 4. [`commit`] — one ledger append under the lock.
+//!
+//! [`Session::launch`](crate::Session::launch) is the thin eager
+//! composition of the four; [`LaunchGraph`](crate::LaunchGraph) records a
+//! sequence once and replays it with one ledger lock per replay.
+
+pub mod commit;
+pub mod execute;
+pub mod price;
+pub mod record;
+
+pub use record::LaunchNode;

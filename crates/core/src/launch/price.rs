@@ -1,0 +1,185 @@
+//! Layer 2 — **price**: walk the toolchain model for an `ExecProfile`,
+//! apply atomic-path quirks, and run the platform model — memoised per
+//! kernel fingerprint so repeat launches cost a hash lookup.
+
+use crate::kernel::{Kernel, KernelTraits};
+use crate::toolchain::{SyclVariant, Toolchain};
+use machine_model::{predict, AtomicKind, ExecProfile, KernelTime, Platform};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Memoised pricing for one kernel fingerprint: everything the commit
+/// layer needs to append a ledger entry without re-walking the models.
+struct CachedPrice {
+    /// The full fingerprint, kept to verify hash-bucket hits exactly.
+    footprint: machine_model::KernelFootprint,
+    traits: KernelTraits,
+    nd_shape: Option<[usize; 3]>,
+    name: Arc<str>,
+    #[allow(dead_code)]
+    exec: ExecProfile,
+    time: KernelTime,
+    boundary: bool,
+}
+
+impl CachedPrice {
+    fn matches(&self, kernel: &Kernel) -> bool {
+        self.footprint == kernel.footprint
+            && self.traits == kernel.traits
+            && self.nd_shape == kernel.nd_shape
+    }
+}
+
+/// The output of the pricing layer for one launch: the simulated time
+/// plus the interned name and ledger fields the commit layer appends.
+#[derive(Debug, Clone)]
+pub(crate) struct Priced {
+    pub time: KernelTime,
+    pub name: Arc<str>,
+    pub items: u64,
+    pub effective_bytes: f64,
+    pub boundary: bool,
+}
+
+/// The session pricing context the cold path needs (fixed per session).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PriceContext<'p> {
+    pub platform: &'p Platform,
+    pub toolchain: Toolchain,
+    pub variant: SyclVariant,
+    pub atomic_kind: AtomicKind,
+}
+
+/// The cold path: toolchain walk, optional atomic downgrade (MI250X +
+/// OpenSYCL loses the unsafe atomics), platform model.
+fn price_cold(ctx: &PriceContext<'_>, kernel: &Kernel) -> (KernelTime, ExecProfile) {
+    let exec = ctx
+        .toolchain
+        .exec_profile(ctx.platform, ctx.variant, kernel);
+    // Only clone the footprint when a downgrade actually applies.
+    let time = match kernel.footprint.atomics {
+        Some(a) if a.kind != ctx.atomic_kind => {
+            let mut fp = kernel.footprint.clone();
+            fp.atomics = Some(machine_model::AtomicProfile {
+                kind: ctx.atomic_kind,
+                ..a
+            });
+            predict(ctx.platform, &fp, &exec)
+        }
+        _ => predict(ctx.platform, &kernel.footprint, &exec),
+    };
+    (time, exec)
+}
+
+/// Launch-pricing cache: kernel fingerprint hash → memoised price.
+/// Hits are verified field-for-field against the stored fingerprint,
+/// so a hash collision degrades to a cold launch, never a wrong price.
+pub(crate) struct PriceCache {
+    map: HashMap<u64, CachedPrice>,
+    enabled: bool,
+}
+
+impl PriceCache {
+    pub fn new(enabled: bool) -> PriceCache {
+        PriceCache {
+            map: HashMap::new(),
+            enabled,
+        }
+    }
+
+    /// Price one launch under `key` (the kernel's fingerprint). Repeat
+    /// launches of a cached fingerprint cost a hash lookup; cold
+    /// launches walk the models once and memoise the result. The name
+    /// is interned, so records of repeat launches share one allocation.
+    pub fn price(&mut self, ctx: &PriceContext<'_>, kernel: &Kernel, key: u64) -> Priced {
+        if self.enabled {
+            if let Some(c) = self.map.get(&key) {
+                if c.matches(kernel) {
+                    if telemetry::enabled() {
+                        telemetry::Counters::add(&telemetry::counters().pricing_cache_hits, 1);
+                    }
+                    return Priced {
+                        time: c.time,
+                        name: Arc::clone(&c.name),
+                        items: c.footprint.items,
+                        effective_bytes: c.footprint.effective_bytes,
+                        boundary: c.boundary,
+                    };
+                }
+            }
+            if telemetry::enabled() {
+                telemetry::Counters::add(&telemetry::counters().pricing_cache_misses, 1);
+            }
+        }
+
+        let (time, exec) = price_cold(ctx, kernel);
+        let name: Arc<str> = Arc::from(kernel.footprint.name.as_str());
+        let boundary = kernel.footprint.is_boundary();
+        if self.enabled {
+            self.map.insert(
+                key,
+                CachedPrice {
+                    footprint: kernel.footprint.clone(),
+                    traits: kernel.traits,
+                    nd_shape: kernel.nd_shape,
+                    name: Arc::clone(&name),
+                    exec,
+                    time,
+                    boundary,
+                },
+            );
+        }
+        Priced {
+            time,
+            name,
+            items: kernel.footprint.items,
+            effective_bytes: kernel.footprint.effective_bytes,
+            boundary,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::launch::record::fingerprint;
+    use machine_model::PlatformId;
+
+    fn ctx(p: &Platform) -> PriceContext<'_> {
+        PriceContext {
+            platform: p,
+            toolchain: Toolchain::NativeCuda,
+            variant: SyclVariant::Flat,
+            atomic_kind: AtomicKind::NativeFp,
+        }
+    }
+
+    #[test]
+    fn cache_hits_return_bit_identical_prices_and_interned_names() {
+        let p = Platform::get(PlatformId::A100);
+        let ctx = ctx(&p);
+        let k = Kernel::streaming("triad", 1 << 20, 3e7, 0.0);
+        let key = fingerprint(&k);
+        let mut cache = PriceCache::new(true);
+        let cold = cache.price(&ctx, &k, key);
+        let hit = cache.price(&ctx, &k, key);
+        assert_eq!(cold.time.total.to_bits(), hit.time.total.to_bits());
+        assert!(Arc::ptr_eq(&cold.name, &hit.name));
+    }
+
+    #[test]
+    fn disabled_cache_stays_cold_but_prices_identically() {
+        let p = Platform::get(PlatformId::A100);
+        let ctx = ctx(&p);
+        let k = Kernel::streaming("copy", 1 << 18, 4e6, 0.0);
+        let key = fingerprint(&k);
+        let mut on = PriceCache::new(true);
+        let mut off = PriceCache::new(false);
+        let a = on.price(&ctx, &k, key);
+        let b = off.price(&ctx, &k, key);
+        let c = off.price(&ctx, &k, key);
+        assert_eq!(a.time.total.to_bits(), b.time.total.to_bits());
+        assert_eq!(b.time.total.to_bits(), c.time.total.to_bits());
+        assert!(!Arc::ptr_eq(&b.name, &c.name), "no interning without cache");
+    }
+}

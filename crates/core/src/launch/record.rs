@@ -1,0 +1,111 @@
+//! Layer 1 — **record**: turn a kernel into a [`LaunchNode`] without
+//! taking any lock. A node is the kernel snapshot plus its precomputed
+//! pricing fingerprint; both the eager path and [`LaunchGraph`]
+//! (crate::LaunchGraph) recording go through here.
+
+use crate::kernel::Kernel;
+use std::hash::{Hash, Hasher};
+
+/// Hash every pricing-relevant field of a kernel (f64s by bit pattern).
+/// The session variant/toolchain/platform are fixed per session, so they
+/// are not part of the key.
+pub(crate) fn fingerprint(kernel: &Kernel) -> u64 {
+    use machine_model::AccessProfile;
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    let fp = &kernel.footprint;
+    fp.name.hash(&mut h);
+    fp.items.hash(&mut h);
+    fp.effective_bytes.to_bits().hash(&mut h);
+    fp.flops.to_bits().hash(&mut h);
+    fp.transcendentals.to_bits().hash(&mut h);
+    (fp.precision as u8).hash(&mut h);
+    match &fp.access {
+        AccessProfile::Streamed => 0u8.hash(&mut h),
+        AccessProfile::Stencil(s) => {
+            1u8.hash(&mut h);
+            s.domain.hash(&mut h);
+            s.radius.hash(&mut h);
+            s.dats_read.hash(&mut h);
+            s.dats_written.hash(&mut h);
+        }
+        AccessProfile::Indirect(i) => {
+            2u8.hash(&mut h);
+            i.from_size.hash(&mut h);
+            i.to_size.hash(&mut h);
+            i.arity.to_bits().hash(&mut h);
+            i.locality.to_bits().hash(&mut h);
+            i.indirect_bytes_per_item.to_bits().hash(&mut h);
+        }
+    }
+    match &fp.atomics {
+        None => 0u8.hash(&mut h),
+        Some(a) => {
+            1u8.hash(&mut h);
+            a.updates.hash(&mut h);
+            (a.kind == machine_model::AtomicKind::NativeFp).hash(&mut h);
+        }
+    }
+    fp.reductions.hash(&mut h);
+    let t = &kernel.traits;
+    [
+        t.stride_one_inner,
+        t.indirect_writes,
+        t.complex_body,
+        t.hard_on_neon,
+    ]
+    .hash(&mut h);
+    kernel.nd_shape.hash(&mut h);
+    h.finish()
+}
+
+/// A recorded launch: an owned kernel snapshot plus its pricing
+/// fingerprint. Building one touches no session state, so recording can
+/// happen outside every lock.
+#[derive(Debug, Clone)]
+pub struct LaunchNode {
+    pub(crate) kernel: Kernel,
+    pub(crate) key: u64,
+}
+
+impl LaunchNode {
+    /// Snapshot `kernel` and precompute its fingerprint.
+    pub fn new(kernel: &Kernel) -> LaunchNode {
+        LaunchNode {
+            key: fingerprint(kernel),
+            kernel: kernel.clone(),
+        }
+    }
+
+    /// The recorded kernel.
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// The pricing-cache key this node will be priced under.
+    pub fn fingerprint(&self) -> u64 {
+        self.key
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_snapshot_carries_the_kernel_fingerprint() {
+        let k = Kernel::streaming("copy", 1 << 10, 2.0 * 8.0 * 1024.0, 0.0);
+        let n = LaunchNode::new(&k);
+        assert_eq!(n.fingerprint(), fingerprint(&k));
+        assert_eq!(n.kernel().footprint.name, "copy");
+    }
+
+    #[test]
+    fn fingerprint_separates_shape_and_name() {
+        let a = Kernel::streaming("k", 1 << 10, 1e4, 0.0);
+        let b = Kernel::streaming("k", 1 << 12, 1e4, 0.0);
+        let c = Kernel::streaming("j", 1 << 10, 1e4, 0.0);
+        assert_ne!(fingerprint(&a), fingerprint(&b));
+        assert_ne!(fingerprint(&a), fingerprint(&c));
+        assert_eq!(fingerprint(&a), fingerprint(&a.clone()));
+    }
+}

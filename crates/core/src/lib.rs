@@ -50,18 +50,24 @@
 
 pub mod buffer;
 pub mod error;
+pub mod graph;
 pub mod kernel;
+pub mod launch;
 pub mod quirks;
 pub mod real;
+pub mod service;
 pub mod session;
 pub mod toolchain;
 pub mod tune;
 
 pub use buffer::Buffer;
 pub use error::{Failure, FailureKind};
+pub use graph::{GraphBuilder, LaunchGraph};
 pub use kernel::{Kernel, KernelTraits};
+pub use launch::LaunchNode;
 pub use real::Real;
-pub use session::{LaunchRecord, Session, SessionConfig};
+pub use service::{Service, ServiceConfig, ServiceShard};
+pub use session::{LaunchRecord, Records, Session, SessionConfig};
 pub use toolchain::{Scheme, SyclVariant, Toolchain};
 
 // Re-export the hardware model so downstream crates need only one import.

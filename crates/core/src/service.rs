@@ -1,0 +1,293 @@
+//! `sycl_sim::service` — the sharded many-session service layer.
+//!
+//! A [`Service`] runs N concurrent [`Session`] shards over the one
+//! process-wide parkit pool. Admission control bounds the launches in
+//! flight across all shards (a semaphore over `Mutex` + `Condvar`), so
+//! a burst of clients queues instead of oversubscribing the pool; the
+//! queue depth is exported as a `service.queue_depth` gauge and the
+//! admission wait as a `service.admission_wait_us` histogram in
+//! [`metrics::registry`]. Each admitted submission records a `Shard`
+//! span named after its shard.
+//!
+//! Shards are plain sessions: each keeps its own ledger, pricing cache
+//! and observer, so concurrent shards never corrupt each other's
+//! ledgers (property-tested in `tests/service_shards.rs`).
+
+use crate::error::Failure;
+use crate::graph::LaunchGraph;
+use crate::kernel::Kernel;
+use crate::session::{Session, SessionConfig};
+use parkit::sync::{Condvar, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Service-wide limits.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Concurrent sessions to shard the service into.
+    pub shards: usize,
+    /// Bound on launches/replays in flight across all shards; further
+    /// submissions block in admission until a slot frees.
+    pub max_in_flight: usize,
+}
+
+impl ServiceConfig {
+    /// `shards` sessions admitting `max_in_flight` concurrent launches.
+    pub fn new(shards: usize, max_in_flight: usize) -> ServiceConfig {
+        ServiceConfig {
+            shards: shards.max(1),
+            max_in_flight: max_in_flight.max(1),
+        }
+    }
+}
+
+struct AdmitState {
+    in_flight: usize,
+    queued: usize,
+}
+
+/// Counting semaphore with a queue-depth gauge.
+struct Admission {
+    state: Mutex<AdmitState>,
+    freed: Condvar,
+    limit: usize,
+}
+
+impl Admission {
+    fn new(limit: usize) -> Admission {
+        Admission {
+            state: Mutex::new(AdmitState {
+                in_flight: 0,
+                queued: 0,
+            }),
+            freed: Condvar::new(),
+            limit,
+        }
+    }
+
+    fn enter(&self) -> Permit<'_> {
+        let t0 = telemetry::enabled().then(Instant::now);
+        let mut st = self.state.lock();
+        st.queued += 1;
+        metrics::registry().gauge("service.queue_depth", "sessions", st.queued as f64);
+        while st.in_flight >= self.limit {
+            self.freed.wait(&mut st);
+        }
+        st.queued -= 1;
+        st.in_flight += 1;
+        metrics::registry().gauge("service.queue_depth", "sessions", st.queued as f64);
+        drop(st);
+        if let Some(t0) = t0 {
+            metrics::registry().record(
+                "service.admission_wait_us",
+                t0.elapsed().as_secs_f64() * 1e6,
+            );
+        }
+        Permit { admission: self }
+    }
+
+    fn depth(&self) -> usize {
+        self.state.lock().queued
+    }
+}
+
+/// An admitted slot; releasing it wakes one queued submission.
+struct Permit<'a> {
+    admission: &'a Admission,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        let mut st = self.admission.state.lock();
+        st.in_flight -= 1;
+        drop(st);
+        self.admission.freed.notify_one();
+    }
+}
+
+/// One shard: a session plus its interned span name.
+pub struct ServiceShard {
+    session: Session,
+    span_name: Arc<str>,
+}
+
+impl ServiceShard {
+    /// The shard's session (ledger queries, resets, observers).
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+}
+
+/// N concurrent sessions over one parkit pool, behind admission control.
+pub struct Service {
+    shards: Vec<ServiceShard>,
+    admission: Admission,
+    next: AtomicUsize,
+}
+
+impl Service {
+    /// Build the shards from per-shard configs. `cfg(i)` names shard
+    /// `i`'s session config; any quirk failure aborts the whole build.
+    pub fn new(
+        limits: ServiceConfig,
+        cfg: impl Fn(usize) -> SessionConfig,
+    ) -> Result<Service, Failure> {
+        let mut shards = Vec::with_capacity(limits.shards);
+        for i in 0..limits.shards {
+            shards.push(ServiceShard {
+                session: Session::create(cfg(i))?,
+                span_name: Arc::from(format!("shard{i}").as_str()),
+            });
+        }
+        Ok(Service {
+            shards,
+            admission: Admission::new(limits.max_in_flight),
+            next: AtomicUsize::new(0),
+        })
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// A shard's session by index.
+    pub fn shard(&self, i: usize) -> &Session {
+        &self.shards[i].session
+    }
+
+    /// Submissions currently queued in admission.
+    pub fn queue_depth(&self) -> usize {
+        self.admission.depth()
+    }
+
+    /// Launch on shard `i`, blocking in admission while the service is
+    /// at its in-flight limit.
+    pub fn submit<R>(&self, i: usize, kernel: &Kernel, body: impl FnOnce() -> R) -> R {
+        let shard = &self.shards[i];
+        let _permit = self.admission.enter();
+        let span = telemetry::SpanTimer::start();
+        let r = shard.session.launch(kernel, body);
+        if let Some(t) = span {
+            t.finish(
+                telemetry::SpanKind::Shard,
+                Arc::clone(&shard.span_name),
+                1,
+                kernel.footprint.effective_bytes,
+            );
+        }
+        r
+    }
+
+    /// Launch on the next shard round-robin; returns the shard index
+    /// alongside the body's result.
+    pub fn submit_any<R>(&self, kernel: &Kernel, body: impl FnOnce() -> R) -> (usize, R) {
+        let i = self.next.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+        (i, self.submit(i, kernel, body))
+    }
+
+    /// Replay a recorded graph on shard `i` under one admission slot.
+    pub fn replay(&self, i: usize, graph: &LaunchGraph<'_>) {
+        let shard = &self.shards[i];
+        let _permit = self.admission.enter();
+        let span = telemetry::SpanTimer::start();
+        graph.replay(&shard.session);
+        if let Some(t) = span {
+            t.finish(
+                telemetry::SpanKind::Shard,
+                Arc::clone(&shard.span_name),
+                graph.n_launches(),
+                0.0,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toolchain::Toolchain;
+    use machine_model::PlatformId;
+
+    fn service(shards: usize, max_in_flight: usize) -> Service {
+        Service::new(ServiceConfig::new(shards, max_in_flight), |_| {
+            SessionConfig::new(PlatformId::A100, Toolchain::NativeCuda).app("svc")
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn shards_keep_independent_ledgers() {
+        let svc = service(3, 4);
+        let k = Kernel::streaming("x", 1 << 16, 1e6, 0.0);
+        svc.submit(0, &k, || ());
+        svc.submit(0, &k, || ());
+        svc.submit(2, &k, || ());
+        assert_eq!(svc.shard(0).records().len(), 2);
+        assert_eq!(svc.shard(1).records().len(), 0);
+        assert_eq!(svc.shard(2).records().len(), 1);
+    }
+
+    #[test]
+    fn round_robin_spreads_submissions() {
+        let svc = service(2, 4);
+        let k = Kernel::streaming("x", 1 << 16, 1e6, 0.0);
+        let (a, ()) = svc.submit_any(&k, || ());
+        let (b, ()) = svc.submit_any(&k, || ());
+        assert_ne!(a, b);
+        assert_eq!(svc.shard(a).records().len(), 1);
+        assert_eq!(svc.shard(b).records().len(), 1);
+    }
+
+    #[test]
+    fn admission_bounds_in_flight_launches() {
+        use std::sync::atomic::AtomicUsize;
+        let svc = Arc::new(service(4, 2));
+        let live = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let k = Kernel::streaming("x", 1 << 12, 1e4, 0.0);
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let (svc, live, peak, k) = (
+                    Arc::clone(&svc),
+                    Arc::clone(&live),
+                    Arc::clone(&peak),
+                    k.clone(),
+                );
+                scope.spawn(move || {
+                    for _ in 0..50 {
+                        svc.submit(t, &k, || {
+                            let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                            peak.fetch_max(now, Ordering::SeqCst);
+                            live.fetch_sub(1, Ordering::SeqCst);
+                        });
+                    }
+                });
+            }
+        });
+        assert!(
+            peak.load(Ordering::SeqCst) <= 2,
+            "admission limit exceeded: {}",
+            peak.load(Ordering::SeqCst)
+        );
+        for t in 0..4 {
+            assert_eq!(svc.shard(t).records().len(), 50);
+        }
+        assert_eq!(svc.queue_depth(), 0);
+    }
+
+    #[test]
+    fn graph_replays_go_through_admission() {
+        let svc = service(2, 1);
+        let k = Kernel::streaming("x", 1 << 16, 1e6, 0.0);
+        let mut g = svc.shard(1).record();
+        g.launch(&k, |_| {});
+        g.launch(&k, |_| {});
+        let g = g.finish();
+        svc.replay(1, &g);
+        svc.replay(1, &g);
+        assert_eq!(svc.shard(1).records().len(), 4);
+        assert_eq!(svc.shard(0).records().len(), 0);
+    }
+}

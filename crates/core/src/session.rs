@@ -2,23 +2,28 @@
 //! and run it on machine Y".
 //!
 //! A [`Session`] owns the simulated clock and a per-launch ledger. Every
-//! [`Session::launch`] call (i) checks the quirk matrix, (ii) asks the
-//! toolchain model for an [`ExecProfile`], (iii) prices the launch on the
-//! platform model, (iv) runs the kernel body *functionally* so the
-//! application's numerics are real, and (v) records the result.
+//! [`Session::launch`] call is a thin eager composition of the four
+//! launch layers in [`crate::launch`]: **record** builds a fingerprinted
+//! [`LaunchNode`](crate::launch::LaunchNode) with no lock, **price**
+//! walks the quirk/toolchain/platform models (served by the fingerprint
+//! cache behind its own mutex), **execute** runs the kernel body
+//! *functionally* so the application's numerics are real, and **commit**
+//! appends one ledger entry under the ledger mutex. The batched
+//! counterpart is [`crate::LaunchGraph`], which replays a recorded
+//! sequence with a single ledger lock acquisition per replay.
 
 use crate::error::Failure;
-use crate::kernel::{Kernel, KernelTraits};
+use crate::kernel::Kernel;
+use crate::launch::commit::{exchange_cost, transfer_cost, Ledger};
+use crate::launch::execute::LaunchSpan;
+use crate::launch::price::{PriceCache, PriceContext, Priced};
+use crate::launch::record::fingerprint;
 use crate::quirks;
 use crate::toolchain::{Scheme, SyclVariant, Toolchain};
-use machine_model::{predict, ExecProfile, KernelTime, Platform, PlatformId};
-use parkit::sync::Mutex;
-use std::collections::HashMap;
+use machine_model::{KernelTime, Platform, PlatformId};
+use parkit::sync::{Mutex, MutexGuard};
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
-
-/// Intra-node MPI message latency (shared-memory transport).
-const MSG_LATENCY: f64 = 0.8e-6;
 
 /// One priced kernel launch. The name is interned (`Arc<str>`), so
 /// records of repeat launches share one allocation.
@@ -50,6 +55,12 @@ pub struct SessionConfig {
     /// Disable to force a full toolchain-model walk on every launch —
     /// only useful for benchmarking the cache itself.
     pub pricing_cache: bool,
+    /// Replay recorded [`crate::LaunchGraph`]s on the batched path (one
+    /// ledger lock per replay; on by default). Disable to make
+    /// `graph.replay` fall back to eager per-launch execution — the
+    /// ledger is bit-identical either way, which is exactly what the
+    /// equivalence tests compare.
+    pub graph_replay: bool,
 }
 
 impl SessionConfig {
@@ -63,6 +74,7 @@ impl SessionConfig {
             scheme: None,
             dry_run: false,
             pricing_cache: true,
+            graph_replay: true,
         }
     }
 
@@ -95,105 +107,53 @@ impl SessionConfig {
         self.pricing_cache = false;
         self
     }
-}
 
-/// Memoised pricing for one kernel fingerprint: everything `launch_timed`
-/// needs to append a ledger entry without re-walking the toolchain model.
-struct CachedPrice {
-    /// The full fingerprint, kept to verify hash-bucket hits exactly.
-    footprint: machine_model::KernelFootprint,
-    traits: KernelTraits,
-    nd_shape: Option<[usize; 3]>,
-    name: Arc<str>,
-    #[allow(dead_code)]
-    exec: ExecProfile,
-    time: KernelTime,
-    boundary: bool,
-}
-
-impl CachedPrice {
-    fn matches(&self, kernel: &Kernel) -> bool {
-        self.footprint == kernel.footprint
-            && self.traits == kernel.traits
-            && self.nd_shape == kernel.nd_shape
+    /// Make graph replays take the eager per-launch path (see
+    /// `graph_replay`).
+    pub fn eager_launches(mut self) -> Self {
+        self.graph_replay = false;
+        self
     }
-}
-
-/// Hash every pricing-relevant field of a kernel (f64s by bit pattern).
-/// The session variant/toolchain/platform are fixed per session, so they
-/// are not part of the key.
-fn fingerprint(kernel: &Kernel) -> u64 {
-    use machine_model::AccessProfile;
-    let mut h = std::collections::hash_map::DefaultHasher::new();
-    let fp = &kernel.footprint;
-    fp.name.hash(&mut h);
-    fp.items.hash(&mut h);
-    fp.effective_bytes.to_bits().hash(&mut h);
-    fp.flops.to_bits().hash(&mut h);
-    fp.transcendentals.to_bits().hash(&mut h);
-    (fp.precision as u8).hash(&mut h);
-    match &fp.access {
-        AccessProfile::Streamed => 0u8.hash(&mut h),
-        AccessProfile::Stencil(s) => {
-            1u8.hash(&mut h);
-            s.domain.hash(&mut h);
-            s.radius.hash(&mut h);
-            s.dats_read.hash(&mut h);
-            s.dats_written.hash(&mut h);
-        }
-        AccessProfile::Indirect(i) => {
-            2u8.hash(&mut h);
-            i.from_size.hash(&mut h);
-            i.to_size.hash(&mut h);
-            i.arity.to_bits().hash(&mut h);
-            i.locality.to_bits().hash(&mut h);
-            i.indirect_bytes_per_item.to_bits().hash(&mut h);
-        }
-    }
-    match &fp.atomics {
-        None => 0u8.hash(&mut h),
-        Some(a) => {
-            1u8.hash(&mut h);
-            a.updates.hash(&mut h);
-            (a.kind == machine_model::AtomicKind::NativeFp).hash(&mut h);
-        }
-    }
-    fp.reductions.hash(&mut h);
-    let t = &kernel.traits;
-    [
-        t.stride_one_inner,
-        t.indirect_writes,
-        t.complex_body,
-        t.hard_on_neon,
-    ]
-    .hash(&mut h);
-    kernel.nd_shape.hash(&mut h);
-    h.finish()
 }
 
 /// Callback invoked with every launch record as it is appended to the
-/// ledger (after the state lock is released, so observers may call back
+/// ledger (after the ledger lock is released, so observers may call back
 /// into the session).
 pub type LaunchObserver = Arc<dyn Fn(&LaunchRecord) + Send + Sync>;
-
-struct State {
-    elapsed: f64,
-    comm_time: f64,
-    records: Vec<LaunchRecord>,
-    /// Launch-pricing cache: kernel fingerprint hash → memoised price.
-    /// Hits are verified field-for-field against the stored fingerprint,
-    /// so a hash collision degrades to a cold launch, never a wrong price.
-    price_cache: HashMap<u64, CachedPrice>,
-    /// Optional per-launch observer (the verifier's footprint pass).
-    /// Observes only — pricing and the ledger are unaffected.
-    observer: Option<LaunchObserver>,
-}
 
 /// A live (platform × toolchain × variant × app) execution context.
 pub struct Session {
     platform: Platform,
     cfg: SessionConfig,
-    state: Mutex<State>,
+    atomic_kind: machine_model::AtomicKind,
+    /// Commit-layer state (clock + ledger + observer), its own lock.
+    ledger: Mutex<Ledger>,
+    /// Price-layer state (fingerprint → memoised price), its own lock —
+    /// a cold toolchain walk never blocks ledger readers.
+    cache: Mutex<PriceCache>,
+}
+
+/// Short-lived read view of the launch ledger, returned by
+/// [`Session::records`]. Derefs to `[LaunchRecord]` without cloning.
+/// The guard holds the ledger lock: drop it before calling any session
+/// method that appends (launch/transfer/exchange/reset).
+pub struct Records<'a>(MutexGuard<'a, Ledger>);
+
+impl std::ops::Deref for Records<'_> {
+    type Target = [LaunchRecord];
+
+    fn deref(&self) -> &[LaunchRecord] {
+        &self.0.records
+    }
+}
+
+impl<'a> IntoIterator for &'a Records<'_> {
+    type Item = &'a LaunchRecord;
+    type IntoIter = std::slice::Iter<'a, LaunchRecord>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
 }
 
 impl Session {
@@ -211,14 +171,10 @@ impl Session {
         }
         Ok(Session {
             platform: Platform::get(cfg.platform),
+            atomic_kind: quirks::atomic_kind(cfg.platform, cfg.toolchain),
+            cache: Mutex::new(PriceCache::new(cfg.pricing_cache)),
+            ledger: Mutex::new(Ledger::new()),
             cfg,
-            state: Mutex::new(State {
-                elapsed: 0.0,
-                comm_time: 0.0,
-                records: Vec::new(),
-                price_cache: HashMap::new(),
-                observer: None,
-            }),
         })
     }
 
@@ -239,14 +195,14 @@ impl Session {
 
     /// The atomic path kernels get in this session.
     pub fn atomic_kind(&self) -> machine_model::AtomicKind {
-        quirks::atomic_kind(self.cfg.platform, self.cfg.toolchain)
+        self.atomic_kind
     }
 
     /// Install (or clear) a per-launch observer. The callback sees each
     /// [`LaunchRecord`] right after it is appended to the ledger; it
     /// cannot change pricing, timing, or the ledger itself.
     pub fn set_launch_observer(&self, observer: Option<LaunchObserver>) {
-        self.state.lock().observer = observer;
+        self.ledger.lock().observer = observer;
     }
 
     /// Price and record one kernel launch, then run `body` functionally.
@@ -261,121 +217,66 @@ impl Session {
         !self.cfg.dry_run
     }
 
+    /// Start recording a launch graph. Record methods on the builder
+    /// capture kernels and functional bodies; [`crate::LaunchGraph::replay`]
+    /// then prices the whole sequence in one pass and commits it under a
+    /// single ledger lock per replay.
+    pub fn record(&self) -> crate::graph::GraphBuilder<'_> {
+        crate::graph::GraphBuilder::new()
+    }
+
     /// Like [`Session::launch`], also returning the simulated timing.
     /// When [`telemetry`] is enabled the launch records a `LaunchSpan`
     /// carrying the kernel name, iteration count, effective bytes and the
     /// simulated seconds, so traces can report achieved GB/s per kernel.
     pub fn launch_timed<R>(&self, kernel: &Kernel, body: impl FnOnce() -> R) -> (R, KernelTime) {
-        let span = telemetry::SpanTimer::start();
-        let (time, name) = self.price(kernel);
+        let span = LaunchSpan::start();
+        // record → price → commit → execute (the ledger entry lands
+        // before the body runs, as it always has).
+        let key = fingerprint(kernel);
+        let priced = self.cache.lock().price(&self.price_context(), kernel, key);
+        self.commit_one(&priced);
         let r = body();
-        if let Some(t) = span {
-            telemetry::Counters::add(&telemetry::counters().launches, 1);
-            telemetry::Counters::add(
-                &telemetry::counters().bytes_moved,
-                kernel.footprint.effective_bytes as u64,
-            );
-            t.finish_timed(
-                telemetry::SpanKind::Launch,
-                name,
-                kernel.footprint.items,
-                kernel.footprint.effective_bytes,
-                time.total,
-            );
-        }
-        (r, time)
+        span.finish(
+            Arc::clone(&priced.name),
+            kernel.footprint.items,
+            kernel.footprint.effective_bytes,
+            priced.time.total,
+        );
+        (r, priced.time)
     }
 
-    /// Price one launch and append it to the ledger. Repeat launches of a
-    /// cached kernel fingerprint cost a hash lookup plus a record push;
-    /// cold launches walk the toolchain and platform models once and
-    /// memoise the result. Also returns the interned kernel name so the
-    /// caller can attach it to a trace span without re-allocating.
-    fn price(&self, kernel: &Kernel) -> (KernelTime, Arc<str>) {
-        let key = fingerprint(kernel);
-        let mut st = self.state.lock();
-
-        if self.cfg.pricing_cache {
-            if let Some(c) = st.price_cache.get(&key) {
-                if c.matches(kernel) {
-                    if telemetry::enabled() {
-                        telemetry::Counters::add(&telemetry::counters().pricing_cache_hits, 1);
-                    }
-                    let time = c.time;
-                    let name = Arc::clone(&c.name);
-                    let record = LaunchRecord {
-                        name: Arc::clone(&name),
-                        time,
-                        items: c.footprint.items,
-                        effective_bytes: c.footprint.effective_bytes,
-                        boundary: c.boundary,
-                    };
-                    st.elapsed += time.total;
-                    st.records.push(record.clone());
-                    let observer = st.observer.clone();
-                    drop(st);
-                    if let Some(obs) = observer {
-                        obs(&record);
-                    }
-                    return (time, name);
-                }
-            }
-            if telemetry::enabled() {
-                telemetry::Counters::add(&telemetry::counters().pricing_cache_misses, 1);
-            }
+    /// The fixed pricing context of this session (layer 2 input).
+    pub(crate) fn price_context(&self) -> PriceContext<'_> {
+        PriceContext {
+            platform: &self.platform,
+            toolchain: self.cfg.toolchain,
+            variant: self.cfg.variant,
+            atomic_kind: self.atomic_kind,
         }
+    }
 
-        let exec = self
-            .cfg
-            .toolchain
-            .exec_profile(&self.platform, self.cfg.variant, kernel);
+    /// Lock the pricing cache (the graph replay path prices a whole
+    /// graph under one acquisition).
+    pub(crate) fn price_cache(&self) -> MutexGuard<'_, PriceCache> {
+        self.cache.lock()
+    }
 
-        // Toolchain quirks can downgrade the atomic path (MI250X +
-        // OpenSYCL loses the unsafe atomics). Only clone the footprint
-        // when a downgrade actually applies.
-        let time = match kernel.footprint.atomics {
-            Some(a) if a.kind != self.atomic_kind() => {
-                let mut fp = kernel.footprint.clone();
-                fp.atomics = Some(machine_model::AtomicProfile {
-                    kind: self.atomic_kind(),
-                    ..a
-                });
-                predict(&self.platform, &fp, &exec)
-            }
-            _ => predict(&self.platform, &kernel.footprint, &exec),
-        };
+    /// Lock the ledger (the graph replay path commits a whole graph
+    /// under one acquisition).
+    pub(crate) fn ledger(&self) -> MutexGuard<'_, Ledger> {
+        self.ledger.lock()
+    }
 
-        let name: Arc<str> = Arc::from(kernel.footprint.name.as_str());
-        let boundary = kernel.footprint.is_boundary();
-        let record = LaunchRecord {
-            name: Arc::clone(&name),
-            time,
-            items: kernel.footprint.items,
-            effective_bytes: kernel.footprint.effective_bytes,
-            boundary,
-        };
-        st.elapsed += time.total;
-        st.records.push(record.clone());
-        if self.cfg.pricing_cache {
-            st.price_cache.insert(
-                key,
-                CachedPrice {
-                    footprint: kernel.footprint.clone(),
-                    traits: kernel.traits,
-                    nd_shape: kernel.nd_shape,
-                    name: Arc::clone(&name),
-                    exec,
-                    time,
-                    boundary,
-                },
-            );
-        }
-        let observer = st.observer.clone();
-        drop(st);
+    /// Commit one priced launch and fire the observer after unlock.
+    pub(crate) fn commit_one(&self, priced: &Priced) {
+        let mut led = self.ledger.lock();
+        let record = led.append(priced);
+        let observer = led.observer.clone();
+        drop(led);
         if let Some(obs) = observer {
             obs(&record);
         }
-        (time, name)
     }
 
     /// Account a host→device (or device→host) transfer of `bytes`.
@@ -383,67 +284,81 @@ impl Session {
     /// a fixed setup latency on GPUs — the cost SYCL buffers hide behind
     /// accessor creation.
     pub fn transfer(&self, bytes: f64) {
-        let Some(bw) = self.platform.interconnect_bw else {
-            return;
-        };
-        let t = 10.0e-6 + bytes / bw;
-        let mut st = self.state.lock();
-        st.elapsed += t;
-        st.comm_time += t;
+        if let Some(t) = transfer_cost(&self.platform, bytes) {
+            self.ledger.lock().charge_comm(t);
+        }
     }
 
     /// Account a halo exchange between the session's MPI ranks:
     /// `messages` point-to-point messages moving `bytes` in total.
     /// Single-rank sessions exchange nothing.
     pub fn exchange(&self, bytes: f64, messages: u64) {
-        if self.ranks() <= 1 {
-            return;
+        if let Some(t) = exchange_cost(&self.platform, self.ranks(), bytes, messages) {
+            self.ledger.lock().charge_comm(t);
         }
-        // Shared-memory MPI: latency per message plus a copy through the
-        // memory system (in + out ⇒ half of STREAM).
-        let t = messages as f64 * MSG_LATENCY + bytes / (0.5 * self.platform.mem.stream_bw);
-        let mut st = self.state.lock();
-        st.elapsed += t;
-        st.comm_time += t;
     }
 
     /// Total simulated seconds so far.
     pub fn elapsed(&self) -> f64 {
-        self.state.lock().elapsed
+        self.ledger.lock().elapsed
     }
 
     /// Simulated seconds spent in halo exchanges.
     pub fn comm_time(&self) -> f64 {
-        self.state.lock().comm_time
+        self.ledger.lock().comm_time
     }
 
-    /// Snapshot of all launch records.
-    pub fn records(&self) -> Vec<LaunchRecord> {
-        self.state.lock().records.clone()
+    /// Borrow the launch ledger without cloning it. The returned guard
+    /// derefs to `[LaunchRecord]`; observers and the verifier no longer
+    /// pay O(ledger) per call. Keep the guard short-lived.
+    pub fn records(&self) -> Records<'_> {
+        Records(self.ledger.lock())
+    }
+
+    /// Order-sensitive digest of the ledger: the clock, the comm time
+    /// and every record's name/price/shape, f64s by bit pattern. Two
+    /// sessions have equal digests iff their ledgers are bit-identical —
+    /// the invariant the eager and replayed launch paths must share.
+    pub fn ledger_digest(&self) -> u64 {
+        let led = self.ledger.lock();
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        led.elapsed.to_bits().hash(&mut h);
+        led.comm_time.to_bits().hash(&mut h);
+        led.records.len().hash(&mut h);
+        for r in &led.records {
+            r.name.as_bytes().hash(&mut h);
+            r.time.total.to_bits().hash(&mut h);
+            r.time.memory.to_bits().hash(&mut h);
+            r.time.compute.to_bits().hash(&mut h);
+            r.items.hash(&mut h);
+            r.effective_bytes.to_bits().hash(&mut h);
+            r.boundary.hash(&mut h);
+        }
+        h.finish()
     }
 
     /// Fraction of simulated time spent in boundary-style loops — the
     /// quantity the paper uses to expose launch overheads.
     pub fn boundary_fraction(&self) -> f64 {
-        let st = self.state.lock();
-        if st.elapsed <= 0.0 {
+        let led = self.ledger.lock();
+        if led.elapsed <= 0.0 {
             return 0.0;
         }
-        let b: f64 = st
+        let b: f64 = led
             .records
             .iter()
             .filter(|r| r.boundary)
             .map(|r| r.time.total)
             .sum();
-        b / st.elapsed
+        b / led.elapsed
     }
 
     /// Aggregate (kernel name → total seconds, launches), sorted by cost.
     pub fn kernel_summary(&self) -> Vec<(String, f64, usize)> {
         use std::collections::HashMap;
-        let st = self.state.lock();
+        let led = self.ledger.lock();
         let mut agg: HashMap<&str, (f64, usize)> = HashMap::new();
-        for r in &st.records {
+        for r in &led.records {
             let e = agg.entry(&*r.name).or_insert((0.0, 0));
             e.0 += r.time.total;
             e.1 += 1;
@@ -459,10 +374,10 @@ impl Session {
     /// Weighted-average effective bandwidth over all launches
     /// (the OP2 §4.3 reporting rule), bytes/s.
     pub fn effective_bandwidth(&self) -> f64 {
-        let st = self.state.lock();
-        let bytes: f64 = st.records.iter().map(|r| r.effective_bytes).sum();
-        if st.elapsed > 0.0 {
-            bytes / st.elapsed
+        let led = self.ledger.lock();
+        let bytes: f64 = led.records.iter().map(|r| r.effective_bytes).sum();
+        if led.elapsed > 0.0 {
+            bytes / led.elapsed
         } else {
             0.0
         }
@@ -470,28 +385,43 @@ impl Session {
 
     /// Render a per-kernel cost breakdown (the paper's per-kernel
     /// profiling view: where the time goes, boundary flags, effective
-    /// bandwidths).
+    /// bandwidths). One lock acquisition for the whole render.
     pub fn explain(&self) -> String {
-        let total = self.elapsed().max(1e-30);
+        use std::collections::HashMap;
+        let led = self.ledger.lock();
+        let total = led.elapsed.max(1e-30);
+        let boundary: f64 = led
+            .records
+            .iter()
+            .filter(|r| r.boundary)
+            .map(|r| r.time.total)
+            .sum();
+        let bfrac = if led.elapsed > 0.0 {
+            boundary / led.elapsed
+        } else {
+            0.0
+        };
         let mut out = format!(
             "# {} | {} | {} | total {:.3} ms ({} launches, {:.1}% boundary)\n",
             self.platform.name,
             self.cfg.toolchain.label(),
             self.cfg.variant.label(),
             total * 1e3,
-            self.records().len(),
-            self.boundary_fraction() * 100.0
+            led.records.len(),
+            bfrac * 100.0
         );
         out.push_str("kernel                sec      %time  launches  GB/s(eff)\n");
-        for (name, secs, count) in self.kernel_summary() {
-            let bytes: f64 = {
-                let st = self.state.lock();
-                st.records
-                    .iter()
-                    .filter(|r| *r.name == *name)
-                    .map(|r| r.effective_bytes)
-                    .sum()
-            };
+        let mut agg: HashMap<&str, (f64, usize, f64)> = HashMap::new();
+        for r in &led.records {
+            let e = agg.entry(&*r.name).or_insert((0.0, 0, 0.0));
+            e.0 += r.time.total;
+            e.1 += 1;
+            e.2 += r.effective_bytes;
+        }
+        let mut rows: Vec<(&str, f64, usize, f64)> =
+            agg.into_iter().map(|(k, (t, n, b))| (k, t, n, b)).collect();
+        rows.sort_by(|a, b| b.1.total_cmp(&a.1));
+        for (name, secs, count, bytes) in rows {
             out.push_str(&format!(
                 "{:20} {:9.5} {:6.1}% {:9} {:10.0}\n",
                 name,
@@ -504,12 +434,14 @@ impl Session {
         out
     }
 
-    /// Reset the clock and ledger (e.g. after warm-up iterations).
+    /// Reset the clock and ledger (e.g. after warm-up iterations). The
+    /// pricing cache survives: warm pricing is a property of the session
+    /// config, not of the measured interval.
     pub fn reset(&self) {
-        let mut st = self.state.lock();
-        st.elapsed = 0.0;
-        st.comm_time = 0.0;
-        st.records.clear();
+        let mut led = self.ledger.lock();
+        led.elapsed = 0.0;
+        led.comm_time = 0.0;
+        led.records.clear();
     }
 }
 
@@ -656,6 +588,7 @@ mod tests {
             }
         }
         assert_eq!(cached.elapsed().to_bits(), uncached.elapsed().to_bits());
+        assert_eq!(cached.ledger_digest(), uncached.ledger_digest());
         for (a, b) in cached.records().iter().zip(uncached.records().iter()) {
             assert_eq!(a.name, b.name);
             assert_eq!(a.time.total.to_bits(), b.time.total.to_bits());
@@ -690,5 +623,36 @@ mod tests {
         // All records of one kernel share a single interned name.
         let r = s.records();
         assert!(Arc::ptr_eq(&r[0].name, &r[1].name));
+    }
+
+    #[test]
+    fn records_guard_derefs_without_cloning() {
+        let s = session(PlatformId::A100, Toolchain::NativeCuda);
+        s.launch(&Kernel::streaming("a", 1 << 16, 1e6, 0.0), || ());
+        s.launch(&Kernel::streaming("b", 1 << 16, 1e6, 0.0), || ());
+        let r = s.records();
+        assert_eq!(r.len(), 2);
+        let names: Vec<&str> = r.into_iter().map(|rec| &*rec.name).collect();
+        assert_eq!(names, ["a", "b"]);
+        drop(r);
+        // Guard released: the session is usable again.
+        s.launch(&Kernel::streaming("c", 1 << 16, 1e6, 0.0), || ());
+        assert_eq!(s.records().len(), 3);
+    }
+
+    #[test]
+    fn ledger_digest_tracks_every_field() {
+        let a = session(PlatformId::A100, Toolchain::NativeCuda);
+        let b = session(PlatformId::A100, Toolchain::NativeCuda);
+        assert_eq!(a.ledger_digest(), b.ledger_digest(), "empty ledgers agree");
+        let k = Kernel::streaming("x", 1 << 16, 1e6, 0.0);
+        a.launch(&k, || ());
+        assert_ne!(a.ledger_digest(), b.ledger_digest());
+        b.launch(&k, || ());
+        assert_eq!(a.ledger_digest(), b.ledger_digest());
+        a.transfer(1e6);
+        assert_ne!(a.ledger_digest(), b.ledger_digest(), "comm time counts");
+        b.transfer(1e6);
+        assert_eq!(a.ledger_digest(), b.ledger_digest());
     }
 }

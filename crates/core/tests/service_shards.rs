@@ -1,0 +1,169 @@
+//! Seeded property test: interleaved shard sessions never corrupt each
+//! other's ledgers.
+//!
+//! Each shard is driven by its own thread executing a deterministic op
+//! script derived from `SEED ^ shard`, while all shards contend on the
+//! one process-wide parkit pool and the service's admission semaphore.
+//! Afterwards every shard's ledger must be bit-identical (digest,
+//! record count, simulated elapsed time) to the same script run
+//! serially on a private session — any cross-shard leakage of records,
+//! pricing state, or clock advances fails the comparison.
+
+use sycl_sim::{Kernel, Service, ServiceConfig, Session, SessionConfig};
+use sycl_sim::{PlatformId, Toolchain};
+
+/// xorshift64* — deterministic, no external deps.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// One scripted submission: either a single eager launch or a recorded
+/// graph replayed a few times. Pure data so the same script can drive a
+/// service shard and a reference session.
+enum Op {
+    Launch {
+        items: u64,
+        bytes: f64,
+    },
+    Replay {
+        kernels: Vec<(u64, f64)>,
+        times: usize,
+    },
+}
+
+fn script(seed: u64, steps: usize) -> Vec<Op> {
+    let mut rng = Rng(seed | 1);
+    (0..steps)
+        .map(|_| {
+            let items = 1 << (10 + rng.below(8));
+            let bytes = (items * 8) as f64;
+            if rng.below(4) < 3 {
+                Op::Launch { items, bytes }
+            } else {
+                let kernels = (0..1 + rng.below(3))
+                    .map(|_| {
+                        let it = 1 << (10 + rng.below(6));
+                        (it, (it * 8) as f64)
+                    })
+                    .collect();
+                Op::Replay {
+                    kernels,
+                    times: 1 + rng.below(3) as usize,
+                }
+            }
+        })
+        .collect()
+}
+
+fn run_on_shard(svc: &Service, i: usize, ops: &[Op]) {
+    for op in ops {
+        match op {
+            Op::Launch { items, bytes } => {
+                let k = Kernel::streaming("prop", *items, *bytes, 0.0);
+                svc.submit(i, &k, || ());
+            }
+            Op::Replay { kernels, times } => {
+                let ks: Vec<Kernel> = kernels
+                    .iter()
+                    .map(|(it, b)| Kernel::streaming("prop_g", *it, *b, 0.0))
+                    .collect();
+                let mut g = svc.shard(i).record();
+                for k in &ks {
+                    g.launch(k, |_| {});
+                }
+                let g = g.finish();
+                for _ in 0..*times {
+                    svc.replay(i, &g);
+                }
+            }
+        }
+    }
+}
+
+fn run_on_session(s: &Session, ops: &[Op]) {
+    for op in ops {
+        match op {
+            Op::Launch { items, bytes } => {
+                let k = Kernel::streaming("prop", *items, *bytes, 0.0);
+                s.launch(&k, || ());
+            }
+            Op::Replay { kernels, times } => {
+                let ks: Vec<Kernel> = kernels
+                    .iter()
+                    .map(|(it, b)| Kernel::streaming("prop_g", *it, *b, 0.0))
+                    .collect();
+                let mut g = s.record();
+                for k in &ks {
+                    g.launch(k, |_| {});
+                }
+                let g = g.finish();
+                for _ in 0..*times {
+                    g.replay(s);
+                }
+            }
+        }
+    }
+}
+
+fn cfg(_i: usize) -> SessionConfig {
+    SessionConfig::new(PlatformId::A100, Toolchain::NativeCuda).app("svc-prop")
+}
+
+#[test]
+fn interleaved_shards_match_serial_sessions_bitwise() {
+    const SEED: u64 = 0x5eed_cafe_0001;
+    const SHARDS: usize = 4;
+    const STEPS: usize = 60;
+
+    let svc = Service::new(ServiceConfig::new(SHARDS, 2), cfg).unwrap();
+    let scripts: Vec<Vec<Op>> = (0..SHARDS)
+        .map(|i| script(SEED ^ (i as u64) << 32, STEPS))
+        .collect();
+
+    std::thread::scope(|scope| {
+        for (i, ops) in scripts.iter().enumerate() {
+            let svc = &svc;
+            scope.spawn(move || run_on_shard(svc, i, ops));
+        }
+    });
+
+    let mut digests = Vec::new();
+    for (i, ops) in scripts.iter().enumerate() {
+        let reference = Session::create(cfg(i)).unwrap();
+        run_on_session(&reference, ops);
+        assert_eq!(
+            svc.shard(i).ledger_digest(),
+            reference.ledger_digest(),
+            "shard {i}: ledger corrupted by interleaving"
+        );
+        let got = svc.shard(i).records().len();
+        let want = reference.records().len();
+        assert_eq!(got, want, "shard {i}: record count diverged");
+        assert_eq!(
+            svc.shard(i).elapsed().to_bits(),
+            reference.elapsed().to_bits(),
+            "shard {i}: simulated clock diverged"
+        );
+        digests.push(svc.shard(i).ledger_digest());
+    }
+    assert_eq!(svc.queue_depth(), 0);
+
+    // Sanity: the scripts genuinely differ per shard, so identical
+    // digests across shards would mean the digest is insensitive.
+    digests.sort_unstable();
+    digests.dedup();
+    assert_eq!(digests.len(), SHARDS, "shard scripts must be distinct");
+}

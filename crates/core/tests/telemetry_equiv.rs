@@ -35,10 +35,14 @@ fn run_workload() -> (Vec<LaunchRecord>, f64, Vec<LaunchRecord>, f64) {
         s.transfer(1e8);
         s.exchange(1e6, 8);
     }
+    // One guard per statement: a `Records` guard held across `elapsed()`
+    // would deadlock on the ledger lock.
+    let cached_records = cached.records().to_vec();
+    let uncached_records = uncached.records().to_vec();
     (
-        cached.records(),
+        cached_records,
         cached.elapsed(),
-        uncached.records(),
+        uncached_records,
         uncached.elapsed(),
     )
 }

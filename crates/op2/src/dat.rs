@@ -173,7 +173,7 @@ impl<T> Clone for UWriteView<'_, T> {
 unsafe impl<T: Send> Send for UWriteView<'_, T> {}
 unsafe impl<T: Send> Sync for UWriteView<'_, T> {}
 
-impl<T: Real> UWriteView<'_, T> {
+impl<'a, T: Real> UWriteView<'a, T> {
     /// Store component `c` of element `e`.
     #[inline]
     pub fn set(&self, e: usize, c: usize, v: T) {
@@ -196,6 +196,21 @@ impl<T: Real> UWriteView<'_, T> {
         }
         // SAFETY: as `set`.
         unsafe { *self.ptr.add(idx) }
+    }
+
+    /// Convert into an accumulation view over the same dat. Lets a graph
+    /// capture one exclusive view per dat and use it both for direct
+    /// writes and indirect increments across recorded loops (a second
+    /// `DatU::accum` borrow would conflict with the live writer).
+    pub fn to_accum(self, atomic: bool) -> Accum<'a, T> {
+        Accum {
+            ptr: self.ptr,
+            dim: self.dim,
+            len: self.len,
+            atomic,
+            sid: self.sid,
+            _marker: std::marker::PhantomData,
+        }
     }
 }
 

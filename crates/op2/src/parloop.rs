@@ -4,9 +4,10 @@
 use crate::color::{GlobalColoring, HierColoring};
 use crate::mesh::{Mesh, MeshStats};
 use parkit::{global_pool, tree_combine, DisjointSlices};
+use std::sync::Arc;
 use sycl_sim::{
-    AccessProfile, AtomicKind, AtomicProfile, IndirectProfile, Kernel, KernelFootprint,
-    KernelTraits, Precision, Scheme, Session,
+    AccessProfile, AtomicKind, AtomicProfile, GraphBuilder, IndirectProfile, Kernel,
+    KernelFootprint, KernelTraits, Precision, Scheme, Session,
 };
 use telemetry::shadow;
 
@@ -227,6 +228,11 @@ impl EdgeLoop {
         let passes = self.passes(mesh);
         let fraction = 1.0 / passes as f64;
         let kernel = self.pass_kernel(fraction);
+        metrics::registry().record_labelled(
+            "op2.bytes_per_wave",
+            scheme_label(self.scheme),
+            self.bytes_per_wave(64.0),
+        );
         let execute = session.executes() && mesh.is_some();
         let shadowing = shadow::shadow_on() && execute;
         if shadowing {
@@ -363,6 +369,133 @@ impl EdgeLoop {
             }
         }
     }
+
+    /// Record this loop into a launch graph instead of launching it; the
+    /// replay mirror of [`EdgeLoop::run`].
+    ///
+    /// Colour schemes record one launch node per colour pass (the same
+    /// launch sequence the eager path issues), so the replayed ledger is
+    /// bit-identical to an eager run. The colour structure is captured at
+    /// record time — re-record if the mesh or its colouring changes.
+    /// Shadow bracketing is evaluated at replay time inside the recorded
+    /// bodies, in the same order as the eager path.
+    pub fn record<'a>(
+        self,
+        g: &mut GraphBuilder<'a>,
+        mesh: Option<&'a ColoredMesh>,
+        body: impl Fn(usize) + Send + Sync + 'a,
+    ) {
+        let passes = self.passes(mesh);
+        let fraction = 1.0 / passes as f64;
+        let kernel = self.pass_kernel(fraction);
+        metrics::registry().record_labelled(
+            "op2.bytes_per_wave",
+            scheme_label(self.scheme),
+            self.bytes_per_wave(64.0),
+        );
+        let scheme = self.scheme;
+        let lp = Arc::new(self);
+        let body = Arc::new(body);
+
+        match scheme {
+            Scheme::Atomics => {
+                let lp = Arc::clone(&lp);
+                let body = Arc::clone(&body);
+                g.launch(&kernel, move |executes| {
+                    let execute = executes && mesh.is_some();
+                    let shadowing = shadow::shadow_on() && execute;
+                    if shadowing {
+                        lp.begin_shadow_loop(mesh.unwrap());
+                    }
+                    if execute {
+                        let n = mesh.unwrap().mesh.n_edges();
+                        global_pool().for_range(n, EXEC_CHUNK, |lo, hi| {
+                            shadow::begin_unit();
+                            for e in lo..hi {
+                                body(e);
+                            }
+                            shadow::end_unit();
+                        });
+                    }
+                    if shadowing {
+                        shadow::end_loop();
+                    }
+                });
+            }
+            Scheme::GlobalColor => {
+                for pass in 0..passes {
+                    let lp = Arc::clone(&lp);
+                    let body = Arc::clone(&body);
+                    g.launch(&kernel, move |executes| {
+                        let execute = executes && mesh.is_some();
+                        let shadowing = shadow::shadow_on() && execute;
+                        if shadowing {
+                            if pass == 0 {
+                                lp.begin_shadow_loop(mesh.unwrap());
+                            } else {
+                                shadow::next_phase();
+                            }
+                        }
+                        if execute {
+                            let coloring = mesh
+                                .unwrap()
+                                .global
+                                .as_ref()
+                                .expect("ColoredMesh::prepare builds the global colouring");
+                            let group = &coloring.by_color[pass];
+                            global_pool().for_range(group.len(), EXEC_CHUNK, |lo, hi| {
+                                shadow::begin_unit();
+                                for &e in &group[lo..hi] {
+                                    body(e as usize);
+                                }
+                                shadow::end_unit();
+                            });
+                        }
+                        if shadowing && pass == passes - 1 {
+                            shadow::end_loop();
+                        }
+                    });
+                }
+            }
+            Scheme::HierColor => {
+                for pass in 0..passes {
+                    let lp = Arc::clone(&lp);
+                    let body = Arc::clone(&body);
+                    g.launch(&kernel, move |executes| {
+                        let execute = executes && mesh.is_some();
+                        let shadowing = shadow::shadow_on() && execute;
+                        if shadowing {
+                            if pass == 0 {
+                                lp.begin_shadow_loop(mesh.unwrap());
+                            } else {
+                                shadow::next_phase();
+                            }
+                        }
+                        if execute {
+                            let colored = mesh.unwrap();
+                            let hier = colored
+                                .hier
+                                .as_ref()
+                                .expect("ColoredMesh::prepare builds the hierarchical colouring");
+                            let n_edges = colored.mesh.n_edges();
+                            let group = &hier.blocks_by_color[pass];
+                            global_pool().run_region(group.len(), |_lane, gi| {
+                                let (lo, hi) = hier.block_range(group[gi] as usize, n_edges);
+                                shadow::begin_unit();
+                                for e in lo..hi {
+                                    body(e);
+                                }
+                                shadow::end_unit();
+                            });
+                        }
+                        if shadowing && pass == passes - 1 {
+                            shadow::end_loop();
+                        }
+                    });
+                }
+            }
+        }
+    }
 }
 
 /// A mesh together with the colourings the schemes need.
@@ -379,6 +512,17 @@ impl ColoredMesh {
         let global = (scheme == Scheme::GlobalColor).then(|| GlobalColoring::build(&mesh.edges));
         let hier =
             (scheme == Scheme::HierColor).then(|| HierColoring::build(&mesh.edges, block_size));
+        // Colour-count histograms per level for the scheduler-health
+        // dashboard: a level whose colour count drifts up is a mesh
+        // whose conflict structure is degrading.
+        let reg = metrics::registry();
+        if let Some(gc) = &global {
+            reg.record_labelled("op2.colors", "global", gc.n_colors() as f64);
+        }
+        if let Some(hc) = &hier {
+            reg.record_labelled("op2.colors", "hier-block", hc.n_colors() as f64);
+            reg.record_labelled("op2.colors", "hier-intra", hc.max_intra_colors as f64);
+        }
         ColoredMesh { mesh, global, hier }
     }
 }
@@ -555,6 +699,84 @@ impl VertexLoop {
             shadow::end_loop();
         }
         out
+    }
+
+    /// Record this loop into a launch graph; the replay mirror of
+    /// [`VertexLoop::run`].
+    pub fn record<'a>(self, g: &mut GraphBuilder<'a>, body: impl Fn(usize, usize) + Sync + 'a) {
+        let n = self.set_size;
+        let kernel = self.kernel(0);
+        g.launch(&kernel, move |executes| {
+            let shadowing = shadow::shadow_on() && executes;
+            if shadowing {
+                self.begin_shadow_loop();
+            }
+            if executes {
+                global_pool().for_range(n, EXEC_CHUNK, |lo, hi| {
+                    shadow::begin_unit();
+                    body(lo, hi);
+                    shadow::end_unit();
+                });
+            }
+            if shadowing {
+                shadow::end_loop();
+            }
+        });
+    }
+
+    /// Record a reducing loop into a launch graph; the replay mirror of
+    /// [`VertexLoop::run_reduce`]. The reduction result is delivered to
+    /// `sink` on every replay (the identity when the session does not
+    /// execute, exactly as the eager path returns it).
+    pub fn record_reduce<'a, A>(
+        self,
+        g: &mut GraphBuilder<'a>,
+        identity: A,
+        combine: impl Fn(A, A) -> A + Sync + 'a,
+        body: impl Fn(usize, usize) -> A + Sync + 'a,
+        sink: impl Fn(A) + Sync + 'a,
+    ) where
+        A: Send + Sync + Clone + 'a,
+    {
+        let n = self.set_size;
+        let kernel = self.kernel(1);
+        let bytes = kernel.footprint.effective_bytes;
+        g.launch(&kernel, move |executes| {
+            let shadowing = shadow::shadow_on() && executes;
+            if shadowing {
+                self.begin_shadow_loop();
+            }
+            if !executes {
+                sink(identity.clone());
+            } else {
+                let span = telemetry::SpanTimer::start();
+                let chunks = n.div_ceil(EXEC_CHUNK);
+                let mut partials: Vec<Option<A>> = (0..chunks).map(|_| None).collect();
+                let slots = DisjointSlices::new(&mut partials);
+                global_pool().run_region(chunks, |_lane, c| {
+                    let lo = c * EXEC_CHUNK;
+                    let hi = (lo + EXEC_CHUNK).min(n);
+                    shadow::begin_unit();
+                    let partial = body(lo, hi);
+                    shadow::end_unit();
+                    // SAFETY: each chunk index visited exactly once.
+                    unsafe { slots.write(c, Some(partial)) };
+                });
+                let out = tree_combine(
+                    partials.into_iter().map(|p| p.expect("chunk ran")),
+                    identity.clone(),
+                    &combine,
+                );
+                if let Some(t) = span {
+                    let label: std::sync::Arc<str> = format!("{}.reduce", self.name).into();
+                    t.finish(telemetry::SpanKind::Reduce, label, chunks as u64, bytes);
+                }
+                sink(out);
+            }
+            if shadowing {
+                shadow::end_loop();
+            }
+        });
     }
 }
 
@@ -733,6 +955,60 @@ mod tests {
             });
         assert_eq!(hit.load(std::sync::atomic::Ordering::Relaxed), 0);
         assert!(s.elapsed() > 0.0);
+    }
+
+    #[test]
+    fn recorded_edge_loops_replay_bit_identically_under_every_scheme() {
+        for scheme in [Scheme::Atomics, Scheme::GlobalColor, Scheme::HierColor] {
+            let run_once = |s: &Session, colored: &ColoredMesh, deg: &mut DatU<f64>| {
+                let lp = EdgeLoop::new("degree", colored.mesh.stats(), scheme, Precision::F64)
+                    .vertex_inc(1)
+                    .flops(2.0)
+                    .block_size(64);
+                let acc = deg.accum(lp.uses_atomics());
+                let edges = &colored.mesh.edges;
+                lp.run(s, Some(colored), |e| {
+                    acc.add(edges.at(e, 0), 0, 1.0);
+                    acc.add(edges.at(e, 1), 0, 1.0);
+                });
+            };
+
+            let mesh = Mesh::grid(6, 6, 3, Ordering::Natural);
+            let n_v = mesh.n_vertices;
+            let colored = ColoredMesh::prepare(mesh, scheme, 64);
+
+            let eager = session();
+            let mut deg_e = DatU::<f64>::zeroed("deg", n_v, 1);
+            for _ in 0..3 {
+                run_once(&eager, &colored, &mut deg_e);
+            }
+
+            let replayed = session();
+            let mut deg_r = DatU::<f64>::zeroed("deg", n_v, 1);
+            let lp = EdgeLoop::new("degree", colored.mesh.stats(), scheme, Precision::F64)
+                .vertex_inc(1)
+                .flops(2.0)
+                .block_size(64);
+            let acc = deg_r.accum(lp.uses_atomics());
+            let edges = &colored.mesh.edges;
+            let mut g = replayed.record();
+            lp.record(&mut g, Some(&colored), |e| {
+                acc.add(edges.at(e, 0), 0, 1.0);
+                acc.add(edges.at(e, 1), 0, 1.0);
+            });
+            let graph = g.finish();
+            for _ in 0..3 {
+                graph.replay(&replayed);
+            }
+            drop(graph);
+
+            assert_eq!(
+                eager.ledger_digest(),
+                replayed.ledger_digest(),
+                "scheme {scheme:?}: eager and replayed ledgers must be bit-identical"
+            );
+            assert_eq!(deg_e.host(), deg_r.host(), "scheme {scheme:?}: results");
+        }
     }
 
     #[test]

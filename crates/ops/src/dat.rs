@@ -298,6 +298,40 @@ impl<T: Real> WriteView<'_, T> {
         unsafe { *self.ptr.add(idx) }
     }
 
+    /// Shared contiguous slice of one x-row: the read half of a
+    /// read-write dat (base index computed once, as [`ReadView::row`]).
+    /// Graph-recorded bodies capture one `WriteView` per read-write
+    /// argument and use this for the reads, so replays need no separate
+    /// `ReadView` aliasing the same dat.
+    #[inline]
+    pub fn row(&self, r: Row) -> &[T] {
+        let x = r.i0 + self.off[0];
+        let y = r.j + self.off[1];
+        let z = r.k + self.off[2];
+        let len = r.len();
+        debug_assert!(
+            x >= 0
+                && (x as usize) + len <= self.pad[0]
+                && y >= 0
+                && (y as usize) < self.pad[1]
+                && z >= 0
+                && (z as usize) < self.pad[2],
+            "row [{}, {}) at ({}, {}) out of padded bounds {:?}",
+            r.i0,
+            r.i1,
+            r.j,
+            r.k,
+            self.pad
+        );
+        let base = ((z as usize) * self.pad[1] + y as usize) * self.pad[0] + x as usize;
+        if self.sid != 0 {
+            shadow::record_read_span(self.sid, base, len, self.pad[0] * self.pad[1] * self.pad[2]);
+        }
+        // SAFETY: span in bounds as above; shared reads of a view whose
+        // writes are disjoint per the tiling contract.
+        unsafe { std::slice::from_raw_parts(self.ptr.add(base), len) }
+    }
+
     /// Mutable contiguous slice of one x-row, base index computed once
     /// for the span (see [`ReadView::row`]).
     ///

@@ -57,6 +57,15 @@ impl HaloPlan {
             session.exchange(self.bytes_per_dat * n_dats as f64, self.messages);
         }
     }
+
+    /// Record one exchange of `n_dats` datasets into a launch graph.
+    /// Mirrors [`HaloPlan::exchange`], including the zero-volume guard,
+    /// so eager and replayed ledgers stay bit-identical.
+    pub fn record_exchange(&self, g: &mut sycl_sim::GraphBuilder<'_>, n_dats: usize) {
+        if self.bytes_per_dat > 0.0 {
+            g.exchange(self.bytes_per_dat * n_dats as f64, self.messages);
+        }
+    }
 }
 
 /// Near-cubic factorisation of `ranks` honouring block dimensionality.

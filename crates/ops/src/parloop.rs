@@ -10,7 +10,8 @@ use crate::range::{Range3, Row};
 use crate::stencil::Stencil;
 use parkit::global_pool;
 use sycl_sim::{
-    AccessProfile, Kernel, KernelFootprint, KernelTraits, Precision, Session, StencilProfile,
+    AccessProfile, GraphBuilder, Kernel, KernelFootprint, KernelTraits, Precision, Session,
+    StencilProfile,
 };
 use telemetry::shadow;
 
@@ -361,6 +362,164 @@ impl ParLoop {
         }
         out
     }
+
+    /// Record this loop into a launch graph instead of launching it.
+    ///
+    /// The mirror of [`ParLoop::run`]: the same kernel descriptor is
+    /// priced through the same cache, and on every
+    /// [`LaunchGraph::replay`](sycl_sim::LaunchGraph::replay) the body
+    /// runs over the identical tile decomposition — so eager and
+    /// replayed ledgers are bit-identical. Shadow bracketing is
+    /// evaluated at replay time, inside the recorded body.
+    pub fn record<'a>(self, g: &mut GraphBuilder<'a>, body: impl Fn(Range3) + Sync + 'a) {
+        let kernel = self.kernel();
+        let shape = exec_tile(&self.range);
+        let tiles = self.range.tile_count(shape);
+        let decl = self.loop_decl();
+        let range = self.range;
+        g.launch(&kernel, move |executes| {
+            let shadowing = shadow::shadow_on() && executes;
+            if shadowing {
+                shadow::begin_loop(decl.clone());
+            }
+            if executes {
+                global_pool().run_region(tiles, |_lane, t| {
+                    shadow::begin_unit();
+                    body(range.tile(shape, t));
+                    shadow::end_unit();
+                });
+            }
+            if shadowing {
+                shadow::end_loop();
+            }
+        });
+    }
+
+    /// Record the row-sliced fast path into a launch graph; the replay
+    /// mirror of [`ParLoop::run_rows`].
+    pub fn record_rows<'a>(self, g: &mut GraphBuilder<'a>, body: impl Fn(Row) + Sync + 'a) {
+        let kernel = self.kernel();
+        let shape = exec_tile(&self.range);
+        let tiles = self.range.tile_count(shape);
+        let decl = self.loop_decl();
+        let range = self.range;
+        g.launch(&kernel, move |executes| {
+            let shadowing = shadow::shadow_on() && executes;
+            if shadowing {
+                shadow::begin_loop(decl.clone());
+            }
+            if executes {
+                global_pool().run_region(tiles, |_lane, t| {
+                    shadow::begin_unit();
+                    for row in range.tile(shape, t).rows() {
+                        body(row);
+                    }
+                    shadow::end_unit();
+                });
+            }
+            if shadowing {
+                shadow::end_loop();
+            }
+        });
+    }
+
+    /// Record a reducing loop into a launch graph; the replay mirror of
+    /// [`ParLoop::run_reduce`].
+    ///
+    /// Recorded bodies cannot return values through the graph, so the
+    /// reduction result is delivered to `sink` on every replay (the
+    /// identity when the session does not execute, exactly as the eager
+    /// path returns it). Sinks typically store the bits into an
+    /// `AtomicU64` cell the iteration loop reads back after `replay`.
+    pub fn record_reduce<'a, A>(
+        self,
+        g: &mut GraphBuilder<'a>,
+        identity: A,
+        combine: impl Fn(A, A) -> A + Sync + 'a,
+        body: impl Fn(Range3) -> A + Sync + 'a,
+        sink: impl Fn(A) + Sync + 'a,
+    ) where
+        A: Send + Sync + Clone + 'a,
+    {
+        let mut kernel = self.kernel();
+        kernel.footprint.reductions = 1;
+        let bytes = kernel.footprint.effective_bytes;
+        let shape = exec_tile(&self.range);
+        let tiles = self.range.tile_count(shape);
+        let decl = self.loop_decl();
+        let range = self.range;
+        let name = self.name;
+        g.launch(&kernel, move |executes| {
+            let shadowing = shadow::shadow_on() && executes;
+            if shadowing {
+                shadow::begin_loop(decl.clone());
+            }
+            if !executes {
+                sink(identity.clone());
+            } else {
+                let span = telemetry::SpanTimer::start();
+                let out = global_pool().reduce_chunks(tiles, identity.clone(), &combine, |t| {
+                    shadow::begin_unit();
+                    let partial = body(range.tile(shape, t));
+                    shadow::end_unit();
+                    partial
+                });
+                finish_reduce_span(span, &name, tiles, bytes);
+                sink(out);
+            }
+            if shadowing {
+                shadow::end_loop();
+            }
+        });
+    }
+
+    /// Record a row-sliced reducing loop into a launch graph; the replay
+    /// mirror of [`ParLoop::run_rows_reduce`] (see
+    /// [`ParLoop::record_reduce`] for the sink contract).
+    pub fn record_rows_reduce<'a, A>(
+        self,
+        g: &mut GraphBuilder<'a>,
+        identity: A,
+        combine: impl Fn(A, A) -> A + Sync + 'a,
+        body: impl Fn(A, Row) -> A + Sync + 'a,
+        sink: impl Fn(A) + Sync + 'a,
+    ) where
+        A: Send + Sync + Clone + 'a,
+    {
+        let mut kernel = self.kernel();
+        kernel.footprint.reductions = 1;
+        let bytes = kernel.footprint.effective_bytes;
+        let shape = exec_tile(&self.range);
+        let tiles = self.range.tile_count(shape);
+        let decl = self.loop_decl();
+        let range = self.range;
+        let name = self.name;
+        g.launch(&kernel, move |executes| {
+            let shadowing = shadow::shadow_on() && executes;
+            if shadowing {
+                shadow::begin_loop(decl.clone());
+            }
+            if !executes {
+                sink(identity.clone());
+            } else {
+                let span = telemetry::SpanTimer::start();
+                let out = global_pool().reduce_chunks(tiles, identity.clone(), &combine, |t| {
+                    shadow::begin_unit();
+                    let mut acc = identity.clone();
+                    for row in range.tile(shape, t).rows() {
+                        acc = body(acc, row);
+                    }
+                    shadow::end_unit();
+                    acc
+                });
+                finish_reduce_span(span, &name, tiles, bytes);
+                sink(out);
+            }
+            if shadowing {
+                shadow::end_loop();
+            }
+        });
+    }
 }
 
 /// Record a `ReduceSpan` named `<kernel>.reduce` carrying the tile count
@@ -611,6 +770,86 @@ mod tests {
         let r1 = Range3::new_2d(0, 1 << 20, 0, 1);
         assert_eq!(exec_tile(&r1), [1024, 8, 4]);
         assert_eq!(r1.tile_count(exec_tile(&r1)), 1024);
+    }
+
+    #[test]
+    fn recorded_loops_replay_bit_identically_to_eager_runs() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        let build = |u: &mut Dat<f64>| {
+            u.fill_with(|i, j, _| ((i * 31 + j * 7) % 13) as f64 * 0.1);
+        };
+
+        let b = Block::new_2d(48, 36, 1);
+        let eager = session();
+        let mut ue = Dat::<f64>::zeroed(&b, "u");
+        build(&mut ue);
+        let mut eager_sums = Vec::new();
+        for _ in 0..3 {
+            let meta = ue.meta();
+            let r = ue.reader();
+            ParLoop::new("touch", b.interior())
+                .read(meta, Stencil::point())
+                .run_rows(&eager, |row| {
+                    let _ = r.row(row);
+                });
+            let total = ParLoop::new("sum", b.interior())
+                .read(meta, Stencil::point())
+                .run_reduce(
+                    &eager,
+                    0.0f64,
+                    |a, b| a + b,
+                    |tile| {
+                        let mut t = 0.0;
+                        for (i, j, k) in tile.iter() {
+                            t += r.at(i, j, k);
+                        }
+                        t
+                    },
+                );
+            eager_sums.push(total.to_bits());
+        }
+
+        let replayed = session();
+        let mut ur = Dat::<f64>::zeroed(&b, "u");
+        build(&mut ur);
+        let meta = ur.meta();
+        let r = ur.reader();
+        let cell = AtomicU64::new(0);
+        let mut g = replayed.record();
+        ParLoop::new("touch", b.interior())
+            .read(meta, Stencil::point())
+            .record_rows(&mut g, |row| {
+                let _ = r.row(row);
+            });
+        ParLoop::new("sum", b.interior())
+            .read(meta, Stencil::point())
+            .record_reduce(
+                &mut g,
+                0.0f64,
+                |a, b| a + b,
+                |tile| {
+                    let mut t = 0.0;
+                    for (i, j, k) in tile.iter() {
+                        t += r.at(i, j, k);
+                    }
+                    t
+                },
+                |total| cell.store(total.to_bits(), Ordering::Relaxed),
+            );
+        let graph = g.finish();
+        let mut replay_sums = Vec::new();
+        for _ in 0..3 {
+            graph.replay(&replayed);
+            replay_sums.push(cell.load(Ordering::Relaxed));
+        }
+
+        assert_eq!(eager_sums, replay_sums, "reduction results must match");
+        assert_eq!(
+            eager.ledger_digest(),
+            replayed.ledger_digest(),
+            "eager and replayed ledgers must be bit-identical"
+        );
     }
 
     #[test]

@@ -24,6 +24,16 @@ const SPIN_BEFORE_PARK: u32 = 1 << 12;
 /// Spin iterations the caller burns watching completion before parking.
 const SPIN_BEFORE_JOIN: u32 = 1 << 12;
 
+/// Process-unique, nonzero id for the calling thread (0 means "no owner"
+/// in [`ThreadPool::region_owner`]).
+fn thread_token() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static TOKEN: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    TOKEN.with(|t| *t)
+}
+
 /// Configuration for a [`ThreadPool`].
 #[derive(Debug, Clone)]
 pub struct PoolConfig {
@@ -75,6 +85,9 @@ struct Region {
     /// Set if any chunk panicked; the payload of the first panic is kept.
     panicked: AtomicBool,
     panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// When the region span started (ns since the trace epoch); 0 when
+    /// telemetry is disabled. Used to derive steal-latency histograms.
+    born_ns: u64,
     /// The chunk body: called with (lane, chunk_index). The 'static here is
     /// a lie told via transmute; the completion barrier in `run_region`
     /// guarantees the real borrow outlives all uses.
@@ -118,6 +131,31 @@ pub struct ThreadPool {
     /// Reusable word-aligned scratch for reduction partials, so steady-state
     /// `reduce` calls allocate nothing once the arena has grown.
     arena: Mutex<Vec<u64>>,
+    /// Token of the thread currently entitled to publish regions (0 = no
+    /// owner). Held either for the duration of one `run_region*` call or
+    /// across many of them by a [`RegionHandle`].
+    region_owner: AtomicU64,
+    /// True while the owning thread has a region published; only ever
+    /// written by the owner, so relaxed ordering suffices. Nested
+    /// `run_region*` calls from inside a region body see it set and fall
+    /// back to inline execution instead of clobbering the slot.
+    owner_in_region: AtomicBool,
+}
+
+/// Exclusive claim on a pool's worker lanes; see [`ThreadPool::reserve`].
+///
+/// While a handle is held, `run_region*` calls from the owning thread are
+/// serviced by the workers as usual, and calls from every other thread
+/// fall back to inline execution on their own stack. Dropping the handle
+/// releases the claim.
+pub struct RegionHandle<'p> {
+    pool: &'p ThreadPool,
+}
+
+impl Drop for RegionHandle<'_> {
+    fn drop(&mut self) {
+        self.pool.region_owner.store(0, Ordering::Release);
+    }
 }
 
 impl ThreadPool {
@@ -157,12 +195,51 @@ impl ThreadPool {
             workers,
             lanes,
             arena: Mutex::new(Vec::new()),
+            region_owner: AtomicU64::new(0),
+            owner_in_region: AtomicBool::new(false),
         }
     }
 
     /// Total parallel lanes (workers + the calling thread).
     pub fn lanes(&self) -> usize {
         self.lanes
+    }
+
+    /// Claim the worker lanes for the calling thread, spinning (with
+    /// periodic yields) until the current owner releases them.
+    ///
+    /// A shard replaying a launch graph takes one handle for the whole
+    /// replay so its regions run back-to-back under a single claim
+    /// instead of contending per region; other shards' regions execute
+    /// inline on their own submitter threads in the meantime (work-
+    /// conserving, and bit-identical for reductions because partials are
+    /// combined by a fixed tree regardless of who ran the chunks).
+    ///
+    /// Claims are not reentrant: a thread that already owns the lanes
+    /// (including from inside a region body) must not call `reserve`
+    /// again — doing so would deadlock on its own claim.
+    pub fn reserve(&self) -> RegionHandle<'_> {
+        let me = thread_token();
+        debug_assert_ne!(
+            self.region_owner.load(Ordering::Relaxed),
+            me,
+            "ThreadPool::reserve is not reentrant"
+        );
+        let mut spins = 0u32;
+        while self
+            .region_owner
+            .compare_exchange(0, me, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            spins += 1;
+            if spins >= SPIN_BEFORE_JOIN {
+                spins = 0;
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        RegionHandle { pool: self }
     }
 
     /// Execute `n_chunks` invocations of `body(lane, chunk)` across the
@@ -196,6 +273,38 @@ impl ThreadPool {
             return;
         }
 
+        // Claim the worker lanes. A thread that already owns them (via
+        // `reserve`) publishes without re-acquiring; anyone else — a
+        // different thread whose region is in flight, or a nested call
+        // from inside a region body — runs every chunk inline on its own
+        // stack. The inline fallback is work-conserving, and reductions
+        // stay bit-identical because per-chunk partials are combined by a
+        // fixed tree regardless of which thread produced them.
+        let me = thread_token();
+        let acquired = if self.region_owner.load(Ordering::Relaxed) == me {
+            if self.owner_in_region.load(Ordering::Relaxed) {
+                for chunk in 0..n_chunks {
+                    body(0, chunk);
+                }
+                finish_region_span(span, sched, n_chunks);
+                return;
+            }
+            false
+        } else if self
+            .region_owner
+            .compare_exchange(0, me, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+        {
+            true
+        } else {
+            for chunk in 0..n_chunks {
+                body(0, chunk);
+            }
+            finish_region_span(span, sched, n_chunks);
+            return;
+        };
+        self.owner_in_region.store(true, Ordering::Relaxed);
+
         let wide: &(dyn Fn(usize, usize) + Sync) = &body;
         // SAFETY: lifetime erasure only; `run_region_sched` blocks until
         // every worker has exited the region before `body` goes out of scope.
@@ -211,6 +320,7 @@ impl ThreadPool {
             active: AtomicUsize::new(0),
             panicked: AtomicBool::new(false),
             panic_payload: Mutex::new(None),
+            born_ns: span.as_ref().map(|s| s.start_ns()).unwrap_or(0),
             body: wide,
         };
 
@@ -267,6 +377,14 @@ impl ThreadPool {
                 }
                 slot.region = None;
             }
+        }
+
+        // Release the claim before the panic check so a panicking region
+        // never leaks ownership (a leaked claim would force every later
+        // region from other threads down the inline path forever).
+        self.owner_in_region.store(false, Ordering::Relaxed);
+        if acquired {
+            self.region_owner.store(0, Ordering::Release);
         }
 
         if region.panicked.load(Ordering::Acquire) {
@@ -493,6 +611,12 @@ fn drain_region(region: &Region, lane: usize) {
         if chunk >= region.n_chunks {
             break;
         }
+        if claimed == 0 && lane != 0 && region.born_ns > 0 {
+            // Publish-to-first-claim latency of this worker lane: how
+            // long work sat on the cursor before a thief arrived.
+            let lat_ns = telemetry::now_ns().saturating_sub(region.born_ns);
+            metrics::registry().record("pool.steal_latency_us", lat_ns as f64 / 1_000.0);
+        }
         claimed += 1;
         run_chunk(region, lane, chunk);
     }
@@ -503,14 +627,16 @@ fn drain_region(region: &Region, lane: usize) {
     }
 }
 
-/// Close a region's telemetry span and bump the region counter.
+/// Close a region's telemetry span, bump the region counter, and feed
+/// the per-region chunk-count histogram (scheduler-health dashboards).
 fn finish_region_span(span: Option<telemetry::SpanTimer>, sched: Schedule, n_chunks: usize) {
     if let Some(t) = span {
         telemetry::Counters::add(&telemetry::counters().regions, 1);
-        let name = match sched {
-            Schedule::Dynamic => "pool.region.dynamic",
-            Schedule::Static => "pool.region.static",
+        let (name, label) = match sched {
+            Schedule::Dynamic => ("pool.region.dynamic", "dynamic"),
+            Schedule::Static => ("pool.region.static", "static"),
         };
+        metrics::registry().record_labelled("pool.chunks_per_region", label, n_chunks as f64);
         t.finish(telemetry::SpanKind::Region, name, n_chunks as u64, 0.0);
     }
 }
@@ -754,6 +880,113 @@ mod tests {
             });
             assert_eq!(n.load(Ordering::Relaxed), round + 1);
         }
+    }
+
+    #[test]
+    fn concurrent_regions_from_many_threads_all_complete() {
+        // Only one thread can own the workers at a time; the rest fall
+        // back to inline execution. Every submitter must still see all
+        // of its own chunks run exactly once.
+        let pool = ThreadPool::new(4);
+        std::thread::scope(|s| {
+            for _ in 0..6 {
+                s.spawn(|| {
+                    for round in 0..40 {
+                        let n = AtomicUsize::new(0);
+                        pool.run_region(round + 2, |_l, _c| {
+                            n.fetch_add(1, Ordering::Relaxed);
+                        });
+                        assert_eq!(n.load(Ordering::Relaxed), round + 2);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn nested_regions_run_inline_without_clobbering_the_outer() {
+        let pool = ThreadPool::new(4);
+        let outer = AtomicUsize::new(0);
+        let inner = AtomicUsize::new(0);
+        pool.run_region(8, |_l, _c| {
+            outer.fetch_add(1, Ordering::Relaxed);
+            pool.run_region(5, |lane, _c| {
+                assert_eq!(lane, 0, "nested regions must run inline on the caller");
+                inner.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(outer.load(Ordering::Relaxed), 8);
+        assert_eq!(inner.load(Ordering::Relaxed), 40);
+    }
+
+    #[test]
+    fn reserve_diverts_other_threads_and_keeps_the_owner_pooled() {
+        let pool = ThreadPool::new(4);
+        let handle = pool.reserve();
+        // Another thread's region completes inline while the claim is held.
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let n = AtomicUsize::new(0);
+                pool.run_region(16, |lane, _c| {
+                    assert_eq!(lane, 0, "non-owner regions must run inline");
+                    n.fetch_add(1, Ordering::Relaxed);
+                });
+                assert_eq!(n.load(Ordering::Relaxed), 16);
+            });
+        });
+        // The owner's own regions still use the workers.
+        let n = AtomicUsize::new(0);
+        pool.run_region(64, |_l, _c| {
+            n.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(n.load(Ordering::Relaxed), 64);
+        drop(handle);
+        // Released: another thread can claim and run pooled again.
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let _h = pool.reserve();
+                let n = AtomicUsize::new(0);
+                pool.run_region(32, |_l, _c| {
+                    n.fetch_add(1, Ordering::Relaxed);
+                });
+                assert_eq!(n.load(Ordering::Relaxed), 32);
+            });
+        });
+    }
+
+    #[test]
+    fn contended_reduce_stays_bit_identical() {
+        let data: Vec<f64> = (0..20_000).map(|i| (i as f64).sin()).collect();
+        let pool = ThreadPool::new(4);
+        let expect = pool
+            .reduce(
+                data.len(),
+                137,
+                0.0f64,
+                |a, b| a + b,
+                |r| r.map(|i| data[i]).sum::<f64>(),
+            )
+            .to_bits();
+        // Inline-fallback reductions (claim held elsewhere) must combine
+        // the same partials through the same tree.
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..20 {
+                        let got = pool
+                            .reduce(
+                                data.len(),
+                                137,
+                                0.0f64,
+                                |a, b| a + b,
+                                |r| r.map(|i| data[i]).sum::<f64>(),
+                            )
+                            .to_bits();
+                        assert_eq!(got, expect);
+                    }
+                });
+            }
+        });
     }
 
     #[test]

@@ -61,6 +61,11 @@ pub enum SpanKind {
     /// One named application phase (e.g. a CloverLeaf `advec_cell`
     /// sweep): a group of launches under one algorithmic step.
     Phase,
+    /// One launch-graph replay (a batch of launches priced in one pass
+    /// and committed under a single ledger lock).
+    Replay,
+    /// One admitted submission on a service shard.
+    Shard,
 }
 
 impl SpanKind {
@@ -71,6 +76,8 @@ impl SpanKind {
             SpanKind::Region => "region",
             SpanKind::Reduce => "reduce",
             SpanKind::Phase => "phase",
+            SpanKind::Replay => "replay",
+            SpanKind::Shard => "shard",
         }
     }
 }
@@ -266,6 +273,8 @@ mod tests {
         assert_eq!(SpanKind::Region.label(), "region");
         assert_eq!(SpanKind::Reduce.label(), "reduce");
         assert_eq!(SpanKind::Phase.label(), "phase");
+        assert_eq!(SpanKind::Replay.label(), "replay");
+        assert_eq!(SpanKind::Shard.label(), "shard");
     }
 
     #[test]

@@ -158,24 +158,28 @@ fn pricing_cache_is_launch_for_launch_equivalent() {
         run_cached.validation.to_bits(),
         run_uncached.validation.to_bits()
     );
-    let rc = cached.records();
-    let ru = uncached.records();
-    assert_eq!(rc.len(), ru.len());
-    assert!(
-        rc.len() > 50,
-        "CloverLeaf must relaunch kernels enough to exercise the cache"
-    );
-    for (a, b) in rc.iter().zip(ru.iter()) {
-        assert_eq!(a.name, b.name);
-        assert_eq!(a.items, b.items);
-        assert_eq!(a.boundary, b.boundary);
-        assert_eq!(a.time.total.to_bits(), b.time.total.to_bits(), "{}", a.name);
-        assert_eq!(
-            a.effective_bytes.to_bits(),
-            b.effective_bytes.to_bits(),
-            "{}",
-            a.name
+    {
+        // `records()` borrows the ledger; both guards must drop before
+        // `elapsed()` below takes the same locks again.
+        let rc = cached.records();
+        let ru = uncached.records();
+        assert_eq!(rc.len(), ru.len());
+        assert!(
+            rc.len() > 50,
+            "CloverLeaf must relaunch kernels enough to exercise the cache"
         );
+        for (a, b) in rc.iter().zip(ru.iter()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.items, b.items);
+            assert_eq!(a.boundary, b.boundary);
+            assert_eq!(a.time.total.to_bits(), b.time.total.to_bits(), "{}", a.name);
+            assert_eq!(
+                a.effective_bytes.to_bits(),
+                b.effective_bytes.to_bits(),
+                "{}",
+                a.name
+            );
+        }
     }
     assert_eq!(cached.elapsed().to_bits(), uncached.elapsed().to_bits());
 }
