@@ -297,7 +297,7 @@ fn engine_manifest(reps: u32, n: usize, launches: usize) -> RunManifest {
 /// per-shard ledger + pricing), so it is gated with the loose wall
 /// tolerance like the engine manifest.
 fn service_manifest(reps: u32, launches: usize) -> RunManifest {
-    use sycl_sim::{Kernel, Service, ServiceConfig};
+    use sycl_sim::{Batch, Kernel, Service, ServiceConfig};
     const SHARDS: usize = 4;
     let svc = Service::new(ServiceConfig::new(SHARDS, 2), |_| {
         SessionConfig::new(PlatformId::A100, Toolchain::NativeCuda).app("gate-service")
@@ -313,8 +313,24 @@ fn service_manifest(reps: u32, launches: usize) -> RunManifest {
                 let (svc, k) = (&svc, &k);
                 scope.spawn(move || {
                     for _ in 0..launches {
-                        svc.submit(i, k, || ());
+                        svc.submit(i, k, || ()).unwrap();
                     }
+                });
+            }
+        });
+    };
+    // The batched equivalent: the same launches per shard coalesced
+    // into one submission (one admission slot, one ledger lock).
+    let submit_batch_pass = || {
+        std::thread::scope(|scope| {
+            for i in 0..SHARDS {
+                let (svc, k) = (&svc, &k);
+                scope.spawn(move || {
+                    let mut b = Batch::new();
+                    for _ in 0..launches {
+                        b.launch(k, |_| {});
+                    }
+                    svc.submit_batch(i, b).unwrap();
                 });
             }
         });
@@ -335,7 +351,7 @@ fn service_manifest(reps: u32, launches: usize) -> RunManifest {
         std::thread::scope(|scope| {
             for (i, g) in graphs.iter().enumerate() {
                 let svc = &svc;
-                scope.spawn(move || svc.replay(i, g));
+                scope.spawn(move || svc.replay(i, g).unwrap());
             }
         });
     };
@@ -351,26 +367,31 @@ fn service_manifest(reps: u32, launches: usize) -> RunManifest {
             .collect()
     };
     let submit = time(&submit_pass);
+    let submit_batch = time(&submit_batch_pass);
     let replay = time(&replay_pass);
 
-    let kernels = [("service/submit", submit), ("service/replay", replay)]
-        .into_iter()
-        .map(|(name, samples)| {
-            let mut h = Histogram::new();
-            for &s in &samples {
-                h.record(s);
-            }
-            let best = samples.iter().copied().fold(f64::INFINITY, f64::min);
-            KernelSummary {
-                name: name.to_owned(),
-                wall: h.summary(),
-                samples,
-                sim_secs: 0.0,
-                bytes,
-                gbps: bytes / best / 1e9,
-            }
-        })
-        .collect();
+    let kernels = [
+        ("service/submit", submit),
+        ("service/submit_batch", submit_batch),
+        ("service/replay", replay),
+    ]
+    .into_iter()
+    .map(|(name, samples)| {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let best = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        KernelSummary {
+            name: name.to_owned(),
+            wall: h.summary(),
+            samples,
+            sim_secs: 0.0,
+            bytes,
+            gbps: bytes / best / 1e9,
+        }
+    })
+    .collect();
     finish_manifest(
         "gate_service".to_owned(),
         "host-wall".to_owned(),
@@ -473,9 +494,12 @@ fn main() {
     };
 
     // Wall-clock needs more repetitions than the deterministic sim
-    // times to give the bootstrap a usable sample.
+    // times to give the bootstrap a usable sample. The service pass
+    // needs a floor on launches: the lock-free fast path is so cheap
+    // that at smoke sizes thread-spawn jitter would drown the signal
+    // the smoke fixture injects.
     let engine = engine_manifest(reps * 3, n, launches);
-    let service = service_manifest(reps * 3, launches);
+    let service = service_manifest(reps * 3, launches.max(48));
     let apps = apps_manifest(platform, reps, smoke_mode);
     persist(&engine);
     persist(&service);

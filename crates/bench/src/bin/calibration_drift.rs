@@ -1,0 +1,108 @@
+//! `calibration_drift` — re-derive Table 1's STREAM-Triad numbers and
+//! fail if the machine-model constants have drifted away from what the
+//! pricing engine actually produces.
+//!
+//! ```text
+//! calibration_drift [--tolerance <frac>]
+//! ```
+//!
+//! For every platform in Table 1, a dry-run session under the
+//! platform's native toolchain prices a BabelStream Triad at the
+//! paper's array length (`table1_len`). The derived bandwidth must land
+//! within `--tolerance` (default 10 %) of the platform's
+//! `mem.stream_bw` constant — the calibration target every efficiency
+//! figure in the reproduction divides by.
+//!
+//! The check closes a silent-drift loophole: the pricing model and the
+//! platform table are maintained separately, so a change to either
+//! (NUMA factors, sustained-bandwidth derating, a retyped constant) can
+//! move priced bandwidth away from the calibrated roof without any
+//! functional test noticing. Exit 1 names every drifted platform.
+
+use babelstream::{table1_len, BabelStream};
+use sycl_sim::{PlatformId, Session, SessionConfig, Toolchain};
+
+/// The platform's best native toolchain (the Table-1 pairing).
+fn native_toolchain(p: PlatformId) -> Toolchain {
+    match p {
+        PlatformId::A100 => Toolchain::NativeCuda,
+        PlatformId::Mi250x => Toolchain::NativeHip,
+        PlatformId::Max1100 => Toolchain::Dpcpp,
+        PlatformId::Xeon8360Y | PlatformId::GenoaX => Toolchain::MpiOpenMp,
+        PlatformId::Altra => Toolchain::OpenMp,
+    }
+}
+
+const PLATFORMS: [PlatformId; 6] = [
+    PlatformId::Mi250x,
+    PlatformId::A100,
+    PlatformId::Max1100,
+    PlatformId::Xeon8360Y,
+    PlatformId::GenoaX,
+    PlatformId::Altra,
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let tolerance = args
+        .iter()
+        .position(|a| a == "--tolerance")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(0.10);
+
+    println!(
+        "calibration drift check (tolerance ±{:.0} %):",
+        tolerance * 100.0
+    );
+    println!(
+        "{:<12} {:>12} {:>12} {:>8}",
+        "platform", "derived GB/s", "roof GB/s", "drift"
+    );
+    let mut drifted = Vec::new();
+    for p in PLATFORMS {
+        let cfg = SessionConfig::new(p, native_toolchain(p))
+            .app("calibration-drift")
+            .dry_run();
+        let session = match Session::create(cfg) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{}: cannot create dry-run session: {e}", p.label());
+                drifted.push(p);
+                continue;
+            }
+        };
+        let n = table1_len(session.platform());
+        let derived = BabelStream::triad_bandwidth(&session, n, 10) / 1e9;
+        let roof = session.platform().mem.stream_bw / 1e9;
+        let drift = derived / roof - 1.0;
+        let flag = if drift.abs() > tolerance {
+            "  <-- DRIFT"
+        } else {
+            ""
+        };
+        println!(
+            "{:<12} {derived:>12.1} {roof:>12.1} {:>+7.1}%{flag}",
+            p.label(),
+            drift * 100.0,
+        );
+        if drift.abs() > tolerance {
+            drifted.push(p);
+        }
+    }
+    if drifted.is_empty() {
+        println!("ok: priced Triad bandwidth matches the calibrated roofs on all six platforms");
+    } else {
+        eprintln!(
+            "calibration drift: {} platform(s) out of band: {}",
+            drifted.len(),
+            drifted
+                .iter()
+                .map(|p| p.label())
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
+        eprintln!("re-calibrate machine-model constants or fix the pricing regression");
+        std::process::exit(1);
+    }
+}

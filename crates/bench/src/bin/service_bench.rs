@@ -1,0 +1,373 @@
+//! `service_bench` — open-loop latency study of the service admission
+//! path.
+//!
+//! ```text
+//! service_bench [--smoke]
+//! ```
+//!
+//! Four studies, all written to one `results/BENCH_service.json`
+//! manifest (name `service`):
+//!
+//! * **fast path** — single uncontended thread, telemetry off: per-op
+//!   wall time of `Service::submit` with a cached kernel, alongside a
+//!   bare `Session::launch` of the same kernel so the admission
+//!   overhead is the visible delta. The target is a sub-microsecond
+//!   p50 for the whole submit (`service/fastpath_submit`).
+//! * **open loop** — a sweep of offered load against the admission
+//!   queue. Requests arrive on a fixed schedule (open loop: the
+//!   schedule does not slow down when the service backs up), each holds
+//!   a permit for a fixed service time, and the recorded latency is
+//!   `completion − scheduled_arrival − service_time` — the
+//!   coordinated-omission-corrected admission wait. One
+//!   `service/openloop@<f>` kernel per load fraction `f` of capacity
+//!   (`max_in_flight / service_time`).
+//! * **saturation knee** — the lowest swept fraction whose p99 wait
+//!   exceeds 5× the service time (`service/saturation_knee`, the
+//!   fraction stored in `sim_secs`; 2.0 when no swept load saturated).
+//! * **batching & shedding** — telemetry on: `submit_batch` calls with
+//!   a deterministic spread of sizes populate the
+//!   `service.batch_size` histogram (`service/batch_size`), and an
+//!   overload against a `ShedOldest` service verifies load shedding
+//!   fires and counts (`service/shed_total`).
+//!
+//! The manifest is a measurement record, not a gate baseline —
+//! `bench_gate` owns `BENCH_gate_service.json`; this binary owns the
+//! latency study the dashboard's "Service latency" section plots.
+
+use metrics::{Histogram, KernelSummary, RunManifest, Summary};
+use std::time::{Duration, Instant};
+use sycl_sim::Toolchain;
+use sycl_sim::{Batch, Kernel, PlatformId, Service, ServiceConfig, SessionConfig, ShedPolicy};
+use telemetry::TelemetryConfig;
+
+fn now_unix() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs())
+}
+
+fn cfg(_i: usize) -> SessionConfig {
+    SessionConfig::new(PlatformId::A100, Toolchain::NativeCuda).app("service-bench")
+}
+
+fn kernel() -> Kernel {
+    let items = 1u64 << 12;
+    Kernel::streaming("svcbench", items, (items * 8) as f64, 0.0)
+}
+
+fn summary_kernel(name: &str, wall: Summary, samples: Vec<f64>, sim_secs: f64) -> KernelSummary {
+    KernelSummary {
+        name: name.to_owned(),
+        wall,
+        samples,
+        sim_secs,
+        bytes: 0.0,
+        gbps: 0.0,
+    }
+}
+
+/// Per-op wall time of the uncontended submit fast path vs a bare
+/// session launch of the same kernel. `reps` chunks of `ops` operations
+/// each; the manifest samples are per-chunk medians, the histogram
+/// holds every operation (so p999 is per-op, not per-chunk).
+fn fastpath(reps: usize, ops: usize) -> Vec<KernelSummary> {
+    let svc = Service::new(ServiceConfig::new(1, 4), cfg).unwrap();
+    let k = kernel();
+
+    let time_ops = |f: &dyn Fn()| -> (Histogram, Vec<f64>) {
+        let mut h = Histogram::new();
+        let mut medians = Vec::with_capacity(reps);
+        let mut chunk = vec![0.0f64; ops];
+        for _ in 0..ops {
+            f(); // warmup: pricing cache, admission tokens hot
+        }
+        for _ in 0..reps {
+            for slot in chunk.iter_mut() {
+                let t0 = Instant::now();
+                f();
+                *slot = t0.elapsed().as_secs_f64();
+            }
+            for &s in &chunk {
+                h.record(s);
+            }
+            medians.push(metrics::median(&chunk));
+        }
+        (h, medians)
+    };
+
+    let (submit_h, submit_m) = time_ops(&|| {
+        svc.submit(0, &k, || ()).unwrap();
+    });
+    let shard = svc.shard(0);
+    let (bare_h, bare_m) = time_ops(&|| {
+        shard.launch(&k, || ());
+    });
+
+    println!(
+        "fast path: submit p50 {:.0} ns  p99 {:.0} ns  p999 {:.0} ns  (bare launch p50 {:.0} ns)",
+        submit_h.quantile(0.50) * 1e9,
+        submit_h.quantile(0.99) * 1e9,
+        submit_h.quantile(0.999) * 1e9,
+        bare_h.quantile(0.50) * 1e9,
+    );
+    vec![
+        summary_kernel("service/fastpath_submit", submit_h.summary(), submit_m, 0.0),
+        summary_kernel("service/bare_launch", bare_h.summary(), bare_m, 0.0),
+    ]
+}
+
+/// One open-loop point: `n_req` requests scheduled at `load × capacity`
+/// against a fresh service, `producers` threads sharing the schedule
+/// round-robin. Returns the corrected-wait histogram and raw waits.
+fn openloop_point(
+    load: f64,
+    n_req: usize,
+    producers: usize,
+    svc_time: Duration,
+    max_in_flight: usize,
+) -> (Histogram, Vec<f64>) {
+    const SHARDS: usize = 2;
+    let svc = Service::new(ServiceConfig::new(SHARDS, max_in_flight), cfg).unwrap();
+    let k = kernel();
+    // Capacity: the admission pool turns over max_in_flight permits
+    // every service time.
+    let rate = load * max_in_flight as f64 / svc_time.as_secs_f64();
+    let gap = Duration::from_secs_f64(1.0 / rate);
+
+    let waits: Vec<f64> = std::thread::scope(|scope| {
+        let start = Instant::now() + Duration::from_millis(5);
+        let handles: Vec<_> = (0..producers)
+            .map(|p| {
+                let (svc, k) = (&svc, &k);
+                scope.spawn(move || {
+                    let mut waits = Vec::new();
+                    let mut req = p;
+                    while req < n_req {
+                        let sched = start + gap * req as u32;
+                        let now = Instant::now();
+                        if sched > now {
+                            std::thread::sleep(sched - now);
+                        }
+                        svc.submit(req % SHARDS, k, || std::thread::sleep(svc_time))
+                            .unwrap();
+                        // Open-loop corrected wait: time past the
+                        // *scheduled* arrival not explained by the
+                        // service time itself. Late issue (this thread
+                        // still draining a previous blocked submit)
+                        // counts as wait — that is the coordinated
+                        // omission correction.
+                        let w = (Instant::now() - sched).as_secs_f64() - svc_time.as_secs_f64();
+                        waits.push(w.max(1e-9));
+                        req += producers;
+                    }
+                    waits
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+
+    let mut h = Histogram::new();
+    for &w in &waits {
+        h.record(w);
+    }
+    assert_eq!(svc.queue_depth(), 0, "admission drained after the sweep");
+    (h, waits)
+}
+
+/// Sweep offered load and locate the saturation knee.
+fn openloop(loads: &[f64], n_req: usize, svc_time: Duration) -> Vec<KernelSummary> {
+    const MAX_IN_FLIGHT: usize = 2;
+    const PRODUCERS: usize = 4;
+    let mut kernels = Vec::new();
+    let mut knee = f64::NAN;
+    for &load in loads {
+        let (h, waits) = openloop_point(load, n_req, PRODUCERS, svc_time, MAX_IN_FLIGHT);
+        println!(
+            "open loop @ {load:.2}: wait p50 {:.1} µs  p99 {:.1} µs  p999 {:.1} µs",
+            h.quantile(0.50) * 1e6,
+            h.quantile(0.99) * 1e6,
+            h.quantile(0.999) * 1e6,
+        );
+        if knee.is_nan() && h.quantile(0.99) > 5.0 * svc_time.as_secs_f64() {
+            knee = load;
+        }
+        kernels.push(summary_kernel(
+            &format!("service/openloop@{load:.2}"),
+            h.summary(),
+            waits,
+            load,
+        ));
+    }
+    // 2.0 = "no swept load saturated" sentinel (loads stop at ~1.3).
+    let knee = if knee.is_nan() { 2.0 } else { knee };
+    println!("saturation knee: {knee:.2}× capacity");
+    let mut h = Histogram::new();
+    h.record(knee);
+    kernels.push(summary_kernel(
+        "service/saturation_knee",
+        h.summary(),
+        vec![knee],
+        knee,
+    ));
+    kernels
+}
+
+/// Telemetry-on phase: populate `service.batch_size` with a
+/// deterministic spread of coalesced sizes, then overload a
+/// `ShedOldest` service to verify shedding fires.
+fn batching_and_shedding(batches: usize) -> Vec<KernelSummary> {
+    TelemetryConfig::enabled().install();
+    metrics::registry().flush(); // start from a clean registry
+
+    let svc = Service::new(ServiceConfig::new(2, 2), cfg).unwrap();
+    let k = kernel();
+    for b in 0..batches {
+        let size = 1 + b % 16;
+        let mut batch = Batch::new();
+        for _ in 0..size {
+            batch.launch(&k, |_| {});
+        }
+        svc.submit_batch(b % 2, batch).unwrap();
+    }
+
+    // Shed exercise: one permit held hostage, a burst of queued
+    // submissions past the high-water mark must shed the oldest.
+    let shed_svc = Service::new(
+        ServiceConfig::new(1, 1).shedding(ShedPolicy::ShedOldest, 2),
+        cfg,
+    )
+    .unwrap();
+    let (gate_tx, gate_rx) = std::sync::mpsc::channel::<()>();
+    let holding = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let (svc, k, holding) = (&shed_svc, &k, &holding);
+        scope.spawn(move || {
+            svc.submit(0, k, || {
+                holding.store(true, std::sync::atomic::Ordering::Release);
+                gate_rx.recv().unwrap();
+            })
+            .unwrap();
+        });
+        // Wait for the hostage to hold the only permit; only then does
+        // the burst queue up rather than race it for the token.
+        while !holding.load(std::sync::atomic::Ordering::Acquire) {
+            std::thread::yield_now();
+        }
+        let burst: Vec<_> = (0..6)
+            .map(|_| scope.spawn(move || svc.submit(0, k, || ()).is_err()))
+            .collect();
+        while svc.shed_count() == 0 {
+            std::thread::yield_now();
+        }
+        gate_tx.send(()).unwrap();
+        let rejected = burst
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .filter(|&e| e)
+            .count() as u64;
+        assert_eq!(
+            rejected,
+            shed_svc.shed_count(),
+            "every shed surfaced as an Err to its submitter"
+        );
+    });
+    let sheds = shed_svc.shed_count();
+    assert!(sheds > 0, "overload past high water must shed");
+    assert_eq!(shed_svc.queue_depth(), 0, "shed service drained");
+
+    let snap = metrics::registry().flush();
+    TelemetryConfig::disabled().install();
+
+    let batch_h = snap
+        .hist("service.batch_size", "")
+        .expect("submit_batch records service.batch_size")
+        .clone();
+    let shed_metric = snap.counter("service.shed_total", "submissions");
+    assert_eq!(shed_metric, sheds, "shed metric matches the service count");
+    println!(
+        "batching: {} batches, size p50 {:.0} / max {:.0}; shed {} of 6 queued under overload",
+        batch_h.count(),
+        batch_h.quantile(0.5),
+        batch_h.max(),
+        sheds,
+    );
+
+    let mut shed_h = Histogram::new();
+    shed_h.record(sheds as f64);
+    vec![
+        summary_kernel(
+            "service/batch_size",
+            batch_h.summary(),
+            vec![batch_h.quantile(0.5)],
+            0.0,
+        ),
+        summary_kernel(
+            "service/shed_total",
+            shed_h.summary(),
+            vec![sheds as f64],
+            0.0,
+        ),
+    ]
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+
+    // Scaled for small CI boxes: the smoke sweep keeps the request
+    // counts low and the service times large enough that the knee is
+    // about scheduling, not about timer resolution.
+    let (reps, ops, loads, n_req, svc_time, batches): (_, _, &[f64], _, _, _) = if smoke {
+        (3, 2_000, &[0.4, 1.2], 60, Duration::from_millis(1), 64)
+    } else {
+        (
+            5,
+            20_000,
+            &[0.2, 0.5, 0.8, 0.95, 1.1, 1.3],
+            240,
+            Duration::from_millis(2),
+            256,
+        )
+    };
+
+    TelemetryConfig::disabled().install();
+    let mut kernels = fastpath(reps, ops);
+    kernels.extend(openloop(loads, n_req, svc_time));
+    kernels.extend(batching_and_shedding(batches));
+
+    let manifest = RunManifest {
+        name: "service".to_owned(),
+        git_rev: metrics::manifest::git_rev(),
+        platform: "host-wall".to_owned(),
+        threads: std::thread::available_parallelism().map_or(1, |n| n.get() as u32),
+        repetitions: reps as u32,
+        created_unix_secs: now_unix(),
+        kernels,
+        counters: telemetry::CounterSnapshot::default(),
+    };
+    match bench_harness::json::write_results_file(
+        "BENCH_service.json",
+        &(manifest.to_json() + "\n"),
+    ) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("could not write results/BENCH_service.json: {e}");
+            std::process::exit(2);
+        }
+    }
+
+    let p50 = manifest
+        .kernel("service/fastpath_submit")
+        .map_or(f64::NAN, |k| k.wall.p50);
+    if p50 >= 1e-6 {
+        // The sub-µs target is part of the study's acceptance, but a
+        // loaded shared box can miss it; report without failing CI.
+        eprintln!(
+            "note: fast-path submit p50 {:.0} ns is above the 1 µs target",
+            p50 * 1e9
+        );
+    }
+}

@@ -17,8 +17,9 @@
 //! cross-check the two.
 
 use crate::kernel::Kernel;
-use crate::launch::commit::{exchange_cost, transfer_cost};
+use crate::launch::commit::{exchange_cost, transfer_cost, Ledger};
 use crate::launch::execute::LaunchSpan;
+use crate::launch::price::{PriceCache, PriceContext, Priced};
 use crate::launch::record::LaunchNode;
 use crate::session::{LaunchRecord, Session};
 use std::sync::Arc;
@@ -148,24 +149,33 @@ impl LaunchGraph<'_> {
             return self.replay_eager(session);
         }
         let replay_span = telemetry::SpanTimer::start();
+        replay_graphs(session, &[self]);
+        if let Some(t) = replay_span {
+            t.finish(
+                telemetry::SpanKind::Replay,
+                "graph.replay",
+                self.launches,
+                0.0,
+            );
+        }
+    }
 
-        // Price: one pass over the graph, one cache lock acquisition.
-        let priced: Vec<_> = {
-            let ctx = session.price_context();
-            let mut cache = session.price_cache();
-            self.ops
-                .iter()
-                .map(|op| match op {
-                    GraphOp::Launch { node, .. } => Some(cache.price(&ctx, &node.kernel, node.key)),
-                    _ => None,
-                })
-                .collect()
-        };
+    /// Price stage: one entry per op (`None` for non-launches), served
+    /// by the caller-held cache lock.
+    fn price_stage(&self, ctx: &PriceContext<'_>, cache: &mut PriceCache) -> Vec<Option<Priced>> {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                GraphOp::Launch { node, .. } => Some(cache.price(ctx, &node.kernel, node.key)),
+                _ => None,
+            })
+            .collect()
+    }
 
-        // Execute: run the functional bodies with per-launch spans.
-        let executes = session.executes();
+    /// Execute stage: run the functional bodies with per-launch spans.
+    fn execute_stage(&self, priced: &[Option<Priced>], executes: bool) {
         let mut phases: Vec<(&'static str, Option<telemetry::SpanTimer>)> = Vec::new();
-        for (op, p) in self.ops.iter().zip(&priced) {
+        for (op, p) in self.ops.iter().zip(priced) {
             match op {
                 GraphOp::Launch { node, body } => {
                     let span = LaunchSpan::start();
@@ -189,55 +199,44 @@ impl LaunchGraph<'_> {
                 _ => {}
             }
         }
+    }
 
-        // Commit: the whole sequence under one ledger lock, ops applied
-        // in recorded order so the f64 accumulation is bit-identical to
-        // the eager path.
-        let mut observations: Vec<LaunchRecord> = Vec::new();
-        let observer = {
-            let mut led = session.ledger();
-            for (op, p) in self.ops.iter().zip(&priced) {
-                match op {
-                    GraphOp::Launch { .. } => {
-                        let rec = led.append(p.as_ref().expect("launch ops are priced"));
-                        observations.push(rec);
-                    }
-                    GraphOp::Exchange { bytes, messages } => {
-                        if let Some(t) =
-                            exchange_cost(session.platform(), session.ranks(), *bytes, *messages)
-                        {
-                            led.charge_comm(t);
-                        }
-                    }
-                    GraphOp::Transfer { bytes } => {
-                        if let Some(t) = transfer_cost(session.platform(), *bytes) {
-                            led.charge_comm(t);
-                        }
-                    }
-                    _ => {}
+    /// Commit stage: append ops in recorded order into the caller-held
+    /// ledger lock, pushing each launch's record for post-unlock
+    /// observer delivery.
+    fn commit_stage(
+        &self,
+        session: &Session,
+        led: &mut Ledger,
+        priced: &[Option<Priced>],
+        observations: &mut Vec<LaunchRecord>,
+    ) {
+        for (op, p) in self.ops.iter().zip(priced) {
+            match op {
+                GraphOp::Launch { .. } => {
+                    let rec = led.append(p.as_ref().expect("launch ops are priced"));
+                    observations.push(rec);
                 }
+                GraphOp::Exchange { bytes, messages } => {
+                    if let Some(t) =
+                        exchange_cost(session.platform(), session.ranks(), *bytes, *messages)
+                    {
+                        led.charge_comm(t);
+                    }
+                }
+                GraphOp::Transfer { bytes } => {
+                    if let Some(t) = transfer_cost(session.platform(), *bytes) {
+                        led.charge_comm(t);
+                    }
+                }
+                _ => {}
             }
-            led.observer.clone()
-        };
-        if let Some(obs) = observer {
-            for rec in &observations {
-                obs(rec);
-            }
-        }
-
-        if let Some(t) = replay_span {
-            t.finish(
-                telemetry::SpanKind::Replay,
-                "graph.replay",
-                self.launches,
-                0.0,
-            );
         }
     }
 
     /// The eager fallback: each op goes through the per-launch session
     /// API, exactly as un-graphed code would.
-    fn replay_eager(&self, session: &Session) {
+    pub(crate) fn replay_eager(&self, session: &Session) {
         let executes = session.executes();
         let mut phases: Vec<(&'static str, Option<telemetry::SpanTimer>)> = Vec::new();
         for op in &self.ops {
@@ -256,6 +255,74 @@ impl LaunchGraph<'_> {
                     }
                 }
             }
+        }
+    }
+}
+
+/// Replay several recorded graphs as **one** composed commit: every
+/// launch across all graphs is priced under a single pricing-cache lock
+/// acquisition, all bodies execute, and the whole concatenated sequence
+/// commits under a single ledger lock acquisition, with observers fired
+/// in ledger order after the lock drops.
+///
+/// The ledger ends bit-identical to replaying the graphs one at a time
+/// in slice order (same op order, same f64 accumulation), which is what
+/// lets the service batch N client submissions per shard without
+/// changing any result — property-tested in `tests/service_batch.rs`.
+///
+/// On sessions configured with [`crate::SessionConfig::eager_launches`]
+/// each graph degrades to per-launch eager calls, in the same order.
+pub fn replay_all(session: &Session, graphs: &[&LaunchGraph<'_>]) {
+    if graphs.is_empty() {
+        return;
+    }
+    if !session.config().graph_replay {
+        for g in graphs {
+            g.replay_eager(session);
+        }
+        return;
+    }
+    let span = telemetry::SpanTimer::start();
+    replay_graphs(session, graphs);
+    if let Some(t) = span {
+        t.finish(
+            telemetry::SpanKind::Replay,
+            "graph.replay_batch",
+            graphs.iter().map(|g| g.n_launches()).sum(),
+            0.0,
+        );
+    }
+}
+
+/// The shared three-stage core behind [`LaunchGraph::replay`] and
+/// [`replay_all`]: price all graphs (one cache lock), execute all
+/// bodies, commit all ops (one ledger lock), then deliver observations.
+fn replay_graphs(session: &Session, graphs: &[&LaunchGraph<'_>]) {
+    let priced: Vec<Vec<Option<Priced>>> = {
+        let ctx = session.price_context();
+        let mut cache = session.price_cache();
+        graphs
+            .iter()
+            .map(|g| g.price_stage(&ctx, &mut cache))
+            .collect()
+    };
+
+    let executes = session.executes();
+    for (g, p) in graphs.iter().zip(&priced) {
+        g.execute_stage(p, executes);
+    }
+
+    let mut observations: Vec<LaunchRecord> = Vec::new();
+    let observer = {
+        let mut led = session.ledger();
+        for (g, p) in graphs.iter().zip(&priced) {
+            g.commit_stage(session, &mut led, p, &mut observations);
+        }
+        led.observer.clone()
+    };
+    if let Some(obs) = observer {
+        for rec in &observations {
+            obs(rec);
         }
     }
 }
@@ -389,5 +456,55 @@ mod tests {
         let g = g.finish();
         g.replay(&s);
         assert_eq!(&*seen.lock(), &["a", "b"]);
+    }
+
+    #[test]
+    fn replay_all_matches_sequential_replays_bit_for_bit() {
+        let k1 = Kernel::streaming("triad", 1 << 20, 3e7, 2e6);
+        let k2 = Kernel::streaming("copy", 1 << 18, 4e6, 0.0);
+        fn make<'s>(
+            s: &'s Session,
+            k1: &Kernel,
+            k2: &Kernel,
+        ) -> (LaunchGraph<'s>, LaunchGraph<'s>) {
+            let mut a = s.record();
+            a.launch(k1, |_| {});
+            a.transfer(2e6);
+            let mut b = s.record();
+            b.launch(k2, |_| {});
+            b.exchange(1e6, 4);
+            b.launch(k1, |_| {});
+            (a.finish(), b.finish())
+        }
+        let batched = session();
+        let serial = session();
+        {
+            let (a, b) = make(&batched, &k1, &k2);
+            replay_all(&batched, &[&a, &b]);
+            replay_all(&batched, &[&b, &a]);
+        }
+        {
+            let (a, b) = make(&serial, &k1, &k2);
+            a.replay(&serial);
+            b.replay(&serial);
+            b.replay(&serial);
+            a.replay(&serial);
+        }
+        assert_eq!(batched.ledger_digest(), serial.ledger_digest());
+        assert_eq!(batched.elapsed().to_bits(), serial.elapsed().to_bits());
+        // Eager sessions degrade per graph, same ledger.
+        let eager = eager_session();
+        let (a, b) = make(&eager, &k1, &k2);
+        replay_all(&eager, &[&a, &b]);
+        replay_all(&eager, &[&b, &a]);
+        assert_eq!(eager.ledger_digest(), batched.ledger_digest());
+    }
+
+    #[test]
+    fn replay_all_of_nothing_is_a_no_op() {
+        let s = session();
+        replay_all(&s, &[]);
+        assert_eq!(s.records().len(), 0);
+        assert_eq!(s.elapsed(), 0.0);
     }
 }

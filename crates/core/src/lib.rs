@@ -62,11 +62,11 @@ pub mod tune;
 
 pub use buffer::Buffer;
 pub use error::{Failure, FailureKind};
-pub use graph::{GraphBuilder, LaunchGraph};
+pub use graph::{replay_all, GraphBuilder, LaunchGraph};
 pub use kernel::{Kernel, KernelTraits};
 pub use launch::LaunchNode;
 pub use real::Real;
-pub use service::{Service, ServiceConfig, ServiceShard};
+pub use service::{Batch, Rejected, Service, ServiceConfig, ServiceShard, ShedPolicy};
 pub use session::{LaunchRecord, Records, Session, SessionConfig};
 pub use toolchain::{Scheme, SyclVariant, Toolchain};
 

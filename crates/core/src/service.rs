@@ -2,25 +2,74 @@
 //!
 //! A [`Service`] runs N concurrent [`Session`] shards over the one
 //! process-wide parkit pool. Admission control bounds the launches in
-//! flight across all shards (a semaphore over `Mutex` + `Condvar`), so
-//! a burst of clients queues instead of oversubscribing the pool; the
-//! queue depth is exported as a `service.queue_depth` gauge and the
-//! admission wait as a `service.admission_wait_us` histogram in
-//! [`metrics::registry`]. Each admitted submission records a `Shard`
-//! span named after its shard.
+//! flight across all shards with a **lock-free counting semaphore**: an
+//! atomic token counter serves the uncontended fast path in a single
+//! CAS (no mutex, no syscall — sub-microsecond), and contended
+//! submissions enqueue a per-waiter state machine on a bounded MPMC
+//! slot ring ([`parkit::MpmcQueue`]) and spin-then-park on a
+//! [`parkit::Parker`] until a releasing permit hands its slot over
+//! directly. Queue depth past [`ServiceConfig::high_water`] triggers
+//! the configured [`ShedPolicy`].
 //!
-//! Shards are plain sessions: each keeps its own ledger, pricing cache
-//! and observer, so concurrent shards never corrupt each other's
-//! ledgers (property-tested in `tests/service_shards.rs`).
+//! Batching: [`Service::submit_batch`] coalesces N client launches into
+//! one [`LaunchGraph`] replay — one admission slot, one pricing-cache
+//! lock, one ledger lock — and [`Service::replay_batch`] composes N
+//! recorded graphs the same way via [`crate::graph::replay_all`]. Both
+//! leave the shard ledger bit-identical to serial submission
+//! (property-tested in `tests/service_batch.rs`).
+//!
+//! Telemetry: queue depth is exported as a coherent
+//! `service.queue_depth` gauge (one atomic, not a racy two-field read),
+//! admission wait as a `service.admission_wait_us` histogram, coalesced
+//! request counts as `service.batch_size`, and shed submissions as a
+//! `service.shed_total` counter. Each admitted submission records a
+//! `Shard` span named after its shard.
+//!
+//! The memory-ordering argument for the admission protocol is written
+//! up in DESIGN.md §13.
 
 use crate::error::Failure;
-use crate::graph::LaunchGraph;
+use crate::graph::{replay_all, GraphBuilder, LaunchGraph};
 use crate::kernel::Kernel;
 use crate::session::{Session, SessionConfig};
-use parkit::sync::{Condvar, Mutex};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use parkit::{MpmcQueue, Parker};
+use std::sync::atomic::{fence, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// What to do with new submissions once the admission queue is deeper
+/// than [`ServiceConfig::high_water`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShedPolicy {
+    /// Queue regardless of depth (the default): nothing is ever shed,
+    /// submissions wait their turn.
+    #[default]
+    Block,
+    /// Turn the *new* submission away with [`Rejected`].
+    Reject,
+    /// Shed the *oldest* queued submission (it gets [`Rejected`]) and
+    /// queue the new one — freshest-work-wins under overload.
+    ShedOldest,
+}
+
+/// A submission turned away by the shedding policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rejected {
+    /// Submissions waiting in admission when the policy fired.
+    pub depth: usize,
+}
+
+impl std::fmt::Display for Rejected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "submission shed at admission (queue depth {})",
+            self.depth
+        )
+    }
+}
+
+impl std::error::Error for Rejected {}
 
 /// Service-wide limits.
 #[derive(Debug, Clone, Copy)]
@@ -28,81 +77,322 @@ pub struct ServiceConfig {
     /// Concurrent sessions to shard the service into.
     pub shards: usize,
     /// Bound on launches/replays in flight across all shards; further
-    /// submissions block in admission until a slot frees.
+    /// submissions queue in admission until a slot frees.
     pub max_in_flight: usize,
+    /// Queue depth beyond which [`ShedPolicy`] applies.
+    pub high_water: usize,
+    /// What happens to submissions past the high-water mark.
+    pub policy: ShedPolicy,
 }
 
 impl ServiceConfig {
-    /// `shards` sessions admitting `max_in_flight` concurrent launches.
+    /// `shards` sessions admitting `max_in_flight` concurrent launches,
+    /// with the default [`ShedPolicy::Block`] (nothing is shed).
     pub fn new(shards: usize, max_in_flight: usize) -> ServiceConfig {
+        let max_in_flight = max_in_flight.max(1);
         ServiceConfig {
             shards: shards.max(1),
-            max_in_flight: max_in_flight.max(1),
+            max_in_flight,
+            high_water: 64 * max_in_flight,
+            policy: ShedPolicy::Block,
+        }
+    }
+
+    /// Set the load-shedding policy and its high-water queue depth.
+    pub fn shedding(mut self, policy: ShedPolicy, high_water: usize) -> ServiceConfig {
+        self.policy = policy;
+        self.high_water = high_water;
+        self
+    }
+}
+
+/// Waiter states. WAITING is the only state that transitions; every
+/// exit arc is a single CAS, so exactly one party resolves each waiter.
+const WAITING: u32 = 0;
+/// A releasing permit handed its slot to this waiter.
+const ADMITTED: u32 = 1;
+/// The waiter claimed a deposited token itself; its queue entry is
+/// stale and releasers skip it.
+const CANCELLED: u32 = 2;
+/// `ShedOldest` turned this waiter away.
+const SHED: u32 = 3;
+
+/// One queued submission: resolved by exactly one CAS on `state`, then
+/// woken through its parker.
+struct Waiter {
+    state: AtomicU32,
+    parker: Parker,
+}
+
+impl Waiter {
+    fn new() -> Waiter {
+        Waiter {
+            state: AtomicU32::new(WAITING),
+            parker: Parker::new(),
         }
     }
 }
 
-struct AdmitState {
-    in_flight: usize,
-    queued: usize,
-}
-
-/// Counting semaphore with a queue-depth gauge.
+/// Lock-free counting semaphore with direct hand-off (see DESIGN.md §13).
 struct Admission {
-    state: Mutex<AdmitState>,
-    freed: Condvar,
-    limit: usize,
+    /// Free slots. The uncontended path is one CAS here.
+    tokens: AtomicUsize,
+    /// Queued waiters, oldest first. Entries whose state is no longer
+    /// WAITING are stale and skipped by releasers.
+    waiters: MpmcQueue<Arc<Waiter>>,
+    /// Coherent queue depth: incremented before a waiter enqueues,
+    /// decremented by the waiter as it leaves (admitted, shed or
+    /// self-cancelled), so a quiescent service always reads 0.
+    depth: AtomicUsize,
+    /// Submissions shed so far (exact, independent of telemetry).
+    shed: AtomicU64,
+    high_water: usize,
+    policy: ShedPolicy,
 }
 
 impl Admission {
-    fn new(limit: usize) -> Admission {
+    fn new(cfg: &ServiceConfig) -> Admission {
+        // Ring sized past the high-water mark so shedding policies see
+        // a full picture; Block with a deeper queue than the ring falls
+        // back to yielding pushes (correct, just slower).
+        let ring = cfg.high_water.saturating_mul(2).clamp(64, 4096);
         Admission {
-            state: Mutex::new(AdmitState {
-                in_flight: 0,
-                queued: 0,
-            }),
-            freed: Condvar::new(),
-            limit,
+            tokens: AtomicUsize::new(cfg.max_in_flight),
+            waiters: MpmcQueue::new(ring),
+            depth: AtomicUsize::new(0),
+            shed: AtomicU64::new(0),
+            high_water: cfg.high_water,
+            policy: cfg.policy,
         }
     }
 
-    fn enter(&self) -> Permit<'_> {
-        let t0 = telemetry::enabled().then(Instant::now);
-        let mut st = self.state.lock();
-        st.queued += 1;
-        metrics::registry().gauge("service.queue_depth", "sessions", st.queued as f64);
-        while st.in_flight >= self.limit {
-            self.freed.wait(&mut st);
+    /// Claim a free slot if one is available. AcqRel on success so the
+    /// releasing permit's writes are visible to the admitted launch.
+    fn try_take_token(&self) -> bool {
+        let mut t = self.tokens.load(Ordering::Relaxed);
+        while t > 0 {
+            match self
+                .tokens
+                .compare_exchange_weak(t, t - 1, Ordering::AcqRel, Ordering::Relaxed)
+            {
+                Ok(_) => return true,
+                Err(now) => t = now,
+            }
         }
-        st.queued -= 1;
-        st.in_flight += 1;
-        metrics::registry().gauge("service.queue_depth", "sessions", st.queued as f64);
-        drop(st);
+        false
+    }
+
+    /// Admit one submission: single-CAS fast path, queue-and-park slow
+    /// path. `Err` only under `Reject`/`ShedOldest` past high water.
+    fn enter(&self) -> Result<Permit<'_>, Rejected> {
+        if self.try_take_token() {
+            if telemetry::enabled() {
+                metrics::registry().record("service.admission_wait_us", 0.0);
+            }
+            return Ok(Permit { admission: self });
+        }
+        self.enter_slow()
+    }
+
+    #[cold]
+    fn enter_slow(&self) -> Result<Permit<'_>, Rejected> {
+        let t0 = telemetry::enabled().then(Instant::now);
+        let depth = self.depth.fetch_add(1, Ordering::AcqRel) + 1;
+        metrics::registry().gauge("service.queue_depth", "waiting", depth as f64);
+        if depth > self.high_water {
+            match self.policy {
+                ShedPolicy::Block => {}
+                ShedPolicy::Reject => {
+                    self.depth_dec();
+                    self.note_shed();
+                    return Err(Rejected { depth });
+                }
+                ShedPolicy::ShedOldest => self.shed_oldest(),
+            }
+        }
+
+        let waiter = Arc::new(Waiter::new());
+        let mut entry = Arc::clone(&waiter);
+        // Publish ourselves to releasers. A full ring (Block with a
+        // high-water mark far beyond it) degrades to polling admission.
+        while let Err(back) = self.waiters.try_push(entry) {
+            entry = back;
+            if self.try_take_token() {
+                self.depth_dec();
+                self.note_wait(t0);
+                return Ok(Permit { admission: self });
+            }
+            std::thread::yield_now();
+        }
+
+        // Closing the lost-wakeup window (DESIGN.md §13): a release
+        // that found the queue empty before our push deposited a token
+        // instead. The SeqCst fence pairs with the releaser's fence so
+        // at least one side observes the other — we see the token here,
+        // or the releaser sees our entry and hands off directly.
+        fence(Ordering::SeqCst);
+        if self.try_take_token() {
+            match self.waiter_resolved(&waiter, CANCELLED) {
+                // Cancelled our own entry; the token is our permit.
+                CANCELLED => {
+                    self.depth_dec();
+                    self.note_wait(t0);
+                    return Ok(Permit { admission: self });
+                }
+                // A releaser admitted us first: we hold a surplus
+                // token on top of the hand-off — put it back.
+                ADMITTED => {
+                    self.release();
+                    self.depth_dec();
+                    self.note_wait(t0);
+                    return Ok(Permit { admission: self });
+                }
+                // Shed and self-admitted at once: honour the shed
+                // (the policy already counted us) and return the token.
+                _ => {
+                    self.release();
+                    self.depth_dec();
+                    return Err(Rejected { depth });
+                }
+            }
+        }
+
+        // Park until a releaser or the shedding policy resolves us.
+        loop {
+            waiter.parker.park();
+            match waiter.state.load(Ordering::Acquire) {
+                ADMITTED => {
+                    self.depth_dec();
+                    self.note_wait(t0);
+                    return Ok(Permit { admission: self });
+                }
+                SHED => {
+                    self.depth_dec();
+                    return Err(Rejected { depth });
+                }
+                // Stale token from a raced earlier unpark: park again.
+                _ => {}
+            }
+        }
+    }
+
+    /// CAS the waiter out of WAITING into `to`; returns the state that
+    /// actually resolved it (someone else's if the CAS lost).
+    fn waiter_resolved(&self, w: &Waiter, to: u32) -> u32 {
+        match w
+            .state
+            .compare_exchange(WAITING, to, Ordering::AcqRel, Ordering::Acquire)
+        {
+            Ok(_) => to,
+            Err(actual) => actual,
+        }
+    }
+
+    /// Release one slot: hand it straight to the oldest live waiter
+    /// (skipping stale entries), else deposit a token — then re-check
+    /// the queue across a SeqCst fence so a waiter that enqueued
+    /// concurrently is never stranded behind the deposit.
+    fn release(&self) {
+        loop {
+            while let Some(w) = self.waiters.try_pop() {
+                if self.waiter_resolved(&w, ADMITTED) == ADMITTED {
+                    w.parker.unpark();
+                    return;
+                }
+            }
+            self.tokens.fetch_add(1, Ordering::AcqRel);
+            fence(Ordering::SeqCst);
+            if self.waiters.is_empty() || !self.try_take_token() {
+                // Queue stayed empty (the fence pairing guarantees any
+                // concurrent enqueuer sees our token), or another
+                // claimant took the token and is admitted — done.
+                return;
+            }
+            // Reclaimed the token to serve the late enqueuer; loop.
+        }
+    }
+
+    /// Shed the oldest still-waiting submission, if any.
+    fn shed_oldest(&self) {
+        while let Some(w) = self.waiters.try_pop() {
+            if self.waiter_resolved(&w, SHED) == SHED {
+                self.note_shed();
+                w.parker.unpark();
+                return;
+            }
+        }
+    }
+
+    fn depth_dec(&self) {
+        let now = self.depth.fetch_sub(1, Ordering::AcqRel) - 1;
+        metrics::registry().gauge("service.queue_depth", "waiting", now as f64);
+    }
+
+    fn note_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+        metrics::registry().add("service.shed_total", "submissions", 1);
+    }
+
+    fn note_wait(&self, t0: Option<Instant>) {
         if let Some(t0) = t0 {
             metrics::registry().record(
                 "service.admission_wait_us",
                 t0.elapsed().as_secs_f64() * 1e6,
             );
         }
-        Permit { admission: self }
     }
 
     fn depth(&self) -> usize {
-        self.state.lock().queued
+        self.depth.load(Ordering::Acquire)
     }
 }
 
-/// An admitted slot; releasing it wakes one queued submission.
+/// An admitted slot; releasing it hands the slot to the oldest queued
+/// submission (or banks a token when nobody waits).
 struct Permit<'a> {
     admission: &'a Admission,
 }
 
 impl Drop for Permit<'_> {
     fn drop(&mut self) {
-        let mut st = self.admission.state.lock();
-        st.in_flight -= 1;
-        drop(st);
-        self.admission.freed.notify_one();
+        self.admission.release();
+    }
+}
+
+/// A batch of launches to coalesce into one submission: one admission
+/// slot, one pricing-cache lock, one ledger lock. Bodies follow graph
+/// conventions (called with `session.executes()`).
+type BatchOp<'a> = (Kernel, Box<dyn Fn(bool) + Sync + 'a>);
+
+pub struct Batch<'a> {
+    ops: Vec<BatchOp<'a>>,
+}
+
+impl<'a> Batch<'a> {
+    /// An empty batch.
+    pub fn new() -> Batch<'a> {
+        Batch { ops: Vec::new() }
+    }
+
+    /// Append one launch.
+    pub fn launch(&mut self, kernel: &Kernel, body: impl Fn(bool) + Sync + 'a) {
+        self.ops.push((kernel.clone(), Box::new(body)));
+    }
+
+    /// Launches queued in the batch.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when nothing has been queued.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+impl Default for Batch<'_> {
+    fn default() -> Self {
+        Batch::new()
     }
 }
 
@@ -119,7 +409,8 @@ impl ServiceShard {
     }
 }
 
-/// N concurrent sessions over one parkit pool, behind admission control.
+/// N concurrent sessions over one parkit pool, behind lock-free
+/// admission control.
 pub struct Service {
     shards: Vec<ServiceShard>,
     admission: Admission,
@@ -142,7 +433,7 @@ impl Service {
         }
         Ok(Service {
             shards,
-            admission: Admission::new(limits.max_in_flight),
+            admission: Admission::new(&limits),
             next: AtomicUsize::new(0),
         })
     }
@@ -157,16 +448,27 @@ impl Service {
         &self.shards[i].session
     }
 
-    /// Submissions currently queued in admission.
+    /// Submissions currently queued in admission — one atomic read, so
+    /// the snapshot is coherent (a drained service always reads 0).
     pub fn queue_depth(&self) -> usize {
         self.admission.depth()
     }
 
-    /// Launch on shard `i`, blocking in admission while the service is
-    /// at its in-flight limit.
-    pub fn submit<R>(&self, i: usize, kernel: &Kernel, body: impl FnOnce() -> R) -> R {
+    /// Submissions shed by the policy since the service was built.
+    pub fn shed_count(&self) -> u64 {
+        self.admission.shed.load(Ordering::Relaxed)
+    }
+
+    /// Launch on shard `i`; queues in admission while the service is at
+    /// its in-flight limit. `Err` only under a shedding policy.
+    pub fn submit<R>(
+        &self,
+        i: usize,
+        kernel: &Kernel,
+        body: impl FnOnce() -> R,
+    ) -> Result<R, Rejected> {
         let shard = &self.shards[i];
-        let _permit = self.admission.enter();
+        let _permit = self.admission.enter()?;
         let span = telemetry::SpanTimer::start();
         let r = shard.session.launch(kernel, body);
         if let Some(t) = span {
@@ -177,20 +479,53 @@ impl Service {
                 kernel.footprint.effective_bytes,
             );
         }
-        r
+        Ok(r)
     }
 
     /// Launch on the next shard round-robin; returns the shard index
     /// alongside the body's result.
-    pub fn submit_any<R>(&self, kernel: &Kernel, body: impl FnOnce() -> R) -> (usize, R) {
+    pub fn submit_any<R>(
+        &self,
+        kernel: &Kernel,
+        body: impl FnOnce() -> R,
+    ) -> Result<(usize, R), Rejected> {
         let i = self.next.fetch_add(1, Ordering::Relaxed) % self.shards.len();
-        (i, self.submit(i, kernel, body))
+        self.submit(i, kernel, body).map(|r| (i, r))
+    }
+
+    /// Coalesce `batch` into a single graph replay on shard `i`: one
+    /// admission slot, one pricing-cache lock, one ledger lock. The
+    /// shard ledger is bit-identical to submitting the launches one by
+    /// one, and `service.batch_size` records the coalesced count.
+    pub fn submit_batch<'a>(&self, i: usize, batch: Batch<'a>) -> Result<(), Rejected> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let shard = &self.shards[i];
+        let _permit = self.admission.enter()?;
+        metrics::registry().record("service.batch_size", batch.len() as f64);
+        let span = telemetry::SpanTimer::start();
+        let mut g: GraphBuilder<'a> = GraphBuilder::new();
+        for (kernel, body) in batch.ops {
+            g.launch(&kernel, body);
+        }
+        let g = g.finish();
+        g.replay(&shard.session);
+        if let Some(t) = span {
+            t.finish(
+                telemetry::SpanKind::Shard,
+                Arc::clone(&shard.span_name),
+                g.n_launches(),
+                0.0,
+            );
+        }
+        Ok(())
     }
 
     /// Replay a recorded graph on shard `i` under one admission slot.
-    pub fn replay(&self, i: usize, graph: &LaunchGraph<'_>) {
+    pub fn replay(&self, i: usize, graph: &LaunchGraph<'_>) -> Result<(), Rejected> {
         let shard = &self.shards[i];
-        let _permit = self.admission.enter();
+        let _permit = self.admission.enter()?;
         let span = telemetry::SpanTimer::start();
         graph.replay(&shard.session);
         if let Some(t) = span {
@@ -201,6 +536,31 @@ impl Service {
                 0.0,
             );
         }
+        Ok(())
+    }
+
+    /// Replay several recorded graphs on shard `i` as one composed
+    /// commit (see [`crate::graph::replay_all`]): one admission slot,
+    /// one pricing pass, one ledger lock — bit-identical to replaying
+    /// them serially in slice order.
+    pub fn replay_batch(&self, i: usize, graphs: &[&LaunchGraph<'_>]) -> Result<(), Rejected> {
+        if graphs.is_empty() {
+            return Ok(());
+        }
+        let shard = &self.shards[i];
+        let _permit = self.admission.enter()?;
+        metrics::registry().record("service.batch_size", graphs.len() as f64);
+        let span = telemetry::SpanTimer::start();
+        replay_all(&shard.session, graphs);
+        if let Some(t) = span {
+            t.finish(
+                telemetry::SpanKind::Shard,
+                Arc::clone(&shard.span_name),
+                graphs.iter().map(|g| g.n_launches()).sum(),
+                0.0,
+            );
+        }
+        Ok(())
     }
 }
 
@@ -209,6 +569,7 @@ mod tests {
     use super::*;
     use crate::toolchain::Toolchain;
     use machine_model::PlatformId;
+    use std::sync::mpsc;
 
     fn service(shards: usize, max_in_flight: usize) -> Service {
         Service::new(ServiceConfig::new(shards, max_in_flight), |_| {
@@ -217,13 +578,21 @@ mod tests {
         .unwrap()
     }
 
+    fn shedding_service(max_in_flight: usize, policy: ShedPolicy, high_water: usize) -> Service {
+        Service::new(
+            ServiceConfig::new(1, max_in_flight).shedding(policy, high_water),
+            |_| SessionConfig::new(PlatformId::A100, Toolchain::NativeCuda).app("svc"),
+        )
+        .unwrap()
+    }
+
     #[test]
     fn shards_keep_independent_ledgers() {
         let svc = service(3, 4);
         let k = Kernel::streaming("x", 1 << 16, 1e6, 0.0);
-        svc.submit(0, &k, || ());
-        svc.submit(0, &k, || ());
-        svc.submit(2, &k, || ());
+        svc.submit(0, &k, || ()).unwrap();
+        svc.submit(0, &k, || ()).unwrap();
+        svc.submit(2, &k, || ()).unwrap();
         assert_eq!(svc.shard(0).records().len(), 2);
         assert_eq!(svc.shard(1).records().len(), 0);
         assert_eq!(svc.shard(2).records().len(), 1);
@@ -233,8 +602,8 @@ mod tests {
     fn round_robin_spreads_submissions() {
         let svc = service(2, 4);
         let k = Kernel::streaming("x", 1 << 16, 1e6, 0.0);
-        let (a, ()) = svc.submit_any(&k, || ());
-        let (b, ()) = svc.submit_any(&k, || ());
+        let (a, ()) = svc.submit_any(&k, || ()).unwrap();
+        let (b, ()) = svc.submit_any(&k, || ()).unwrap();
         assert_ne!(a, b);
         assert_eq!(svc.shard(a).records().len(), 1);
         assert_eq!(svc.shard(b).records().len(), 1);
@@ -242,7 +611,6 @@ mod tests {
 
     #[test]
     fn admission_bounds_in_flight_launches() {
-        use std::sync::atomic::AtomicUsize;
         let svc = Arc::new(service(4, 2));
         let live = Arc::new(AtomicUsize::new(0));
         let peak = Arc::new(AtomicUsize::new(0));
@@ -261,7 +629,8 @@ mod tests {
                             let now = live.fetch_add(1, Ordering::SeqCst) + 1;
                             peak.fetch_max(now, Ordering::SeqCst);
                             live.fetch_sub(1, Ordering::SeqCst);
-                        });
+                        })
+                        .unwrap();
                     }
                 });
             }
@@ -275,6 +644,117 @@ mod tests {
             assert_eq!(svc.shard(t).records().len(), 50);
         }
         assert_eq!(svc.queue_depth(), 0);
+        assert_eq!(svc.shed_count(), 0, "Block never sheds");
+    }
+
+    /// Satellite: queue depth is a coherent snapshot — observably > 0
+    /// while a submission is queued, and exactly 0 after the drain.
+    #[test]
+    fn queue_depth_rises_then_returns_to_zero_after_drain() {
+        let svc = Arc::new(service(1, 1));
+        let k = Kernel::streaming("x", 1 << 12, 1e4, 0.0);
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        std::thread::scope(|scope| {
+            let holder = {
+                let (svc, k) = (Arc::clone(&svc), k.clone());
+                scope.spawn(move || {
+                    svc.submit(0, &k, move || {
+                        gate_rx.recv().unwrap();
+                    })
+                    .unwrap();
+                })
+            };
+            let queued = {
+                let (svc, k) = (Arc::clone(&svc), k.clone());
+                scope.spawn(move || {
+                    svc.submit(0, &k, || ()).unwrap();
+                })
+            };
+            // The second submission must show up in the depth gauge.
+            while svc.queue_depth() == 0 && !queued.is_finished() {
+                std::thread::yield_now();
+            }
+            gate_tx.send(()).unwrap();
+            holder.join().unwrap();
+            queued.join().unwrap();
+        });
+        assert_eq!(svc.queue_depth(), 0, "drained service reads depth 0");
+        assert_eq!(svc.shard(0).records().len(), 2);
+    }
+
+    #[test]
+    fn reject_policy_turns_new_submissions_away() {
+        let svc = Arc::new(shedding_service(1, ShedPolicy::Reject, 0));
+        let k = Kernel::streaming("x", 1 << 12, 1e4, 0.0);
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        std::thread::scope(|scope| {
+            let holder = {
+                let (svc, k) = (Arc::clone(&svc), k.clone());
+                scope.spawn(move || {
+                    svc.submit(0, &k, move || {
+                        gate_rx.recv().unwrap();
+                    })
+                    .unwrap();
+                })
+            };
+            // Wait until the permit is actually held.
+            while svc.shard(0).records().is_empty() {
+                std::thread::yield_now();
+            }
+            let shed = svc.submit(0, &k, || ()).unwrap_err();
+            assert!(shed.depth > 0);
+            gate_tx.send(()).unwrap();
+            holder.join().unwrap();
+        });
+        assert_eq!(svc.shed_count(), 1);
+        assert_eq!(svc.queue_depth(), 0);
+        assert_eq!(svc.shard(0).records().len(), 1, "shed launch never ran");
+    }
+
+    #[test]
+    fn shed_oldest_prefers_fresh_work() {
+        let svc = Arc::new(shedding_service(1, ShedPolicy::ShedOldest, 1));
+        let k = Kernel::streaming("x", 1 << 12, 1e4, 0.0);
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        std::thread::scope(|scope| {
+            let holder = {
+                let (svc, k) = (Arc::clone(&svc), k.clone());
+                scope.spawn(move || {
+                    svc.submit(0, &k, move || {
+                        gate_rx.recv().unwrap();
+                    })
+                    .unwrap();
+                })
+            };
+            while svc.shard(0).records().is_empty() {
+                std::thread::yield_now();
+            }
+            let old = {
+                let (svc, k) = (Arc::clone(&svc), k.clone());
+                scope.spawn(move || svc.submit(0, &k, || ()))
+            };
+            while svc.queue_depth() == 0 {
+                std::thread::yield_now();
+            }
+            // Give the old waiter time to finish publishing its entry.
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            // Depth 2 > high_water 1: the *oldest* waiter is shed and
+            // the fresh submission queues in its place.
+            let fresh = {
+                let (svc, k) = (Arc::clone(&svc), k.clone());
+                scope.spawn(move || svc.submit(0, &k, || ()))
+            };
+            while svc.shed_count() == 0 {
+                std::thread::yield_now();
+            }
+            gate_tx.send(()).unwrap();
+            assert!(fresh.join().unwrap().is_ok(), "fresh submission survives");
+            assert!(old.join().unwrap().is_err(), "oldest waiter was shed");
+            holder.join().unwrap();
+        });
+        assert_eq!(svc.shed_count(), 1);
+        assert_eq!(svc.queue_depth(), 0);
+        assert_eq!(svc.shard(0).records().len(), 2);
     }
 
     #[test]
@@ -285,9 +765,63 @@ mod tests {
         g.launch(&k, |_| {});
         g.launch(&k, |_| {});
         let g = g.finish();
-        svc.replay(1, &g);
-        svc.replay(1, &g);
+        svc.replay(1, &g).unwrap();
+        svc.replay(1, &g).unwrap();
         assert_eq!(svc.shard(1).records().len(), 4);
         assert_eq!(svc.shard(0).records().len(), 0);
+    }
+
+    #[test]
+    fn submit_batch_matches_serial_submits_bit_for_bit() {
+        let batched = service(1, 2);
+        let serial = service(1, 2);
+        let k1 = Kernel::streaming("triad", 1 << 20, 3e7, 2e6);
+        let k2 = Kernel::streaming("copy", 1 << 18, 4e6, 0.0);
+        let mut b = Batch::new();
+        b.launch(&k1, |_| {});
+        b.launch(&k2, |_| {});
+        b.launch(&k1, |_| {});
+        assert_eq!(b.len(), 3);
+        batched.submit_batch(0, b).unwrap();
+        serial.submit(0, &k1, || ()).unwrap();
+        serial.submit(0, &k2, || ()).unwrap();
+        serial.submit(0, &k1, || ()).unwrap();
+        assert_eq!(
+            batched.shard(0).ledger_digest(),
+            serial.shard(0).ledger_digest()
+        );
+        // An empty batch admits nothing and records nothing.
+        batched.submit_batch(0, Batch::new()).unwrap();
+        assert_eq!(batched.shard(0).records().len(), 3);
+    }
+
+    #[test]
+    fn replay_batch_matches_serial_replays_bit_for_bit() {
+        let svc = service(1, 2);
+        let serial = service(1, 2);
+        let k = Kernel::streaming("x", 1 << 16, 1e6, 0.0);
+        fn build<'s>(svc: &'s Service, k: &Kernel) -> (LaunchGraph<'s>, LaunchGraph<'s>) {
+            let mut a = svc.shard(0).record();
+            a.launch(k, |_| {});
+            let mut b = svc.shard(0).record();
+            b.launch(k, |_| {});
+            b.launch(k, |_| {});
+            (a.finish(), b.finish())
+        }
+        {
+            let (a, b) = build(&svc, &k);
+            svc.replay_batch(0, &[&a, &b]).unwrap();
+            svc.replay_batch(0, &[]).unwrap();
+        }
+        {
+            let (a, b) = build(&serial, &k);
+            serial.replay(0, &a).unwrap();
+            serial.replay(0, &b).unwrap();
+        }
+        assert_eq!(
+            svc.shard(0).ledger_digest(),
+            serial.shard(0).ledger_digest()
+        );
+        assert_eq!(svc.shard(0).records().len(), 3);
     }
 }

@@ -73,7 +73,7 @@ fn run_on_shard(svc: &Service, i: usize, ops: &[Op]) {
         match op {
             Op::Launch { items, bytes } => {
                 let k = Kernel::streaming("prop", *items, *bytes, 0.0);
-                svc.submit(i, &k, || ());
+                svc.submit(i, &k, || ()).unwrap();
             }
             Op::Replay { kernels, times } => {
                 let ks: Vec<Kernel> = kernels
@@ -86,7 +86,7 @@ fn run_on_shard(svc: &Service, i: usize, ops: &[Op]) {
                 }
                 let g = g.finish();
                 for _ in 0..*times {
-                    svc.replay(i, &g);
+                    svc.replay(i, &g).unwrap();
                 }
             }
         }

@@ -184,6 +184,7 @@ impl Histogram {
             p50: self.quantile(0.50),
             p90: self.quantile(0.90),
             p99: self.quantile(0.99),
+            p999: self.quantile(0.999),
             min: self.min(),
             max: self.max(),
             sum: self.sum(),
@@ -201,6 +202,9 @@ pub struct Summary {
     pub p50: f64,
     pub p90: f64,
     pub p99: f64,
+    /// 99.9th percentile — the tail the admission-latency study gates
+    /// on. Parses as 0.0 from manifests written before it existed.
+    pub p999: f64,
     pub min: f64,
     pub max: f64,
     pub sum: f64,

@@ -77,6 +77,7 @@ fn summary_json(w: &mut JsonWriter, s: &Summary) {
     w.key("p50").number(s.p50);
     w.key("p90").number(s.p90);
     w.key("p99").number(s.p99);
+    w.key("p999").number(s.p999);
     w.key("min").number(s.min);
     w.key("max").number(s.max);
     w.key("sum").number(s.sum);
@@ -92,6 +93,9 @@ fn summary_parse(j: &Json) -> Result<Summary, String> {
         p50: f("p50")?,
         p90: f("p90")?,
         p99: f("p99")?,
+        // Optional: manifests written before the p999 field (committed
+        // baselines among them) parse with 0.0 rather than erroring.
+        p999: j.f64_of("p999").unwrap_or(0.0),
         min: f("min")?,
         max: f("max")?,
         sum: f("sum")?,
@@ -296,6 +300,17 @@ mod tests {
         let text = m.to_json().replace("\"gitRev\"", "\"gitRevX\"");
         let err = RunManifest::parse(&text).unwrap_err();
         assert!(err.contains("gitRev"), "{err}");
+    }
+
+    #[test]
+    fn manifests_without_p999_still_parse() {
+        // Baselines written before the p999 field must keep loading.
+        let text = sample_manifest()
+            .to_json()
+            .replace("\"p999\":", "\"pXXX\":");
+        let back = RunManifest::parse(&text).unwrap();
+        assert_eq!(back.kernels[0].wall.p999, 0.0);
+        assert!(back.kernels[0].wall.p99 > 0.0);
     }
 
     #[test]

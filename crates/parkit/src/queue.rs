@@ -1,0 +1,217 @@
+//! Bounded lock-free MPMC queue (CAS slot ring with sequence numbers).
+//!
+//! The classic Vyukov bounded queue: a power-of-two ring of slots, each
+//! carrying a sequence number that encodes whose turn the slot is.
+//! Producers claim the enqueue cursor with a CAS, consumers the dequeue
+//! cursor; the sequence number is the per-slot hand-off flag between
+//! them, so a producer and a consumer touching different slots never
+//! contend, and a slot is never read before its write is published.
+//!
+//! Protocol (capacity `cap`, mask `cap - 1`):
+//!
+//! * slot `i` starts with `seq = i`;
+//! * a producer at ticket `t` may fill slot `t & mask` when `seq == t`;
+//!   after writing the value it stores `seq = t + 1` (`Release`);
+//! * a consumer at ticket `h` may empty slot `h & mask` when
+//!   `seq == h + 1`; after taking the value it stores `seq = h + cap`
+//!   (`Release`), handing the slot to the producer one lap ahead.
+//!
+//! `seq < ticket` means the queue is full (producer side) or empty
+//! (consumer side) — both operations fail immediately rather than
+//! blocking, which is what lets callers layer their own wait policy
+//! (spin, [`Parker`](crate::Parker), shedding) on top.
+//!
+//! All cursor CASes are `AcqRel`; slot sequence loads are `Acquire`
+//! and stores `Release`, so the value write is always ordered before
+//! the sequence publication that makes it claimable.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Pad cursors to their own cache lines so producers and consumers do
+/// not false-share.
+#[repr(align(64))]
+struct CachePadded(AtomicUsize);
+
+struct Slot<T> {
+    seq: AtomicUsize,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+/// A bounded lock-free multi-producer multi-consumer queue.
+pub struct MpmcQueue<T> {
+    slots: Box<[Slot<T>]>,
+    mask: usize,
+    /// Enqueue ticket counter.
+    tail: CachePadded,
+    /// Dequeue ticket counter.
+    head: CachePadded,
+}
+
+// The UnsafeCell is only touched by the ticket holder for that slot,
+// and values cross threads, so T: Send is the whole requirement.
+unsafe impl<T: Send> Send for MpmcQueue<T> {}
+unsafe impl<T: Send> Sync for MpmcQueue<T> {}
+
+impl<T> MpmcQueue<T> {
+    /// A queue holding at least `capacity` items (rounded up to a
+    /// power of two, minimum 2).
+    pub fn new(capacity: usize) -> MpmcQueue<T> {
+        let cap = capacity.max(2).next_power_of_two();
+        let slots = (0..cap)
+            .map(|i| Slot {
+                seq: AtomicUsize::new(i),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect();
+        MpmcQueue {
+            slots,
+            mask: cap - 1,
+            tail: CachePadded(AtomicUsize::new(0)),
+            head: CachePadded(AtomicUsize::new(0)),
+        }
+    }
+
+    /// Slots in the ring.
+    pub fn capacity(&self) -> usize {
+        self.mask + 1
+    }
+
+    /// Approximate occupancy (exact when quiescent).
+    pub fn len(&self) -> usize {
+        let tail = self.tail.0.load(Ordering::Acquire);
+        let head = self.head.0.load(Ordering::Acquire);
+        tail.saturating_sub(head)
+    }
+
+    /// Whether the queue looks empty right now.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Push `value`, or hand it back if the queue is full.
+    pub fn try_push(&self, value: T) -> Result<(), T> {
+        let mut tail = self.tail.0.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[tail & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            if seq == tail {
+                // Our turn: claim the ticket, then fill the slot.
+                match self.tail.0.compare_exchange_weak(
+                    tail,
+                    tail + 1,
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // Sole owner of the slot until the seq store.
+                        unsafe { (*slot.value.get()).write(value) };
+                        slot.seq.store(tail + 1, Ordering::Release);
+                        return Ok(());
+                    }
+                    Err(t) => tail = t,
+                }
+            } else if seq < tail {
+                // The consumer one lap back has not emptied it: full.
+                return Err(value);
+            } else {
+                // Another producer claimed this ticket; move on.
+                tail = self.tail.0.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Pop the oldest value, or `None` if the queue is empty.
+    pub fn try_pop(&self) -> Option<T> {
+        let mut head = self.head.0.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[head & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            if seq == head + 1 {
+                // Filled and published: claim the ticket, take it.
+                match self.head.0.compare_exchange_weak(
+                    head,
+                    head + 1,
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        let value = unsafe { (*slot.value.get()).assume_init_read() };
+                        slot.seq.store(head + self.capacity(), Ordering::Release);
+                        return Some(value);
+                    }
+                    Err(h) => head = h,
+                }
+            } else if seq <= head {
+                // Not yet filled for this lap: empty.
+                return None;
+            } else {
+                // Another consumer claimed this ticket; move on.
+                head = self.head.0.load(Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+impl<T> Drop for MpmcQueue<T> {
+    fn drop(&mut self) {
+        // Drain unclaimed values so their destructors run.
+        while self.try_pop().is_some() {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_within_capacity() {
+        let q = MpmcQueue::new(4);
+        assert_eq!(q.capacity(), 4);
+        for i in 0..4 {
+            q.try_push(i).unwrap();
+        }
+        assert_eq!(q.try_push(99), Err(99), "full queue refuses");
+        assert_eq!(q.len(), 4);
+        for i in 0..4 {
+            assert_eq!(q.try_pop(), Some(i));
+        }
+        assert_eq!(q.try_pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn wraps_many_laps() {
+        let q = MpmcQueue::new(2);
+        for lap in 0..1000 {
+            q.try_push(lap * 2).unwrap();
+            q.try_push(lap * 2 + 1).unwrap();
+            assert_eq!(q.try_pop(), Some(lap * 2));
+            assert_eq!(q.try_pop(), Some(lap * 2 + 1));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        assert_eq!(MpmcQueue::<u8>::new(0).capacity(), 2);
+        assert_eq!(MpmcQueue::<u8>::new(3).capacity(), 4);
+        assert_eq!(MpmcQueue::<u8>::new(8).capacity(), 8);
+        assert_eq!(MpmcQueue::<u8>::new(9).capacity(), 16);
+    }
+
+    #[test]
+    fn drop_releases_unclaimed_values() {
+        let probe = Arc::new(());
+        {
+            let q = MpmcQueue::new(8);
+            for _ in 0..5 {
+                q.try_push(Arc::clone(&probe)).unwrap();
+            }
+            assert_eq!(Arc::strong_count(&probe), 6);
+        }
+        assert_eq!(Arc::strong_count(&probe), 1);
+    }
+}
