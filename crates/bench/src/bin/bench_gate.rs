@@ -156,6 +156,7 @@ fn apps_manifest(platform: PlatformId, reps: u32, smoke: bool) -> RunManifest {
                 samples,
                 bytes,
                 gbps,
+                origin: None,
             }
         })
         .collect();
@@ -279,6 +280,7 @@ fn engine_manifest(reps: u32, n: usize, launches: usize) -> RunManifest {
             sim_secs: 0.0,
             bytes,
             gbps: bytes / best / 1e9,
+            origin: None,
         }
     })
     .collect();
@@ -389,6 +391,7 @@ fn service_manifest(reps: u32, launches: usize) -> RunManifest {
             sim_secs: 0.0,
             bytes,
             gbps: bytes / best / 1e9,
+            origin: None,
         }
     })
     .collect();

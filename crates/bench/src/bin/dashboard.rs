@@ -17,7 +17,9 @@
 //! and a small sorting script — so it can be attached to a CI run or
 //! mailed around and opened offline. Sections:
 //!
-//! 1. per-kernel wall/sim tables + counter deltas for each traced app;
+//! 1. per-kernel wall/sim tables + counter deltas for each traced app,
+//!    with a deep-link into the matching `PROFILE_<app>.json` Perfetto
+//!    trace when one sits next to the dashboard;
 //! 2. scheduler health: the registry histograms the pool and the op2
 //!    colouring planner record while the apps run (steal latency,
 //!    chunks per region, colours and bytes per wave, admission waits);
@@ -26,13 +28,16 @@
 //!    saturation knee, and the coalesced batch-size distribution;
 //! 4. achieved-bandwidth scatter against each platform's STREAM roof;
 //! 5. the portability (efficiency) heatmap and PP̄ table;
-//! 6. baseline trajectory across every stored `BENCH_*.json` manifest.
+//! 6. the cross-product study from the last `study` run (`STUDY.json`):
+//!    per-cell status grid, retries, fleet utilisation and its PP̄ rows;
+//! 7. baseline trajectory across every stored `BENCH_*.json` manifest.
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
 use bench_harness::{make_app, native_toolchain, APP_NAMES};
 use machine_model::Platform;
+use metrics::jsonv::{self, Json};
 use metrics::{stats, RunManifest};
 use portability::{
     cpu_platforms, gpu_platforms, pennycook, structured_measurements, unstructured_measurements,
@@ -111,8 +116,12 @@ fn main() {
 
     let manifests = discover_manifests();
 
-    let html = render(&traces, &sched, &study, &manifests);
     let path = Path::new(&out);
+    let out_dir = match path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    let html = render(&traces, &sched, &study, &manifests, &out_dir);
     if let Some(dir) = path.parent() {
         if !dir.as_os_str().is_empty() {
             if let Err(e) = std::fs::create_dir_all(dir) {
@@ -228,6 +237,7 @@ fn render(
     sched: &metrics::registry::Snapshot,
     study: &[(PlatformId, Vec<Measurement>)],
     manifests: &[StoredManifest],
+    out_dir: &Path,
 ) -> String {
     let mut h = String::with_capacity(1 << 18);
     h.push_str(HEAD);
@@ -243,13 +253,14 @@ fn render(
             .unwrap_or(0),
     );
 
-    render_traces(&mut h, traces);
+    render_traces(&mut h, traces, out_dir);
     render_scheduler(&mut h, sched);
     render_service_latency(&mut h, manifests);
     if !study.is_empty() {
         render_roofline(&mut h, study);
         render_heatmap(&mut h, study);
     }
+    render_study_run(&mut h, out_dir);
     render_trajectory(&mut h, manifests);
 
     h.push_str(SCRIPT);
@@ -258,7 +269,7 @@ fn render(
 }
 
 /// Section 1: per-kernel aggregates and counter deltas per traced app.
-fn render_traces(h: &mut String, traces: &[AppTrace]) {
+fn render_traces(h: &mut String, traces: &[AppTrace], out_dir: &Path) {
     h.push_str("<section><h2>Per-kernel aggregates (functional runs)</h2>");
     if traces.is_empty() {
         h.push_str("<p>No apps traced.</p></section>");
@@ -267,13 +278,25 @@ fn render_traces(h: &mut String, traces: &[AppTrace]) {
     for t in traces {
         let _ = write!(
             h,
-            "<details open><summary><b>{}</b> on {} ({}) — sim {}, validation {:.6e}</summary>",
+            "<details open><summary><b>{}</b> on {} ({}) — sim {}, validation {:.6e}",
             esc(&t.app),
             esc(&t.platform),
             esc(&t.toolchain),
             fmt_secs(t.sim_secs),
             t.validation,
         );
+        // Deep-link to the app's Chrome-trace document when `profile`
+        // left one next to the dashboard: a relative href (the file is
+        // a sibling), loadable in Perfetto / chrome://tracing.
+        let trace_file = format!("PROFILE_{}.json", t.app);
+        if out_dir.join(&trace_file).is_file() {
+            let _ = write!(
+                h,
+                " — <a href=\"{0}\" download=\"{0}\">Perfetto trace</a>",
+                esc(&trace_file),
+            );
+        }
+        h.push_str("</summary>");
         if t.delta.spans_dropped > 0 {
             let _ = write!(
                 h,
@@ -811,7 +834,193 @@ fn render_heatmap(h: &mut String, study: &[(PlatformId, Vec<Measurement>)]) {
     h.push_str("</tbody></table></section>");
 }
 
-/// Section 6: trajectory of per-kernel medians across stored manifests.
+/// Section 6: the cross-product study from the last `study` run — a
+/// per-cell status grid (app × platform over every variant), the fleet
+/// counters (retries, restarts, timeouts, utilisation) and the PP̄ rows
+/// computed over exactly what that study executed.
+///
+/// Parsed generically from `STUDY.json` (schema `sycl-study/v1`): the
+/// study crate sits *above* this one in the dependency graph, so the
+/// dashboard reads the document rather than the types.
+fn render_study_run(h: &mut String, out_dir: &Path) {
+    h.push_str("<section><h2>Cross-product study</h2>");
+    let path = out_dir.join("STUDY.json");
+    let doc = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|t| jsonv::parse(&t).ok());
+    let Some(doc) = doc else {
+        h.push_str(
+            "<p>No <code>STUDY.json</code> next to the dashboard — run \
+             <code>cargo run --release -p sycl-study --bin study -- --paper --workers 4</code> \
+             to execute the full cross-product under the crash-tolerant \
+             orchestrator.</p></section>",
+        );
+        return;
+    };
+    let records: Vec<&Json> = match doc.get("records") {
+        Some(Json::Arr(a)) => a.iter().collect(),
+        _ => Vec::new(),
+    };
+    if records.is_empty() || doc.str_of("schema") != Some("sycl-study/v1") {
+        let _ = write!(
+            h,
+            "<p><code>{}</code> is not a readable study document.</p></section>",
+            esc(&path.display().to_string()),
+        );
+        return;
+    }
+
+    let (mut ok, mut holes, mut crashed, mut retried) = (0usize, 0usize, 0usize, 0usize);
+    for r in &records {
+        match r.str_of("status") {
+            Some("ok") => ok += 1,
+            Some("hole") => holes += 1,
+            _ => crashed += 1,
+        }
+        if r.u64_of("attempt").unwrap_or(1) > 1 {
+            retried += 1;
+        }
+    }
+    let _ = write!(
+        h,
+        "<p>Scope <b>{}</b> from <code>{}</code>: {} units — \
+         <b>{ok}</b> measured, <b>{holes}</b> modelled paper holes, \
+         <b>{crashed}</b> crashed after bounded retries; {retried} unit(s) \
+         recovered on attempt &gt; 1.</p>",
+        esc(doc.str_of("scope").unwrap_or("?")),
+        esc(&path.display().to_string()),
+        records.len(),
+    );
+    if let Some(s) = doc.get("stats") {
+        let workers = s.u64_of("workers").unwrap_or(0);
+        let elapsed = s.f64_of("elapsedSecs").unwrap_or(0.0);
+        let busy = s.f64_of("busySecs").unwrap_or(0.0);
+        let util = if workers > 0 && elapsed > 0.0 {
+            busy / (workers as f64 * elapsed) * 100.0
+        } else {
+            0.0
+        };
+        let _ = write!(
+            h,
+            "<p>Fleet: {workers} worker process(es), elapsed {}, busy {}, \
+             utilisation {util:.0}%, retries {}, worker restarts {}, \
+             timeouts {}, resumed from journal {}.</p>",
+            fmt_secs(elapsed),
+            fmt_secs(busy),
+            s.u64_of("retries").unwrap_or(0),
+            s.u64_of("restarts").unwrap_or(0),
+            s.u64_of("timeouts").unwrap_or(0),
+            s.u64_of("resumed").unwrap_or(0),
+        );
+    }
+
+    // Status grid: apps × platforms, each cell summarising that cell's
+    // variant column ("measured/total", ✗ if any variant crashed, ⟲ if
+    // any needed a retry; hover for the per-variant breakdown).
+    let mut platforms: Vec<&str> = Vec::new();
+    let mut apps: Vec<&str> = Vec::new();
+    for r in &records {
+        if let Some(p) = r.str_of("platform") {
+            if !platforms.contains(&p) {
+                platforms.push(p);
+            }
+        }
+        if let Some(a) = r.str_of("app") {
+            if !apps.contains(&a) {
+                apps.push(a);
+            }
+        }
+    }
+    h.push_str("<table class=\"heat\"><thead><tr><th></th>");
+    for p in &platforms {
+        let _ = write!(h, "<th>{}</th>", esc(p));
+    }
+    h.push_str("</tr></thead><tbody>");
+    for app in &apps {
+        let _ = write!(h, "<tr><td>{}</td>", esc(app));
+        for plat in &platforms {
+            let cell: Vec<&&Json> = records
+                .iter()
+                .filter(|r| r.str_of("app") == Some(app) && r.str_of("platform") == Some(plat))
+                .collect();
+            if cell.is_empty() {
+                h.push_str("<td class=\"hole\">-</td>");
+                continue;
+            }
+            let c_ok = cell
+                .iter()
+                .filter(|r| r.str_of("status") == Some("ok"))
+                .count();
+            let c_crash = cell
+                .iter()
+                .filter(|r| r.str_of("status") == Some("crashed"))
+                .count();
+            let c_retry = cell
+                .iter()
+                .filter(|r| r.u64_of("attempt").unwrap_or(1) > 1)
+                .count();
+            let mut tip = String::new();
+            for r in &cell {
+                let _ = writeln!(
+                    tip,
+                    "{} {}{}: {}{}",
+                    r.str_of("toolchain").unwrap_or("?"),
+                    if r.get("ndRange").map(|b| matches!(b, Json::Bool(true))) == Some(true) {
+                        "ndrange"
+                    } else {
+                        "flat"
+                    },
+                    r.str_of("scheme")
+                        .map(|s| format!(" #{s}"))
+                        .unwrap_or_default(),
+                    r.str_of("status").unwrap_or("?"),
+                    r.str_of("failure")
+                        .map(|f| format!(" ({f})"))
+                        .unwrap_or_default(),
+                );
+            }
+            let bg = if c_crash > 0 {
+                "#f3c2c2".to_owned()
+            } else {
+                eff_colour(c_ok as f64 / cell.len() as f64)
+            };
+            let _ = write!(
+                h,
+                "<td class=\"n\" style=\"background:{bg}\" title=\"{}\">{c_ok}/{}{}{}</td>",
+                esc(tip.trim_end()),
+                cell.len(),
+                if c_crash > 0 { " ✗" } else { "" },
+                if c_retry > 0 { " ⟲" } else { "" },
+            );
+        }
+        h.push_str("</tr>");
+    }
+    h.push_str("</tbody></table>");
+
+    if let Some(Json::Arr(pp)) = doc.get("pp") {
+        if !pp.is_empty() {
+            h.push_str(
+                "<h3>PP̄ over the merged study</h3>\
+                 <p>Harmonic-mean performance portability computed from the \
+                 journaled records — exactly the cells this study ran, crashes \
+                 excluded.</p>\
+                 <table><thead><tr><th>configuration</th><th>PP̄</th></tr></thead><tbody>",
+            );
+            for row in pp {
+                let _ = write!(
+                    h,
+                    "<tr><td>{}</td><td class=\"n\">{:.2}</td></tr>",
+                    esc(row.str_of("label").unwrap_or("?")),
+                    row.f64_of("value").unwrap_or(0.0),
+                );
+            }
+            h.push_str("</tbody></table>");
+        }
+    }
+    h.push_str("</section>");
+}
+
+/// Section 7: trajectory of per-kernel medians across stored manifests.
 fn render_trajectory(h: &mut String, manifests: &[StoredManifest]) {
     h.push_str("<section><h2>Baseline trajectory</h2>");
     if manifests.is_empty() {

@@ -379,6 +379,7 @@ fn manifest(entries: &[Entry], reps: u32, counters: telemetry::CounterSnapshot) 
                 sim_secs: 0.0,
                 bytes: e.bytes_moved,
                 gbps: e.gbps(),
+                origin: None,
             }
         })
         .collect();

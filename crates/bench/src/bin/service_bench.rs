@@ -63,6 +63,7 @@ fn summary_kernel(name: &str, wall: Summary, samples: Vec<f64>, sim_secs: f64) -
         sim_secs,
         bytes: 0.0,
         gbps: 0.0,
+        origin: None,
     }
 }
 

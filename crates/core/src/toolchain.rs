@@ -48,6 +48,22 @@ impl Toolchain {
         }
     }
 
+    /// Parse a label as produced by [`Toolchain::label`] (the study
+    /// runner's wire format round-trips toolchains by label).
+    pub fn parse(s: &str) -> Option<Toolchain> {
+        Some(match s {
+            "CUDA" => Toolchain::NativeCuda,
+            "HIP" => Toolchain::NativeHip,
+            "OMP-offload" => Toolchain::OmpOffload,
+            "MPI" => Toolchain::Mpi,
+            "MPI+OpenMP" => Toolchain::MpiOpenMp,
+            "OpenMP" => Toolchain::OpenMp,
+            "DPC++" => Toolchain::Dpcpp,
+            "OpenSYCL" => Toolchain::OpenSycl,
+            _ => return None,
+        })
+    }
+
     /// Is this one of the two SYCL compilers?
     pub fn is_sycl(self) -> bool {
         matches!(self, Toolchain::Dpcpp | Toolchain::OpenSycl)
@@ -400,6 +416,11 @@ impl Scheme {
     pub fn all() -> [Scheme; 3] {
         [Scheme::Atomics, Scheme::GlobalColor, Scheme::HierColor]
     }
+
+    /// Parse a label as produced by [`Scheme::label`].
+    pub fn parse(s: &str) -> Option<Scheme> {
+        Scheme::all().into_iter().find(|k| k.label() == s)
+    }
 }
 
 /// Clamp a work-group shape to the iteration domain.
@@ -415,6 +436,21 @@ fn clamp_shape(shape: [usize; 3], domain: [usize; 3]) -> [usize; 3] {
 mod tests {
     use super::*;
     use machine_model::{platform, AccessProfile, KernelFootprint, Precision, StencilProfile};
+
+    #[test]
+    fn labels_round_trip_through_parse() {
+        use Toolchain::*;
+        for tc in [
+            NativeCuda, NativeHip, OmpOffload, Mpi, MpiOpenMp, OpenMp, Dpcpp, OpenSycl,
+        ] {
+            assert_eq!(Toolchain::parse(tc.label()), Some(tc));
+        }
+        assert_eq!(Toolchain::parse("C++"), None);
+        for s in Scheme::all() {
+            assert_eq!(Scheme::parse(s.label()), Some(s));
+        }
+        assert_eq!(Scheme::parse("colour"), None);
+    }
 
     fn stencil_kernel(domain: [usize; 3]) -> Kernel {
         let pts: usize = domain.iter().map(|&d| d.max(1)).product();

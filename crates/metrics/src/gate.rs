@@ -266,6 +266,7 @@ mod tests {
                         sim_secs: 0.0,
                         bytes: 0.0,
                         gbps: 0.0,
+                        origin: None,
                     }
                 })
                 .collect(),

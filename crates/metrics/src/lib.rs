@@ -47,6 +47,6 @@ pub mod stats;
 
 pub use gate::{GateConfig, GateReport, KernelVerdict, Verdict};
 pub use hist::{Histogram, Summary};
-pub use manifest::{KernelSummary, RunManifest};
+pub use manifest::{merge_manifests, KernelSummary, Provenance, RunManifest};
 pub use registry::{ingest_events, kernel_stats, registry, Registry};
 pub use stats::{bootstrap_ratio_ci, median, quartiles, Tolerance};

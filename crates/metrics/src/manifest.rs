@@ -21,6 +21,22 @@ use telemetry::CounterSnapshot;
 /// Schema tag written into every manifest.
 pub const SCHEMA: &str = "sycl-metrics/manifest-v1";
 
+/// Which process produced a kernel entry, and on which try.
+///
+/// Manifests merged from a fleet of worker processes (the `study`
+/// orchestrator) keep this so a suspicious cell can be traced back to
+/// the worker — and the attempt number — that measured it. Absent
+/// (`None`) for single-process manifests; old documents without the
+/// field parse as `None`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Provenance {
+    /// Worker index within the fleet (0 for a serial run).
+    pub worker: u32,
+    /// 1-based attempt that produced the value (> 1 means the unit was
+    /// retried after a crash or timeout).
+    pub attempt: u32,
+}
+
 /// One kernel's (or phase's) measurements within a run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct KernelSummary {
@@ -35,6 +51,8 @@ pub struct KernelSummary {
     pub bytes: f64,
     /// Achieved bandwidth, GB/s (under the simulated clock when priced).
     pub gbps: f64,
+    /// Worker/attempt that produced this entry (merged studies only).
+    pub origin: Option<Provenance>,
 }
 
 /// One bench/profile run, as persisted.
@@ -152,6 +170,13 @@ impl RunManifest {
             w.key("simSecs").number(k.sim_secs);
             w.key("bytes").number(k.bytes);
             w.key("gbps").number(k.gbps);
+            if let Some(p) = k.origin {
+                w.key("origin");
+                w.begin_object();
+                w.key("worker").int(p.worker as u64);
+                w.key("attempt").int(p.attempt as u64);
+                w.end_object();
+            }
             w.key("samples").begin_array();
             for &s in &k.samples {
                 w.number(s);
@@ -192,6 +217,15 @@ impl RunManifest {
                     sim_secs: k.f64_of("simSecs").ok_or("kernel missing 'simSecs'")?,
                     bytes: k.f64_of("bytes").ok_or("kernel missing 'bytes'")?,
                     gbps: k.f64_of("gbps").ok_or("kernel missing 'gbps'")?,
+                    // Optional: single-process manifests (and all
+                    // documents written before the study runner) have
+                    // no origin.
+                    origin: k.get("origin").and_then(|o| {
+                        Some(Provenance {
+                            worker: o.u64_of("worker")? as u32,
+                            attempt: o.u64_of("attempt")? as u32,
+                        })
+                    }),
                 })
             })
             .collect::<Result<Vec<_>, _>>()?;
@@ -234,6 +268,81 @@ impl RunManifest {
     }
 }
 
+/// Field-wise sum of two counter snapshots (for merged manifests).
+fn counters_sum(a: &CounterSnapshot, b: &CounterSnapshot) -> CounterSnapshot {
+    CounterSnapshot {
+        launches: a.launches + b.launches,
+        pricing_cache_hits: a.pricing_cache_hits + b.pricing_cache_hits,
+        pricing_cache_misses: a.pricing_cache_misses + b.pricing_cache_misses,
+        regions: a.regions + b.regions,
+        steals: a.steals + b.steals,
+        parks: a.parks + b.parks,
+        wakes: a.wakes + b.wakes,
+        bytes_moved: a.bytes_moved + b.bytes_moved,
+        spans_dropped: a.spans_dropped + b.spans_dropped,
+    }
+}
+
+/// Merge `parts` (e.g. one manifest per worker or per CI shard) into one
+/// manifest named `name`.
+///
+/// Kernels keep their part order (parts in argument order, kernels in
+/// their part's order). When the same kernel name appears in several
+/// parts, the entries collapse into one: the raw samples concatenate and
+/// the wall summary is **rebuilt from the combined samples** — lossless,
+/// because samples are the raw per-repetition values the summaries were
+/// derived from (what makes a histogram re-derivable is exactly why
+/// manifests carry the samples at all). `sim_secs`/`bytes`/`gbps` and
+/// the origin come from the first part that reported the kernel (they
+/// describe the deterministic priced run, identical across workers by
+/// the determinism guarantee). Counters sum; `threads`/`repetitions`
+/// take the max; `platform`/`git_rev` are kept when unanimous and
+/// become `"mixed"` otherwise.
+pub fn merge_manifests(name: &str, parts: &[RunManifest]) -> RunManifest {
+    let mut kernels: Vec<KernelSummary> = Vec::new();
+    let mut counters = CounterSnapshot::default();
+    let mut threads = 0u32;
+    let mut repetitions = 0u32;
+    let mut created = 0u64;
+    let unanimous = |pick: fn(&RunManifest) -> &str| -> String {
+        let mut vals = parts.iter().map(pick);
+        match vals.next() {
+            None => "unknown".to_owned(),
+            Some(first) if vals.all(|v| v == first) => first.to_owned(),
+            Some(_) => "mixed".to_owned(),
+        }
+    };
+    for part in parts {
+        counters = counters_sum(&counters, &part.counters);
+        threads = threads.max(part.threads);
+        repetitions = repetitions.max(part.repetitions);
+        created = created.max(part.created_unix_secs);
+        for k in &part.kernels {
+            match kernels.iter_mut().find(|m| m.name == k.name) {
+                None => kernels.push(k.clone()),
+                Some(merged) => {
+                    merged.samples.extend_from_slice(&k.samples);
+                    let mut h = crate::hist::Histogram::new();
+                    for &s in &merged.samples {
+                        h.record(s);
+                    }
+                    merged.wall = h.summary();
+                }
+            }
+        }
+    }
+    RunManifest {
+        name: name.to_owned(),
+        git_rev: unanimous(|m| &m.git_rev),
+        platform: unanimous(|m| &m.platform),
+        threads,
+        repetitions,
+        created_unix_secs: created,
+        kernels,
+        counters,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -259,6 +368,10 @@ mod tests {
                     sim_secs: 2.5e-4,
                     bytes: 2.4e7,
                     gbps: 96.0,
+                    origin: Some(Provenance {
+                        worker: 3,
+                        attempt: 2,
+                    }),
                 },
                 KernelSummary {
                     name: "halo".into(),
@@ -267,6 +380,7 @@ mod tests {
                     sim_secs: 0.0,
                     bytes: 0.0,
                     gbps: 0.0,
+                    origin: None,
                 },
             ],
             counters: CounterSnapshot {
@@ -335,5 +449,113 @@ mod tests {
     fn git_rev_never_panics() {
         let r = git_rev();
         assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn manifests_without_origin_still_parse() {
+        // Documents written before the provenance field must keep
+        // loading, with `origin: None`.
+        let text = sample_manifest().to_json();
+        let stripped = {
+            // Remove the whole origin object from the serialised form.
+            let start = text.find("\"origin\":").unwrap();
+            let end = text[start..].find('}').unwrap() + start + 1;
+            let mut t = text.clone();
+            t.replace_range(start..end + 1, ""); // `},` after the object
+            t
+        };
+        let back = RunManifest::parse(&stripped).unwrap();
+        assert_eq!(back.kernels[0].origin, None);
+        assert_eq!(back.kernels[0].samples.len(), 3);
+    }
+
+    #[test]
+    fn merge_disjoint_parts_is_concatenation() {
+        let mut a = sample_manifest();
+        a.name = "shard1".into();
+        let mut b = sample_manifest();
+        b.name = "shard2".into();
+        b.kernels = vec![KernelSummary {
+            name: "other".into(),
+            wall: Summary::default(),
+            samples: vec![],
+            sim_secs: 1.0,
+            bytes: 8.0,
+            gbps: 8e-9,
+            origin: Some(Provenance {
+                worker: 1,
+                attempt: 1,
+            }),
+        }];
+        let merged = merge_manifests("study", &[a.clone(), b.clone()]);
+        assert_eq!(merged.name, "study");
+        assert_eq!(merged.kernels.len(), a.kernels.len() + 1);
+        assert_eq!(merged.kernels[0], a.kernels[0], "part order preserved");
+        assert_eq!(merged.kernels.last().unwrap().name, "other");
+        assert_eq!(
+            merged.counters.launches,
+            a.counters.launches + b.counters.launches
+        );
+        assert_eq!(merged.platform, "xeon-8360y", "unanimous platform kept");
+        // Round-trips with provenance intact.
+        let back = RunManifest::parse(&merged.to_json()).unwrap();
+        assert_eq!(back, merged);
+    }
+
+    #[test]
+    fn merge_colliding_kernels_rebuilds_summary_losslessly() {
+        // Split one sample set across two parts; the merged summary must
+        // equal the summary of a histogram over all samples at once.
+        let all: Vec<f64> = (1..=40).map(|i| i as f64 * 1e-4).collect();
+        let mk = |samples: &[f64], worker: u32| {
+            let mut h = Histogram::new();
+            for &s in samples {
+                h.record(s);
+            }
+            RunManifest {
+                kernels: vec![KernelSummary {
+                    name: "cell".into(),
+                    wall: h.summary(),
+                    samples: samples.to_vec(),
+                    sim_secs: 0.5,
+                    bytes: 0.0,
+                    gbps: 0.0,
+                    origin: Some(Provenance { worker, attempt: 1 }),
+                }],
+                ..sample_manifest()
+            }
+        };
+        let merged = merge_manifests("m", &[mk(&all[..15], 0), mk(&all[15..], 1)]);
+        let mut whole = Histogram::new();
+        for &s in &all {
+            whole.record(s);
+        }
+        assert_eq!(merged.kernels.len(), 1);
+        let k = &merged.kernels[0];
+        assert_eq!(k.samples, all, "samples concatenate in part order");
+        assert_eq!(k.wall, whole.summary(), "summary rebuilt from raw samples");
+        assert_eq!(
+            k.origin,
+            Some(Provenance {
+                worker: 0,
+                attempt: 1
+            }),
+            "first reporter's provenance wins"
+        );
+        assert_eq!(k.sim_secs, 0.5);
+    }
+
+    #[test]
+    fn merge_disagreeing_metadata_becomes_mixed() {
+        let a = sample_manifest();
+        let mut b = sample_manifest();
+        b.platform = "a100".into();
+        b.git_rev = "fff0000".into();
+        b.threads = 64;
+        let merged = merge_manifests("m", &[a, b]);
+        assert_eq!(merged.platform, "mixed");
+        assert_eq!(merged.git_rev, "mixed");
+        assert_eq!(merged.threads, 64);
+        assert!(merge_manifests("empty", &[]).kernels.is_empty());
     }
 }

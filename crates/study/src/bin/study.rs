@@ -1,0 +1,200 @@
+//! `study` — run the paper's cross-product as one command.
+//!
+//! ```text
+//! study --paper --workers 4            # the full study, 4 processes
+//! study --smoke                        # CI-sized subset
+//! study --paper --shard 1/2            # one CI shard
+//! study --paper --resume               # continue an interrupted run
+//! study --chaos 0.2 --chaos-seed 7     # fault-injected run
+//! study --merge OUT.json A.json B.json # merge shard documents
+//! ```
+//!
+//! Writes `<out>/STUDY[_shard<i>of<n>].json` (the study document) and
+//! `<out>/BENCH_study[_shard<i>of<n>].json` (the merged manifest) and
+//! prints the per-status counts, fleet stats and PP̄ table.
+//!
+//! `--worker <id>` is the internal mode the orchestrator re-executes
+//! this binary into; it speaks the framed protocol on stdin/stdout.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+use study::orchestrator::{run_study, StudyConfig};
+use study::report::{merge_docs, pp_rows, StudyDoc};
+use study::unit::Scope;
+use study::{merged_manifest, worker_cli, UnitStatus};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--worker") {
+        return ExitCode::from(worker_cli(&args) as u8);
+    }
+    if args.first().map(String::as_str) == Some("--merge") {
+        return match merge_cli(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("study --merge: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    match study_cli(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("study: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn study_cli(args: &[String]) -> Result<(), String> {
+    let mut cfg = StudyConfig::new(Scope::Smoke);
+    let mut out_dir = PathBuf::from("results");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |what: &str| -> Result<&String, String> {
+            it.next().ok_or(format!("{what} needs a value"))
+        };
+        match a.as_str() {
+            "--paper" => cfg.scope = Scope::Paper,
+            "--smoke" => cfg.scope = Scope::Smoke,
+            "--workers" => cfg.workers = parse(val("--workers")?)?,
+            "--reps" => cfg.reps = parse(val("--reps")?)?,
+            "--shard" => {
+                let v = val("--shard")?;
+                let (i, n) = v
+                    .split_once('/')
+                    .ok_or_else(|| format!("--shard wants i/n, got '{v}'"))?;
+                let (i, n) = (parse::<usize>(i)?, parse::<usize>(n)?);
+                if n == 0 || i == 0 || i > n {
+                    return Err(format!("--shard {i}/{n} out of range"));
+                }
+                cfg.shard = Some((i, n));
+            }
+            "--chaos" => cfg.chaos = parse(val("--chaos")?)?,
+            "--chaos-seed" => cfg.chaos_seed = parse(val("--chaos-seed")?)?,
+            "--timeout-secs" => cfg.timeout = Duration::from_secs(parse(val("--timeout-secs")?)?),
+            "--max-attempts" => cfg.max_attempts = parse::<u32>(val("--max-attempts")?)?.max(1),
+            "--journal" => cfg.journal = Some(PathBuf::from(val("--journal")?)),
+            "--resume" => cfg.resume = true,
+            "--out" => out_dir = PathBuf::from(val("--out")?),
+            other => return Err(format!("unknown flag '{other}' (see crate docs)")),
+        }
+    }
+    let suffix = match cfg.shard {
+        Some((i, n)) => format!("_shard{i}of{n}"),
+        None => String::new(),
+    };
+    if cfg.journal.is_none() {
+        cfg.journal = Some(out_dir.join(format!("study{suffix}.journal")));
+    }
+    if cfg.workers > 0 {
+        let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+        cfg.worker_cmd = vec![exe.to_string_lossy().into_owned()];
+    }
+
+    let outcome = run_study(&cfg)?;
+    let doc = StudyDoc {
+        scope: cfg.scope,
+        shard: cfg.shard,
+        workers: cfg.workers as u32,
+        stats: outcome.stats,
+        records: outcome.records,
+    };
+    std::fs::create_dir_all(&out_dir).map_err(|e| format!("create {}: {e}", out_dir.display()))?;
+    let study_path = out_dir.join(format!("STUDY{suffix}.json"));
+    std::fs::write(&study_path, doc.to_json()).map_err(|e| e.to_string())?;
+    let manifest_path = out_dir.join(format!("BENCH_study{suffix}.json"));
+    std::fs::write(&manifest_path, outcome.merged.to_json()).map_err(|e| e.to_string())?;
+
+    print_summary(&doc);
+    println!(
+        "\nwrote {} and {}",
+        study_path.display(),
+        manifest_path.display()
+    );
+    let (_, _, crashed) = doc.status_counts();
+    if crashed > 0 {
+        println!("note: {crashed} unit(s) crashed after bounded retries — see 'crashed' records");
+    }
+    Ok(())
+}
+
+fn merge_cli(args: &[String]) -> Result<(), String> {
+    let (out, inputs) = args
+        .split_first()
+        .ok_or("usage: study --merge OUT.json SHARD.json...")?;
+    if inputs.is_empty() {
+        return Err("usage: study --merge OUT.json SHARD.json...".into());
+    }
+    let docs = inputs
+        .iter()
+        .map(|p| {
+            let text = std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"))?;
+            StudyDoc::parse(&text).map_err(|e| format!("{p}: {e}"))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let merged = merge_docs(&docs)?;
+    let manifest = merged_manifest("study", &merged.records);
+    std::fs::write(out, merged.to_json()).map_err(|e| format!("{out}: {e}"))?;
+    let manifest_out = PathBuf::from(out)
+        .with_file_name("BENCH_study.json")
+        .to_string_lossy()
+        .into_owned();
+    std::fs::write(&manifest_out, manifest.to_json())
+        .map_err(|e| format!("{manifest_out}: {e}"))?;
+    print_summary(&merged);
+    println!("\nwrote {out} and {manifest_out}");
+    Ok(())
+}
+
+fn print_summary(doc: &StudyDoc) {
+    let (ok, holes, crashed) = doc.status_counts();
+    let shard = match doc.shard {
+        Some((i, n)) => format!(" shard {i}/{n}"),
+        None => String::new(),
+    };
+    println!(
+        "study scope={}{} units={} ok={} holes={} crashed={}",
+        doc.scope.label(),
+        shard,
+        doc.records.len(),
+        ok,
+        holes,
+        crashed
+    );
+    let s = &doc.stats;
+    let util = if s.workers > 0 && s.elapsed_secs > 0.0 {
+        s.busy_secs / (s.workers as f64 * s.elapsed_secs)
+    } else {
+        0.0
+    };
+    println!(
+        "fleet: workers={} elapsed={:.2}s busy={:.2}s utilisation={:.0}% retries={} restarts={} timeouts={} resumed={}",
+        s.workers, s.elapsed_secs, s.busy_secs, util * 100.0, s.retries, s.restarts, s.timeouts, s.resumed
+    );
+    let max_attempt = doc.records.iter().map(|r| r.attempt).max().unwrap_or(1);
+    if max_attempt > 1 {
+        let retried = doc.records.iter().filter(|r| r.attempt > 1).count();
+        println!(
+            "recovery: {retried} unit(s) completed on attempt > 1 (max attempt {max_attempt})"
+        );
+    }
+    println!("\nPP̄ over the merged study (harmonic mean of efficiencies):");
+    for (label, value) in pp_rows(&doc.records) {
+        println!("  {label:28} {value:.2}");
+    }
+    let crashed_ids: Vec<String> = doc
+        .records
+        .iter()
+        .filter(|r| matches!(r.status, UnitStatus::Crashed))
+        .map(|r| r.id())
+        .collect();
+    if !crashed_ids.is_empty() {
+        println!("\ncrashed units: {}", crashed_ids.join(", "));
+    }
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("cannot parse '{s}'"))
+}

@@ -13,8 +13,10 @@ use crate::json::JsonWriter;
 use crate::ring::{Event, SpanKind};
 use std::collections::HashMap;
 
-/// Write one event as a Chrome `trace_event` object.
-fn chrome_event(w: &mut JsonWriter, e: &Event) {
+/// Write one event as a Chrome `trace_event` object. `pid` is the
+/// process identity under which the event is attributed (the study
+/// worker slot in a multi-process run, 0 for a solo process).
+fn chrome_event(w: &mut JsonWriter, e: &Event, pid: u32) {
     w.begin_object();
     w.key("name").string(e.name.as_str());
     w.key("cat").string(e.kind.label());
@@ -22,7 +24,7 @@ fn chrome_event(w: &mut JsonWriter, e: &Event) {
     // Chrome wants microseconds; keep sub-µs precision as a fraction.
     w.key("ts").number(e.start_ns as f64 / 1e3);
     w.key("dur").number(e.dur_ns as f64 / 1e3);
-    w.key("pid").int(0);
+    w.key("pid").int(pid as u64);
     w.key("tid").int(e.thread as u64);
     w.key("args").begin_object();
     w.key("items").int(e.items);
@@ -33,12 +35,37 @@ fn chrome_event(w: &mut JsonWriter, e: &Event) {
     w.end_object();
 }
 
+/// The `process_name` metadata record Perfetto uses to label a process
+/// track. Phase `"M"` events carry no duration; the `cat` key is kept
+/// so consumers that index every event by category don't have to
+/// special-case metadata.
+fn process_name_event(w: &mut JsonWriter, pid: u32, label: &str) {
+    w.begin_object();
+    w.key("name").string("process_name");
+    w.key("cat").string("meta");
+    w.key("ph").string("M");
+    w.key("pid").int(pid as u64);
+    w.key("tid").int(0);
+    w.key("args").begin_object();
+    w.key("name").string(label);
+    w.end_object();
+    w.end_object();
+}
+
 /// Write the `traceEvents` array (just the array — callers embed it in
-/// their own document, as the `profile` binary does).
+/// their own document, as the `profile` binary does). When a process
+/// identity has been installed ([`crate::set_process_ident`]) every
+/// span is attributed to that pid and the array opens with a
+/// `process_name` metadata event naming the worker.
 pub fn chrome_trace_events(w: &mut JsonWriter, events: &[Event]) {
+    let ident = crate::process_ident();
+    let pid = ident.as_ref().map_or(0, |(id, _)| *id);
     w.begin_array();
+    if let Some((id, label)) = &ident {
+        process_name_event(w, *id, label);
+    }
     for e in events {
-        chrome_event(w, e);
+        chrome_event(w, e, pid);
     }
     w.end_array();
 }

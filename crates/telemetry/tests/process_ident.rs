@@ -1,0 +1,49 @@
+//! Per-worker span attribution in the Chrome exporter.
+//!
+//! Lives in its own test binary because the process identity is
+//! (deliberately) process-global: a study worker declares who it is
+//! once, and every trace it exports afterwards is attributed to it.
+
+use telemetry::json::JsonWriter;
+use telemetry::{chrome_trace, chrome_trace_events, Event, Name, SpanKind};
+
+fn launch(start: u64) -> Event {
+    Event {
+        seq: start,
+        kind: SpanKind::Launch,
+        name: Name::Static("triad"),
+        start_ns: start,
+        dur_ns: 50,
+        thread: 1,
+        items: 10,
+        bytes: 8e6,
+        sim_secs: 1e-4,
+    }
+}
+
+#[test]
+fn ident_attributes_pid_and_names_the_process() {
+    // Before any identity is installed: solo-process defaults.
+    let before = chrome_trace(&[launch(100)]);
+    telemetry::json::validate(&before).unwrap();
+    assert!(before.contains("\"pid\": 0"));
+    assert!(!before.contains("process_name"));
+
+    telemetry::set_process_ident(3, "worker-3");
+    assert_eq!(telemetry::process_ident(), Some((3, "worker-3".into())));
+
+    let mut w = JsonWriter::new();
+    chrome_trace_events(&mut w, &[launch(100), launch(200)]);
+    let doc = w.finish();
+    telemetry::json::validate(&doc).unwrap();
+    // Every span carries the worker's pid...
+    assert_eq!(doc.matches("\"pid\": 3").count(), 3);
+    assert!(!doc.contains("\"pid\": 0"));
+    // ...and the array opens with a process_name metadata event that
+    // still has a `cat` (consumers index every event by category).
+    assert!(doc.contains("\"name\": \"process_name\""));
+    assert!(doc.contains("\"ph\": \"M\""));
+    assert!(doc.contains("\"cat\": \"meta\""));
+    assert!(doc.contains("\"name\": \"worker-3\""));
+    assert_eq!(doc.matches("\"ph\": \"X\"").count(), 2);
+}
