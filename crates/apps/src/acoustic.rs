@@ -171,7 +171,8 @@ fn record_acoustic_iter<'a>(
     amp_bits: &'a std::sync::atomic::AtomicU32,
 ) {
     g.phase("halo_exchange");
-    halo.record_exchange(g, 1);
+    // Only the radius-4 stencil field needs fresh halos.
+    halo.record_exchange_for(g, &[cur_m]);
     g.end_phase();
 
     // Continuous Ricker-style source injection (tiny loop).

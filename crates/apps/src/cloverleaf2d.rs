@@ -219,7 +219,10 @@ impl App for CloverLeaf2d {
             // -- update_halo: reflective boundaries (the latency probe) --
             g.phase("update_halo");
             record_update_halo(&mut g, &logical, [(d, dm), (e, em), (p, pm)], nd);
-            halo.record_exchange(&mut g, 6);
+            // The six stencil-read-after-write fields: density (flux_calc,
+            // advec_mom), velocities (viscosity, pdv), pressure
+            // (accelerate), and both face fluxes (advec_cell).
+            halo.record_exchange_for(&mut g, &[dm, um, vm, pm, fxm, fym]);
             g.end_phase();
 
             // -- calc_dt: CFL reduction ----------------------------------

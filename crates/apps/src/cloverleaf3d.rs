@@ -160,7 +160,10 @@ impl App for CloverLeaf3d {
             // update_halo: six faces.
             g.phase("update_halo");
             record_update_halo(&mut g, &logical, [(d, dm), (e, em), (p, pm)], nd);
-            halo.record_exchange(&mut g, 7);
+            // Seven exchanged fields: the stencil-read-after-write set
+            // (density + the three face fluxes) plus the state fields
+            // the real CloverLeaf refreshes alongside them.
+            halo.record_exchange_for(&mut g, &[dm, em, pm, sm, fms[0], fms[1], fms[2]]);
             g.end_phase();
 
             // calc_dt

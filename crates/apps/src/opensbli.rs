@@ -187,7 +187,9 @@ impl App for OpenSbli {
                 for v in 0..N_VARS {
                     Self::record_periodic_halo(&mut g, &logical, qw[v], qm[v], nd);
                 }
-                halo.record_exchange(&mut g, N_VARS);
+                // Each stage exchanges the five state fields the
+                // derivative stencils read.
+                halo.record_exchange_for(&mut g, &qm);
                 g.end_phase();
 
                 match self.variant {

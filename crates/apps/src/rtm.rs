@@ -170,7 +170,8 @@ fn record_rtm_iter<'a>(
 ) {
     let interior = logical.interior();
     g.phase("halo_exchange");
-    halo.record_exchange(g, 1);
+    // Only the radius-4 stencil field needs fresh halos.
+    halo.record_exchange_for(g, &[cur_m]);
     g.end_phase();
 
     g.phase("wave_step");

@@ -1,7 +1,7 @@
 //! `analyze` — run every application under the `sycl-verify` passes.
 //!
 //! ```text
-//! analyze [--app <name>] [--platform <label>] [--smoke]
+//! analyze [--app <name>] [--platform <label>] [--smoke] [--deny-warnings]
 //! ```
 //!
 //! * default — verify all seven applications (`mgcfd` under all three
@@ -11,7 +11,9 @@
 //! * `--platform` — `a100` (default), `mi250x`, `max1100`, `xeon8360y`,
 //!   `genoax`, `altra`; the platform's best native toolchain is used;
 //! * `--smoke` — the CI subset: CloverLeaf 2D plus MG-CFD under all
-//!   three schemes.
+//!   three schemes;
+//! * `--deny-warnings` — treat `Warning` findings like `Error`s for the
+//!   exit status.
 //!
 //! Each app runs its functional test size with shadow-access recording
 //! attached; the access / plan / footprint findings land on stdout and
@@ -21,7 +23,7 @@
 use bench_harness::json::{validate, write_results_file};
 use miniapps::{Acoustic, App, CloverLeaf2d, CloverLeaf3d, Mgcfd, OpenSbli, Rtm, SbliVariant};
 use sycl_sim::{PlatformId, Scheme, Session, SessionConfig, Toolchain};
-use verify::{report, Diagnostic, Verifier};
+use verify::{report, Diagnostic, Severity, Verifier};
 
 /// The platform's best native toolchain (the Table-1 pairing).
 fn native_toolchain(p: PlatformId) -> Toolchain {
@@ -81,6 +83,7 @@ fn targets_for(app: &str) -> Vec<Target> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let deny_warnings = args.iter().any(|a| a == "--deny-warnings");
     let platform = args
         .iter()
         .position(|a| a == "--platform")
@@ -165,23 +168,14 @@ fn main() {
             for d in &diags {
                 println!("  [{}] {} `{}`: {}", d.severity, d.pass, d.kernel, d.detail);
             }
-            any_errors |= verify::has_errors(&diags);
+            any_errors |= verify::has_errors(&diags)
+                || (deny_warnings && diags.iter().any(|d| d.severity >= Severity::Warning));
             app_diags.extend(diags);
         }
 
-        // mgcfd merges its three scheme runs into one document; drop
-        // repeats the schemes share.
-        let mut seen: Vec<(String, String)> = Vec::new();
-        app_diags.retain(|d| {
-            let key = (d.kernel.clone(), d.detail.clone());
-            if seen.contains(&key) {
-                false
-            } else {
-                seen.push(key);
-                true
-            }
-        });
-
+        // mgcfd merges its three scheme runs into one document; the
+        // writer collapses the repeats the schemes share into counted
+        // entries.
         let doc = report::render_app_report(app_name, &app_diags);
         debug_assert!(validate(&doc).is_ok());
         let file = format!("VERIFY_{app_name}.json");
@@ -195,7 +189,7 @@ fn main() {
     }
 
     if any_errors {
-        eprintln!("analyze: Error-severity findings (see above)");
+        eprintln!("analyze: failing findings (see above)");
         std::process::exit(1);
     }
     println!("analyze OK: no Error-severity findings");

@@ -30,7 +30,10 @@
 //! 5. the portability (efficiency) heatmap and PP̄ table;
 //! 6. the cross-product study from the last `study` run (`STUDY.json`):
 //!    per-cell status grid, retries, fleet utilisation and its PP̄ rows;
-//! 7. baseline trajectory across every stored `BENCH_*.json` manifest.
+//! 7. graph lint: the static dataflow findings from the last
+//!    `graphlint` run (`LINT_<app>.json`) — per-app severity tallies
+//!    plus every Error/Warning and fusion-candidate finding;
+//! 8. baseline trajectory across every stored `BENCH_*.json` manifest.
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -261,6 +264,7 @@ fn render(
         render_heatmap(&mut h, study);
     }
     render_study_run(&mut h, out_dir);
+    render_graphlint(&mut h, out_dir);
     render_trajectory(&mut h, manifests);
 
     h.push_str(SCRIPT);
@@ -1020,7 +1024,92 @@ fn render_study_run(h: &mut String, out_dir: &Path) {
     h.push_str("</section>");
 }
 
-/// Section 7: trajectory of per-kernel medians across stored manifests.
+/// Section 7: static graph-lint findings from the last `graphlint` run.
+fn render_graphlint(h: &mut String, out_dir: &Path) {
+    h.push_str("<section><h2>Graph lint</h2>");
+    let docs: Vec<(&str, Json)> = APP_NAMES
+        .iter()
+        .filter_map(|app| {
+            let path = out_dir.join(format!("LINT_{app}.json"));
+            let doc = std::fs::read_to_string(path)
+                .ok()
+                .and_then(|t| jsonv::parse(&t).ok())?;
+            Some((*app, doc))
+        })
+        .collect();
+    if docs.is_empty() {
+        h.push_str(
+            "<p>No <code>LINT_*.json</code> next to the dashboard — run \
+             <code>cargo run --release -p bench-harness --bin graphlint</code> \
+             to statically lint every application's recorded launch \
+             graphs.</p></section>",
+        );
+        return;
+    }
+
+    h.push_str(
+        "<p>Static dataflow analysis over the recorded launch graphs: \
+         hazards, halo-exchange coverage, dead code and fusion \
+         candidates with modelled savings.</p>\
+         <table><thead><tr><th>app</th><th>errors</th><th>warnings</th>\
+         <th>infos</th></tr></thead><tbody>",
+    );
+    for (app, doc) in &docs {
+        let errors = doc.u64_of("errors").unwrap_or(0);
+        let cls = if errors > 0 { " class=\"bad\"" } else { "" };
+        let _ = write!(
+            h,
+            "<tr><td><code>{}</code></td><td{cls}>{errors}</td><td>{}</td><td>{}</td></tr>",
+            esc(app),
+            doc.u64_of("warnings").unwrap_or(0),
+            doc.u64_of("infos").unwrap_or(0),
+        );
+    }
+    h.push_str("</tbody></table>");
+
+    // Every Error/Warning, plus the fusion candidates: the findings a
+    // reader acts on.
+    let mut shown = false;
+    for (app, doc) in &docs {
+        let Some(Json::Arr(diags)) = doc.get("diagnostics") else {
+            continue;
+        };
+        for d in diags {
+            let severity = d.str_of("severity").unwrap_or("?");
+            let detail = d.str_of("detail").unwrap_or("");
+            let interesting = severity != "info" || detail.starts_with("fusion candidate");
+            if !interesting {
+                continue;
+            }
+            if !shown {
+                h.push_str("<ul>");
+                shown = true;
+            }
+            let count = d.u64_of("count").unwrap_or(1);
+            let times = if count > 1 {
+                format!(" (&times;{count})")
+            } else {
+                String::new()
+            };
+            let _ = write!(
+                h,
+                "<li><b>{}</b> <code>{}</code> <code>{}</code>: {}{times}</li>",
+                esc(severity),
+                esc(app),
+                esc(d.str_of("kernel").unwrap_or("?")),
+                esc(detail),
+            );
+        }
+    }
+    if shown {
+        h.push_str("</ul>");
+    } else {
+        h.push_str("<p>No Error or Warning findings and no fusion candidates.</p>");
+    }
+    h.push_str("</section>");
+}
+
+/// Section 8: trajectory of per-kernel medians across stored manifests.
 fn render_trajectory(h: &mut String, manifests: &[StoredManifest]) {
     h.push_str("<section><h2>Baseline trajectory</h2>");
     if manifests.is_empty() {
@@ -1239,6 +1328,7 @@ th { background: #f0f2f6; cursor: pointer; user-select: none; }
 td.n { text-align: right; font-variant-numeric: tabular-nums; }
 td.hole { background: #eceef2; color: #8a93a1; text-align: center; font-size: .82em; }
 .warn { background: #fff3cd; border: 1px solid #e5c75a; padding: .3rem .6rem; border-radius: 4px; }
+td.bad { background: #fde8e6; color: #c0392b; font-weight: 600; }
 .panels { display: flex; flex-wrap: wrap; gap: .6rem; }
 .panels svg { width: 380px; height: 230px; }
 svg { background: #fbfcfe; border: 1px solid #d5dbe4; border-radius: 4px; }

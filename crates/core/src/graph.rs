@@ -20,8 +20,10 @@ use crate::kernel::Kernel;
 use crate::launch::commit::{exchange_cost, transfer_cost, Ledger};
 use crate::launch::execute::LaunchSpan;
 use crate::launch::price::{PriceCache, PriceContext, Priced};
-use crate::launch::record::LaunchNode;
+use crate::launch::record::{LaunchMeta, LaunchNode};
 use crate::session::{LaunchRecord, Session};
+use machine_model::Precision;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// One recorded operation.
@@ -30,61 +32,125 @@ use std::sync::Arc;
 #[allow(clippy::large_enum_variant)]
 enum GraphOp<'a> {
     /// A kernel launch: the fingerprinted node plus its functional body.
-    /// The body receives `session.executes()` at replay time.
+    /// The body receives `session.executes()` at replay time. `meta` is
+    /// the declarative access metadata for static analysis; it never
+    /// enters pricing or the ledger.
     Launch {
         node: LaunchNode,
+        meta: LaunchMeta,
         body: Box<dyn Fn(bool) + Sync + 'a>,
     },
-    /// A halo exchange (`Session::exchange` equivalent).
-    Exchange { bytes: f64, messages: u64 },
-    /// A host↔device transfer (`Session::transfer` equivalent).
-    Transfer { bytes: f64 },
+    /// A halo exchange (`Session::exchange` equivalent). `dats` lists
+    /// the shadow-registry ids of the exchanged datasets (empty when
+    /// the recorder declared only a volume).
+    Exchange {
+        bytes: f64,
+        messages: u64,
+        dats: Vec<u32>,
+    },
+    /// A host↔device transfer (`Session::transfer` equivalent), with
+    /// the transferred datasets when declared.
+    Transfer { bytes: f64, dats: Vec<u32> },
     /// Open a named phase span (telemetry only, no ledger effect).
     PhaseBegin { name: &'static str },
     /// Close the innermost open phase span.
     PhaseEnd,
 }
 
+/// Graph ids are process-unique so observers can dedup repeated replays
+/// of the same recorded graph.
+static NEXT_GRAPH_ID: AtomicU64 = AtomicU64::new(1);
+
 /// Records a launch sequence; [`GraphBuilder::finish`] freezes it into a
 /// [`LaunchGraph`]. Obtained from [`Session::record`].
 #[derive(Default)]
 pub struct GraphBuilder<'a> {
     ops: Vec<GraphOp<'a>>,
+    /// Names of currently-open phases, for defect reporting.
+    open_phases: Vec<&'static str>,
+    /// Structural phase-nesting defects observed while recording.
+    phase_defects: Vec<String>,
 }
 
 impl<'a> GraphBuilder<'a> {
     pub(crate) fn new() -> GraphBuilder<'a> {
-        GraphBuilder { ops: Vec::new() }
+        GraphBuilder::default()
     }
 
     /// Record one launch. `body` is the functional kernel body; it is
     /// called on every replay with `session.executes()` as its argument
     /// (dry-run sessions replay pricing without running bodies).
+    ///
+    /// The launch carries [`LaunchMeta::opaque`] metadata — static
+    /// analysis will not reason about its data accesses. DSLs that know
+    /// their access sets record through
+    /// [`GraphBuilder::launch_with_meta`] instead.
     pub fn launch(&mut self, kernel: &Kernel, body: impl Fn(bool) + Sync + 'a) {
+        self.launch_with_meta(kernel, LaunchMeta::opaque(), body);
+    }
+
+    /// Record one launch together with its declared access metadata.
+    /// `meta` feeds the static dataflow analyzer only: it is not hashed
+    /// into the pricing fingerprint and never reaches the ledger, so
+    /// recording it cannot change pricing or execution.
+    pub fn launch_with_meta(
+        &mut self,
+        kernel: &Kernel,
+        meta: LaunchMeta,
+        body: impl Fn(bool) + Sync + 'a,
+    ) {
         self.ops.push(GraphOp::Launch {
             node: LaunchNode::new(kernel),
+            meta,
             body: Box::new(body),
         });
     }
 
     /// Record a halo exchange (see [`Session::exchange`]).
     pub fn exchange(&mut self, bytes: f64, messages: u64) {
-        self.ops.push(GraphOp::Exchange { bytes, messages });
+        self.exchange_dats(bytes, messages, Vec::new());
+    }
+
+    /// Record a halo exchange declaring which datasets it covers (by
+    /// shadow-registry id). The ids feed the missing-halo-exchange and
+    /// redundant-exchange lints; cost accounting uses `bytes`/`messages`
+    /// exactly as [`GraphBuilder::exchange`] does.
+    pub fn exchange_dats(&mut self, bytes: f64, messages: u64, dats: Vec<u32>) {
+        self.ops.push(GraphOp::Exchange {
+            bytes,
+            messages,
+            dats,
+        });
     }
 
     /// Record a host↔device transfer (see [`Session::transfer`]).
     pub fn transfer(&mut self, bytes: f64) {
-        self.ops.push(GraphOp::Transfer { bytes });
+        self.transfer_dats(bytes, Vec::new());
+    }
+
+    /// Record a transfer declaring which datasets it moves (by
+    /// shadow-registry id), for the dead-transfer lint.
+    pub fn transfer_dats(&mut self, bytes: f64, dats: Vec<u32>) {
+        self.ops.push(GraphOp::Transfer { bytes, dats });
     }
 
     /// Open a named phase span covering the ops recorded until the
     /// matching [`GraphBuilder::end_phase`].
     pub fn phase(&mut self, name: &'static str) {
+        self.open_phases.push(name);
         self.ops.push(GraphOp::PhaseBegin { name });
     }
 
-    /// Close the innermost open phase.
+    /// Close the innermost open phase. An unmatched call records a
+    /// structural defect on the graph (replay tolerates it, the
+    /// dataflow lint reports it).
     pub fn end_phase(&mut self) {
+        if self.open_phases.pop().is_none() {
+            self.phase_defects.push(format!(
+                "end_phase with no open phase (after {} recorded ops)",
+                self.ops.len()
+            ));
+        }
         self.ops.push(GraphOp::PhaseEnd);
     }
 
@@ -98,25 +164,77 @@ impl<'a> GraphBuilder<'a> {
         self.ops.is_empty()
     }
 
-    /// Freeze the recording.
-    pub fn finish(self) -> LaunchGraph<'a> {
+    /// Freeze the recording. Phases left open become structural defects
+    /// on the graph.
+    pub fn finish(mut self) -> LaunchGraph<'a> {
+        for name in self.open_phases.drain(..).rev() {
+            self.phase_defects
+                .push(format!("phase `{name}` opened but never closed"));
+        }
         let launches = self
             .ops
             .iter()
             .filter(|op| matches!(op, GraphOp::Launch { .. }))
             .count() as u64;
         LaunchGraph {
+            id: NEXT_GRAPH_ID.fetch_add(1, Ordering::Relaxed),
             ops: self.ops,
             launches,
+            phase_defects: self.phase_defects,
         }
     }
+}
+
+/// One node of a [`GraphSummary`]: the bodyless mirror of the recorded
+/// op, carrying everything static analysis needs and nothing it does
+/// not (no closures, no lifetimes).
+#[derive(Debug, Clone)]
+pub enum GraphNodeInfo {
+    Launch {
+        kernel: String,
+        items: u64,
+        effective_bytes: f64,
+        reductions: usize,
+        fp64: bool,
+        /// Atomic RMW updates the kernel declares (op2 atomics scheme).
+        atomic_updates: u64,
+        meta: LaunchMeta,
+    },
+    Exchange {
+        bytes: f64,
+        messages: u64,
+        dats: Vec<u32>,
+    },
+    Transfer {
+        bytes: f64,
+        dats: Vec<u32>,
+    },
+    PhaseBegin {
+        name: &'static str,
+    },
+    PhaseEnd,
+}
+
+/// An owned, analysis-ready snapshot of a recorded graph, delivered to
+/// the session's graph observer on replay (see
+/// [`Session::set_graph_observer`]).
+#[derive(Debug, Clone)]
+pub struct GraphSummary {
+    /// Process-unique id of the recorded graph — observers seeing the
+    /// same id are seeing repeat replays of one recording.
+    pub id: u64,
+    pub nodes: Vec<GraphNodeInfo>,
+    /// Unbalanced `phase`/`end_phase` nesting captured at record time.
+    pub phase_defects: Vec<String>,
 }
 
 /// A frozen launch sequence, replayable any number of times on any
 /// session whose config the recorded kernels are valid for.
 pub struct LaunchGraph<'a> {
+    id: u64,
     ops: Vec<GraphOp<'a>>,
     launches: u64,
+    phase_defects: Vec<String>,
 }
 
 impl LaunchGraph<'_> {
@@ -135,6 +253,67 @@ impl LaunchGraph<'_> {
         self.launches
     }
 
+    /// Process-unique id of this recording.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Unbalanced phase nesting captured while recording.
+    pub fn phase_defects(&self) -> &[String] {
+        &self.phase_defects
+    }
+
+    /// Build the owned, bodyless snapshot of this graph for static
+    /// analysis. Only built when a graph observer is installed.
+    pub fn summary(&self) -> GraphSummary {
+        let nodes = self
+            .ops
+            .iter()
+            .map(|op| match op {
+                GraphOp::Launch { node, meta, .. } => {
+                    let fp = &node.kernel.footprint;
+                    GraphNodeInfo::Launch {
+                        kernel: fp.name.clone(),
+                        items: fp.items,
+                        effective_bytes: fp.effective_bytes,
+                        reductions: fp.reductions,
+                        fp64: fp.precision == Precision::F64,
+                        atomic_updates: fp.atomics.as_ref().map_or(0, |a| a.updates),
+                        meta: meta.clone(),
+                    }
+                }
+                GraphOp::Exchange {
+                    bytes,
+                    messages,
+                    dats,
+                } => GraphNodeInfo::Exchange {
+                    bytes: *bytes,
+                    messages: *messages,
+                    dats: dats.clone(),
+                },
+                GraphOp::Transfer { bytes, dats } => GraphNodeInfo::Transfer {
+                    bytes: *bytes,
+                    dats: dats.clone(),
+                },
+                GraphOp::PhaseBegin { name } => GraphNodeInfo::PhaseBegin { name },
+                GraphOp::PhaseEnd => GraphNodeInfo::PhaseEnd,
+            })
+            .collect();
+        GraphSummary {
+            id: self.id,
+            nodes,
+            phase_defects: self.phase_defects.clone(),
+        }
+    }
+
+    /// Deliver this graph's summary to the session's graph observer, if
+    /// one is installed. Costs one atomic load when none is.
+    fn notify_observer(&self, session: &Session) {
+        if let Some(obs) = session.graph_observer() {
+            obs(&self.summary());
+        }
+    }
+
     /// Replay the graph on `session`: price every launch in one pass
     /// (served by the fingerprint cache under a single lock), execute
     /// the functional bodies, then append the whole sequence to the
@@ -145,6 +324,7 @@ impl LaunchGraph<'_> {
     /// the replay degrades to per-launch eager calls; the resulting
     /// ledger is bit-identical either way.
     pub fn replay(&self, session: &Session) {
+        self.notify_observer(session);
         if !session.config().graph_replay {
             return self.replay_eager(session);
         }
@@ -177,7 +357,7 @@ impl LaunchGraph<'_> {
         let mut phases: Vec<(&'static str, Option<telemetry::SpanTimer>)> = Vec::new();
         for (op, p) in self.ops.iter().zip(priced) {
             match op {
-                GraphOp::Launch { node, body } => {
+                GraphOp::Launch { node, body, .. } => {
                     let span = LaunchSpan::start();
                     body(executes);
                     let p = p.as_ref().expect("launch ops are priced");
@@ -217,14 +397,16 @@ impl LaunchGraph<'_> {
                     let rec = led.append(p.as_ref().expect("launch ops are priced"));
                     observations.push(rec);
                 }
-                GraphOp::Exchange { bytes, messages } => {
+                GraphOp::Exchange {
+                    bytes, messages, ..
+                } => {
                     if let Some(t) =
                         exchange_cost(session.platform(), session.ranks(), *bytes, *messages)
                     {
                         led.charge_comm(t);
                     }
                 }
-                GraphOp::Transfer { bytes } => {
+                GraphOp::Transfer { bytes, .. } => {
                     if let Some(t) = transfer_cost(session.platform(), *bytes) {
                         led.charge_comm(t);
                     }
@@ -241,11 +423,13 @@ impl LaunchGraph<'_> {
         let mut phases: Vec<(&'static str, Option<telemetry::SpanTimer>)> = Vec::new();
         for op in &self.ops {
             match op {
-                GraphOp::Launch { node, body } => {
+                GraphOp::Launch { node, body, .. } => {
                     session.launch(&node.kernel, || body(executes));
                 }
-                GraphOp::Exchange { bytes, messages } => session.exchange(*bytes, *messages),
-                GraphOp::Transfer { bytes } => session.transfer(*bytes),
+                GraphOp::Exchange {
+                    bytes, messages, ..
+                } => session.exchange(*bytes, *messages),
+                GraphOp::Transfer { bytes, .. } => session.transfer(*bytes),
                 GraphOp::PhaseBegin { name } => {
                     phases.push((name, telemetry::SpanTimer::start()));
                 }
@@ -275,6 +459,9 @@ impl LaunchGraph<'_> {
 pub fn replay_all(session: &Session, graphs: &[&LaunchGraph<'_>]) {
     if graphs.is_empty() {
         return;
+    }
+    for g in graphs {
+        g.notify_observer(session);
     }
     if !session.config().graph_replay {
         for g in graphs {
@@ -506,5 +693,156 @@ mod tests {
         replay_all(&s, &[]);
         assert_eq!(s.records().len(), 0);
         assert_eq!(s.elapsed(), 0.0);
+    }
+
+    #[test]
+    fn unbalanced_phase_nesting_is_a_recorded_defect() {
+        let s = session();
+        let k = Kernel::streaming("x", 1 << 10, 1e4, 0.0);
+
+        // Balanced nesting: no defects.
+        let mut g = s.record();
+        g.phase("outer");
+        g.phase("inner");
+        g.launch(&k, |_| {});
+        g.end_phase();
+        g.end_phase();
+        assert!(g.finish().phase_defects().is_empty());
+
+        // end_phase on an empty stack.
+        let mut g = s.record();
+        g.launch(&k, |_| {});
+        g.end_phase();
+        let g = g.finish();
+        assert_eq!(g.phase_defects().len(), 1);
+        assert!(g.phase_defects()[0].contains("no open phase"));
+        // Replay still works (the pop is tolerated at run time).
+        g.replay(&s);
+
+        // Phase left open at finish.
+        let mut g = s.record();
+        g.phase("halo_exchange");
+        g.launch(&k, |_| {});
+        let g = g.finish();
+        assert_eq!(g.phase_defects().len(), 1);
+        assert!(g.phase_defects()[0].contains("halo_exchange"));
+        assert!(g.phase_defects()[0].contains("never closed"));
+        // Defects travel into the summary.
+        assert_eq!(g.summary().phase_defects, g.phase_defects());
+    }
+
+    #[test]
+    fn summary_mirrors_ops_with_metadata_and_without_bodies() {
+        use crate::launch::record::{AccessMode, DatAccess, LaunchMeta};
+        let s = session();
+        let k = Kernel::streaming("triad", 1 << 12, 1e5, 0.0);
+        let mut g = s.record();
+        g.phase("step");
+        g.launch_with_meta(
+            &k,
+            LaunchMeta::new(
+                vec![
+                    DatAccess {
+                        dat: 7,
+                        mode: AccessMode::Read,
+                        radius: [1, 1, 0],
+                        elem_bytes: 8.0,
+                    },
+                    DatAccess {
+                        dat: 9,
+                        mode: AccessMode::Write,
+                        radius: [0; 3],
+                        elem_bytes: 8.0,
+                    },
+                ],
+                [0, 0, 0],
+                [64, 64, 1],
+            ),
+            |_| {},
+        );
+        g.launch(&k, |_| {}); // plain launch: opaque metadata
+        g.exchange_dats(4096.0, 8, vec![7]);
+        g.transfer_dats(1024.0, vec![9]);
+        g.end_phase();
+        let g = g.finish();
+        let sum = g.summary();
+        assert_eq!(sum.id, g.id());
+        assert_eq!(sum.nodes.len(), 6);
+        match &sum.nodes[1] {
+            GraphNodeInfo::Launch { kernel, meta, .. } => {
+                assert_eq!(kernel, "triad");
+                assert!(meta.transparent());
+                assert_eq!(meta.accesses.len(), 2);
+                assert!(meta.accesses[0].stencil());
+                assert!(!meta.accesses[1].stencil());
+            }
+            other => panic!("expected launch, got {other:?}"),
+        }
+        match &sum.nodes[2] {
+            GraphNodeInfo::Launch { meta, .. } => {
+                assert!(meta.opaque && !meta.transparent());
+            }
+            other => panic!("expected launch, got {other:?}"),
+        }
+        match &sum.nodes[3] {
+            GraphNodeInfo::Exchange { dats, bytes, .. } => {
+                assert_eq!(dats, &[7]);
+                assert_eq!(*bytes, 4096.0);
+            }
+            other => panic!("expected exchange, got {other:?}"),
+        }
+        match &sum.nodes[4] {
+            GraphNodeInfo::Transfer { dats, .. } => assert_eq!(dats, &[9]),
+            other => panic!("expected transfer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn graph_observer_sees_each_replay_and_metadata_changes_nothing() {
+        use crate::launch::record::{AccessMode, DatAccess, LaunchMeta};
+        let k = Kernel::streaming("triad", 1 << 20, 3e7, 2e6);
+
+        // Identical sequences, one with metadata, one without: the
+        // ledgers must stay bit-identical (metadata never prices).
+        let plain = session();
+        let tagged = session();
+        let mut g1 = plain.record();
+        g1.launch(&k, |_| {});
+        g1.exchange(1e6, 8);
+        let g1 = g1.finish();
+        let mut g2 = tagged.record();
+        g2.launch_with_meta(
+            &k,
+            LaunchMeta::new(
+                vec![DatAccess {
+                    dat: 3,
+                    mode: AccessMode::ReadWrite,
+                    radius: [0; 3],
+                    elem_bytes: 8.0,
+                }],
+                [0; 3],
+                [8, 8, 8],
+            ),
+            |_| {},
+        );
+        g2.exchange_dats(1e6, 8, vec![3]);
+        let g2 = g2.finish();
+
+        let seen = Arc::new(parkit::sync::Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        tagged.set_graph_observer(Some(Arc::new(move |s: &GraphSummary| {
+            sink.lock().push(s.id);
+        })));
+        for _ in 0..3 {
+            g1.replay(&plain);
+            g2.replay(&tagged);
+        }
+        tagged.set_graph_observer(None);
+        g2.replay(&tagged);
+        g1.replay(&plain);
+
+        assert_eq!(&*seen.lock(), &[g2.id(), g2.id(), g2.id()]);
+        assert_eq!(plain.ledger_digest(), tagged.ledger_digest());
+        assert_eq!(plain.elapsed().to_bits(), tagged.elapsed().to_bits());
     }
 }

@@ -15,4 +15,4 @@ pub mod execute;
 pub mod price;
 pub mod record;
 
-pub use record::LaunchNode;
+pub use record::{AccessMode, DatAccess, LaunchMeta, LaunchNode};

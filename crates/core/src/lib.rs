@@ -62,12 +62,12 @@ pub mod tune;
 
 pub use buffer::Buffer;
 pub use error::{Failure, FailureKind};
-pub use graph::{replay_all, GraphBuilder, LaunchGraph};
+pub use graph::{replay_all, GraphBuilder, GraphNodeInfo, GraphSummary, LaunchGraph};
 pub use kernel::{Kernel, KernelTraits};
-pub use launch::LaunchNode;
+pub use launch::{AccessMode, DatAccess, LaunchMeta, LaunchNode};
 pub use real::Real;
 pub use service::{Batch, Rejected, Service, ServiceConfig, ServiceShard, ShedPolicy};
-pub use session::{LaunchRecord, Records, Session, SessionConfig};
+pub use session::{GraphObserver, LaunchRecord, Records, Session, SessionConfig};
 pub use toolchain::{Scheme, SyclVariant, Toolchain};
 
 // Re-export the hardware model so downstream crates need only one import.

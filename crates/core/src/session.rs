@@ -121,6 +121,11 @@ impl SessionConfig {
 /// into the session).
 pub type LaunchObserver = Arc<dyn Fn(&LaunchRecord) + Send + Sync>;
 
+/// Callback invoked with a [`crate::GraphSummary`] each time a recorded
+/// graph is replayed on the session (before the replay's own work).
+/// Summaries repeat per replay — dedup on [`crate::GraphSummary::id`].
+pub type GraphObserver = Arc<dyn Fn(&crate::graph::GraphSummary) + Send + Sync>;
+
 /// A live (platform × toolchain × variant × app) execution context.
 pub struct Session {
     platform: Platform,
@@ -131,6 +136,10 @@ pub struct Session {
     /// Price-layer state (fingerprint → memoised price), its own lock —
     /// a cold toolchain walk never blocks ledger readers.
     cache: Mutex<PriceCache>,
+    /// Static-analysis observer for replayed graphs. The flag lets the
+    /// replay hot path skip the lock when no observer is installed.
+    graph_observer: Mutex<Option<GraphObserver>>,
+    graph_observed: std::sync::atomic::AtomicBool,
 }
 
 /// Short-lived read view of the launch ledger, returned by
@@ -174,6 +183,8 @@ impl Session {
             atomic_kind: quirks::atomic_kind(cfg.platform, cfg.toolchain),
             cache: Mutex::new(PriceCache::new(cfg.pricing_cache)),
             ledger: Mutex::new(Ledger::new()),
+            graph_observer: Mutex::new(None),
+            graph_observed: std::sync::atomic::AtomicBool::new(false),
             cfg,
         })
     }
@@ -203,6 +214,26 @@ impl Session {
     /// cannot change pricing, timing, or the ledger itself.
     pub fn set_launch_observer(&self, observer: Option<LaunchObserver>) {
         self.ledger.lock().observer = observer;
+    }
+
+    /// Install (or clear) a graph observer: it receives each replayed
+    /// graph's [`crate::GraphSummary`] (once per replay — dedup on the
+    /// summary id). Purely observational; replay behaviour, pricing and
+    /// the ledger are unaffected.
+    pub fn set_graph_observer(&self, observer: Option<GraphObserver>) {
+        use std::sync::atomic::Ordering;
+        self.graph_observed
+            .store(observer.is_some(), Ordering::Release);
+        *self.graph_observer.lock() = observer;
+    }
+
+    /// The installed graph observer, if any. One atomic load when none.
+    pub(crate) fn graph_observer(&self) -> Option<GraphObserver> {
+        use std::sync::atomic::Ordering;
+        if !self.graph_observed.load(Ordering::Acquire) {
+            return None;
+        }
+        self.graph_observer.lock().clone()
     }
 
     /// Price and record one kernel launch, then run `body` functionally.

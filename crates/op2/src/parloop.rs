@@ -7,7 +7,7 @@ use parkit::{global_pool, tree_combine, DisjointSlices};
 use std::sync::Arc;
 use sycl_sim::{
     AccessProfile, AtomicKind, AtomicProfile, GraphBuilder, IndirectProfile, Kernel,
-    KernelFootprint, KernelTraits, Precision, Scheme, Session,
+    KernelFootprint, KernelTraits, LaunchMeta, Precision, Scheme, Session,
 };
 use telemetry::shadow;
 
@@ -401,7 +401,11 @@ impl EdgeLoop {
             Scheme::Atomics => {
                 let lp = Arc::clone(&lp);
                 let body = Arc::clone(&body);
-                g.launch(&kernel, move |executes| {
+                // Indirect loops have anonymous args: the meta is opaque
+                // (no dat-level dataflow), but carries the scheme label
+                // for the per-platform legality lint.
+                let meta = LaunchMeta::opaque().with_scheme(scheme_label(scheme));
+                g.launch_with_meta(&kernel, meta, move |executes| {
                     let execute = executes && mesh.is_some();
                     let shadowing = shadow::shadow_on() && execute;
                     if shadowing {

@@ -66,6 +66,20 @@ impl HaloPlan {
             g.exchange(self.bytes_per_dat * n_dats as f64, self.messages);
         }
     }
+
+    /// Record one exchange declaring *which* datasets it refreshes, so
+    /// the static dataflow lint can prove halo-read coverage. Charges
+    /// exactly what [`HaloPlan::record_exchange`] charges for
+    /// `dats.len()` datasets — the declaration never changes pricing.
+    pub fn record_exchange_for(&self, g: &mut sycl_sim::GraphBuilder<'_>, dats: &[crate::DatMeta]) {
+        if self.bytes_per_dat > 0.0 {
+            g.exchange_dats(
+                self.bytes_per_dat * dats.len() as f64,
+                self.messages,
+                dats.iter().map(|m| m.id).collect(),
+            );
+        }
+    }
 }
 
 /// Near-cubic factorisation of `ranks` honouring block dimensionality.

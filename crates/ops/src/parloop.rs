@@ -10,8 +10,8 @@ use crate::range::{Range3, Row};
 use crate::stencil::Stencil;
 use parkit::global_pool;
 use sycl_sim::{
-    AccessProfile, GraphBuilder, Kernel, KernelFootprint, KernelTraits, Precision, Session,
-    StencilProfile,
+    AccessMode, AccessProfile, DatAccess, GraphBuilder, Kernel, KernelFootprint, KernelTraits,
+    LaunchMeta, Precision, Session, StencilProfile,
 };
 use telemetry::shadow;
 
@@ -206,6 +206,40 @@ impl ParLoop {
         }
     }
 
+    /// The declarative access metadata recorded with launch-graph nodes
+    /// for static dataflow analysis (`graphlint`). Mirrors
+    /// [`ParLoop::loop_decl`] with element sizes attached; like the
+    /// shadow declaration it never enters pricing.
+    fn launch_meta(&self) -> LaunchMeta {
+        let mut accesses =
+            Vec::with_capacity(self.reads.len() + self.writes.len() + self.rws.len());
+        for (m, s) in &self.reads {
+            accesses.push(DatAccess {
+                dat: m.id,
+                mode: AccessMode::Read,
+                radius: s.radius,
+                elem_bytes: m.elem_bytes,
+            });
+        }
+        for m in &self.writes {
+            accesses.push(DatAccess {
+                dat: m.id,
+                mode: AccessMode::Write,
+                radius: [0; 3],
+                elem_bytes: m.elem_bytes,
+            });
+        }
+        for (m, s) in &self.rws {
+            accesses.push(DatAccess {
+                dat: m.id,
+                mode: AccessMode::ReadWrite,
+                radius: s.radius,
+                elem_bytes: m.elem_bytes,
+            });
+        }
+        LaunchMeta::new(accesses, self.range.lo, self.range.hi)
+    }
+
     /// Price the launch on `session` and run `body` over parallel tiles.
     ///
     /// `body` receives sub-ranges that partition the loop range; it must
@@ -373,11 +407,12 @@ impl ParLoop {
     /// evaluated at replay time, inside the recorded body.
     pub fn record<'a>(self, g: &mut GraphBuilder<'a>, body: impl Fn(Range3) + Sync + 'a) {
         let kernel = self.kernel();
+        let meta = self.launch_meta();
         let shape = exec_tile(&self.range);
         let tiles = self.range.tile_count(shape);
         let decl = self.loop_decl();
         let range = self.range;
-        g.launch(&kernel, move |executes| {
+        g.launch_with_meta(&kernel, meta, move |executes| {
             let shadowing = shadow::shadow_on() && executes;
             if shadowing {
                 shadow::begin_loop(decl.clone());
@@ -399,11 +434,12 @@ impl ParLoop {
     /// mirror of [`ParLoop::run_rows`].
     pub fn record_rows<'a>(self, g: &mut GraphBuilder<'a>, body: impl Fn(Row) + Sync + 'a) {
         let kernel = self.kernel();
+        let meta = self.launch_meta();
         let shape = exec_tile(&self.range);
         let tiles = self.range.tile_count(shape);
         let decl = self.loop_decl();
         let range = self.range;
-        g.launch(&kernel, move |executes| {
+        g.launch_with_meta(&kernel, meta, move |executes| {
             let shadowing = shadow::shadow_on() && executes;
             if shadowing {
                 shadow::begin_loop(decl.clone());
@@ -444,12 +480,13 @@ impl ParLoop {
         let mut kernel = self.kernel();
         kernel.footprint.reductions = 1;
         let bytes = kernel.footprint.effective_bytes;
+        let meta = self.launch_meta();
         let shape = exec_tile(&self.range);
         let tiles = self.range.tile_count(shape);
         let decl = self.loop_decl();
         let range = self.range;
         let name = self.name;
-        g.launch(&kernel, move |executes| {
+        g.launch_with_meta(&kernel, meta, move |executes| {
             let shadowing = shadow::shadow_on() && executes;
             if shadowing {
                 shadow::begin_loop(decl.clone());
@@ -489,12 +526,13 @@ impl ParLoop {
         let mut kernel = self.kernel();
         kernel.footprint.reductions = 1;
         let bytes = kernel.footprint.effective_bytes;
+        let meta = self.launch_meta();
         let shape = exec_tile(&self.range);
         let tiles = self.range.tile_count(shape);
         let decl = self.loop_decl();
         let range = self.range;
         let name = self.name;
-        g.launch(&kernel, move |executes| {
+        g.launch_with_meta(&kernel, meta, move |executes| {
             let shadowing = shadow::shadow_on() && executes;
             if shadowing {
                 shadow::begin_loop(decl.clone());

@@ -242,6 +242,15 @@ pub fn register_dat(name: &str, elem_bytes: f64, geom: DatGeom) -> u32 {
     reg.len() as u32
 }
 
+/// The registered name of dat `id`, for diagnostics (`None` for the
+/// anonymous id 0 or after a registry reset).
+pub fn dat_name(id: u32) -> Option<String> {
+    if id == 0 {
+        return None;
+    }
+    lock(&REGISTRY).get(id as usize - 1).map(|r| r.name.clone())
+}
+
 /// Mark every cell of `id` initialized (`fill_with`, host slices).
 pub fn mark_all_init(id: u32) {
     if id == 0 || !shadow_on() {

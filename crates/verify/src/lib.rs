@@ -43,6 +43,7 @@ use sycl_sim::{LaunchRecord, Session};
 use telemetry::shadow;
 
 mod access;
+pub mod dataflow;
 pub mod plan;
 pub mod report;
 
@@ -72,6 +73,8 @@ pub enum Pass {
     Access,
     Plan,
     Footprint,
+    /// Static dataflow analysis over recorded launch graphs (graphlint).
+    Dataflow,
 }
 
 impl fmt::Display for Pass {
@@ -80,6 +83,7 @@ impl fmt::Display for Pass {
             Pass::Access => "access",
             Pass::Plan => "plan",
             Pass::Footprint => "footprint",
+            Pass::Dataflow => "dataflow",
         })
     }
 }
@@ -152,6 +156,10 @@ impl Collector {
             Pass::Access => self.passes.access,
             Pass::Plan => self.passes.plan,
             Pass::Footprint => self.passes.footprint,
+            // Dataflow findings come from the static linter, not the
+            // instrumented run; nothing routes them through a Collector
+            // today, but accept them if something does.
+            Pass::Dataflow => true,
         };
         if on && self.seen.insert((kernel.to_owned(), pass, tag)) {
             self.diags.push(Diagnostic {

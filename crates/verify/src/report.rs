@@ -18,23 +18,54 @@ pub fn tally(diags: &[Diagnostic]) -> (usize, usize, usize) {
     (errors, warnings, infos)
 }
 
+/// Collapse repeated identical findings (same severity, pass, kernel and
+/// detail — e.g. one per colour pass or per boundary face) into one
+/// entry with a repeat count, preserving first-occurrence order.
+pub fn dedup(diags: &[Diagnostic]) -> Vec<(&Diagnostic, usize)> {
+    let mut out: Vec<(&Diagnostic, usize)> = Vec::new();
+    for d in diags {
+        if let Some(e) = out.iter_mut().find(|(p, _)| {
+            p.severity == d.severity
+                && p.pass == d.pass
+                && p.kernel == d.kernel
+                && p.detail == d.detail
+        }) {
+            e.1 += 1;
+        } else {
+            out.push((d, 1));
+        }
+    }
+    out
+}
+
 /// Write one app's verification result as an object:
 /// `{"app": ..., "errors": n, "warnings": n, "infos": n,
-///   "diagnostics": [{"severity", "pass", "kernel", "detail"}, ...]}`.
+///   "diagnostics": [{"severity", "pass", "kernel", "detail", "count"}, ...]}`.
+/// Identical repeated diagnostics collapse into one entry with a
+/// `count`; the severity tallies count deduplicated entries.
 pub fn write_app_report(w: &mut JsonWriter, app: &str, diags: &[Diagnostic]) {
-    let (errors, warnings, infos) = tally(diags);
+    let unique = dedup(diags);
+    let (mut errors, mut warnings, mut infos) = (0usize, 0usize, 0usize);
+    for (d, _) in &unique {
+        match d.severity {
+            Severity::Error => errors += 1,
+            Severity::Warning => warnings += 1,
+            Severity::Info => infos += 1,
+        }
+    }
     w.begin_object();
     w.key("app").string(app);
     w.key("errors").int(errors as u64);
     w.key("warnings").int(warnings as u64);
     w.key("infos").int(infos as u64);
     w.key("diagnostics").begin_array();
-    for d in diags {
+    for (d, count) in unique {
         w.begin_object();
         w.key("severity").string(&d.severity.to_string());
         w.key("pass").string(&d.pass.to_string());
         w.key("kernel").string(&d.kernel);
         w.key("detail").string(&d.detail);
+        w.key("count").int(count as u64);
         w.end_object();
     }
     w.end_array();
@@ -46,4 +77,36 @@ pub fn render_app_report(app: &str, diags: &[Diagnostic]) -> String {
     let mut w = JsonWriter::new();
     write_app_report(&mut w, app, diags);
     w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Pass;
+
+    fn diag(kernel: &str, detail: &str) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Warning,
+            kernel: kernel.to_owned(),
+            pass: Pass::Dataflow,
+            detail: detail.to_owned(),
+        }
+    }
+
+    #[test]
+    fn identical_diagnostics_collapse_with_a_count() {
+        let diags = vec![
+            diag("update_halo", "same thing"),
+            diag("update_halo", "same thing"),
+            diag("update_halo", "same thing"),
+            diag("update_halo", "different thing"),
+        ];
+        let unique = dedup(&diags);
+        assert_eq!(unique.len(), 2);
+        assert_eq!(unique[0].1, 3);
+        assert_eq!(unique[1].1, 1);
+        let json = render_app_report("x", &diags);
+        assert!(json.contains("\"count\": 3"), "{json}");
+        assert!(json.contains("\"warnings\": 2"), "{json}");
+    }
 }
