@@ -264,6 +264,7 @@ fn render(
         render_heatmap(&mut h, study);
     }
     render_study_run(&mut h, out_dir);
+    render_fleet_forensics(&mut h, out_dir);
     render_graphlint(&mut h, out_dir);
     render_trajectory(&mut h, manifests);
 
@@ -916,6 +917,15 @@ fn render_study_run(h: &mut String, out_dir: &Path) {
             s.u64_of("timeouts").unwrap_or(0),
             s.u64_of("resumed").unwrap_or(0),
         );
+        let rss = s.u64_of("peakRssKb").unwrap_or(0);
+        if rss > 0 {
+            let _ = write!(
+                h,
+                "<p>Peak worker RSS (VmHWM from the exit frames): \
+                 <b>{:.1} MiB</b>.</p>",
+                rss as f64 / 1024.0
+            );
+        }
     }
 
     // Status grid: apps × platforms, each cell summarising that cell's
@@ -1016,6 +1026,171 @@ fn render_study_run(h: &mut String, out_dir: &Path) {
                     "<tr><td>{}</td><td class=\"n\">{:.2}</td></tr>",
                     esc(row.str_of("label").unwrap_or("?")),
                     row.f64_of("value").unwrap_or(0.0),
+                );
+            }
+            h.push_str("</tbody></table>");
+        }
+    }
+    h.push_str("</section>");
+}
+
+/// Fleet forensics: the `blackbox` reconstruction of the last study —
+/// kill-site attribution for every crashed/timed-out unit, the
+/// straggler/tail kernel breakdown, and the per-process flight
+/// recording inventory.
+///
+/// Parsed generically from `BLACKBOX_study.json` (schema
+/// `sycl-blackbox/v1`) for the same layering reason as the study
+/// section: the study crate depends on this one.
+fn render_fleet_forensics(h: &mut String, out_dir: &Path) {
+    h.push_str("<section><h2>Fleet forensics</h2>");
+    let path = out_dir.join("BLACKBOX_study.json");
+    let doc = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|t| jsonv::parse(&t).ok())
+        .filter(|d| d.str_of("schema") == Some("sycl-blackbox/v1"));
+    let Some(doc) = doc else {
+        h.push_str(
+            "<p>No <code>BLACKBOX_study.json</code> next to the dashboard — \
+             after a study, run <code>cargo run --release -p sycl-study \
+             --bin blackbox</code> to reconstruct crashes and stragglers \
+             from the flight recordings.</p></section>",
+        );
+        return;
+    };
+
+    let crashed = doc.u64_of("crashed").unwrap_or(0);
+    let unattributed = doc.u64_of("unattributed").unwrap_or(0);
+    let _ = write!(
+        h,
+        "<p>{} units ({} measured, {} holes, <b>{crashed}</b> crashed), \
+         reconstructed from the resume journal plus the crash-surviving \
+         flight recordings; the merged cross-process timeline is in \
+         <code>TRACE_study.json</code> (open in Perfetto — flow arrows \
+         join dispatch → execution → result across pids).</p>",
+        doc.u64_of("units").unwrap_or(0),
+        doc.u64_of("ok").unwrap_or(0),
+        doc.u64_of("holes").unwrap_or(0),
+    );
+    if crashed > 0 {
+        let _ = write!(
+            h,
+            "<p>Kill-site attribution: <b>{}</b> of {crashed} crashed \
+             unit(s) traced to the span they died in{}.</p>",
+            crashed - unattributed.min(crashed),
+            if unattributed > 0 {
+                format!(" — <b>{unattributed} unattributed</b>")
+            } else {
+                String::new()
+            },
+        );
+    }
+
+    if let Some(Json::Arr(attrs)) = doc.get("attributions") {
+        if !attrs.is_empty() {
+            h.push_str(
+                "<table><thead><tr><th>unit</th><th>worker</th>\
+                 <th>attempt</th><th>trace</th><th>died in</th>\
+                 <th>after</th><th>note</th></tr></thead><tbody>",
+            );
+            for a in attrs {
+                let site = match (a.str_of("spanKind"), a.str_of("spanName")) {
+                    (Some(k), Some(n)) => format!("{} <code>{}</code>", esc(k), esc(n)),
+                    _ => "<b>no recording</b>".to_owned(),
+                };
+                let _ = write!(
+                    h,
+                    "<tr><td><code>{}</code></td><td class=\"n\">{}</td>\
+                     <td class=\"n\">{}</td><td class=\"n\">{}</td>\
+                     <td>{site}</td><td class=\"n\">{}</td><td>{}</td></tr>",
+                    esc(a.str_of("id").unwrap_or("?")),
+                    a.u64_of("worker").unwrap_or(0),
+                    a.u64_of("attempt").unwrap_or(0),
+                    a.u64_of("trace").unwrap_or(0),
+                    a.f64_of("inSpanSecs")
+                        .map(fmt_secs)
+                        .unwrap_or_else(|| "-".to_owned()),
+                    esc(a.str_of("note").unwrap_or("")),
+                );
+            }
+            h.push_str("</tbody></table>");
+        }
+    }
+
+    if let Some(Json::Arr(tails)) = doc.get("tailKernels") {
+        if !tails.is_empty() {
+            let units = match doc.get("tailUnits") {
+                Some(Json::Arr(u)) => u
+                    .iter()
+                    .filter_map(|v| match v {
+                        Json::Str(s) => Some(esc(s)),
+                        _ => None,
+                    })
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                _ => String::new(),
+            };
+            let _ = write!(
+                h,
+                "<h3>Stragglers</h3><p>Units at or above the p99 wall time \
+                 ({}): <code>{units}</code>. Launch time inside those \
+                 windows, by kernel:</p>\
+                 <table><thead><tr><th>kernel</th><th>seconds</th>\
+                 <th>share</th></tr></thead><tbody>",
+                fmt_secs(doc.f64_of("tailP99Secs").unwrap_or(0.0)),
+            );
+            for k in tails {
+                let _ = write!(
+                    h,
+                    "<tr><td><code>{}</code></td><td class=\"n\">{}</td>\
+                     <td class=\"n\">{:.1}%</td></tr>",
+                    esc(k.str_of("name").unwrap_or("?")),
+                    fmt_secs(k.f64_of("secs").unwrap_or(0.0)),
+                    k.f64_of("share").unwrap_or(0.0) * 100.0,
+                );
+            }
+            h.push_str("</tbody></table>");
+        }
+    }
+
+    if let Some(Json::Arr(recs)) = doc.get("recordings") {
+        if !recs.is_empty() {
+            let _ = write!(
+                h,
+                "<h3>Flight recordings</h3><p>{} per-process recording(s); \
+                 <i>torn</i> marks a file whose writer died mid-record — \
+                 everything before the tear is still served.</p>\
+                 <table><thead><tr><th>process</th><th>pid</th>\
+                 <th>events</th><th>torn</th><th>peak RSS</th></tr></thead>\
+                 <tbody>",
+                recs.len()
+            );
+            for r in recs {
+                let who = if matches!(r.get("orchestrator"), Some(Json::Bool(true))) {
+                    "orchestrator".to_owned()
+                } else {
+                    format!("worker {}", r.u64_of("worker").unwrap_or(0))
+                };
+                let rss = r.u64_of("peakRssKb").unwrap_or(0);
+                let _ = write!(
+                    h,
+                    "<tr><td>{} <code>{}</code></td><td class=\"n\">{}</td>\
+                     <td class=\"n\">{}</td><td>{}</td>\
+                     <td class=\"n\">{}</td></tr>",
+                    who,
+                    esc(r.str_of("label").unwrap_or("")),
+                    r.u64_of("pid").unwrap_or(0),
+                    r.u64_of("events").unwrap_or(0),
+                    if matches!(r.get("torn"), Some(Json::Bool(true))) {
+                        "✂ torn"
+                    } else {
+                        "intact"
+                    },
+                    if rss > 0 {
+                        format!("{:.1} MiB", rss as f64 / 1024.0)
+                    } else {
+                        "-".to_owned()
+                    },
                 );
             }
             h.push_str("</tbody></table>");

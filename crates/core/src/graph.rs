@@ -355,12 +355,19 @@ impl LaunchGraph<'_> {
     /// Execute stage: run the functional bodies with per-launch spans.
     fn execute_stage(&self, priced: &[Option<Priced>], executes: bool) {
         let mut phases: Vec<(&'static str, Option<telemetry::SpanTimer>)> = Vec::new();
+        let flight = telemetry::flight::recording();
         for (op, p) in self.ops.iter().zip(priced) {
             match op {
                 GraphOp::Launch { node, body, .. } => {
                     let span = LaunchSpan::start();
-                    body(executes);
                     let p = p.as_ref().expect("launch ops are priced");
+                    if flight {
+                        telemetry::flight::span_open(telemetry::SpanKind::Launch, &p.name);
+                    }
+                    body(executes);
+                    if flight {
+                        telemetry::flight::span_close(telemetry::SpanKind::Launch, &p.name);
+                    }
                     span.finish(
                         Arc::clone(&p.name),
                         node.kernel.footprint.items,
@@ -369,11 +376,19 @@ impl LaunchGraph<'_> {
                     );
                 }
                 GraphOp::PhaseBegin { name } => {
+                    if flight {
+                        telemetry::flight::span_open(telemetry::SpanKind::Phase, name);
+                    }
                     phases.push((name, telemetry::SpanTimer::start()));
                 }
                 GraphOp::PhaseEnd => {
-                    if let Some((name, Some(t))) = phases.pop() {
-                        t.finish(telemetry::SpanKind::Phase, name, 0, 0.0);
+                    if let Some((name, t)) = phases.pop() {
+                        if flight {
+                            telemetry::flight::span_close(telemetry::SpanKind::Phase, name);
+                        }
+                        if let Some(t) = t {
+                            t.finish(telemetry::SpanKind::Phase, name, 0, 0.0);
+                        }
                     }
                 }
                 _ => {}
@@ -421,9 +436,11 @@ impl LaunchGraph<'_> {
     pub(crate) fn replay_eager(&self, session: &Session) {
         let executes = session.executes();
         let mut phases: Vec<(&'static str, Option<telemetry::SpanTimer>)> = Vec::new();
+        let flight = telemetry::flight::recording();
         for op in &self.ops {
             match op {
                 GraphOp::Launch { node, body, .. } => {
+                    // Launch flight events come from `launch_timed`.
                     session.launch(&node.kernel, || body(executes));
                 }
                 GraphOp::Exchange {
@@ -431,11 +448,19 @@ impl LaunchGraph<'_> {
                 } => session.exchange(*bytes, *messages),
                 GraphOp::Transfer { bytes, .. } => session.transfer(*bytes),
                 GraphOp::PhaseBegin { name } => {
+                    if flight {
+                        telemetry::flight::span_open(telemetry::SpanKind::Phase, name);
+                    }
                     phases.push((name, telemetry::SpanTimer::start()));
                 }
                 GraphOp::PhaseEnd => {
-                    if let Some((name, Some(t))) = phases.pop() {
-                        t.finish(telemetry::SpanKind::Phase, name, 0, 0.0);
+                    if let Some((name, t)) = phases.pop() {
+                        if flight {
+                            telemetry::flight::span_close(telemetry::SpanKind::Phase, name);
+                        }
+                        if let Some(t) = t {
+                            t.finish(telemetry::SpanKind::Phase, name, 0, 0.0);
+                        }
                     }
                 }
             }

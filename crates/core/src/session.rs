@@ -267,7 +267,17 @@ impl Session {
         let key = fingerprint(kernel);
         let priced = self.cache.lock().price(&self.price_context(), kernel, key);
         self.commit_one(&priced);
+        // Flight events bracket the body so a crash mid-kernel leaves
+        // the launch open on disk — that open is the post-mortem
+        // attribution. Observes only; never feeds back into the ledger.
+        let flight = telemetry::flight::recording();
+        if flight {
+            telemetry::flight::span_open(telemetry::SpanKind::Launch, &priced.name);
+        }
         let r = body();
+        if flight {
+            telemetry::flight::span_close(telemetry::SpanKind::Launch, &priced.name);
+        }
         span.finish(
             Arc::clone(&priced.name),
             kernel.footprint.items,

@@ -3,9 +3,13 @@
 //! never attached at all — and to one priced with telemetry *enabled*.
 //! The subsystem reads the engine; nothing in the engine reads it back.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, PoisonError};
 use sycl_sim::{Kernel, LaunchRecord, PlatformId, Session, SessionConfig, Toolchain};
 use telemetry::TelemetryConfig;
+
+/// Telemetry state (enabled flag, counters, flight recorder) is
+/// process-global; the tests in this file must not interleave.
+static SERIAL: Mutex<()> = Mutex::new(());
 
 /// A launch mix covering the cache paths: repeated hits on two hot
 /// kernels, a boundary loop, and a reduction, on both cached and
@@ -78,6 +82,7 @@ fn assert_bit_identical(
 
 #[test]
 fn disabled_and_enabled_telemetry_leave_ledgers_bit_identical() {
+    let _serial = SERIAL.lock().unwrap_or_else(PoisonError::into_inner);
     // 1. Telemetry never attached: the process default (no install).
     let never = run_workload();
 
@@ -142,4 +147,44 @@ fn disabled_and_enabled_telemetry_leave_ledgers_bit_identical() {
     assert_eq!(triad_wall.count(), 2 * 7); // two sessions × seven launches
     assert!(snap.hist("equiv.sim_secs", "triad").is_some());
     assert_eq!(snap.counter("equiv.runs", "workload"), 1);
+}
+
+#[test]
+fn flight_recorder_leaves_ledgers_bit_identical() {
+    let _serial = SERIAL.lock().unwrap_or_else(PoisonError::into_inner);
+    // Baseline: no observation of any kind.
+    let never = run_workload();
+
+    // Same workload with the flight recorder writing every launch to
+    // disk (the span rings stay off — flight is an independent switch).
+    let path = std::env::temp_dir().join(format!("flight-equiv-{}.bin", std::process::id()));
+    telemetry::flight::start(&path, 0, "equiv").unwrap();
+    telemetry::flight::span_open(telemetry::SpanKind::Unit, "equiv-unit");
+    let with_flight = run_workload();
+    telemetry::flight::span_close(telemetry::SpanKind::Unit, "equiv-unit");
+    telemetry::flight::stop();
+
+    assert_bit_identical(&never, &with_flight, "never-attached vs flight-recorded");
+
+    // The recording really observed the run: one open/close pair per
+    // ledger record across both sessions, nothing left open.
+    let rec = telemetry::FlightRecording::read(&path).unwrap();
+    assert!(!rec.torn, "clean stop must not leave a torn tail");
+    let opens = rec
+        .events
+        .iter()
+        .filter(|e| {
+            matches!(
+                e,
+                telemetry::FlightEvent::SpanOpen {
+                    kind: telemetry::SpanKind::Launch,
+                    ..
+                }
+            )
+        })
+        .count();
+    let per_session = never.0.len();
+    assert_eq!(opens, 2 * per_session);
+    assert!(rec.open_spans().is_empty());
+    std::fs::remove_file(&path).ok();
 }

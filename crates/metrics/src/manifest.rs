@@ -35,6 +35,11 @@ pub struct Provenance {
     /// 1-based attempt that produced the value (> 1 means the unit was
     /// retried after a crash or timeout).
     pub attempt: u32,
+    /// Causal trace id the orchestrator stamped on the dispatch that
+    /// produced this value — the join key into flight recordings and
+    /// the merged fleet trace. 0 when the run predates tracing (or ran
+    /// serially without an orchestrator).
+    pub trace: u64,
 }
 
 /// One kernel's (or phase's) measurements within a run.
@@ -175,6 +180,7 @@ impl RunManifest {
                 w.begin_object();
                 w.key("worker").int(p.worker as u64);
                 w.key("attempt").int(p.attempt as u64);
+                w.key("trace").int(p.trace);
                 w.end_object();
             }
             w.key("samples").begin_array();
@@ -224,6 +230,8 @@ impl RunManifest {
                         Some(Provenance {
                             worker: o.u64_of("worker")? as u32,
                             attempt: o.u64_of("attempt")? as u32,
+                            // Pre-tracing documents carry no trace id.
+                            trace: o.u64_of("trace").unwrap_or(0),
                         })
                     }),
                 })
@@ -371,6 +379,7 @@ mod tests {
                     origin: Some(Provenance {
                         worker: 3,
                         attempt: 2,
+                        trace: 17,
                     }),
                 },
                 KernelSummary {
@@ -485,6 +494,7 @@ mod tests {
             origin: Some(Provenance {
                 worker: 1,
                 attempt: 1,
+                trace: 0,
             }),
         }];
         let merged = merge_manifests("study", &[a.clone(), b.clone()]);
@@ -520,7 +530,11 @@ mod tests {
                     sim_secs: 0.5,
                     bytes: 0.0,
                     gbps: 0.0,
-                    origin: Some(Provenance { worker, attempt: 1 }),
+                    origin: Some(Provenance {
+                        worker,
+                        attempt: 1,
+                        trace: 0,
+                    }),
                 }],
                 ..sample_manifest()
             }
@@ -538,7 +552,8 @@ mod tests {
             k.origin,
             Some(Provenance {
                 worker: 0,
-                attempt: 1
+                attempt: 1,
+                trace: 0,
             }),
             "first reporter's provenance wins"
         );

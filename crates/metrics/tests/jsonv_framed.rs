@@ -36,6 +36,7 @@ fn wire_manifest() -> RunManifest {
             origin: Some(Provenance {
                 worker: 2,
                 attempt: 3,
+                trace: 41,
             }),
         }],
         counters: CounterSnapshot {

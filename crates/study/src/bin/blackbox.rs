@@ -1,0 +1,112 @@
+//! `blackbox` — fleet forensics over a study's crash artefacts.
+//!
+//! ```text
+//! blackbox                             # results/study.journal + results/flight/
+//! blackbox --journal J --flight DIR    # explicit inputs
+//! blackbox --out results               # where the artefacts land
+//! blackbox --gate                      # nonzero exit if any crashed
+//!                                      # unit lacks a kill-site span
+//! ```
+//!
+//! Reads the resume journal and every per-process flight recording,
+//! attributes each crashed/timed-out unit to the span it died in,
+//! runs the straggler/tail analysis, and writes:
+//!
+//! * `<out>/BLACKBOX_study.json` — the forensics document
+//!   (`schema: "sycl-blackbox/v1"`), rendered by the dashboard's
+//!   "Fleet forensics" section.
+//! * `<out>/TRACE_study.json` — the merged cross-process Chrome trace
+//!   (open in Perfetto; flow arrows join dispatch → execution →
+//!   result across pids).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use study::forensics::{analyze, chrome_fleet_trace, load_flight_dir};
+use study::orchestrator::read_journal;
+
+fn main() -> ExitCode {
+    match run(&std::env::args().skip(1).collect::<Vec<_>>()) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("blackbox: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let mut journal = PathBuf::from("results/study.journal");
+    let mut flight = PathBuf::from("results/flight");
+    let mut out_dir = PathBuf::from("results");
+    let mut gate = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |what: &str| -> Result<&String, String> {
+            it.next().ok_or(format!("{what} needs a value"))
+        };
+        match a.as_str() {
+            "--journal" => journal = PathBuf::from(val("--journal")?),
+            "--flight" => flight = PathBuf::from(val("--flight")?),
+            "--out" => out_dir = PathBuf::from(val("--out")?),
+            "--gate" => gate = true,
+            other => return Err(format!("unknown flag '{other}' (see crate docs)")),
+        }
+    }
+
+    let records = read_journal(&journal);
+    if records.is_empty() {
+        return Err(format!(
+            "no terminal records in {} — run a study first",
+            journal.display()
+        ));
+    }
+    let recordings = load_flight_dir(&flight);
+    let doc = analyze(&records, &recordings);
+
+    std::fs::create_dir_all(&out_dir).map_err(|e| format!("create {}: {e}", out_dir.display()))?;
+    let doc_path = out_dir.join("BLACKBOX_study.json");
+    std::fs::write(&doc_path, doc.to_json()).map_err(|e| e.to_string())?;
+    let trace_path = out_dir.join("TRACE_study.json");
+    std::fs::write(&trace_path, chrome_fleet_trace(&recordings)).map_err(|e| e.to_string())?;
+
+    println!(
+        "blackbox: {} units ({} ok, {} holes, {} crashed) over {} recording(s)",
+        doc.units,
+        doc.ok,
+        doc.holes,
+        doc.crashed,
+        doc.recordings.len()
+    );
+    for a in &doc.attributions {
+        match (&a.span_kind, &a.span_name) {
+            (Some(kind), Some(name)) => println!(
+                "  {} (worker {}, attempt {}, trace {}): died in {kind} '{name}' after {:.3}s — {}",
+                a.unit_id, a.worker, a.attempt, a.trace, a.in_span_secs, a.note
+            ),
+            _ => println!(
+                "  {} (worker {}, attempt {}, trace {}): NO ATTRIBUTION — {}",
+                a.unit_id, a.worker, a.attempt, a.trace, a.note
+            ),
+        }
+    }
+    if !doc.tail_kernels.is_empty() {
+        println!(
+            "stragglers (unit wall >= p99 = {:.3}s): {}",
+            doc.tail_p99_secs,
+            doc.tail_units.join(", ")
+        );
+        for k in &doc.tail_kernels {
+            println!("  {:24} {:8.3}s  {:5.1}%", k.name, k.secs, k.share * 100.0);
+        }
+    }
+    println!("wrote {} and {}", doc_path.display(), trace_path.display());
+
+    if gate && doc.unattributed > 0 {
+        eprintln!(
+            "blackbox --gate: {} crashed unit(s) without kill-site attribution",
+            doc.unattributed
+        );
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}

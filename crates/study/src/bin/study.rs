@@ -7,7 +7,12 @@
 //! study --paper --resume               # continue an interrupted run
 //! study --chaos 0.2 --chaos-seed 7     # fault-injected run
 //! study --merge OUT.json A.json B.json # merge shard documents
+//! study --no-flight                    # disable flight recordings
 //! ```
+//!
+//! Fleet runs keep crash-surviving flight recordings under
+//! `<out>/flight/` by default (`--flight-dir` moves them); run the
+//! `blackbox` binary afterwards to reconstruct crashes and stragglers.
 //!
 //! Writes `<out>/STUDY[_shard<i>of<n>].json` (the study document) and
 //! `<out>/BENCH_study[_shard<i>of<n>].json` (the merged manifest) and
@@ -50,6 +55,7 @@ fn main() -> ExitCode {
 fn study_cli(args: &[String]) -> Result<(), String> {
     let mut cfg = StudyConfig::new(Scope::Smoke);
     let mut out_dir = PathBuf::from("results");
+    let mut no_flight = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut val = |what: &str| -> Result<&String, String> {
@@ -77,6 +83,8 @@ fn study_cli(args: &[String]) -> Result<(), String> {
             "--max-attempts" => cfg.max_attempts = parse::<u32>(val("--max-attempts")?)?.max(1),
             "--journal" => cfg.journal = Some(PathBuf::from(val("--journal")?)),
             "--resume" => cfg.resume = true,
+            "--flight-dir" => cfg.flight_dir = Some(PathBuf::from(val("--flight-dir")?)),
+            "--no-flight" => no_flight = true,
             "--out" => out_dir = PathBuf::from(val("--out")?),
             other => return Err(format!("unknown flag '{other}' (see crate docs)")),
         }
@@ -87,6 +95,14 @@ fn study_cli(args: &[String]) -> Result<(), String> {
     };
     if cfg.journal.is_none() {
         cfg.journal = Some(out_dir.join(format!("study{suffix}.journal")));
+    }
+    // Flight recordings are on by default for fleet runs — they are
+    // what `blackbox` reconstructs crashes from — and live next to the
+    // other artefacts unless pointed elsewhere.
+    if no_flight {
+        cfg.flight_dir = None;
+    } else if cfg.flight_dir.is_none() && cfg.workers > 0 {
+        cfg.flight_dir = Some(out_dir.join("flight"));
     }
     if cfg.workers > 0 {
         let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
@@ -173,6 +189,12 @@ fn print_summary(doc: &StudyDoc) {
         "fleet: workers={} elapsed={:.2}s busy={:.2}s utilisation={:.0}% retries={} restarts={} timeouts={} resumed={}",
         s.workers, s.elapsed_secs, s.busy_secs, util * 100.0, s.retries, s.restarts, s.timeouts, s.resumed
     );
+    if s.peak_rss_kb > 0 {
+        println!(
+            "memory: peak worker RSS {:.1} MiB",
+            s.peak_rss_kb as f64 / 1024.0
+        );
+    }
     let max_attempt = doc.records.iter().map(|r| r.attempt).max().unwrap_or(1);
     if max_attempt > 1 {
         let retried = doc.records.iter().filter(|r| r.attempt > 1).count();

@@ -29,6 +29,12 @@
 //!   attempt produced each cell).
 //! * [`report`] — `results/STUDY.json` (status per cell, fleet stats,
 //!   the PP̄ table over the merged study) and shard merging for CI.
+//! * [`forensics`] — post-mortem reconstruction from the resume
+//!   journal plus the crash-surviving flight recordings every process
+//!   keeps (`telemetry::flight`): kill-site attribution for every
+//!   crashed/timed-out unit, straggler/tail kernel analysis, and a
+//!   merged cross-process Chrome trace with causal flow arrows. The
+//!   `blackbox` binary is its CLI.
 //!
 //! The hard invariant, proven by the process-level tests in
 //! `tests/study_proc.rs`: **every unit ends terminal** — measured, a
@@ -36,6 +42,7 @@
 //! under `--chaos 0.2` worker kills, and the merged manifest accounts
 //! for all of them.
 
+pub mod forensics;
 pub mod orchestrator;
 pub mod proto;
 pub mod record;
@@ -44,6 +51,7 @@ pub mod runner;
 pub mod unit;
 pub mod worker;
 
+pub use forensics::{analyze, chrome_fleet_trace, load_flight_dir, BlackboxDoc};
 pub use orchestrator::{merged_manifest, run_study, StudyConfig, StudyOutcome, StudyStats};
 pub use record::{UnitRecord, UnitStatus};
 pub use report::StudyDoc;

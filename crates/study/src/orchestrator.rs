@@ -19,7 +19,7 @@
 //! per line; `resume` replays it, tolerating a torn final line (the
 //! write that was in flight when the previous study died).
 
-use crate::proto::{read_frame, write_frame, Msg};
+use crate::proto::{read_frame, write_frame, Msg, PROTO_VERSION};
 use crate::record::{worker_manifest, UnitRecord, UnitStatus};
 use crate::runner::run_unit;
 use crate::unit::{shard, Scope, StudyUnit};
@@ -31,6 +31,11 @@ use std::path::{Path, PathBuf};
 use std::process::{Child, ChildStdin, Command, Stdio};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::time::{Duration, Instant};
+use telemetry::flight::{self, TraceRole};
+
+/// Worker-id sentinel the orchestrator uses for its own flight
+/// recording (real slots are 0-based and small).
+pub const ORCH_SLOT: u32 = u32::MAX;
 
 /// Everything a study run needs to know.
 #[derive(Debug, Clone)]
@@ -53,6 +58,9 @@ pub struct StudyConfig {
     pub journal: Option<PathBuf>,
     /// Replay the journal and skip already-terminal units.
     pub resume: bool,
+    /// Directory for crash-surviving flight recordings (orchestrator +
+    /// every worker). `None` disables flight recording.
+    pub flight_dir: Option<PathBuf>,
     /// Argv prefix used to spawn workers (the binary re-executes
     /// itself; tests point this at the test executable).
     pub worker_cmd: Vec<String>,
@@ -71,6 +79,7 @@ impl StudyConfig {
             chaos_seed: 0,
             journal: None,
             resume: false,
+            flight_dir: None,
             worker_cmd: vec![],
         }
     }
@@ -106,6 +115,9 @@ pub struct StudyStats {
     pub timeouts: u64,
     /// Units adopted from the journal instead of executed.
     pub resumed: u32,
+    /// Largest peak RSS (VmHWM, KiB) any worker reported in its `bye`
+    /// exit frame. 0 when no worker signed off (serial runs, crashes).
+    pub peak_rss_kb: u64,
 }
 
 /// A completed study: every unit terminal, manifests merged.
@@ -163,12 +175,67 @@ pub fn run_study(cfg: &StudyConfig) -> Result<StudyOutcome, String> {
         .map(|u| (u.clone(), 1))
         .collect();
 
-    if cfg.workers == 0 {
-        for (unit, attempt) in pending {
-            let rec = run_unit(&unit, cfg.reps, cfg.paper_size(), 0, attempt);
-            record_done(&rec, &mut stats)?;
-            done.insert(unit.index, rec);
+    // The orchestrator keeps its own flight recording next to the
+    // workers': dispatch/result trace marks on this side, begin marks
+    // and unit spans on theirs, joined by the trace id. A fresh (non-
+    // resume) run clears stale recordings so `blackbox` never mixes two
+    // runs; a resumed run keeps them — they are the crash evidence.
+    let flight_on = cfg.flight_dir.is_some();
+    if let Some(dir) = &cfg.flight_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("flight dir: {e}"))?;
+        if !cfg.resume {
+            if let Ok(entries) = std::fs::read_dir(dir) {
+                for entry in entries.flatten() {
+                    let name = entry.file_name();
+                    let name = name.to_string_lossy();
+                    if name.starts_with("flight-") && name.ends_with(".bin") {
+                        let _ = std::fs::remove_file(entry.path());
+                    }
+                }
+            }
         }
+        let path = dir.join(format!("flight-orch-p{}.bin", std::process::id()));
+        if let Err(e) = flight::start(&path, ORCH_SLOT, "study-orchestrator") {
+            eprintln!("study: flight recorder unavailable: {e}");
+        }
+    }
+
+    let result = if cfg.workers == 0 {
+        let mut next_trace = 0u64;
+        let serial = || -> Result<(), String> {
+            for (unit, attempt) in pending {
+                next_trace += 1;
+                let id = unit.id();
+                flight::trace_mark(
+                    TraceRole::Dispatch,
+                    next_trace,
+                    unit.index as u32,
+                    attempt,
+                    &id,
+                );
+                flight::trace_mark(
+                    TraceRole::Begin,
+                    next_trace,
+                    unit.index as u32,
+                    attempt,
+                    &id,
+                );
+                flight::span_open(telemetry::SpanKind::Unit, &id);
+                let rec = run_unit(&unit, cfg.reps, cfg.paper_size(), 0, attempt, next_trace);
+                flight::span_close(telemetry::SpanKind::Unit, &id);
+                flight::trace_mark(
+                    TraceRole::Result,
+                    next_trace,
+                    unit.index as u32,
+                    attempt,
+                    rec.status.label(),
+                );
+                record_done(&rec, &mut stats)?;
+                done.insert(unit.index, rec);
+            }
+            Ok(())
+        };
+        serial()
     } else {
         run_fleet(
             cfg,
@@ -177,8 +244,13 @@ pub fn run_study(cfg: &StudyConfig) -> Result<StudyOutcome, String> {
             &mut done,
             &mut stats,
             &mut |rec, st| record_done(rec, st),
-        )?;
+        )
+    };
+    if flight_on {
+        flight::peak_rss(crate::worker::peak_rss_kb());
+        flight::stop();
     }
+    result?;
 
     stats.elapsed_secs = started.elapsed().as_secs_f64();
     debug_assert_eq!(done.len(), units.len());
@@ -225,6 +297,8 @@ enum Ev {
 struct Inflight {
     unit: StudyUnit,
     attempt: u32,
+    /// Causal trace id stamped on this dispatch.
+    trace: u64,
     deadline: Instant,
 }
 
@@ -276,6 +350,9 @@ fn run_fleet(
             cmd.args(["--chaos", &cfg.chaos.to_string()])
                 .args(["--chaos-seed", &cfg.chaos_seed.to_string()]);
         }
+        if let Some(dir) = &cfg.flight_dir {
+            cmd.arg("--flight-dir").arg(dir);
+        }
         let mut child = cmd
             .stdin(Stdio::piped())
             .stdout(Stdio::piped())
@@ -303,21 +380,39 @@ fn run_fleet(
 
     // Hand the next pending unit to an idle slot (or retire the worker
     // with `exit` when the queue is dry). The handed unit becomes the
-    // slot's in-flight with a fresh deadline.
-    fn assign(cfg: &StudyConfig, slot: &mut Slot, pending: &mut VecDeque<(StudyUnit, u32)>) {
+    // slot's in-flight with a fresh deadline and a fresh trace id —
+    // every dispatch (including a retry of the same unit) gets its own
+    // id, so flight recordings never conflate two attempts.
+    fn assign(
+        cfg: &StudyConfig,
+        slot: &mut Slot,
+        pending: &mut VecDeque<(StudyUnit, u32)>,
+        next_trace: &mut u64,
+    ) {
         let Some(stdin) = &mut slot.stdin else { return };
         match pending.pop_front() {
             Some((unit, attempt)) => {
+                *next_trace += 1;
+                let trace = *next_trace;
                 let msg = Msg::Run {
                     unit: unit.clone(),
                     attempt,
                     reps: cfg.reps,
                     paper: cfg.paper_size(),
+                    trace,
                 };
                 if write_frame(stdin, &msg.to_json()).is_ok() {
+                    flight::trace_mark(
+                        TraceRole::Dispatch,
+                        trace,
+                        unit.index as u32,
+                        attempt,
+                        &unit.id(),
+                    );
                     slot.inflight = Some(Inflight {
                         unit,
                         attempt,
+                        trace,
                         deadline: Instant::now() + cfg.timeout,
                     });
                 } else {
@@ -346,6 +441,13 @@ fn run_fleet(
          record_done: &mut dyn FnMut(&UnitRecord, &mut StudyStats) -> Result<(), String>|
          -> Result<(), String> {
             if inf.attempt >= cfg.max_attempts {
+                flight::trace_mark(
+                    TraceRole::Result,
+                    inf.trace,
+                    inf.unit.index as u32,
+                    inf.attempt,
+                    "crashed",
+                );
                 let rec = UnitRecord {
                     unit: inf.unit.clone(),
                     status: UnitStatus::Crashed,
@@ -355,6 +457,7 @@ fn run_fleet(
                     )),
                     worker: slot_id as u32,
                     attempt: inf.attempt,
+                    trace: inf.trace,
                     wall_secs: 0.0,
                     samples: vec![],
                     sim_secs: None,
@@ -364,15 +467,23 @@ fn run_fleet(
                 record_done(&rec, stats)?;
                 done.insert(rec.unit.index, rec);
             } else {
+                flight::trace_mark(
+                    TraceRole::Result,
+                    inf.trace,
+                    inf.unit.index as u32,
+                    inf.attempt,
+                    "retry",
+                );
                 stats.retries += 1;
                 pending.push_front((inf.unit, inf.attempt + 1));
             }
             Ok(())
         };
 
+    let mut next_trace = 0u64;
     for s in 0..fleet {
         spawn(s, &mut slots, stats)?;
-        assign(cfg, &mut slots[s], &mut pending);
+        assign(cfg, &mut slots[s], &mut pending, &mut next_trace);
     }
 
     while done.len() < units.len() {
@@ -387,11 +498,17 @@ fn run_fleet(
             .min(Duration::from_millis(500));
 
         match rx.recv_timeout(wait) {
-            // `hello` and `start` are informational; `start` matters
-            // after a crash, when the *absence* of `done` for a started
-            // unit is what triggers the retry.
-            Ok(Ev::Msg(s, gen, msg)) if slots[s].gen == gen => {
-                if let Msg::Done(rec) = msg {
+            // `start` is informational here; it matters after a crash,
+            // when the *absence* of `done` for a started unit is what
+            // triggers the retry.
+            Ok(Ev::Msg(s, gen, msg)) if slots[s].gen == gen => match msg {
+                Msg::Hello { proto, .. } if proto != PROTO_VERSION => {
+                    return Err(format!(
+                        "worker {s} speaks protocol v{proto}, orchestrator requires \
+                         v{PROTO_VERSION} — the worker command runs a stale binary"
+                    ));
+                }
+                Msg::Done(rec) => {
                     if slots[s]
                         .inflight
                         .as_ref()
@@ -399,11 +516,22 @@ fn run_fleet(
                     {
                         slots[s].inflight = None;
                     }
+                    flight::trace_mark(
+                        TraceRole::Result,
+                        rec.trace,
+                        rec.unit.index as u32,
+                        rec.attempt,
+                        rec.status.label(),
+                    );
                     record_done(&rec, stats)?;
                     done.insert(rec.unit.index, rec);
-                    assign(cfg, &mut slots[s], &mut pending);
+                    assign(cfg, &mut slots[s], &mut pending, &mut next_trace);
                 }
-            }
+                Msg::Bye { peak_rss_kb, .. } => {
+                    stats.peak_rss_kb = stats.peak_rss_kb.max(peak_rss_kb);
+                }
+                _ => {}
+            },
             Ok(Ev::Msg(..)) => {} // stale generation: killed worker
             Ok(Ev::Eof(s, gen)) if slots[s].gen == gen => {
                 let had = slots[s].inflight.take();
@@ -421,7 +549,7 @@ fn run_fleet(
                 }
                 if !pending.is_empty() {
                     spawn(s, &mut slots, stats)?;
-                    assign(cfg, &mut slots[s], &mut pending);
+                    assign(cfg, &mut slots[s], &mut pending, &mut next_trace);
                 }
             }
             Ok(Ev::Eof(..)) => {}
@@ -449,7 +577,7 @@ fn run_fleet(
                     )?;
                     if !pending.is_empty() {
                         spawn(s, &mut slots, stats)?;
-                        assign(cfg, &mut slots[s], &mut pending);
+                        assign(cfg, &mut slots[s], &mut pending, &mut next_trace);
                     }
                 }
             }
@@ -459,11 +587,36 @@ fn run_fleet(
         }
     }
 
+    // Retire the fleet: closing stdin tells each worker to exit, and
+    // an orderly worker answers with a `bye` exit frame (peak RSS)
+    // before dying. Collect those farewells — bounded, because a
+    // worker wedged at shutdown must not wedge the study.
+    let mut live = 0usize;
     for slot in &mut slots {
         if let Some(stdin) = &mut slot.stdin {
             let _ = write_frame(stdin, &Msg::Exit.to_json());
         }
         slot.stdin = None;
+        if slot.child.is_some() {
+            live += 1;
+        }
+    }
+    let goodbye = Instant::now() + Duration::from_secs(5);
+    while live > 0 && Instant::now() < goodbye {
+        match rx.recv_timeout(Duration::from_millis(100)) {
+            Ok(Ev::Msg(s, gen, Msg::Bye { peak_rss_kb, .. })) if slots[s].gen == gen => {
+                stats.peak_rss_kb = stats.peak_rss_kb.max(peak_rss_kb);
+            }
+            Ok(Ev::Eof(s, gen)) if slots[s].gen == gen && slots[s].child.is_some() => {
+                reap(&mut slots[s]);
+                live -= 1;
+            }
+            Ok(_) => {}
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    for slot in &mut slots {
         reap(slot);
     }
     Ok(())

@@ -22,9 +22,19 @@
 //! ## Messages
 //!
 //! JSON objects tagged by a `"msg"` key. Orchestrator → worker:
-//! `run`, `exit`. Worker → orchestrator: `hello`, `start`, `done`.
-//! `start` is sent *before* the unit executes, so after a crash the
-//! orchestrator knows exactly which unit died and can retry it.
+//! `run`, `exit`. Worker → orchestrator: `hello`, `start`, `done`,
+//! `bye`. `start` is sent *before* the unit executes, so after a crash
+//! the orchestrator knows exactly which unit died and can retry it.
+//! `bye` is the worker's exit frame (peak RSS and farewell); a worker
+//! that dies never sends it, which is itself a signal.
+//!
+//! ## Versioning
+//!
+//! `hello` carries [`PROTO_VERSION`]. The orchestrator refuses to mix
+//! protocol generations: a version mismatch fails the study with a
+//! clear error instead of silently dropping fields a newer peer relies
+//! on (trace ids, exit frames). A `hello` without a `proto` key parses
+//! as version 0 — the pre-handshake generation.
 
 use crate::record::UnitRecord;
 use crate::unit::{unit_from_wire, StudyUnit};
@@ -35,6 +45,10 @@ use telemetry::json::JsonWriter;
 
 /// Frame magic: **SY**cl-study **F**rame v**1**.
 pub const MAGIC: [u8; 4] = *b"SYF1";
+
+/// Message-schema generation spoken by this build. Bumped when a field
+/// the orchestrator depends on is added (v2: trace ids + `bye` frames).
+pub const PROTO_VERSION: u32 = 2;
 
 /// Upper bound on a frame payload (16 MiB) — larger lengths are
 /// treated as protocol corruption, not allocation requests.
@@ -127,24 +141,30 @@ fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> io::Result<usize> {
 /// A protocol message.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Msg {
-    /// Worker greeting (pid recorded for span attribution).
-    Hello { worker: u32, pid: u32 },
-    /// Execute one unit.
+    /// Worker greeting (pid recorded for span attribution, `proto` for
+    /// the version handshake).
+    Hello { worker: u32, pid: u32, proto: u32 },
+    /// Execute one unit. `trace` is the orchestrator-stamped causal
+    /// trace id carried through spans, flight events, and manifests.
     Run {
         unit: StudyUnit,
         attempt: u32,
         reps: u32,
         /// Paper-size apps (vs CI test size).
         paper: bool,
+        trace: u64,
     },
     /// The worker is about to execute `index` — the crash-retry anchor.
     Start {
         index: usize,
         worker: u32,
         attempt: u32,
+        trace: u64,
     },
     /// The unit reached a terminal state.
     Done(UnitRecord),
+    /// Worker exit frame: sent on orderly shutdown, never by a crash.
+    Bye { worker: u32, peak_rss_kb: u64 },
     /// Orderly shutdown.
     Exit,
 }
@@ -153,11 +173,12 @@ impl Msg {
     pub fn to_json(&self) -> String {
         let mut w = JsonWriter::new();
         match self {
-            Msg::Hello { worker, pid } => {
+            Msg::Hello { worker, pid, proto } => {
                 w.begin_object();
                 w.key("msg").string("hello");
                 w.key("worker").int(*worker as u64);
                 w.key("pid").int(*pid as u64);
+                w.key("proto").int(*proto as u64);
                 w.end_object();
             }
             Msg::Run {
@@ -165,6 +186,7 @@ impl Msg {
                 attempt,
                 reps,
                 paper,
+                trace,
             } => {
                 w.begin_object();
                 w.key("msg").string("run");
@@ -179,18 +201,21 @@ impl Msg {
                 w.key("attempt").int(*attempt as u64);
                 w.key("reps").int(*reps as u64);
                 w.key("paper").bool(*paper);
+                w.key("trace").int(*trace);
                 w.end_object();
             }
             Msg::Start {
                 index,
                 worker,
                 attempt,
+                trace,
             } => {
                 w.begin_object();
                 w.key("msg").string("start");
                 w.key("index").int(*index as u64);
                 w.key("worker").int(*worker as u64);
                 w.key("attempt").int(*attempt as u64);
+                w.key("trace").int(*trace);
                 w.end_object();
             }
             Msg::Done(rec) => {
@@ -198,6 +223,16 @@ impl Msg {
                 w.key("msg").string("done");
                 w.key("record");
                 rec.write_json(&mut w);
+                w.end_object();
+            }
+            Msg::Bye {
+                worker,
+                peak_rss_kb,
+            } => {
+                w.begin_object();
+                w.key("msg").string("bye");
+                w.key("worker").int(*worker as u64);
+                w.key("peakRssKb").int(*peak_rss_kb);
                 w.end_object();
             }
             Msg::Exit => {
@@ -220,6 +255,8 @@ impl Msg {
             "hello" => Ok(Msg::Hello {
                 worker: u32_of("worker")?,
                 pid: u32_of("pid")?,
+                // Pre-handshake peers sent no version at all.
+                proto: j.u64_of("proto").unwrap_or(0) as u32,
             }),
             "run" => {
                 let unit = unit_from_wire(
@@ -236,17 +273,23 @@ impl Msg {
                     attempt: u32_of("attempt")?,
                     reps: u32_of("reps")?,
                     paper: matches!(j.get("paper"), Some(Json::Bool(true))),
+                    trace: j.u64_of("trace").unwrap_or(0),
                 })
             }
             "start" => Ok(Msg::Start {
                 index: j.u64_of("index").ok_or("start missing 'index'")? as usize,
                 worker: u32_of("worker")?,
                 attempt: u32_of("attempt")?,
+                trace: j.u64_of("trace").unwrap_or(0),
             }),
             "done" => {
                 let rec = j.get("record").ok_or("done missing 'record'")?;
                 Ok(Msg::Done(UnitRecord::from_json(rec)?))
             }
+            "bye" => Ok(Msg::Bye {
+                worker: u32_of("worker")?,
+                peak_rss_kb: j.u64_of("peakRssKb").unwrap_or(0),
+            }),
             "exit" => Ok(Msg::Exit),
             other => Err(format!("unknown message tag '{other}'")),
         }
@@ -263,17 +306,23 @@ mod tests {
     fn messages() -> Vec<Msg> {
         let unit = smoke_units().into_iter().next().unwrap();
         vec![
-            Msg::Hello { worker: 1, pid: 42 },
+            Msg::Hello {
+                worker: 1,
+                pid: 42,
+                proto: PROTO_VERSION,
+            },
             Msg::Run {
                 unit: unit.clone(),
                 attempt: 2,
                 reps: 3,
                 paper: true,
+                trace: 7,
             },
             Msg::Start {
                 index: unit.index,
                 worker: 1,
                 attempt: 2,
+                trace: 7,
             },
             Msg::Done(UnitRecord {
                 unit,
@@ -281,12 +330,17 @@ mod tests {
                 note: None,
                 worker: 1,
                 attempt: 2,
+                trace: 7,
                 wall_secs: 0.25,
                 samples: vec![0.1, 0.15],
                 sim_secs: Some(1.0),
                 efficiency: Some(0.5),
                 gbps: Some(700.0),
             }),
+            Msg::Bye {
+                worker: 1,
+                peak_rss_kb: 51_200,
+            },
             Msg::Exit,
         ]
     }
@@ -303,6 +357,22 @@ mod tests {
             back.push(Msg::parse(&payload).unwrap());
         }
         assert_eq!(back, messages());
+    }
+
+    #[test]
+    fn hello_without_proto_parses_as_version_zero() {
+        // A pre-handshake worker never wrote a `proto` key; it must
+        // parse (as generation 0) so the orchestrator can *name* the
+        // mismatch instead of choking on the frame.
+        let m = Msg::parse(r#"{"msg":"hello","worker":0,"pid":9}"#).unwrap();
+        assert_eq!(
+            m,
+            Msg::Hello {
+                worker: 0,
+                pid: 9,
+                proto: 0
+            }
+        );
     }
 
     #[test]

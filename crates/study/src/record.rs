@@ -69,6 +69,9 @@ pub struct UnitRecord {
     pub worker: u32,
     /// 1-based attempt that became terminal.
     pub attempt: u32,
+    /// Causal trace id of the dispatch that became terminal (0 for
+    /// serial runs and journals written before tracing existed).
+    pub trace: u64,
     /// Worker-side wall-clock spent on the successful attempt, seconds.
     pub wall_secs: f64,
     /// Per-repetition wall-clock samples (the non-deterministic part).
@@ -115,6 +118,7 @@ impl UnitRecord {
         }
         w.key("worker").int(self.worker as u64);
         w.key("attempt").int(self.attempt as u64);
+        w.key("trace").int(self.trace);
         w.key("wallSecs").number(self.wall_secs);
         w.key("samples").begin_array();
         for &s in &self.samples {
@@ -173,6 +177,7 @@ impl UnitRecord {
             note: j.str_of("note").map(str::to_owned),
             worker: j.u64_of("worker").ok_or("record missing 'worker'")? as u32,
             attempt: j.u64_of("attempt").ok_or("record missing 'attempt'")? as u32,
+            trace: j.u64_of("trace").unwrap_or(0),
             wall_secs: j.f64_of("wallSecs").ok_or("record missing 'wallSecs'")?,
             samples,
             sim_secs: j.f64_of("simSecs"),
@@ -200,6 +205,7 @@ impl UnitRecord {
             origin: Some(Provenance {
                 worker: self.worker,
                 attempt: self.attempt,
+                trace: self.trace,
             }),
         }
     }
@@ -240,6 +246,7 @@ mod tests {
             note: None,
             worker: 2,
             attempt: 3,
+            trace: 11,
             wall_secs: 0.5,
             samples: vec![0.2, 0.3],
             sim_secs: Some(1.5),
@@ -280,7 +287,8 @@ mod tests {
             k.origin,
             Some(Provenance {
                 worker: 2,
-                attempt: 3
+                attempt: 3,
+                trace: 11,
             })
         );
         assert_eq!(k.wall.count, 2);
@@ -305,7 +313,8 @@ mod tests {
             back.kernels[0].origin,
             Some(Provenance {
                 worker: 2,
-                attempt: 3
+                attempt: 3,
+                trace: 11,
             })
         );
     }

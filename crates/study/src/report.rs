@@ -49,6 +49,7 @@ impl StudyDoc {
         w.key("restarts").int(self.stats.restarts);
         w.key("timeouts").int(self.stats.timeouts);
         w.key("resumed").int(self.stats.resumed as u64);
+        w.key("peakRssKb").int(self.stats.peak_rss_kb);
         w.end_object();
         w.key("pp").begin_array();
         for (label, value) in pp_rows(&self.records) {
@@ -103,6 +104,8 @@ impl StudyDoc {
                 restarts: stat_u64("restarts")?,
                 timeouts: stat_u64("timeouts")?,
                 resumed: stat_u64("resumed")? as u32,
+                // Older documents predate the exit frame.
+                peak_rss_kb: stats.u64_of("peakRssKb").unwrap_or(0),
             },
             records,
         })
@@ -148,6 +151,7 @@ pub fn merge_docs(parts: &[StudyDoc]) -> Result<StudyDoc, String> {
         stats.restarts += d.stats.restarts;
         stats.timeouts += d.stats.timeouts;
         stats.resumed += d.stats.resumed;
+        stats.peak_rss_kb = stats.peak_rss_kb.max(d.stats.peak_rss_kb);
     }
     records.sort_by_key(|r| r.unit.index);
     let expected = scope.units();

@@ -15,7 +15,16 @@ use std::time::Instant;
 
 /// Run one unit to a terminal record (`Ok` or `Hole` — `Crashed` can
 /// only be decided by the orchestrator, after retries are exhausted).
-pub fn run_unit(unit: &StudyUnit, reps: u32, paper: bool, worker: u32, attempt: u32) -> UnitRecord {
+/// `trace` is the causal trace id stamped on the dispatch (0 when no
+/// orchestrator is involved).
+pub fn run_unit(
+    unit: &StudyUnit,
+    reps: u32,
+    paper: bool,
+    worker: u32,
+    attempt: u32,
+    trace: u64,
+) -> UnitRecord {
     let started = Instant::now();
     let mut samples = Vec::with_capacity(reps.max(1) as usize);
     let mut last: Option<Measurement> = None;
@@ -32,6 +41,7 @@ pub fn run_unit(unit: &StudyUnit, reps: u32, paper: bool, worker: u32, attempt: 
                         note: Some(format!("unknown app '{}'", unit.app)),
                         worker,
                         attempt,
+                        trace,
                         wall_secs: started.elapsed().as_secs_f64(),
                         samples: vec![],
                         sim_secs: None,
@@ -56,6 +66,7 @@ pub fn run_unit(unit: &StudyUnit, reps: u32, paper: bool, worker: u32, attempt: 
         note: None,
         worker,
         attempt,
+        trace,
         wall_secs: started.elapsed().as_secs_f64(),
         samples,
         sim_secs,
@@ -76,7 +87,8 @@ mod tests {
             .into_iter()
             .find(|u| u.id() == "cloverleaf2d@a100/CUDA")
             .unwrap();
-        let rec = run_unit(&unit, 2, false, 1, 1);
+        let rec = run_unit(&unit, 2, false, 1, 1, 3);
+        assert_eq!(rec.trace, 3, "trace id rides through to the record");
         assert_eq!(rec.status, UnitStatus::Ok);
         assert_eq!(rec.samples.len(), 2);
         assert!(rec.sim_secs.unwrap() > 0.0);
@@ -100,7 +112,7 @@ mod tests {
             },
             scheme: None,
         };
-        let rec = run_unit(&unit, 1, false, 0, 1);
+        let rec = run_unit(&unit, 1, false, 0, 1, 0);
         assert_eq!(rec.status, UnitStatus::Hole(FailureKind::Unsupported));
         assert!(rec.sim_secs.is_none() && rec.efficiency.is_none());
     }
@@ -111,8 +123,8 @@ mod tests {
             .into_iter()
             .find(|u| u.scheme.is_some())
             .unwrap();
-        let a = run_unit(&unit, 1, false, 0, 1);
-        let b = run_unit(&unit, 3, false, 5, 2);
+        let a = run_unit(&unit, 1, false, 0, 1, 1);
+        let b = run_unit(&unit, 3, false, 5, 2, 2);
         assert_eq!(a.status, b.status);
         assert_eq!(a.sim_secs, b.sim_secs);
         assert_eq!(a.efficiency, b.efficiency);

@@ -1,10 +1,18 @@
 //! The worker side of the protocol: a loop over stdin frames.
 //!
 //! A worker is this same binary re-executed with `--worker <id>` and
-//! piped stdin/stdout. It greets with `hello`, then serves `run`
-//! requests until `exit` or EOF. Before executing a unit it sends
-//! `start` — the crash anchor: if the process dies after `start`, the
-//! orchestrator knows exactly which (unit, attempt) to retry.
+//! piped stdin/stdout. It greets with `hello` (carrying
+//! [`PROTO_VERSION`] for the handshake), then serves `run` requests
+//! until `exit` or EOF, and signs off with `bye` (peak RSS). Before
+//! executing a unit it sends `start` — the crash anchor: if the
+//! process dies after `start`, the orchestrator knows exactly which
+//! (unit, attempt) to retry.
+//!
+//! When the orchestrator passes `--flight-dir`, the worker keeps a
+//! crash-surviving flight recording there: the `begin` trace mark and
+//! the `unit` span open are flushed to disk *before* the fault-
+//! injection checks below, so even a unit that is killed or hangs
+//! instantly leaves its attribution on disk for `blackbox`.
 //!
 //! Fault injection lives here too, behind flags the orchestrator (or a
 //! test) passes on the worker command line:
@@ -15,10 +23,15 @@
 //!   and chaos runs are reproducible.
 //! * `--hang-once <unit-id>` — hang (rather than die) on attempt 1 of
 //!   one unit, to exercise the orchestrator's timeout path.
+//! * `--proto-force v` — claim protocol version `v` in `hello`, to
+//!   exercise the orchestrator's handshake rejection.
 
-use crate::proto::{read_frame, write_frame, Msg};
+use crate::proto::{read_frame, write_frame, Msg, PROTO_VERSION};
 use crate::runner::run_unit;
 use std::io::{self, Read, Write};
+use std::path::PathBuf;
+use telemetry::flight::{self, TraceRole};
+use telemetry::SpanKind;
 
 /// Worker behaviour flags (all from the command line).
 #[derive(Debug, Clone, Default)]
@@ -27,6 +40,10 @@ pub struct WorkerOpts {
     pub chaos: f64,
     pub chaos_seed: u64,
     pub hang_unit: Option<String>,
+    /// Directory for the crash-surviving flight recording (none = off).
+    pub flight_dir: Option<PathBuf>,
+    /// Claim this protocol version in `hello` (testing the handshake).
+    pub proto_force: Option<u32>,
 }
 
 /// Does chaos kill this (unit, attempt)? Deterministic in the seed:
@@ -47,16 +64,57 @@ pub fn chaos_strikes(seed: u64, unit_id: &str, attempt: u32, p: f64) -> bool {
     ((h >> 11) as f64 / (1u64 << 53) as f64) < p
 }
 
+/// This process's peak resident set size (VmHWM), in KiB. 0 when the
+/// platform offers no `/proc/self/status` to read.
+pub fn peak_rss_kb() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+            for line in status.lines() {
+                if let Some(rest) = line.strip_prefix("VmHWM:") {
+                    let digits: String = rest.chars().filter(|c| c.is_ascii_digit()).collect();
+                    return digits.parse().unwrap_or(0);
+                }
+            }
+        }
+    }
+    0
+}
+
 /// Serve the worker loop over arbitrary streams (stdin/stdout in
 /// production, in-memory pipes in tests). Returns the exit code.
 pub fn serve(opts: &WorkerOpts, input: &mut impl Read, output: &mut impl Write) -> i32 {
     telemetry::set_process_ident(opts.id, &format!("study-worker-{}", opts.id));
+    if let Some(dir) = &opts.flight_dir {
+        let path = dir.join(format!("flight-w{}-p{}.bin", opts.id, std::process::id()));
+        if let Err(e) = flight::start(&path, opts.id, &format!("study-worker-{}", opts.id)) {
+            // Forensics are best-effort; losing them must not fail runs.
+            eprintln!("worker {}: flight recorder unavailable: {e}", opts.id);
+        }
+    }
     let send = |output: &mut dyn Write, m: &Msg| write_frame(&mut { output }, &m.to_json()).is_ok();
+    // Orderly shutdown: stamp peak RSS into the recording, close it,
+    // and send the `bye` exit frame. A crashed worker reaches none of
+    // this — the missing `bye` (and the open unit span on disk) is the
+    // post-mortem signal.
+    let finish = |output: &mut dyn Write, opts: &WorkerOpts| -> i32 {
+        flight::peak_rss(peak_rss_kb());
+        flight::stop();
+        send(
+            output,
+            &Msg::Bye {
+                worker: opts.id,
+                peak_rss_kb: peak_rss_kb(),
+            },
+        );
+        0
+    };
     if !send(
         output,
         &Msg::Hello {
             worker: opts.id,
             pid: std::process::id(),
+            proto: opts.proto_force.unwrap_or(PROTO_VERSION),
         },
     ) {
         return 1;
@@ -64,19 +122,20 @@ pub fn serve(opts: &WorkerOpts, input: &mut impl Read, output: &mut impl Write) 
     loop {
         let payload = match read_frame(input) {
             Ok(Some(p)) => p,
-            Ok(None) => return 0, // orchestrator closed our stdin
+            Ok(None) => return finish(output, opts), // orchestrator closed our stdin
             Err(e) => {
                 eprintln!("worker {}: {e}", opts.id);
                 return 1;
             }
         };
         match Msg::parse(&payload) {
-            Ok(Msg::Exit) => return 0,
+            Ok(Msg::Exit) => return finish(output, opts),
             Ok(Msg::Run {
                 unit,
                 attempt,
                 reps,
                 paper,
+                trace,
             }) => {
                 if !send(
                     output,
@@ -84,11 +143,17 @@ pub fn serve(opts: &WorkerOpts, input: &mut impl Read, output: &mut impl Write) 
                         index: unit.index,
                         worker: opts.id,
                         attempt,
+                        trace,
                     },
                 ) {
                     return 1;
                 }
                 let id = unit.id();
+                // Attribution anchor: both the trace mark and the unit
+                // span hit the disk (urgent flush) before any way this
+                // attempt can die, so a kill mid-unit is attributable.
+                flight::trace_mark(TraceRole::Begin, trace, unit.index as u32, attempt, &id);
+                flight::span_open(SpanKind::Unit, &id);
                 if attempt == 1 && opts.hang_unit.as_deref() == Some(id.as_str()) {
                     std::thread::sleep(std::time::Duration::from_secs(3600));
                 }
@@ -96,7 +161,10 @@ pub fn serve(opts: &WorkerOpts, input: &mut impl Read, output: &mut impl Write) 
                     // Simulated crash: abrupt, mid-protocol, nonzero.
                     std::process::exit(101);
                 }
-                let rec = run_unit(&unit, reps, paper, opts.id, attempt);
+                let rec = run_unit(&unit, reps, paper, opts.id, attempt, trace);
+                flight::span_close(SpanKind::Unit, &id);
+                flight::counters_mark();
+                flight::flush();
                 if !send(output, &Msg::Done(rec)) {
                     return 1;
                 }
@@ -141,6 +209,14 @@ pub fn worker_cli(args: &[String]) -> i32 {
             },
             "--hang-once" => match grab("hang-once") {
                 Some(id) => opts.hang_unit = Some(id.clone()),
+                None => return 2,
+            },
+            "--flight-dir" => match grab("flight-dir") {
+                Some(dir) => opts.flight_dir = Some(PathBuf::from(dir)),
+                None => return 2,
+            },
+            "--proto-force" => match grab("proto-force").and_then(|v| v.parse().ok()) {
+                Some(v) => opts.proto_force = Some(v),
                 None => return 2,
             },
             _ => {}
@@ -189,6 +265,14 @@ mod tests {
     }
 
     #[test]
+    fn peak_rss_is_readable_on_linux() {
+        let kb = peak_rss_kb();
+        if cfg!(target_os = "linux") {
+            assert!(kb > 0, "a running test process has a nonzero VmHWM");
+        }
+    }
+
+    #[test]
     fn serve_executes_runs_and_exits_cleanly() {
         let unit = smoke_units().into_iter().next().unwrap();
         let mut input = Vec::new();
@@ -199,6 +283,7 @@ mod tests {
                 attempt: 1,
                 reps: 1,
                 paper: false,
+                trace: 5,
             }
             .to_json(),
         )
@@ -221,19 +306,37 @@ mod tests {
         while let Some(p) = read_frame(&mut r).unwrap() {
             msgs.push(Msg::parse(&p).unwrap());
         }
-        assert!(matches!(msgs[0], Msg::Hello { worker: 9, .. }));
-        assert!(
-            matches!(msgs[1], Msg::Start { index, worker: 9, attempt: 1 } if index == unit.index)
-        );
+        assert!(matches!(
+            msgs[0],
+            Msg::Hello {
+                worker: 9,
+                proto: PROTO_VERSION,
+                ..
+            }
+        ));
+        assert!(matches!(
+            msgs[1],
+            Msg::Start {
+                index,
+                worker: 9,
+                attempt: 1,
+                trace: 5,
+            } if index == unit.index
+        ));
         match &msgs[2] {
             Msg::Done(rec) => {
                 assert_eq!(rec.unit, unit);
                 assert_eq!(rec.status, UnitStatus::Ok);
                 assert_eq!(rec.worker, 9);
+                assert_eq!(rec.trace, 5, "dispatch trace rides through");
             }
             other => panic!("expected done, got {other:?}"),
         }
-        assert_eq!(msgs.len(), 3);
+        match &msgs[3] {
+            Msg::Bye { worker, .. } => assert_eq!(*worker, 9),
+            other => panic!("expected bye, got {other:?}"),
+        }
+        assert_eq!(msgs.len(), 4);
     }
 
     #[test]
@@ -245,5 +348,13 @@ mod tests {
             &mut output,
         );
         assert_eq!(code, 0);
+        // Even with nothing to do, the worker greets and signs off.
+        let mut r = Cursor::new(output);
+        let mut msgs = Vec::new();
+        while let Some(p) = read_frame(&mut r).unwrap() {
+            msgs.push(Msg::parse(&p).unwrap());
+        }
+        assert!(matches!(msgs[0], Msg::Hello { .. }));
+        assert!(matches!(msgs[1], Msg::Bye { .. }));
     }
 }

@@ -7,7 +7,8 @@
 
 use std::path::PathBuf;
 use std::time::Duration;
-use study::orchestrator::{run_study, StudyConfig, StudyOutcome};
+use study::forensics::{analyze, chrome_fleet_trace, load_flight_dir};
+use study::orchestrator::{run_study, StudyConfig, StudyOutcome, ORCH_SLOT};
 use study::record::UnitStatus;
 use study::unit::{smoke_units, Scope};
 use study::worker_cli;
@@ -27,7 +28,11 @@ fn main() {
     println!("test resume_skips_journaled_units_and_tolerates_torn_lines ... ok");
     hung_workers_hit_the_deadline_and_the_unit_is_retried();
     println!("test hung_workers_hit_the_deadline_and_the_unit_is_retried ... ok");
-    println!("study_proc: 4 passed");
+    crashed_units_are_attributed_to_their_kill_site();
+    println!("test crashed_units_are_attributed_to_their_kill_site ... ok");
+    stale_worker_binaries_are_rejected_at_hello();
+    println!("test stale_worker_binaries_are_rejected_at_hello ... ok");
+    println!("study_proc: 6 passed");
 }
 
 fn base_config() -> StudyConfig {
@@ -81,6 +86,10 @@ fn parallel_study_matches_serial_modulo_timing() {
     assert_equivalent_modulo_timing(&par, &ser);
     assert_eq!(par.stats.retries, 0);
     assert_eq!(par.stats.restarts, 0);
+    // Workers report VmHWM in their `bye` exit frame.
+    if cfg!(target_os = "linux") {
+        assert!(par.stats.peak_rss_kb > 0, "no worker reported peak RSS");
+    }
     // Work actually spread across processes.
     let workers: std::collections::HashSet<u32> = par.records.iter().map(|r| r.worker).collect();
     assert!(workers.len() > 1, "only worker(s) {workers:?} did any work");
@@ -157,6 +166,90 @@ fn resume_skips_journaled_units_and_tolerates_torn_lines() {
     assert_equivalent_modulo_timing(&second, &first);
 
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The blackbox contract, end to end: run a fleet under chaos with no
+/// retry budget so kills become terminal `crashed` records, then
+/// reconstruct the run from the journal records plus the flight
+/// recordings the SIGKILL'd workers left behind. Every crashed unit
+/// must be attributed to the span it died in — the worker flushes its
+/// `begin` mark and unit-span open *before* the chaos check, so the
+/// evidence is on disk before the process can die.
+fn crashed_units_are_attributed_to_their_kill_site() {
+    let dir = tmp_dir("blackbox");
+    let flight = dir.join("flight");
+
+    let mut cfg = base_config();
+    cfg.workers = 3;
+    cfg.chaos = 0.35;
+    cfg.chaos_seed = 7;
+    cfg.max_attempts = 1;
+    cfg.flight_dir = Some(flight.clone());
+    let out = run_study(&cfg).expect("chaos study");
+
+    let crashed: Vec<_> = out
+        .records
+        .iter()
+        .filter(|r| matches!(r.status, UnitStatus::Crashed))
+        .collect();
+    assert!(
+        !crashed.is_empty(),
+        "seeded chaos with max_attempts=1 must leave terminal crashes"
+    );
+    // Every dispatch got a distinct causal trace id.
+    let traces: std::collections::HashSet<u64> = out.records.iter().map(|r| r.trace).collect();
+    assert_eq!(traces.len(), out.records.len(), "trace ids not unique");
+    assert!(!traces.contains(&0), "a record missed its trace stamp");
+
+    // Orchestrator + three workers recorded; chaos respawns add more
+    // (each generation is its own file), but a worker killed with no
+    // pending work left is not respawned, so 4 is the firm floor.
+    let recordings = load_flight_dir(&flight);
+    assert!(
+        recordings.iter().any(|r| r.worker == ORCH_SLOT),
+        "orchestrator recording missing"
+    );
+    assert!(
+        recordings.len() >= 4,
+        "expected fleet recordings, got {}",
+        recordings.len()
+    );
+
+    let doc = analyze(&out.records, &recordings);
+    assert_eq!(doc.units, out.records.len());
+    assert_eq!(doc.crashed, crashed.len());
+    assert_eq!(doc.attributions.len(), crashed.len());
+    assert_eq!(
+        doc.unattributed, 0,
+        "a crashed unit has no kill-site span: {:?}",
+        doc.attributions
+    );
+    for a in &doc.attributions {
+        assert!(a.span_name.is_some(), "{}: no span name", a.unit_id);
+        assert!(a.trace > 0, "{}: untraced attribution", a.unit_id);
+    }
+
+    // The merged fleet trace is valid JSON with causal flow arrows.
+    let trace = chrome_fleet_trace(&recordings);
+    assert!(trace.contains("\"traceEvents\""));
+    assert!(trace.contains("\"ph\": \"s\""), "no flow-start events");
+    assert!(trace.contains("\"ph\": \"f\""), "no flow-finish events");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A worker built from a stale checkout announces an old protocol
+/// version in its `hello`; the orchestrator must refuse to run the
+/// study rather than mis-frame messages mid-flight.
+fn stale_worker_binaries_are_rejected_at_hello() {
+    let mut cfg = base_config();
+    cfg.workers = 2;
+    cfg.worker_cmd.extend(["--proto-force".into(), "1".into()]);
+    let err = run_study(&cfg).expect_err("version skew must be fatal");
+    assert!(
+        err.contains("protocol"),
+        "error should name the protocol mismatch: {err}"
+    );
 }
 
 fn hung_workers_hit_the_deadline_and_the_unit_is_retried() {

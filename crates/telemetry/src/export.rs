@@ -81,6 +81,39 @@ pub fn chrome_trace(events: &[Event]) -> String {
     w.finish()
 }
 
+/// A Chrome flow-event *start* (`ph: "s"`). Paired with a
+/// [`flow_finish`] carrying the same `id`, Perfetto draws an arrow from
+/// the slice enclosing this point to the slice enclosing the finish —
+/// including across pids, which is how the fleet trace shows
+/// orchestrator-dispatch → worker-execution → result causality.
+pub fn flow_start(w: &mut JsonWriter, name: &str, id: u64, ts_us: f64, pid: u32, tid: u32) {
+    flow_event(w, "s", name, id, ts_us, pid, tid);
+}
+
+/// The matching flow-event *finish* (`ph: "f"`, binding to the
+/// enclosing slice via `bp: "e"`).
+pub fn flow_finish(w: &mut JsonWriter, name: &str, id: u64, ts_us: f64, pid: u32, tid: u32) {
+    flow_event(w, "f", name, id, ts_us, pid, tid);
+}
+
+fn flow_event(w: &mut JsonWriter, ph: &str, name: &str, id: u64, ts_us: f64, pid: u32, tid: u32) {
+    w.begin_object();
+    w.key("name").string(name);
+    w.key("cat").string("flow");
+    w.key("ph").string(ph);
+    if ph == "f" {
+        // Bind the arrow head to the *enclosing* slice, not the next
+        // one to start — the worker's unit slice is already open when
+        // the flow lands.
+        w.key("bp").string("e");
+    }
+    w.key("id").int(id);
+    w.key("ts").number(ts_us);
+    w.key("pid").int(pid as u64);
+    w.key("tid").int(tid as u64);
+    w.end_object();
+}
+
 /// Per-kernel aggregate over the launch spans of a trace.
 #[derive(Debug, Clone)]
 pub struct KernelAgg {

@@ -23,6 +23,12 @@
 //!   `chrome://tracing` / Perfetto) and a per-kernel aggregate table
 //!   (count, total/mean/p99 wall time, achieved GB/s from the footprint
 //!   bytes), built on the shared [`json`] writer.
+//! * **Flight recorder** ([`flight`]) — a crash-surviving binary
+//!   append-only event log for multi-process studies: span opens and
+//!   closes, causal trace marks, and counter snapshots written through
+//!   an incremental-flush buffer, so a SIGKILL'd worker still leaves a
+//!   readable, torn-tail-tolerant recording for post-mortem
+//!   attribution (`blackbox`).
 //!
 //! ## Overhead budget
 //!
@@ -37,12 +43,14 @@
 
 pub mod counters;
 pub mod export;
+pub mod flight;
 pub mod json;
 pub mod ring;
 pub mod shadow;
 
 pub use counters::{counters, CounterSnapshot, Counters};
 pub use export::{aggregate, chrome_trace, chrome_trace_events};
+pub use flight::{FlightEvent, FlightRecording, TraceRole};
 pub use ring::{flush, now_ns, Event, Name, SpanKind, SpanTimer};
 
 use std::sync::atomic::{AtomicBool, Ordering};

@@ -66,6 +66,9 @@ pub enum SpanKind {
     Replay,
     /// One admitted submission on a service shard.
     Shard,
+    /// One study unit executing on a worker (the outermost span a
+    /// worker's flight recording opens — the crash-attribution anchor).
+    Unit,
 }
 
 impl SpanKind {
@@ -78,6 +81,7 @@ impl SpanKind {
             SpanKind::Phase => "phase",
             SpanKind::Replay => "replay",
             SpanKind::Shard => "shard",
+            SpanKind::Unit => "unit",
         }
     }
 }
@@ -275,6 +279,7 @@ mod tests {
         assert_eq!(SpanKind::Phase.label(), "phase");
         assert_eq!(SpanKind::Replay.label(), "replay");
         assert_eq!(SpanKind::Shard.label(), "shard");
+        assert_eq!(SpanKind::Unit.label(), "unit");
     }
 
     #[test]
