@@ -7,7 +7,7 @@
 //! on the Ampere Altra (§4.2: "auto-vectorization did not work for SYCL
 //! - but it did for MPI/OpenMP").
 
-use crate::common::{alloc_block, phase_span, summarise, App, AppRun};
+use crate::common::{alloc_block, phase_span, read_back, stage_uploads, summarise, App, AppRun};
 use crate::rtm::LAP8;
 use ops_dsl::prelude::*;
 use ops_dsl::{DatMeta, ReadView, WriteView};
@@ -82,6 +82,9 @@ impl App for Acoustic {
         // and the recorded injection body loads it.
         let amp_bits = std::sync::atomic::AtomicU32::new(0);
 
+        // Stage the three wavefield/model uploads (f32 fields).
+        stage_uploads(session, &logical, &[prev.meta(), curr.meta(), speed.meta()]);
+
         // Two parity graphs encode the ping-pong swap (see `rtm`).
         {
             let cm = curr.meta();
@@ -116,6 +119,9 @@ impl App for Acoustic {
         } else {
             &prev
         };
+
+        // Read the final wavefield back for the host-side energy sum.
+        read_back(session, &logical, &[field.meta()]);
 
         let _p = phase_span("energy");
         let validation = if session.executes() {

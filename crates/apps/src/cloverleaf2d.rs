@@ -7,7 +7,7 @@
 //! paper uses to expose per-kernel overheads (§4.1/§4.2). Double
 //! precision, paper size 7680², 50 iterations.
 
-use crate::common::{alloc_block, phase_span, summarise, App, AppRun};
+use crate::common::{alloc_block, phase_span, read_back, stage_uploads, summarise, App, AppRun};
 use ops_dsl::prelude::*;
 use ops_dsl::{DatMeta, WriteView};
 use sycl_sim::{quirks::apps, Session};
@@ -132,6 +132,26 @@ impl App for CloverLeaf2d {
         // recorded iteration stays valid for every replay.
         let dt_bits = std::sync::atomic::AtomicU64::new(0.01f64.to_bits());
         let load_dt = || f64::from_bits(dt_bits.load(std::sync::atomic::Ordering::Relaxed));
+
+        // Stage the initial field uploads. SYCL buffers copy host data
+        // lazily when the first kernel touches them; recording the
+        // staging graph makes that traffic explicit and priced.
+        stage_uploads(
+            session,
+            &logical,
+            &[
+                st.density.meta(),
+                st.energy.meta(),
+                st.pressure.meta(),
+                st.soundspeed.meta(),
+                st.xvel.meta(),
+                st.yvel.meta(),
+                st.flux_x.meta(),
+                st.flux_y.meta(),
+                st.viscosity.meta(),
+                st.work.meta(),
+            ],
+        );
 
         // Record one timestep, then replay it `iterations` times: the
         // graph prices and commits each replay under a single lock pair
@@ -410,6 +430,10 @@ impl App for CloverLeaf2d {
                 g.replay(session);
             }
         }
+
+        // Read the summarised fields back: the device copies are the
+        // valid ones after the timestep kernels wrote them.
+        read_back(session, &logical, &[st.density.meta(), st.energy.meta()]);
 
         let mut validation = f64::NAN;
 

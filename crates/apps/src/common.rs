@@ -1,6 +1,6 @@
 //! Shared application plumbing.
 
-use ops_dsl::Block;
+use ops_dsl::{Block, DatMeta};
 use sycl_sim::Session;
 
 /// Result of one simulated application run.
@@ -93,6 +93,43 @@ pub fn alloc_block(session: &Session, logical: Block) -> Block {
             halo: logical.halo,
         }
     }
+}
+
+/// Bytes of one logically-sized field (interior + halo padding) —
+/// computed from the *logical* block so dry runs, whose allocations are
+/// shrunk by [`alloc_block`], still price the paper-size traffic.
+pub fn field_bytes(logical: &Block, elem_bytes: f64) -> f64 {
+    (logical.padded(0) * logical.padded(1) * logical.padded(2)) as f64 * elem_bytes
+}
+
+/// Record and replay the staging graph: the initial host→device uploads
+/// a SYCL buffer runtime performs lazily when a kernel first touches
+/// each buffer. One transfer node per dat, so the residency tracker
+/// follows each dataset separately and the dataflow lint can see which
+/// uploads are real. Priced through the interconnect model — nonzero on
+/// CPUs too (an in-package copy), unless the session opted into
+/// `eager_transfers()` legacy semantics.
+pub fn stage_uploads(session: &Session, logical: &Block, dats: &[DatMeta]) {
+    let mut g = session.record();
+    g.phase("staging");
+    for m in dats {
+        g.upload_dats(field_bytes(logical, m.elem_bytes), vec![m.id]);
+    }
+    g.end_phase();
+    g.finish().replay(session);
+}
+
+/// Record and replay the result readback: device→host downloads of the
+/// fields the host-side summary reads. Elided per dat when the host
+/// copy is still valid (nothing wrote the field on the device).
+pub fn read_back(session: &Session, logical: &Block, dats: &[DatMeta]) {
+    let mut g = session.record();
+    g.phase("readback");
+    for m in dats {
+        g.download_dats(field_bytes(logical, m.elem_bytes), vec![m.id]);
+    }
+    g.end_phase();
+    g.finish().replay(session);
 }
 
 /// Finish a run: collect the session ledger into an [`AppRun`].

@@ -149,6 +149,27 @@ impl App for Mgcfd {
         // replay; read back after the last one).
         let res_bits = std::sync::atomic::AtomicU64::new(f64::NAN.to_bits());
 
+        // Stage the hierarchy's flow state and residuals. `DatU` carries
+        // no shadow ids, so the uploads are anonymous (never elided) —
+        // one per dat per level, sized from the analytic stats on dry
+        // runs so the paper-size traffic is priced without allocating.
+        {
+            let mut g = session.record();
+            g.phase("staging");
+            for l in &levels {
+                let n = if functional {
+                    l.q.set_size()
+                } else {
+                    l.stats.n_vertices
+                };
+                let bytes = (n * N_VARS) as f64 * 8.0;
+                g.transfer(bytes); // q: initial flow state
+                g.transfer(bytes); // res: zeroed accumulator
+            }
+            g.end_phase();
+            g.finish().replay(session);
+        }
+
         // Record one V-cycle plus the residual reduction; replay it per
         // iteration.
         {
@@ -301,6 +322,24 @@ impl App for Mgcfd {
             for _ in 0..self.iterations {
                 g.replay(session);
             }
+        }
+
+        // Read the converged finest-level flow state back to the host.
+        {
+            let n = if functional {
+                levels[0].q.set_size()
+            } else {
+                levels[0].stats.n_vertices
+            };
+            let mut g = session.record();
+            g.phase("readback");
+            g.transfer_dir(
+                (n * N_VARS) as f64 * 8.0,
+                Vec::new(),
+                sycl_sim::TransferDir::D2H,
+            );
+            g.end_phase();
+            g.finish().replay(session);
         }
 
         let last_residual = if functional {

@@ -18,7 +18,7 @@
 //! boundaries. Both variants implement *exactly* the same scheme, so
 //! their results must agree to the bit — which the test suite asserts.
 
-use crate::common::{alloc_block, phase_span, summarise, App, AppRun};
+use crate::common::{alloc_block, phase_span, read_back, stage_uploads, summarise, App, AppRun};
 use ops_dsl::prelude::*;
 use ops_dsl::{DatMeta, WriteView};
 use sycl_sim::{quirks::apps, KernelTraits, Session};
@@ -171,6 +171,15 @@ impl App for OpenSbli {
             hard_on_neon: true,
         };
 
+        // Stage the variant's working set: Store All uploads the RHS
+        // work arrays too, Store None only the state and accumulators —
+        // the dataset-count contrast the paper's variants are about.
+        let mut staged: Vec<DatMeta> = q.iter().chain(qk.iter()).map(|d| d.meta()).collect();
+        if self.variant == SbliVariant::StoreAll {
+            staged.extend(rhs_store.iter().map(|d| d.meta()));
+        }
+        stage_uploads(session, &logical, &staged);
+
         // Record one full 3-stage RK iteration — the stage coefficients
         // bake into the recorded nodes — and replay it per iteration.
         {
@@ -321,6 +330,9 @@ impl App for OpenSbli {
                 g.replay(session);
             }
         }
+
+        // Read the checksummed field back before the host-side reduce.
+        read_back(session, &logical, &[q[0].meta()]);
 
         // Validation: total of q0 (the scheme is conservative under
         // periodic boundaries).

@@ -6,7 +6,7 @@
 //! locality and vectorization" — in our model that is the radius-4 star
 //! whose tile footprint overwhelms the MI250X's 16 KB L1.
 
-use crate::common::{alloc_block, phase_span, summarise, App, AppRun};
+use crate::common::{alloc_block, phase_span, read_back, stage_uploads, summarise, App, AppRun};
 use ops_dsl::prelude::*;
 use ops_dsl::{DatMeta, ReadView, WriteView};
 use sycl_sim::{quirks::apps, Session};
@@ -79,6 +79,9 @@ impl App for Rtm {
             curr.writer().set(c, c, c.min(ab.dims[2] as i64 - 1), 1.0);
         }
 
+        // Stage the wavefields and the velocity model.
+        stage_uploads(session, &logical, &[prev.meta(), curr.meta(), vel.meta()]);
+
         // The ping-pong swap is encoded as two parity graphs: the even
         // graph reads `curr` and writes `prev`, the odd graph the
         // reverse. Replaying them alternately reproduces the eager
@@ -113,6 +116,9 @@ impl App for Rtm {
         } else {
             &prev
         };
+
+        // Read the final wavefield back for the host-side energy sum.
+        read_back(session, &logical, &[field.meta()]);
 
         // Validation: wavefield energy (finite, non-zero once the source
         // has propagated).

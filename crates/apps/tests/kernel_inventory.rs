@@ -98,8 +98,11 @@ fn wave_apps_are_dominated_by_their_stencil_kernel() {
         }
         let summary = s.kernel_summary();
         assert_eq!(summary[0].0, main_kernel, "{app}: {summary:?}");
+        // Dominance among *kernels*: staging/halo traffic is priced
+        // into elapsed now, so compare against compute time only.
+        let kernel_time = s.elapsed() - s.comm_time();
         assert!(
-            summary[0].1 > 0.8 * s.elapsed(),
+            summary[0].1 > 0.8 * kernel_time,
             "{app}: the wave kernel must dominate"
         );
     }

@@ -3,9 +3,10 @@
 //!
 //! ```text
 //! bench_gate [--smoke] [--bless] [--quick] [--platform <label>]
+//!            [--manifest engine|service|apps|transfer]
 //! ```
 //!
-//! Three manifests are produced per run:
+//! Four manifests are produced per run:
 //!
 //! * `BENCH_gate_engine.json` — wall-clock of the functional engine
 //!   (cached/uncached stencil, row-sliced reduce), gated with the loose
@@ -17,7 +18,11 @@
 //! * `BENCH_gate_apps_<platform>.json` — per-kernel **simulated**
 //!   seconds of the mini-apps at test size, gated with the tight
 //!   per-platform tolerance: the pricing model is deterministic, so any
-//!   drift beyond the band is a model/engine change, not noise.
+//!   drift beyond the band is a model/engine change, not noise;
+//! * `BENCH_gate_transfer.json` — simulated seconds of one 64 MiB copy
+//!   per platform × direction × allocation, priced through the session's
+//!   comm path, gated with the sim tolerance (the interconnect model is
+//!   pure arithmetic — any drift is a deliberate calibration change).
 //!
 //! Modes:
 //!
@@ -31,6 +36,12 @@
 //!   must pass against itself, and a fixture with a synthetic slowdown
 //!   injected into one kernel (3× the tolerance band) must fail naming
 //!   exactly that kernel. Exit nonzero if either direction misbehaves.
+//!
+//! `--manifest <name>` restricts any mode to one manifest. The use case
+//! is CI: the wall-clock manifests only gate meaningfully against
+//! baselines blessed on the same machine, but the transfer manifest is
+//! pure interconnect arithmetic, so `--manifest transfer` gates it
+//! against the committed baseline on any host.
 
 use metrics::gate::compare;
 use metrics::{GateConfig, Histogram, KernelSummary, RunManifest, Tolerance};
@@ -404,6 +415,68 @@ fn service_manifest(reps: u32, launches: usize) -> RunManifest {
     )
 }
 
+/// Deterministic simulated seconds of one 64 MiB copy per platform ×
+/// direction × allocation, priced through the session path (record one
+/// transfer node, replay, read the comm clock). The interconnect model
+/// is pure arithmetic, so any drift beyond the sim tolerance is a model
+/// or pricing-path change — exactly what this manifest gates.
+fn transfer_manifest(reps: u32) -> RunManifest {
+    use machine_model::TransferDir;
+    const BYTES: f64 = 64.0 * 1024.0 * 1024.0;
+    let mut kernels = Vec::new();
+    for p in machine_model::all_platforms() {
+        for pinned in [true, false] {
+            let cfg = SessionConfig::new(p.id, native_toolchain(p.id))
+                .app("bench-gate")
+                .dry_run();
+            let cfg = if pinned {
+                cfg
+            } else {
+                cfg.pageable_transfers()
+            };
+            let session = Session::create(cfg).expect("native toolchains run everywhere");
+            for dir in [TransferDir::H2D, TransferDir::D2H, TransferDir::D2D] {
+                if dir == TransferDir::D2D && !pinned {
+                    continue; // no host allocation to pin
+                }
+                let before = session.comm_time();
+                let mut g = session.record();
+                g.transfer_dir(BYTES, Vec::new(), dir);
+                g.finish().replay(&session);
+                let secs = session.comm_time() - before;
+                let alloc = if dir == TransferDir::D2D {
+                    "device"
+                } else if pinned {
+                    "pinned"
+                } else {
+                    "pageable"
+                };
+                let samples = vec![secs; reps as usize];
+                let mut h = Histogram::new();
+                for &s in &samples {
+                    h.record(s);
+                }
+                kernels.push(KernelSummary {
+                    name: format!("{}/{}/{alloc}", p.id.label(), dir.label()),
+                    wall: h.summary(),
+                    samples,
+                    sim_secs: secs,
+                    bytes: BYTES,
+                    gbps: BYTES / secs / 1e9,
+                    origin: None,
+                });
+            }
+        }
+    }
+    finish_manifest(
+        "gate_transfer".to_owned(),
+        "all-platforms".to_owned(),
+        reps,
+        kernels,
+        telemetry::CounterSnapshot::default(),
+    )
+}
+
 /// Clone `m` with one kernel's samples slowed by `factor` — the smoke
 /// fixture the gate must catch.
 fn inject_slowdown(m: &RunManifest, kernel: &str, factor: f64) -> RunManifest {
@@ -437,7 +510,7 @@ fn persist(m: &RunManifest) -> PathBuf {
 
 /// `--smoke`: the gate must pass on identical runs and fail on the
 /// injected-slowdown fixture, naming the slowed kernel.
-fn smoke(manifests: &[(&RunManifest, GateConfig)]) -> bool {
+fn smoke(manifests: &[(RunManifest, GateConfig)]) -> bool {
     let mut ok = true;
     for (m, cfg) in manifests {
         // Self-comparison must pass.
@@ -487,6 +560,18 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|s| PlatformId::parse(s))
         .unwrap_or(PlatformId::A100);
+    let only = args
+        .iter()
+        .position(|a| a == "--manifest")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    if let Some(o) = &only {
+        if !["engine", "service", "apps", "transfer"].contains(&o.as_str()) {
+            eprintln!("bench_gate: unknown --manifest '{o}' (engine|service|apps|transfer)");
+            std::process::exit(2);
+        }
+    }
+    let want = |name: &str| only.as_deref().is_none_or(|o| o == name);
 
     let (reps, n, launches) = if smoke_mode {
         (3, 32, 6)
@@ -496,18 +581,6 @@ fn main() {
         (7, 96, 40)
     };
 
-    // Wall-clock needs more repetitions than the deterministic sim
-    // times to give the bootstrap a usable sample. The service pass
-    // needs a floor on launches: the lock-free fast path is so cheap
-    // that at smoke sizes thread-spawn jitter would drown the signal
-    // the smoke fixture injects.
-    let engine = engine_manifest(reps * 3, n, launches);
-    let service = service_manifest(reps * 3, launches.max(48));
-    let apps = apps_manifest(platform, reps, smoke_mode);
-    persist(&engine);
-    persist(&service);
-    persist(&apps);
-
     let engine_cfg = GateConfig {
         tolerance: Tolerance::wall(),
         ..GateConfig::default()
@@ -516,11 +589,30 @@ fn main() {
         tolerance: Tolerance::for_platform(platform.label()),
         ..GateConfig::default()
     };
-    let pairs = [
-        (&engine, engine_cfg),
-        (&service, engine_cfg),
-        (&apps, apps_cfg),
-    ];
+
+    // Wall-clock needs more repetitions than the deterministic sim
+    // times to give the bootstrap a usable sample. The service pass
+    // needs a floor on launches: the lock-free fast path is so cheap
+    // that at smoke sizes thread-spawn jitter would drown the signal
+    // the smoke fixture injects. The transfer manifest is fully
+    // deterministic (pure interconnect arithmetic), so it gates with
+    // the tight sim tolerance.
+    let mut pairs: Vec<(RunManifest, GateConfig)> = Vec::new();
+    if want("engine") {
+        pairs.push((engine_manifest(reps * 3, n, launches), engine_cfg));
+    }
+    if want("service") {
+        pairs.push((service_manifest(reps * 3, launches.max(48)), engine_cfg));
+    }
+    if want("apps") {
+        pairs.push((apps_manifest(platform, reps, smoke_mode), apps_cfg));
+    }
+    if want("transfer") {
+        pairs.push((transfer_manifest(reps), GateConfig::default()));
+    }
+    for (m, _) in &pairs {
+        persist(m);
+    }
 
     if smoke_mode {
         if smoke(&pairs) {

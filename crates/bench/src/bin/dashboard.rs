@@ -28,12 +28,16 @@
 //!    saturation knee, and the coalesced batch-size distribution;
 //! 4. achieved-bandwidth scatter against each platform's STREAM roof;
 //! 5. the portability (efficiency) heatmap and PP̄ table;
-//! 6. the cross-product study from the last `study` run (`STUDY.json`):
+//! 6. data movement: the interconnect calibration from the last
+//!    `transfer_bench` run (`BENCH_transfer.json`) — stacked
+//!    kernel-vs-transfer time per app × platform, the pinned-vs-pageable
+//!    bandwidth delta, and the CPU-vs-GPU crossover table;
+//! 7. the cross-product study from the last `study` run (`STUDY.json`):
 //!    per-cell status grid, retries, fleet utilisation and its PP̄ rows;
-//! 7. graph lint: the static dataflow findings from the last
+//! 8. graph lint: the static dataflow findings from the last
 //!    `graphlint` run (`LINT_<app>.json`) — per-app severity tallies
 //!    plus every Error/Warning and fusion-candidate finding;
-//! 8. baseline trajectory across every stored `BENCH_*.json` manifest.
+//! 9. baseline trajectory across every stored `BENCH_*.json` manifest.
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -187,6 +191,11 @@ fn discover_manifests() -> Vec<StoredManifest> {
             if !name.starts_with("BENCH_") || !name.ends_with(".json") {
                 continue;
             }
+            // The transfer microbench document has its own schema
+            // (`transfer-bench/v1`) and its own dashboard section.
+            if name == "BENCH_transfer.json" {
+                continue;
+            }
             match RunManifest::load(&path) {
                 Ok(manifest) => out.push(StoredManifest {
                     source,
@@ -263,6 +272,7 @@ fn render(
         render_roofline(&mut h, study);
         render_heatmap(&mut h, study);
     }
+    render_data_movement(&mut h, out_dir);
     render_study_run(&mut h, out_dir);
     render_fleet_forensics(&mut h, out_dir);
     render_graphlint(&mut h, out_dir);
@@ -839,7 +849,157 @@ fn render_heatmap(h: &mut String, study: &[(PlatformId, Vec<Measurement>)]) {
     h.push_str("</tbody></table></section>");
 }
 
-/// Section 6: the cross-product study from the last `study` run — a
+/// Section 6 — "Data movement": what the interconnect costs every app,
+/// from the last `transfer_bench` run (`BENCH_transfer.json`, schema
+/// `transfer-bench/v1`) — stacked kernel-vs-transfer bars per app ×
+/// platform, the pinned-vs-pageable bandwidth delta per link, and the
+/// CPU-vs-GPU crossover table with and without transfers priced.
+fn render_data_movement(h: &mut String, out_dir: &Path) {
+    h.push_str("<section><h2>Data movement</h2>");
+    let path = out_dir.join("BENCH_transfer.json");
+    let doc = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|t| jsonv::parse(&t).ok())
+        .filter(|d| d.str_of("schema") == Some("transfer-bench/v1"));
+    let Some(doc) = doc else {
+        h.push_str(
+            "<p>No <code>BENCH_transfer.json</code> next to the dashboard — run \
+             <code>cargo run --release -p bench-harness --bin transfer_bench</code> \
+             to calibrate the interconnect curves and price every app's \
+             staging traffic.</p></section>",
+        );
+        return;
+    };
+
+    // Stacked kernel-vs-transfer bars, one panel per app, one bar per
+    // platform (total run time, interconnect share on top).
+    let splits: &[Json] = doc.get("apps").and_then(Json::as_arr).unwrap_or(&[]);
+    let mut apps: Vec<&str> = Vec::new();
+    for s in splits {
+        if let Some(a) = s.str_of("app") {
+            if !apps.contains(&a) {
+                apps.push(a);
+            }
+        }
+    }
+    h.push_str(
+        "<p>Per-app kernel vs interconnect time (native toolchains, paper sizes, \
+         pinned allocations): <span style=\"color:#1f77b4\">&#9632;</span> kernels, \
+         <span style=\"color:#ff7f0e\">&#9632;</span> transfers + halo exchanges. \
+         The historic model gave the orange share away for free.</p>\
+         <div class=\"panels\">",
+    );
+    for app in &apps {
+        let rows: Vec<(&str, f64, f64)> = splits
+            .iter()
+            .filter(|s| s.str_of("app") == Some(app))
+            .filter_map(|s| {
+                Some((
+                    s.str_of("platform")?,
+                    s.f64_of("kernelSecs")?,
+                    s.f64_of("transferSecs")?,
+                ))
+            })
+            .collect();
+        let max_total = rows.iter().map(|&(_, k, t)| k + t).fold(1e-12f64, f64::max);
+        const W: f64 = 380.0;
+        const H: f64 = 230.0;
+        const ML: f64 = 10.0;
+        const MT: f64 = 24.0;
+        const MB: f64 = 30.0;
+        let bw = (W - 2.0 * ML) / rows.len().max(1) as f64;
+        let _ = write!(
+            h,
+            "<svg viewBox=\"0 0 {W} {H}\" role=\"img\">\
+             <text x=\"{:.0}\" y=\"14\" class=\"title\">{}</text>",
+            W / 2.0,
+            esc(app),
+        );
+        for (i, (platform, kernel, transfer)) in rows.iter().enumerate() {
+            let x = ML + bw * i as f64 + bw * 0.12;
+            let wid = bw * 0.76;
+            let hk = (H - MT - MB) * kernel / max_total;
+            let ht = (H - MT - MB) * transfer / max_total;
+            let y_t = H - MB - hk - ht;
+            let _ = write!(
+                h,
+                "<rect x=\"{x:.1}\" y=\"{:.1}\" width=\"{wid:.1}\" height=\"{hk:.1}\" class=\"pnat\">\
+                 <title>{platform} kernels: {}</title></rect>\
+                 <rect x=\"{x:.1}\" y=\"{y_t:.1}\" width=\"{wid:.1}\" height=\"{ht:.1}\" class=\"psyc\">\
+                 <title>{platform} transfers: {}</title></rect>\
+                 <text x=\"{:.1}\" y=\"{:.1}\" class=\"tick\" text-anchor=\"middle\">{platform}</text>",
+                H - MB - hk,
+                fmt_secs(*kernel),
+                fmt_secs(*transfer),
+                x + wid / 2.0,
+                H - MB + 12.0,
+            );
+        }
+        h.push_str("</svg>");
+    }
+    h.push_str("</div>");
+
+    // Pinned vs pageable: the allocation-kind delta per platform × dir.
+    h.push_str(
+        "<h3>Pinned vs pageable host allocations</h3>\
+         <p>Sustained link bandwidth at the largest calibrated copy; in-package \
+         (CPU) links have no allocation distinction.</p>\
+         <table><thead><tr><th>platform</th><th>dir</th><th>pinned GB/s</th>\
+         <th>pageable GB/s</th><th>pinned speedup</th></tr></thead><tbody>",
+    );
+    if let Some(Json::Arr(deltas)) = doc.get("pinnedDelta") {
+        for d in deltas {
+            let speedup = d.f64_of("speedup").unwrap_or(1.0);
+            let _ = write!(
+                h,
+                "<tr><td>{}</td><td><code>{}</code></td><td class=\"n\">{:.1}</td>\
+                 <td class=\"n\">{:.1}</td><td class=\"n\">{speedup:.2}&times;</td></tr>",
+                esc(d.str_of("platform").unwrap_or("?")),
+                esc(d.str_of("dir").unwrap_or("?")),
+                d.f64_of("pinnedGbps").unwrap_or(0.0),
+                d.f64_of("pageableGbps").unwrap_or(0.0),
+            );
+        }
+    }
+    h.push_str("</tbody></table>");
+
+    // The crossover table: how pricing data movement shifts the best
+    // CPU vs best GPU comparison per app.
+    h.push_str(
+        "<h3>CPU-vs-GPU crossover</h3>\
+         <p>GPU speedup over the best CPU (&gt; 1 = GPU wins), kernels only \
+         (the historic free-transfer comparison) against the full priced \
+         clock. A negative shift means the GPU advantage shrank once its \
+         staging traffic was priced.</p>\
+         <table><thead><tr><th>app</th><th>best GPU</th><th>best CPU</th>\
+         <th>speedup (kernels)</th><th>speedup (priced)</th><th>shift</th>\
+         </tr></thead><tbody>",
+    );
+    if let Some(Json::Arr(rows)) = doc.get("crossover") {
+        for c in rows {
+            let kernels = c.f64_of("gpuSpeedupKernels").unwrap_or(0.0);
+            let priced = c.f64_of("gpuSpeedupTotal").unwrap_or(0.0);
+            let shift = c.f64_of("shiftPct").unwrap_or(0.0);
+            // A crossover *flip* (GPU wins one model, loses the other)
+            // is the headline finding — flag the row.
+            let flipped = (kernels > 1.0) != (priced > 1.0);
+            let cls = if flipped { "n bad" } else { "n" };
+            let _ = write!(
+                h,
+                "<tr><td><code>{}</code></td><td>{}</td><td>{}</td>\
+                 <td class=\"n\">{kernels:.2}&times;</td><td class=\"n\">{priced:.2}&times;</td>\
+                 <td class=\"{cls}\">{shift:+.1}%{}</td></tr>",
+                esc(c.str_of("app").unwrap_or("?")),
+                esc(c.str_of("bestGpu").unwrap_or("?")),
+                esc(c.str_of("bestCpu").unwrap_or("?")),
+                if flipped { " (crossover flips)" } else { "" },
+            );
+        }
+    }
+    h.push_str("</tbody></table></section>");
+}
+
+/// Section 7: the cross-product study from the last `study` run — a
 /// per-cell status grid (app × platform over every variant), the fleet
 /// counters (retries, restarts, timeouts, utilisation) and the PP̄ rows
 /// computed over exactly what that study executed.
@@ -1199,7 +1359,7 @@ fn render_fleet_forensics(h: &mut String, out_dir: &Path) {
     h.push_str("</section>");
 }
 
-/// Section 7: static graph-lint findings from the last `graphlint` run.
+/// Section 8: static graph-lint findings from the last `graphlint` run.
 fn render_graphlint(h: &mut String, out_dir: &Path) {
     h.push_str("<section><h2>Graph lint</h2>");
     let docs: Vec<(&str, Json)> = APP_NAMES
@@ -1284,7 +1444,7 @@ fn render_graphlint(h: &mut String, out_dir: &Path) {
     h.push_str("</section>");
 }
 
-/// Section 8: trajectory of per-kernel medians across stored manifests.
+/// Section 9: trajectory of per-kernel medians across stored manifests.
 fn render_trajectory(h: &mut String, manifests: &[StoredManifest]) {
     h.push_str("<section><h2>Baseline trajectory</h2>");
     if manifests.is_empty() {

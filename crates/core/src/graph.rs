@@ -17,12 +17,13 @@
 //! cross-check the two.
 
 use crate::kernel::Kernel;
-use crate::launch::commit::{exchange_cost, transfer_cost, Ledger};
+use crate::launch::commit::Ledger;
 use crate::launch::execute::LaunchSpan;
 use crate::launch::price::{PriceCache, PriceContext, Priced};
 use crate::launch::record::{LaunchMeta, LaunchNode};
+use crate::launch::residency::ResidencyTracker;
 use crate::session::{LaunchRecord, Session};
-use machine_model::Precision;
+use machine_model::{Precision, TransferDir};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -49,8 +50,12 @@ enum GraphOp<'a> {
         dats: Vec<u32>,
     },
     /// A host↔device transfer (`Session::transfer` equivalent), with
-    /// the transferred datasets when declared.
-    Transfer { bytes: f64, dats: Vec<u32> },
+    /// the transferred datasets when declared and the copy direction.
+    Transfer {
+        bytes: f64,
+        dats: Vec<u32>,
+        dir: TransferDir,
+    },
     /// Open a named phase span (telemetry only, no ledger effect).
     PhaseBegin { name: &'static str },
     /// Close the innermost open phase span.
@@ -123,15 +128,33 @@ impl<'a> GraphBuilder<'a> {
         });
     }
 
-    /// Record a host↔device transfer (see [`Session::transfer`]).
+    /// Record an anonymous host→device transfer (see
+    /// [`Session::transfer`]). No dat list, so residency never elides
+    /// it.
     pub fn transfer(&mut self, bytes: f64) {
-        self.transfer_dats(bytes, Vec::new());
+        self.transfer_dir(bytes, Vec::new(), TransferDir::H2D);
     }
 
-    /// Record a transfer declaring which datasets it moves (by
-    /// shadow-registry id), for the dead-transfer lint.
+    /// Record a host→device transfer declaring which datasets it moves
+    /// (by shadow-registry id), for the dead-transfer and residency
+    /// lints and for elision.
     pub fn transfer_dats(&mut self, bytes: f64, dats: Vec<u32>) {
-        self.ops.push(GraphOp::Transfer { bytes, dats });
+        self.transfer_dir(bytes, dats, TransferDir::H2D);
+    }
+
+    /// Record a staging upload (host→device) of the given datasets.
+    pub fn upload_dats(&mut self, bytes: f64, dats: Vec<u32>) {
+        self.transfer_dir(bytes, dats, TransferDir::H2D);
+    }
+
+    /// Record a result readback (device→host) of the given datasets.
+    pub fn download_dats(&mut self, bytes: f64, dats: Vec<u32>) {
+        self.transfer_dir(bytes, dats, TransferDir::D2H);
+    }
+
+    /// Record a transfer with an explicit direction.
+    pub fn transfer_dir(&mut self, bytes: f64, dats: Vec<u32>, dir: TransferDir) {
+        self.ops.push(GraphOp::Transfer { bytes, dats, dir });
     }
 
     /// Open a named phase span covering the ops recorded until the
@@ -208,6 +231,7 @@ pub enum GraphNodeInfo {
     Transfer {
         bytes: f64,
         dats: Vec<u32>,
+        dir: TransferDir,
     },
     PhaseBegin {
         name: &'static str,
@@ -291,9 +315,10 @@ impl LaunchGraph<'_> {
                     messages: *messages,
                     dats: dats.clone(),
                 },
-                GraphOp::Transfer { bytes, dats } => GraphNodeInfo::Transfer {
+                GraphOp::Transfer { bytes, dats, dir } => GraphNodeInfo::Transfer {
                     bytes: *bytes,
                     dats: dats.clone(),
+                    dir: *dir,
                 },
                 GraphOp::PhaseBegin { name } => GraphNodeInfo::PhaseBegin { name },
                 GraphOp::PhaseEnd => GraphNodeInfo::PhaseEnd,
@@ -398,31 +423,37 @@ impl LaunchGraph<'_> {
 
     /// Commit stage: append ops in recorded order into the caller-held
     /// ledger lock, pushing each launch's record for post-unlock
-    /// observer delivery.
+    /// observer delivery. Comm ops price through the caller-held price
+    /// cache and residency tracker — in recorded order, so elision
+    /// decisions are identical to the eager fallback's.
     fn commit_stage(
         &self,
         session: &Session,
         led: &mut Ledger,
+        cache: &mut PriceCache,
+        res: &mut ResidencyTracker,
         priced: &[Option<Priced>],
         observations: &mut Vec<LaunchRecord>,
     ) {
+        let pricing = session.config().transfer_pricing;
         for (op, p) in self.ops.iter().zip(priced) {
             match op {
-                GraphOp::Launch { .. } => {
+                GraphOp::Launch { meta, .. } => {
                     let rec = led.append(p.as_ref().expect("launch ops are priced"));
                     observations.push(rec);
+                    if pricing {
+                        res.apply_launch(meta);
+                    }
                 }
                 GraphOp::Exchange {
                     bytes, messages, ..
                 } => {
-                    if let Some(t) =
-                        exchange_cost(session.platform(), session.ranks(), *bytes, *messages)
-                    {
+                    if let Some(t) = session.comm_exchange_time(*bytes, *messages, cache) {
                         led.charge_comm(t);
                     }
                 }
-                GraphOp::Transfer { bytes, .. } => {
-                    if let Some(t) = transfer_cost(session.platform(), *bytes) {
+                GraphOp::Transfer { bytes, dats, dir } => {
+                    if let Some(t) = session.comm_transfer_time(*bytes, dats, *dir, cache, res) {
                         led.charge_comm(t);
                     }
                 }
@@ -439,14 +470,15 @@ impl LaunchGraph<'_> {
         let flight = telemetry::flight::recording();
         for op in &self.ops {
             match op {
-                GraphOp::Launch { node, body, .. } => {
+                GraphOp::Launch { node, meta, body } => {
                     // Launch flight events come from `launch_timed`.
                     session.launch(&node.kernel, || body(executes));
+                    session.note_kernel_residency(meta);
                 }
                 GraphOp::Exchange {
                     bytes, messages, ..
                 } => session.exchange(*bytes, *messages),
-                GraphOp::Transfer { bytes, .. } => session.transfer(*bytes),
+                GraphOp::Transfer { bytes, dats, dir } => session.transfer_with(*bytes, dats, *dir),
                 GraphOp::PhaseBegin { name } => {
                     if flight {
                         telemetry::flight::span_open(telemetry::SpanKind::Phase, name);
@@ -526,9 +558,19 @@ fn replay_graphs(session: &Session, graphs: &[&LaunchGraph<'_>]) {
 
     let mut observations: Vec<LaunchRecord> = Vec::new();
     let observer = {
+        // Lock order: ledger → cache → residency (see `Session`).
         let mut led = session.ledger();
+        let mut cache = session.price_cache();
+        let mut res = session.residency_tracker();
         for (g, p) in graphs.iter().zip(&priced) {
-            g.commit_stage(session, &mut led, p, &mut observations);
+            g.commit_stage(
+                session,
+                &mut led,
+                &mut cache,
+                &mut res,
+                p,
+                &mut observations,
+            );
         }
         led.observer.clone()
     };

@@ -4,7 +4,7 @@
 
 use crate::launch::price::Priced;
 use crate::session::{LaunchObserver, LaunchRecord};
-use machine_model::Platform;
+use machine_model::{Platform, TransferDir};
 use std::sync::Arc;
 
 /// Intra-node MPI message latency (shared-memory transport).
@@ -56,11 +56,52 @@ impl Ledger {
     }
 }
 
-/// Host↔device transfer cost: free on CPU platforms (`None`), priced at
-/// the interconnect bandwidth plus a fixed setup latency on GPUs — the
-/// cost SYCL buffers hide behind accessor creation.
+/// **Legacy** host↔device transfer cost: free on CPU platforms
+/// (`None`), a flat scalar bandwidth plus fixed setup latency on GPUs.
+/// This is the pre-interconnect model, kept verbatim as the
+/// [`SessionConfig::eager_transfers`](crate::SessionConfig::eager_transfers)
+/// escape hatch so bit-identity tests can compare against the historic
+/// free-transfer semantics.
 pub(crate) fn transfer_cost(platform: &Platform, bytes: f64) -> Option<f64> {
     platform.interconnect_bw.map(|bw| 10.0e-6 + bytes / bw)
+}
+
+/// Interconnect-priced transfer cost: direction- and allocation-aware,
+/// nonzero on every platform (CPUs pay an in-package `memcpy`). The
+/// cost SYCL buffers hide behind accessor creation.
+pub(crate) fn priced_transfer_cost(
+    platform: &Platform,
+    dir: TransferDir,
+    pinned: bool,
+    bytes: f64,
+) -> f64 {
+    platform.interconnect.transfer_time(dir, pinned, bytes)
+}
+
+/// Interconnect-aware halo-exchange cost. Multi-rank sessions keep the
+/// calibrated MPI formula unchanged (message latency + a copy through
+/// the memory system); a single-rank session with a nonzero halo pays
+/// the on-device pack/copy/unpack instead of exchanging for free — the
+/// halo still has to move through device memory even without MPI.
+pub(crate) fn priced_exchange_cost(
+    platform: &Platform,
+    ranks: usize,
+    bytes: f64,
+    messages: u64,
+    pinned: bool,
+) -> Option<f64> {
+    if ranks > 1 {
+        Some(messages as f64 * MSG_LATENCY + bytes / (0.5 * platform.mem.stream_bw))
+    } else if bytes > 0.0 {
+        Some(priced_transfer_cost(
+            platform,
+            TransferDir::D2D,
+            pinned,
+            bytes,
+        ))
+    } else {
+        None
+    }
 }
 
 /// Halo-exchange cost between `ranks` MPI ranks: latency per message
@@ -125,5 +166,42 @@ mod tests {
         assert!(transfer_cost(&cpu, 1e9).is_none());
         assert!(exchange_cost(&gpu, 1, 1e9, 100).is_none());
         assert!(exchange_cost(&cpu, 4, 1e9, 100).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn priced_transfers_are_nonzero_everywhere_and_direction_aware() {
+        for p in machine_model::all_platforms() {
+            for dir in [TransferDir::H2D, TransferDir::D2H, TransferDir::D2D] {
+                for pinned in [false, true] {
+                    let t = priced_transfer_cost(&p, dir, pinned, 1e8);
+                    assert!(t > 0.0, "{} {dir:?}", p.name);
+                }
+            }
+            let pageable = priced_transfer_cost(&p, TransferDir::H2D, false, 1e9);
+            let pinned = priced_transfer_cost(&p, TransferDir::H2D, true, 1e9);
+            if p.id.is_gpu() {
+                assert!(pageable > 1.5 * pinned, "{}: pageable pays", p.name);
+            } else {
+                assert_eq!(pageable.to_bits(), pinned.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn priced_exchange_keeps_the_mpi_formula_and_prices_single_rank_halos() {
+        let cpu = Platform::get(PlatformId::GenoaX);
+        // Multi-rank: bit-identical to the legacy MPI formula.
+        let legacy = exchange_cost(&cpu, 4, 1e9, 100).unwrap();
+        let new = priced_exchange_cost(&cpu, 4, 1e9, 100, true).unwrap();
+        assert_eq!(legacy.to_bits(), new.to_bits());
+        // Single-rank with a real halo: the on-device copy is priced.
+        let gpu = Platform::get(PlatformId::A100);
+        let t = priced_exchange_cost(&gpu, 1, 1e9, 100, true).unwrap();
+        assert!(
+            t > 0.0 && t < 0.01,
+            "D2D halo copy is fast but not free: {t}"
+        );
+        // Single-rank with no halo bytes: nothing to move.
+        assert!(priced_exchange_cost(&gpu, 1, 0.0, 0, true).is_none());
     }
 }

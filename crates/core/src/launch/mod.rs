@@ -14,5 +14,7 @@ pub mod commit;
 pub mod execute;
 pub mod price;
 pub mod record;
+pub mod residency;
 
 pub use record::{AccessMode, DatAccess, LaunchMeta, LaunchNode};
+pub use residency::{Residency, TransferStats};

@@ -3,9 +3,11 @@
 //! kernel fingerprint so repeat launches cost a hash lookup.
 
 use crate::kernel::{Kernel, KernelTraits};
+use crate::launch::commit::{priced_exchange_cost, priced_transfer_cost};
 use crate::toolchain::{SyclVariant, Toolchain};
-use machine_model::{predict, AtomicKind, ExecProfile, KernelTime, Platform};
+use machine_model::{predict, AtomicKind, ExecProfile, KernelTime, Platform, TransferDir};
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 /// Memoised pricing for one kernel fingerprint: everything the commit
@@ -71,11 +73,62 @@ fn price_cold(ctx: &PriceContext<'_>, kernel: &Kernel) -> (KernelTime, ExecProfi
     (time, exec)
 }
 
+/// One communication operation as the pricing layer sees it — the comm
+/// analogue of a kernel fingerprint. Everything that can change the
+/// modelled time is in here; f64s compare by bit pattern.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum CommOp {
+    /// A host↔device (or on-device) copy through the interconnect.
+    Transfer { dir: TransferDir, pinned: bool },
+    /// A halo exchange between `ranks` MPI ranks (or the on-device halo
+    /// copy when single-rank).
+    Exchange { ranks: usize, pinned: bool },
+}
+
+/// Memoised comm price, kept with its full fingerprint so hash-bucket
+/// hits are verified exactly (a collision degrades to a recompute).
+#[derive(Debug, Clone, Copy)]
+struct CachedComm {
+    op: CommOp,
+    bytes: f64,
+    messages: u64,
+    time: Option<f64>,
+}
+
+impl CachedComm {
+    fn matches(&self, op: CommOp, bytes: f64, messages: u64) -> bool {
+        self.op == op && self.bytes.to_bits() == bytes.to_bits() && self.messages == messages
+    }
+}
+
+fn comm_fingerprint(op: CommOp, bytes: f64, messages: u64) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    match op {
+        CommOp::Transfer { dir, pinned } => {
+            0u8.hash(&mut h);
+            dir.hash(&mut h);
+            pinned.hash(&mut h);
+        }
+        CommOp::Exchange { ranks, pinned } => {
+            1u8.hash(&mut h);
+            ranks.hash(&mut h);
+            pinned.hash(&mut h);
+        }
+    }
+    bytes.to_bits().hash(&mut h);
+    messages.hash(&mut h);
+    h.finish()
+}
+
 /// Launch-pricing cache: kernel fingerprint hash → memoised price.
 /// Hits are verified field-for-field against the stored fingerprint,
 /// so a hash collision degrades to a cold launch, never a wrong price.
+/// Transfer/exchange nodes get the same treatment in a second map —
+/// comm ops are priced through the interconnect model exactly like
+/// kernels through the roofline, and memoised the same way.
 pub(crate) struct PriceCache {
     map: HashMap<u64, CachedPrice>,
+    comm: HashMap<u64, CachedComm>,
     enabled: bool,
 }
 
@@ -83,8 +136,49 @@ impl PriceCache {
     pub fn new(enabled: bool) -> PriceCache {
         PriceCache {
             map: HashMap::new(),
+            comm: HashMap::new(),
             enabled,
         }
+    }
+
+    /// Price one communication op through the interconnect model,
+    /// memoised per comm fingerprint. `None` means the op moves nothing
+    /// (e.g. a zero-byte single-rank exchange).
+    pub fn price_comm(
+        &mut self,
+        ctx: &PriceContext<'_>,
+        op: CommOp,
+        bytes: f64,
+        messages: u64,
+    ) -> Option<f64> {
+        let key = comm_fingerprint(op, bytes, messages);
+        if self.enabled {
+            if let Some(c) = self.comm.get(&key) {
+                if c.matches(op, bytes, messages) {
+                    return c.time;
+                }
+            }
+        }
+        let time = match op {
+            CommOp::Transfer { dir, pinned } => {
+                Some(priced_transfer_cost(ctx.platform, dir, pinned, bytes))
+            }
+            CommOp::Exchange { ranks, pinned } => {
+                priced_exchange_cost(ctx.platform, ranks, bytes, messages, pinned)
+            }
+        };
+        if self.enabled {
+            self.comm.insert(
+                key,
+                CachedComm {
+                    op,
+                    bytes,
+                    messages,
+                    time,
+                },
+            );
+        }
+        time
     }
 
     /// Price one launch under `key` (the kernel's fingerprint). Repeat
@@ -165,6 +259,45 @@ mod tests {
         let hit = cache.price(&ctx, &k, key);
         assert_eq!(cold.time.total.to_bits(), hit.time.total.to_bits());
         assert!(Arc::ptr_eq(&cold.name, &hit.name));
+    }
+
+    #[test]
+    fn comm_prices_memoise_bit_identically() {
+        let p = Platform::get(PlatformId::A100);
+        let ctx = ctx(&p);
+        let mut cache = PriceCache::new(true);
+        let op = CommOp::Transfer {
+            dir: TransferDir::H2D,
+            pinned: true,
+        };
+        let cold = cache.price_comm(&ctx, op, 1e8, 0).unwrap();
+        let hit = cache.price_comm(&ctx, op, 1e8, 0).unwrap();
+        assert_eq!(cold.to_bits(), hit.to_bits());
+        // Direction and allocation kind are part of the fingerprint.
+        let d2h = cache
+            .price_comm(
+                &ctx,
+                CommOp::Transfer {
+                    dir: TransferDir::D2H,
+                    pinned: true,
+                },
+                1e8,
+                0,
+            )
+            .unwrap();
+        let pageable = cache
+            .price_comm(
+                &ctx,
+                CommOp::Transfer {
+                    dir: TransferDir::H2D,
+                    pinned: false,
+                },
+                1e8,
+                0,
+            )
+            .unwrap();
+        assert_ne!(cold.to_bits(), d2h.to_bits());
+        assert!(pageable > cold);
     }
 
     #[test]

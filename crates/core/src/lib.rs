@@ -64,7 +64,7 @@ pub use buffer::Buffer;
 pub use error::{Failure, FailureKind};
 pub use graph::{replay_all, GraphBuilder, GraphNodeInfo, GraphSummary, LaunchGraph};
 pub use kernel::{Kernel, KernelTraits};
-pub use launch::{AccessMode, DatAccess, LaunchMeta, LaunchNode};
+pub use launch::{AccessMode, DatAccess, LaunchMeta, LaunchNode, Residency, TransferStats};
 pub use real::Real;
 pub use service::{Batch, Rejected, Service, ServiceConfig, ServiceShard, ShedPolicy};
 pub use session::{GraphObserver, LaunchRecord, Records, Session, SessionConfig};
@@ -73,8 +73,8 @@ pub use toolchain::{Scheme, SyclVariant, Toolchain};
 // Re-export the hardware model so downstream crates need only one import.
 pub use machine_model::{
     AccessProfile, AtomicKind, AtomicProfile, BackendKind, ExecProfile, IndirectProfile,
-    KernelFootprint, KernelTime, Platform, PlatformId, Precision, ReductionStrategy,
-    StencilProfile,
+    Interconnect, KernelFootprint, KernelTime, LinkBandwidth, Platform, PlatformId, Precision,
+    ReductionStrategy, StencilProfile, TransferDir,
 };
 
 /// Convenience prelude for examples and apps.

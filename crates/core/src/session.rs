@@ -16,11 +16,12 @@ use crate::error::Failure;
 use crate::kernel::Kernel;
 use crate::launch::commit::{exchange_cost, transfer_cost, Ledger};
 use crate::launch::execute::LaunchSpan;
-use crate::launch::price::{PriceCache, PriceContext, Priced};
-use crate::launch::record::fingerprint;
+use crate::launch::price::{CommOp, PriceCache, PriceContext, Priced};
+use crate::launch::record::{fingerprint, LaunchMeta};
+use crate::launch::residency::{ResidencyTracker, TransferStats};
 use crate::quirks;
 use crate::toolchain::{Scheme, SyclVariant, Toolchain};
-use machine_model::{KernelTime, Platform, PlatformId};
+use machine_model::{KernelTime, Platform, PlatformId, TransferDir};
 use parkit::sync::{Mutex, MutexGuard};
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
@@ -61,6 +62,19 @@ pub struct SessionConfig {
     /// ledger is bit-identical either way, which is exactly what the
     /// equivalence tests compare.
     pub graph_replay: bool,
+    /// Price transfer/exchange nodes through the interconnect model,
+    /// residency-aware (on by default). Disable via
+    /// [`SessionConfig::eager_transfers`] to restore the historic
+    /// free-transfer semantics: transfers cost nothing on CPUs,
+    /// single-rank exchanges cost nothing anywhere, and no residency
+    /// elision happens — the escape hatch the priced-vs-free
+    /// bit-identity tests compare against.
+    pub transfer_pricing: bool,
+    /// Host allocations are page-locked (on by default): transfers run
+    /// at the link's pinned rate. Disable via
+    /// [`SessionConfig::pageable_transfers`] to model ordinary pageable
+    /// allocations staged through the driver bounce buffer.
+    pub pinned_transfers: bool,
 }
 
 impl SessionConfig {
@@ -75,6 +89,8 @@ impl SessionConfig {
             dry_run: false,
             pricing_cache: true,
             graph_replay: true,
+            transfer_pricing: true,
+            pinned_transfers: true,
         }
     }
 
@@ -114,6 +130,20 @@ impl SessionConfig {
         self.graph_replay = false;
         self
     }
+
+    /// Restore the historic free-transfer semantics (see
+    /// `transfer_pricing`).
+    pub fn eager_transfers(mut self) -> Self {
+        self.transfer_pricing = false;
+        self
+    }
+
+    /// Model pageable host allocations instead of pinned ones (see
+    /// `pinned_transfers`).
+    pub fn pageable_transfers(mut self) -> Self {
+        self.pinned_transfers = false;
+        self
+    }
 }
 
 /// Callback invoked with every launch record as it is appended to the
@@ -136,6 +166,10 @@ pub struct Session {
     /// Price-layer state (fingerprint → memoised price), its own lock —
     /// a cold toolchain walk never blocks ledger readers.
     cache: Mutex<PriceCache>,
+    /// Per-dat host/device residency: decides which transfers are real
+    /// vs elided. Lock order when multiple are held: ledger → cache →
+    /// residency (the batched commit path nests all three).
+    residency: Mutex<ResidencyTracker>,
     /// Static-analysis observer for replayed graphs. The flag lets the
     /// replay hot path skip the lock when no observer is installed.
     graph_observer: Mutex<Option<GraphObserver>>,
@@ -182,6 +216,7 @@ impl Session {
             platform: Platform::get(cfg.platform),
             atomic_kind: quirks::atomic_kind(cfg.platform, cfg.toolchain),
             cache: Mutex::new(PriceCache::new(cfg.pricing_cache)),
+            residency: Mutex::new(ResidencyTracker::new()),
             ledger: Mutex::new(Ledger::new()),
             graph_observer: Mutex::new(None),
             graph_observed: std::sync::atomic::AtomicBool::new(false),
@@ -320,23 +355,124 @@ impl Session {
         }
     }
 
-    /// Account a host→device (or device→host) transfer of `bytes`.
-    /// Free on CPU platforms, priced at the interconnect bandwidth plus
-    /// a fixed setup latency on GPUs — the cost SYCL buffers hide behind
-    /// accessor creation.
+    /// Account an anonymous host→device transfer of `bytes` (no dat
+    /// list, so residency never elides it). Priced through the
+    /// interconnect model; see [`Session::upload`]/[`Session::download`]
+    /// for residency-aware staging.
     pub fn transfer(&self, bytes: f64) {
-        if let Some(t) = transfer_cost(&self.platform, bytes) {
+        self.transfer_with(bytes, &[], TransferDir::H2D);
+    }
+
+    /// Stage `bytes` of the given dats host→device. Elided (free) when
+    /// every dat already has a valid device copy.
+    pub fn upload(&self, bytes: f64, dats: &[u32]) {
+        self.transfer_with(bytes, dats, TransferDir::H2D);
+    }
+
+    /// Read `bytes` of the given dats back device→host. Elided when
+    /// every dat already has a valid host copy (nothing wrote them on
+    /// the device since the last transfer).
+    pub fn download(&self, bytes: f64, dats: &[u32]) {
+        self.transfer_with(bytes, dats, TransferDir::D2H);
+    }
+
+    /// The shared eager transfer path (also used by graph replay's
+    /// eager fallback, so both paths price and elide identically).
+    pub(crate) fn transfer_with(&self, bytes: f64, dats: &[u32], dir: TransferDir) {
+        let t = {
+            let mut cache = self.cache.lock();
+            let mut res = self.residency.lock();
+            self.comm_transfer_time(bytes, dats, dir, &mut cache, &mut res)
+        };
+        if let Some(t) = t {
             self.ledger.lock().charge_comm(t);
         }
     }
 
+    /// Price one transfer against caller-held price/residency locks.
+    /// `None` means the transfer was elided (or legacy-free).
+    pub(crate) fn comm_transfer_time(
+        &self,
+        bytes: f64,
+        dats: &[u32],
+        dir: TransferDir,
+        cache: &mut PriceCache,
+        res: &mut ResidencyTracker,
+    ) -> Option<f64> {
+        if !self.cfg.transfer_pricing {
+            return transfer_cost(&self.platform, bytes);
+        }
+        if !res.apply_transfer(dir, dats) {
+            return None;
+        }
+        cache.price_comm(
+            &self.price_context(),
+            CommOp::Transfer {
+                dir,
+                pinned: self.cfg.pinned_transfers,
+            },
+            bytes,
+            0,
+        )
+    }
+
     /// Account a halo exchange between the session's MPI ranks:
     /// `messages` point-to-point messages moving `bytes` in total.
-    /// Single-rank sessions exchange nothing.
+    /// Multi-rank sessions pay the MPI formula; a single-rank session
+    /// with a nonzero halo pays the on-device pack/copy (free only
+    /// under [`SessionConfig::eager_transfers`]).
     pub fn exchange(&self, bytes: f64, messages: u64) {
-        if let Some(t) = exchange_cost(&self.platform, self.ranks(), bytes, messages) {
+        let t = {
+            let mut cache = self.cache.lock();
+            self.comm_exchange_time(bytes, messages, &mut cache)
+        };
+        if let Some(t) = t {
             self.ledger.lock().charge_comm(t);
         }
+    }
+
+    /// Price one exchange against a caller-held price-cache lock.
+    pub(crate) fn comm_exchange_time(
+        &self,
+        bytes: f64,
+        messages: u64,
+        cache: &mut PriceCache,
+    ) -> Option<f64> {
+        if !self.cfg.transfer_pricing {
+            return exchange_cost(&self.platform, self.ranks(), bytes, messages);
+        }
+        cache.price_comm(
+            &self.price_context(),
+            CommOp::Exchange {
+                ranks: self.ranks(),
+                pinned: self.cfg.pinned_transfers,
+            },
+            bytes,
+            messages,
+        )
+    }
+
+    /// Apply a replayed launch's declared writes to the residency map
+    /// (device writes invalidate the host copy). Called by both graph
+    /// replay paths in recorded order; a no-op under
+    /// [`SessionConfig::eager_transfers`].
+    pub(crate) fn note_kernel_residency(&self, meta: &LaunchMeta) {
+        if !self.cfg.transfer_pricing {
+            return;
+        }
+        self.residency.lock().apply_launch(meta);
+    }
+
+    /// Lock the residency tracker (the batched commit path holds it for
+    /// a whole graph). Lock order: ledger → cache → residency.
+    pub(crate) fn residency_tracker(&self) -> MutexGuard<'_, ResidencyTracker> {
+        self.residency.lock()
+    }
+
+    /// Real/elided transfer counts so far (elision requires transfer
+    /// pricing and declared dat lists).
+    pub fn transfer_stats(&self) -> TransferStats {
+        self.residency.lock().stats()
     }
 
     /// Total simulated seconds so far.
@@ -365,16 +501,19 @@ impl Session {
         let mut h = std::collections::hash_map::DefaultHasher::new();
         led.elapsed.to_bits().hash(&mut h);
         led.comm_time.to_bits().hash(&mut h);
-        led.records.len().hash(&mut h);
-        for r in &led.records {
-            r.name.as_bytes().hash(&mut h);
-            r.time.total.to_bits().hash(&mut h);
-            r.time.memory.to_bits().hash(&mut h);
-            r.time.compute.to_bits().hash(&mut h);
-            r.items.hash(&mut h);
-            r.effective_bytes.to_bits().hash(&mut h);
-            r.boundary.hash(&mut h);
-        }
+        hash_records(&led.records, &mut h);
+        h.finish()
+    }
+
+    /// Order-sensitive digest of the launch records only — the clock
+    /// and comm time are excluded. Two sessions that differ *only* in
+    /// how data movement is priced (transfer pricing on vs off, pinned
+    /// vs pageable) must still agree here: pricing transfers changes
+    /// the simulated clock, never what the kernels computed.
+    pub fn launch_digest(&self) -> u64 {
+        let led = self.ledger.lock();
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        hash_records(&led.records, &mut h);
         h.finish()
     }
 
@@ -486,6 +625,21 @@ impl Session {
     }
 }
 
+/// Hash every launch record into `h`, f64s by bit pattern (the shared
+/// body of [`Session::ledger_digest`] and [`Session::launch_digest`]).
+fn hash_records(records: &[LaunchRecord], h: &mut impl Hasher) {
+    records.len().hash(h);
+    for r in records {
+        r.name.as_bytes().hash(h);
+        r.time.total.to_bits().hash(h);
+        r.time.memory.to_bits().hash(h);
+        r.time.compute.to_bits().hash(h);
+        r.items.hash(h);
+        r.effective_bytes.to_bits().hash(h);
+        r.boundary.hash(h);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -517,15 +671,26 @@ mod tests {
     }
 
     #[test]
-    fn exchange_is_free_on_single_rank_sessions() {
+    fn single_rank_exchanges_price_the_on_device_halo_copy() {
         let gpu = session(PlatformId::A100, Toolchain::NativeCuda);
         gpu.exchange(1e9, 100);
-        assert_eq!(gpu.comm_time(), 0.0);
+        // Priced as a D2D copy: fast, but no longer free.
+        assert!(gpu.comm_time() > 0.0 && gpu.comm_time() < 0.01);
 
         let cpu = session(PlatformId::Xeon8360Y, Toolchain::Mpi);
         cpu.exchange(1e9, 100);
         assert!(cpu.comm_time() > 0.0);
         assert_eq!(cpu.elapsed(), cpu.comm_time());
+
+        // The escape hatch restores the historic free semantics.
+        let legacy = Session::create(
+            SessionConfig::new(PlatformId::A100, Toolchain::NativeCuda)
+                .app("test")
+                .eager_transfers(),
+        )
+        .unwrap();
+        legacy.exchange(1e9, 100);
+        assert_eq!(legacy.comm_time(), 0.0);
     }
 
     #[test]
@@ -588,19 +753,87 @@ mod tests {
     }
 
     #[test]
-    fn transfers_cost_on_gpus_and_are_free_on_cpus() {
+    fn transfers_are_priced_through_the_interconnect_on_every_platform() {
         let gpu = session(PlatformId::A100, Toolchain::NativeCuda);
         gpu.transfer(1e9);
-        // 1 GB over 25 GB/s = 40 ms.
+        // 1 GB over the pinned 25 GB/s H2D link = 40 ms.
         assert!(
             (gpu.elapsed() - 0.04).abs() / 0.04 < 0.01,
             "{}",
             gpu.elapsed()
         );
 
+        // CPUs pay the in-package memcpy — small but nonzero.
         let cpu = session(PlatformId::GenoaX, Toolchain::OpenMp);
         cpu.transfer(1e9);
-        assert_eq!(cpu.elapsed(), 0.0);
+        assert!(cpu.elapsed() > 0.0 && cpu.elapsed() < gpu.elapsed());
+
+        // Pageable allocations run at the bounce-buffer rate.
+        let pageable = Session::create(
+            SessionConfig::new(PlatformId::A100, Toolchain::NativeCuda)
+                .app("test")
+                .pageable_transfers(),
+        )
+        .unwrap();
+        pageable.transfer(1e9);
+        assert!(pageable.elapsed() > 1.5 * gpu.elapsed());
+
+        // The escape hatch restores the historic free-on-CPU semantics.
+        let legacy = Session::create(
+            SessionConfig::new(PlatformId::GenoaX, Toolchain::OpenMp)
+                .app("test")
+                .eager_transfers(),
+        )
+        .unwrap();
+        legacy.transfer(1e9);
+        assert_eq!(legacy.elapsed(), 0.0);
+    }
+
+    #[test]
+    fn residency_elides_repeat_uploads_and_post_writeback_downloads() {
+        let s = session(PlatformId::A100, Toolchain::NativeCuda);
+        s.upload(1e8, &[1, 2]);
+        let first = s.comm_time();
+        assert!(first > 0.0);
+        s.upload(1e8, &[1, 2]);
+        assert_eq!(s.comm_time(), first, "second upload elided");
+        // Host copy still valid (nothing wrote on device): free readback.
+        s.download(1e8, &[1]);
+        assert_eq!(s.comm_time(), first);
+        assert_eq!(
+            s.transfer_stats(),
+            crate::TransferStats { real: 1, elided: 2 }
+        );
+        // Anonymous transfers always pay.
+        s.transfer(1e8);
+        assert!(s.comm_time() > first);
+    }
+
+    #[test]
+    fn eager_transfers_disable_elision_and_match_legacy_costs() {
+        let legacy = Session::create(
+            SessionConfig::new(PlatformId::A100, Toolchain::NativeCuda)
+                .app("test")
+                .eager_transfers(),
+        )
+        .unwrap();
+        legacy.upload(1e9, &[1]);
+        legacy.upload(1e9, &[1]);
+        // Both paid, both at the legacy flat formula.
+        let expect: f64 = 2.0 * (10.0e-6 + 1e9 / 25.0e9);
+        assert_eq!(legacy.comm_time().to_bits(), expect.to_bits());
+    }
+
+    #[test]
+    fn launch_digest_ignores_comm_time_but_ledger_digest_does_not() {
+        let a = session(PlatformId::A100, Toolchain::NativeCuda);
+        let b = session(PlatformId::A100, Toolchain::NativeCuda);
+        let k = Kernel::streaming("x", 1 << 16, 1e6, 0.0);
+        a.launch(&k, || ());
+        b.launch(&k, || ());
+        a.transfer(1e6);
+        assert_eq!(a.launch_digest(), b.launch_digest());
+        assert_ne!(a.ledger_digest(), b.ledger_digest());
     }
 
     #[test]

@@ -1,0 +1,258 @@
+//! Host↔device interconnect models.
+//!
+//! The compute side of the machine model prices kernels against STREAM
+//! roofs; this module is the second tier of that hierarchy: a per-platform
+//! description of the link data crosses to *reach* the device.  The oneAPI
+//! `bandwidthTest` sample shows the three axes that matter and that a
+//! single scalar bandwidth cannot express:
+//!
+//! * **direction** — H2D and D2H sustain different rates on real PCIe
+//!   parts (write-posting vs read-completion credits);
+//! * **pageable vs pinned** — pageable copies are staged through a driver
+//!   bounce buffer and run at roughly half the pinned rate;
+//! * **D2D** — on-device copies run near the memory-system rate, one to
+//!   two orders of magnitude above the link.
+//!
+//! CPUs get an interconnect too: host memory *is* device memory, so a
+//! "transfer" is an in-package `memcpy` priced at roughly half the STREAM
+//! rate (one read + one write stream) with a sub-microsecond setup cost.
+//! That keeps transfer nodes meaningfully priced on all six platforms
+//! while preserving the intuition that staging is near-free on CPUs
+//! relative to a PCIe hop.
+
+use crate::{GB, US};
+
+/// Direction of a host↔device copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransferDir {
+    /// Host to device (upload).
+    H2D,
+    /// Device to host (download / readback).
+    D2H,
+    /// Device to device (on-device copy, or GCD↔GCD over the in-package
+    /// fabric).
+    D2D,
+}
+
+impl TransferDir {
+    /// Short lowercase label used in manifests and dashboards.
+    pub fn label(self) -> &'static str {
+        match self {
+            TransferDir::H2D => "h2d",
+            TransferDir::D2H => "d2h",
+            TransferDir::D2D => "d2d",
+        }
+    }
+}
+
+/// Sustained bandwidth of one link direction, split by host allocation
+/// kind (bytes/s).
+#[derive(Debug, Clone, Copy)]
+pub struct LinkBandwidth {
+    /// Ordinary `malloc`ed host memory — staged through a driver bounce
+    /// buffer on discrete devices.
+    pub pageable: f64,
+    /// Page-locked host memory — the DMA engine reads it directly.
+    pub pinned: f64,
+}
+
+impl LinkBandwidth {
+    /// A direction where the allocation kind makes no difference
+    /// (in-package links).
+    pub fn flat(bw: f64) -> Self {
+        LinkBandwidth {
+            pageable: bw,
+            pinned: bw,
+        }
+    }
+}
+
+/// A calibrated host↔device link descriptor.
+#[derive(Debug, Clone)]
+pub struct Interconnect {
+    /// Link technology, for reports ("PCIe 4.0 x16", "Infinity Fabric",
+    /// "in-package").
+    pub link: &'static str,
+    /// Per-copy setup latency in seconds (driver + DMA descriptor +
+    /// completion), paid once per transfer regardless of size.
+    pub latency: f64,
+    /// Host-to-device bandwidth.
+    pub h2d: LinkBandwidth,
+    /// Device-to-host bandwidth.
+    pub d2h: LinkBandwidth,
+    /// Device-to-device copy bandwidth (bytes/s, counting bytes moved
+    /// once, as `bandwidthTest` reports it).
+    pub d2d: f64,
+}
+
+impl Interconnect {
+    /// Sustained bandwidth for a direction and host-allocation kind.
+    pub fn bandwidth(&self, dir: TransferDir, pinned: bool) -> f64 {
+        let link = match dir {
+            TransferDir::H2D => self.h2d,
+            TransferDir::D2H => self.d2h,
+            TransferDir::D2D => return self.d2d,
+        };
+        if pinned {
+            link.pinned
+        } else {
+            link.pageable
+        }
+    }
+
+    /// Modelled wall time of one copy: `latency + bytes / bandwidth`.
+    pub fn transfer_time(&self, dir: TransferDir, pinned: bool, bytes: f64) -> f64 {
+        self.latency + bytes / self.bandwidth(dir, pinned)
+    }
+
+    /// A PCIe 4.0 x16 link (A100): ~25 GB/s pinned, pageable at roughly
+    /// the bounce-buffer rate.
+    pub fn pcie4() -> Self {
+        Interconnect {
+            link: "PCIe 4.0 x16",
+            latency: 10.0 * US,
+            h2d: LinkBandwidth {
+                pageable: 11.0 * GB,
+                pinned: 25.0 * GB,
+            },
+            d2h: LinkBandwidth {
+                pageable: 10.0 * GB,
+                pinned: 24.0 * GB,
+            },
+            d2d: 1160.0 * GB,
+        }
+    }
+
+    /// The MI250X's Infinity Fabric host link (~36 GB/s pinned); D2D is
+    /// the single-GCD on-device copy rate.
+    pub fn infinity_fabric() -> Self {
+        Interconnect {
+            link: "Infinity Fabric",
+            latency: 9.0 * US,
+            h2d: LinkBandwidth {
+                pageable: 14.0 * GB,
+                pinned: 36.0 * GB,
+            },
+            d2h: LinkBandwidth {
+                pageable: 13.0 * GB,
+                pinned: 34.0 * GB,
+            },
+            d2d: 1100.0 * GB,
+        }
+    }
+
+    /// A PCIe 5.0 x16 link as the Max 1100 presents it (host software
+    /// stack sustains ~25 GB/s pinned despite the wider lane budget).
+    pub fn pcie5() -> Self {
+        Interconnect {
+            link: "PCIe 5.0 x16",
+            latency: 11.0 * US,
+            h2d: LinkBandwidth {
+                pageable: 12.0 * GB,
+                pinned: 25.0 * GB,
+            },
+            d2h: LinkBandwidth {
+                pageable: 11.0 * GB,
+                pinned: 23.0 * GB,
+            },
+            d2d: 680.0 * GB,
+        }
+    }
+
+    /// CPU "interconnect": host memory is device memory, so a transfer is
+    /// an in-package `memcpy` — one read plus one write stream, i.e. half
+    /// the STREAM copy rate, with no pageable/pinned distinction.
+    pub fn in_package(stream_bw: f64) -> Self {
+        Interconnect {
+            link: "in-package",
+            latency: 0.5 * US,
+            h2d: LinkBandwidth::flat(stream_bw / 2.0),
+            d2h: LinkBandwidth::flat(stream_bw / 2.0),
+            d2d: stream_bw,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::all_platforms;
+
+    #[test]
+    fn pinned_beats_pageable_on_discrete_links_and_ties_in_package() {
+        for p in all_platforms() {
+            let ic = &p.interconnect;
+            for dir in [TransferDir::H2D, TransferDir::D2H] {
+                let pinned = ic.bandwidth(dir, true);
+                let pageable = ic.bandwidth(dir, false);
+                if p.id.is_gpu() {
+                    assert!(
+                        pinned > 1.5 * pageable,
+                        "{}: pinned {dir:?} should be an integer factor above pageable",
+                        p.name
+                    );
+                } else {
+                    assert_eq!(pinned, pageable, "{}: in-package links are flat", p.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transfers_cost_nonzero_time_on_every_platform() {
+        for p in all_platforms() {
+            for dir in [TransferDir::H2D, TransferDir::D2H, TransferDir::D2D] {
+                for pinned in [false, true] {
+                    let t = p.interconnect.transfer_time(dir, pinned, 1.0e6);
+                    assert!(
+                        t > 0.0 && t.is_finite(),
+                        "{} {dir:?} pinned={pinned} priced at {t}",
+                        p.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn d2d_is_far_above_the_host_link_on_gpus() {
+        for p in all_platforms().into_iter().filter(|p| p.id.is_gpu()) {
+            let ic = &p.interconnect;
+            assert!(
+                ic.d2d > 10.0 * ic.bandwidth(TransferDir::H2D, true),
+                "{}: D2D should dwarf the host link",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn pinned_h2d_matches_the_legacy_scalar_bandwidth_on_gpus() {
+        // The pre-interconnect model priced transfers at
+        // `10 us + bytes / interconnect_bw`; the pinned H2D curve is that
+        // scalar's successor and must stay anchored to the same calibration.
+        for p in all_platforms().into_iter().filter(|p| p.id.is_gpu()) {
+            let legacy = p.interconnect_bw.expect("GPUs keep the legacy scalar");
+            assert_eq!(
+                p.interconnect.h2d.pinned, legacy,
+                "{}: pinned H2D drifted from the calibrated link rate",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn latency_dominates_small_copies_and_bandwidth_dominates_large() {
+        let ic = Interconnect::pcie4();
+        let small = ic.transfer_time(TransferDir::H2D, true, 8.0);
+        assert!(
+            (small - ic.latency) / small < 0.01,
+            "8 B copy is all latency"
+        );
+        let large = ic.transfer_time(TransferDir::H2D, true, 1.0e9);
+        assert!(
+            (large - 1.0e9 / ic.h2d.pinned) / large < 0.01,
+            "1 GB copy is all bandwidth"
+        );
+    }
+}

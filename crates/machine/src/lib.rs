@@ -30,6 +30,7 @@
 pub mod caches;
 pub mod exec;
 pub mod footprint;
+pub mod interconnect;
 pub mod model;
 pub mod platform;
 pub mod roofline;
@@ -40,6 +41,7 @@ pub use footprint::{
     AccessProfile, AtomicKind, AtomicProfile, IndirectProfile, KernelFootprint, Precision,
     StencilProfile,
 };
+pub use interconnect::{Interconnect, LinkBandwidth, TransferDir};
 pub use model::{predict, KernelTime};
 pub use platform::{all_platforms, ChipKind, Platform, PlatformId};
 pub use roofline::{roofline_text, Bound, RooflinePoint};

@@ -165,8 +165,13 @@ pub struct Platform {
     pub chip: ChipKind,
     pub mem: MemorySystem,
     /// Host↔device interconnect bandwidth in bytes/s (`None` for CPUs —
-    /// host memory *is* device memory).
+    /// host memory *is* device memory).  Legacy scalar kept for the
+    /// `eager_transfers()` free-transfer escape hatch; new code prices
+    /// through [`interconnect`](Platform::interconnect).
     pub interconnect_bw: Option<f64>,
+    /// Direction- and allocation-aware link model (the second tier of the
+    /// cost hierarchy next to the STREAM roofs).
+    pub interconnect: crate::interconnect::Interconnect,
     /// Cache hierarchy, outermost (last-level) first.
     pub caches: Vec<CacheLevel>,
     /// Native kernel-launch / parallel-region overhead in seconds.
@@ -230,6 +235,7 @@ pub fn a100() -> Platform {
             app_sustained: 1.0,
         },
         interconnect_bw: Some(25.0 * GB),
+        interconnect: crate::interconnect::Interconnect::pcie4(),
         caches: vec![
             CacheLevel {
                 level: 2,
@@ -277,6 +283,7 @@ pub fn mi250x() -> Platform {
             app_sustained: 1.0,
         },
         interconnect_bw: Some(36.0 * GB),
+        interconnect: crate::interconnect::Interconnect::infinity_fabric(),
         caches: vec![
             CacheLevel {
                 level: 2,
@@ -321,6 +328,7 @@ pub fn max1100() -> Platform {
             app_sustained: 0.82,
         },
         interconnect_bw: Some(25.0 * GB),
+        interconnect: crate::interconnect::Interconnect::pcie5(),
         caches: vec![
             CacheLevel {
                 level: 2,
@@ -367,6 +375,7 @@ pub fn xeon8360y() -> Platform {
             app_sustained: 1.0,
         },
         interconnect_bw: None,
+        interconnect: crate::interconnect::Interconnect::in_package(296.0 * GB),
         caches: vec![
             CacheLevel {
                 level: 3,
@@ -413,6 +422,7 @@ pub fn genoax() -> Platform {
             app_sustained: 1.0,
         },
         interconnect_bw: None,
+        interconnect: crate::interconnect::Interconnect::in_package(561.0 * GB),
         caches: vec![
             CacheLevel {
                 level: 3,
@@ -459,6 +469,7 @@ pub fn altra() -> Platform {
             app_sustained: 1.0,
         },
         interconnect_bw: None,
+        interconnect: crate::interconnect::Interconnect::in_package(167.0 * GB),
         caches: vec![
             CacheLevel {
                 level: 3,

@@ -8,11 +8,15 @@
 //! study --chaos 0.2 --chaos-seed 7     # fault-injected run
 //! study --merge OUT.json A.json B.json # merge shard documents
 //! study --no-flight                    # disable flight recordings
+//! study --retain 5                     # keep 5 runs' recordings
 //! ```
 //!
 //! Fleet runs keep crash-surviving flight recordings under
-//! `<out>/flight/` by default (`--flight-dir` moves them); run the
-//! `blackbox` binary afterwards to reconstruct crashes and stragglers.
+//! `<out>/flight/` by default (`--flight-dir` moves them), one
+//! `run-<seq>-<journal>` subdirectory per run with the newest
+//! `--retain` runs kept (default 3) so `blackbox --diff` can compare a
+//! flaky unit across runs; run the `blackbox` binary afterwards to
+//! reconstruct crashes and stragglers.
 //!
 //! Writes `<out>/STUDY[_shard<i>of<n>].json` (the study document) and
 //! `<out>/BENCH_study[_shard<i>of<n>].json` (the merged manifest) and
@@ -85,6 +89,7 @@ fn study_cli(args: &[String]) -> Result<(), String> {
             "--resume" => cfg.resume = true,
             "--flight-dir" => cfg.flight_dir = Some(PathBuf::from(val("--flight-dir")?)),
             "--no-flight" => no_flight = true,
+            "--retain" => cfg.retain = parse::<usize>(val("--retain")?)?.max(1),
             "--out" => out_dir = PathBuf::from(val("--out")?),
             other => return Err(format!("unknown flag '{other}' (see crate docs)")),
         }

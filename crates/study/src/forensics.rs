@@ -405,6 +405,99 @@ impl BlackboxDoc {
     }
 }
 
+// ----------------------------------------------------------- unit diff
+
+/// One dispatch of a unit, reconstructed from flight recordings alone —
+/// no journal needed. This is what `blackbox --diff` compares across
+/// the retained run directories, where only the newest run's journal
+/// survives on disk.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DispatchSummary {
+    pub trace: u64,
+    pub attempt: u32,
+    pub worker: u32,
+    /// The orchestrator's result-mark tag ("ok", "retry", "crashed",
+    /// "hole: …"); `None` when the run died before recording one.
+    pub result: Option<String>,
+    /// Begin mark → result mark (or the recording's last breath).
+    pub wall_secs: f64,
+    /// Deepest span still open at the dispatch window's end — the kill
+    /// site of an attempt that never completed.
+    pub open_span: Option<String>,
+}
+
+/// Every dispatch of `unit_id` visible in `recordings`, in trace-id
+/// (i.e. dispatch) order.
+pub fn unit_history(recordings: &[FlightRecording], unit_id: &str) -> Vec<DispatchSummary> {
+    // Result marks live on the orchestrator's side; index them by the
+    // causal trace id so each worker-side begin finds its verdict.
+    let mut results: BTreeMap<u64, (u64, String)> = BTreeMap::new();
+    for rec in recordings {
+        for ev in &rec.events {
+            if let FlightEvent::TraceMark {
+                role: TraceRole::Result,
+                trace,
+                t_ns,
+                tag,
+                ..
+            } = ev
+            {
+                results.insert(*trace, (*t_ns, tag.clone()));
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for rec in recordings {
+        for (i, ev) in rec.events.iter().enumerate() {
+            let FlightEvent::TraceMark {
+                role: TraceRole::Begin,
+                trace,
+                attempt,
+                t_ns,
+                tag,
+                ..
+            } = ev
+            else {
+                continue;
+            };
+            if tag != unit_id {
+                continue;
+            }
+            let end = rec.events[i + 1..]
+                .iter()
+                .position(|e| {
+                    matches!(
+                        e,
+                        FlightEvent::TraceMark {
+                            role: TraceRole::Begin,
+                            ..
+                        }
+                    )
+                })
+                .map(|j| i + 1 + j)
+                .unwrap_or(rec.events.len());
+            let window = (i, end);
+            let open = open_at_window_end(rec, window)
+                .last()
+                .map(|&(kind, name, _)| format!("{} '{name}'", kind.label()));
+            let (end_ns, result) = match results.get(trace) {
+                Some((t, verdict)) => (*t, Some(verdict.clone())),
+                None => (window_last_ns(rec, window), None),
+            };
+            out.push(DispatchSummary {
+                trace: *trace,
+                attempt: *attempt,
+                worker: rec.worker,
+                result,
+                wall_secs: end_ns.saturating_sub(*t_ns) as f64 / 1e9,
+                open_span: open,
+            });
+        }
+    }
+    out.sort_by_key(|d| d.trace);
+    out
+}
+
 // ------------------------------------------------------------- timeline
 
 /// The merged fleet timeline as a standalone Chrome-trace document.
@@ -778,6 +871,66 @@ mod tests {
         assert!(doc.contains("\"unterminated\": true"));
         // Both processes are labelled.
         assert_eq!(doc.matches("process_name").count(), 2);
+    }
+
+    #[test]
+    fn unit_history_reconstructs_dispatches_without_a_journal() {
+        let unit = smoke_units().into_iter().next().unwrap();
+        let id = unit.id();
+        let orch = FlightRecording {
+            worker: ORCH_SLOT,
+            pid: 1,
+            start_unix_ns: 0,
+            label: "study-orchestrator".into(),
+            events: vec![
+                mark(TraceRole::Dispatch, 7, unit.index as u32, 500, &id),
+                mark(
+                    TraceRole::Result,
+                    7,
+                    unit.index as u32,
+                    4_000_000_000,
+                    "retry",
+                ),
+                mark(
+                    TraceRole::Dispatch,
+                    8,
+                    unit.index as u32,
+                    4_100_000_000,
+                    &id,
+                ),
+                mark(TraceRole::Result, 8, unit.index as u32, 6_000_000_000, "ok"),
+            ],
+            torn: false,
+        };
+        let worker = recording(
+            0,
+            vec![
+                // Attempt 1 dies inside a launch; attempt 2 completes.
+                mark(TraceRole::Begin, 7, unit.index as u32, 1_000_000_000, &id),
+                open(SpanKind::Unit, &id, 1_000_000_000),
+                open(SpanKind::Launch, "pdv", 2_000_000_000),
+            ],
+        );
+        let worker2 = recording(
+            1,
+            vec![
+                mark(TraceRole::Begin, 8, unit.index as u32, 4_500_000_000, &id),
+                open(SpanKind::Unit, &id, 4_500_000_000),
+                close(SpanKind::Unit, &id, 5_900_000_000),
+            ],
+        );
+        let hist = unit_history(&[orch, worker, worker2], &id);
+        assert_eq!(hist.len(), 2);
+        assert_eq!(hist[0].trace, 7);
+        assert_eq!(hist[0].result.as_deref(), Some("retry"));
+        assert_eq!(hist[0].open_span.as_deref(), Some("launch 'pdv'"));
+        assert!((hist[0].wall_secs - 3.0).abs() < 1e-9);
+        assert_eq!(hist[1].trace, 8);
+        assert_eq!(hist[1].worker, 1);
+        assert_eq!(hist[1].result.as_deref(), Some("ok"));
+        assert!(hist[1].open_span.is_none());
+        // A unit never dispatched has no history.
+        assert!(unit_history(&[], &id).is_empty());
     }
 
     #[test]

@@ -59,8 +59,13 @@ pub struct StudyConfig {
     /// Replay the journal and skip already-terminal units.
     pub resume: bool,
     /// Directory for crash-surviving flight recordings (orchestrator +
-    /// every worker). `None` disables flight recording.
+    /// every worker). `None` disables flight recording. Each run writes
+    /// into its own `run-<seq>-<journal>` subdirectory so `blackbox`
+    /// can diff a flaky unit across runs; see [`StudyConfig::retain`].
     pub flight_dir: Option<PathBuf>,
+    /// How many runs' flight recordings to keep under `flight_dir`
+    /// (rolling retention, newest first). Clamped to at least 1.
+    pub retain: usize,
     /// Argv prefix used to spawn workers (the binary re-executes
     /// itself; tests point this at the test executable).
     pub worker_cmd: Vec<String>,
@@ -80,6 +85,7 @@ impl StudyConfig {
             journal: None,
             resume: false,
             flight_dir: None,
+            retain: 3,
             worker_cmd: vec![],
         }
     }
@@ -177,27 +183,20 @@ pub fn run_study(cfg: &StudyConfig) -> Result<StudyOutcome, String> {
 
     // The orchestrator keeps its own flight recording next to the
     // workers': dispatch/result trace marks on this side, begin marks
-    // and unit spans on theirs, joined by the trace id. A fresh (non-
-    // resume) run clears stale recordings so `blackbox` never mixes two
-    // runs; a resumed run keeps them — they are the crash evidence.
+    // and unit spans on theirs, joined by the trace id. Each run gets
+    // its own `run-<seq>-<journal>` subdirectory — `blackbox` never
+    // mixes two runs, and the newest `cfg.retain` runs survive so a
+    // flaky unit can be diffed across them. A resumed run re-enters the
+    // newest matching run dir — its recordings are the crash evidence.
     let flight_on = cfg.flight_dir.is_some();
+    let mut flight_run_dir: Option<PathBuf> = None;
     if let Some(dir) = &cfg.flight_dir {
-        std::fs::create_dir_all(dir).map_err(|e| format!("flight dir: {e}"))?;
-        if !cfg.resume {
-            if let Ok(entries) = std::fs::read_dir(dir) {
-                for entry in entries.flatten() {
-                    let name = entry.file_name();
-                    let name = name.to_string_lossy();
-                    if name.starts_with("flight-") && name.ends_with(".bin") {
-                        let _ = std::fs::remove_file(entry.path());
-                    }
-                }
-            }
-        }
-        let path = dir.join(format!("flight-orch-p{}.bin", std::process::id()));
+        let run_dir = prepare_flight_run_dir(dir, cfg.journal.as_deref(), cfg.resume, cfg.retain)?;
+        let path = run_dir.join(format!("flight-orch-p{}.bin", std::process::id()));
         if let Err(e) = flight::start(&path, ORCH_SLOT, "study-orchestrator") {
             eprintln!("study: flight recorder unavailable: {e}");
         }
+        flight_run_dir = Some(run_dir);
     }
 
     let result = if cfg.workers == 0 {
@@ -239,6 +238,7 @@ pub fn run_study(cfg: &StudyConfig) -> Result<StudyOutcome, String> {
     } else {
         run_fleet(
             cfg,
+            flight_run_dir.as_deref(),
             &units,
             pending,
             &mut done,
@@ -312,6 +312,7 @@ struct Slot {
 
 fn run_fleet(
     cfg: &StudyConfig,
+    flight_run_dir: Option<&Path>,
     units: &[StudyUnit],
     mut pending: VecDeque<(StudyUnit, u32)>,
     done: &mut BTreeMap<usize, UnitRecord>,
@@ -350,7 +351,7 @@ fn run_fleet(
             cmd.args(["--chaos", &cfg.chaos.to_string()])
                 .args(["--chaos-seed", &cfg.chaos_seed.to_string()]);
         }
-        if let Some(dir) = &cfg.flight_dir {
+        if let Some(dir) = flight_run_dir {
             cmd.arg("--flight-dir").arg(dir);
         }
         let mut child = cmd
@@ -639,6 +640,111 @@ fn reap(slot: &mut Slot) {
     }
 }
 
+// ------------------------------------------------------- flight layout
+
+/// Parse a `run-<seq>-<tag>` directory name into its sequence number.
+fn run_seq(name: &str) -> Option<u64> {
+    let rest = name.strip_prefix("run-")?;
+    let (seq, _tag) = rest.split_once('-')?;
+    seq.parse().ok()
+}
+
+/// Per-run flight subdirectories under `dir`, oldest → newest.
+pub fn flight_run_dirs(dir: &Path) -> Vec<(u64, PathBuf)> {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return vec![];
+    };
+    let mut runs: Vec<(u64, PathBuf)> = entries
+        .flatten()
+        .filter(|e| e.path().is_dir())
+        .filter_map(|e| run_seq(&e.file_name().to_string_lossy()).map(|seq| (seq, e.path())))
+        .collect();
+    runs.sort();
+    runs
+}
+
+/// The directory `blackbox` reads by default: the newest run
+/// subdirectory, or `dir` itself when no run subdirectory exists (the
+/// pre-retention flat layout).
+pub fn latest_flight_run(dir: &Path) -> PathBuf {
+    flight_run_dirs(dir)
+        .pop()
+        .map(|(_, p)| p)
+        .unwrap_or_else(|| dir.to_path_buf())
+}
+
+/// The run tag: the journal's file stem, sanitised for a path segment.
+/// Two studies with different journals never share a retention window.
+fn journal_tag(journal: Option<&Path>) -> String {
+    let stem = journal
+        .and_then(|p| p.file_stem())
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    let tag: String = stem
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == '-' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if tag.is_empty() {
+        "adhoc".into()
+    } else {
+        tag
+    }
+}
+
+/// Create (or, on resume, re-enter) this run's flight subdirectory and
+/// prune the rolling window to the newest `retain` runs. Legacy flat
+/// `flight-*.bin` files at the top level (the pre-retention layout)
+/// are removed on a fresh run.
+fn prepare_flight_run_dir(
+    dir: &Path,
+    journal: Option<&Path>,
+    resume: bool,
+    retain: usize,
+) -> Result<PathBuf, String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("flight dir: {e}"))?;
+    let tag = journal_tag(journal);
+    let runs = flight_run_dirs(dir);
+    if resume {
+        // The newest run carrying this journal's tag holds the crash
+        // evidence of the interrupted run — append to it.
+        let newest_same_tag = runs.iter().rev().find(|(_, p)| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .and_then(|n| n.strip_prefix("run-"))
+                .and_then(|r| r.split_once('-'))
+                .is_some_and(|(_, t)| t == tag)
+        });
+        if let Some((_, path)) = newest_same_tag {
+            return Ok(path.clone());
+        }
+        // Nothing to resume into: fall through to a fresh run dir.
+    } else if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.starts_with("flight-") && name.ends_with(".bin") {
+                let _ = std::fs::remove_file(entry.path());
+            }
+        }
+    }
+    let seq = runs.last().map(|(s, _)| s + 1).unwrap_or(1);
+    let run_dir = dir.join(format!("run-{seq:04}-{tag}"));
+    std::fs::create_dir_all(&run_dir).map_err(|e| format!("flight run dir: {e}"))?;
+    // Rolling retention — the new run counts against the window.
+    let mut runs = flight_run_dirs(dir);
+    while runs.len() > retain.max(1) {
+        let (_, old) = runs.remove(0);
+        let _ = std::fs::remove_dir_all(&old);
+    }
+    Ok(run_dir)
+}
+
 // -------------------------------------------------------------- journal
 
 fn open_journal(path: &Path, append: bool) -> Result<BufWriter<File>, String> {
@@ -726,6 +832,44 @@ mod tests {
             assert_eq!(a.sim_secs, b.sim_secs);
             assert_eq!(a.efficiency, b.efficiency);
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn flight_retention_keeps_the_newest_runs_and_resume_reenters() {
+        let dir = std::env::temp_dir().join(format!("study-flight-retain-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        // A legacy flat-layout recording to migrate away.
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("flight-orch-p1.bin"), b"stale").unwrap();
+        let journal = Some(dir.join("study.journal"));
+
+        for seq in 1..=4u64 {
+            let run = prepare_flight_run_dir(&dir, journal.as_deref(), false, 3).unwrap();
+            assert_eq!(
+                run.file_name().unwrap().to_str().unwrap(),
+                format!("run-{seq:04}-study")
+            );
+        }
+        assert!(
+            !dir.join("flight-orch-p1.bin").exists(),
+            "legacy flat recordings are cleared"
+        );
+        let runs = flight_run_dirs(&dir);
+        assert_eq!(
+            runs.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
+            vec![2, 3, 4],
+            "retain=3 keeps the newest three runs"
+        );
+        assert_eq!(latest_flight_run(&dir), dir.join("run-0004-study"));
+
+        // Resume re-enters the newest run with the same journal tag…
+        let resumed = prepare_flight_run_dir(&dir, journal.as_deref(), true, 3).unwrap();
+        assert_eq!(resumed, dir.join("run-0004-study"));
+        // …while a different journal starts its own run (tag differs).
+        let other = Some(dir.join("study_shard1of2.journal"));
+        let fresh = prepare_flight_run_dir(&dir, other.as_deref(), true, 3).unwrap();
+        assert_eq!(fresh, dir.join("run-0005-study_shard1of2"));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -8,7 +8,7 @@
 use std::path::PathBuf;
 use std::time::Duration;
 use study::forensics::{analyze, chrome_fleet_trace, load_flight_dir};
-use study::orchestrator::{run_study, StudyConfig, StudyOutcome, ORCH_SLOT};
+use study::orchestrator::{latest_flight_run, run_study, StudyConfig, StudyOutcome, ORCH_SLOT};
 use study::record::UnitStatus;
 use study::unit::{smoke_units, Scope};
 use study::worker_cli;
@@ -201,10 +201,19 @@ fn crashed_units_are_attributed_to_their_kill_site() {
     assert_eq!(traces.len(), out.records.len(), "trace ids not unique");
     assert!(!traces.contains(&0), "a record missed its trace stamp");
 
+    // Recordings land in this run's retention subdirectory, not flat
+    // in the flight dir; `latest_flight_run` resolves it the same way
+    // the `blackbox` binary does.
+    let run_dir = latest_flight_run(&flight);
+    assert_ne!(run_dir, flight, "run got its own subdirectory");
+    assert!(
+        load_flight_dir(&flight).is_empty(),
+        "flight dir root is flat-file free"
+    );
     // Orchestrator + three workers recorded; chaos respawns add more
     // (each generation is its own file), but a worker killed with no
     // pending work left is not respawned, so 4 is the firm floor.
-    let recordings = load_flight_dir(&flight);
+    let recordings = load_flight_dir(&run_dir);
     assert!(
         recordings.iter().any(|r| r.worker == ORCH_SLOT),
         "orchestrator recording missing"

@@ -24,6 +24,9 @@
 //!   never read, transfers delivering bytes that are only overwritten,
 //!   launches that neither write nor reduce;
 //! * redundant back-to-back exchanges of the same dats;
+//! * resident transfers — uploads/downloads of dats whose host/device
+//!   residency (tracked from the graph's own transfers and writes)
+//!   already matches: the runtime elides them, so the node is noise;
 //! * per-platform scheme legality — f64 atomics on hardware that
 //!   compiles them to CAS loops;
 //! * fusion candidates — maximal chains of adjacent, same-range,
@@ -40,7 +43,7 @@
 
 use crate::{Diagnostic, Pass, Severity};
 use std::collections::{BTreeMap, BTreeSet};
-use sycl_sim::{AccessMode, GraphNodeInfo, GraphSummary};
+use sycl_sim::{AccessMode, GraphNodeInfo, GraphSummary, TransferDir};
 
 /// Machine-model facts the lints price against.
 #[derive(Debug, Clone)]
@@ -167,6 +170,7 @@ pub fn lint_graph(g: &GraphSummary, ctx: &LintContext, resolve: &DatResolver) ->
         stale_halo_reads(g, &timelines, ctx, resolve, &mut out);
         dead_code(g, &launches, &timelines, resolve, &mut out);
         redundant_exchanges(g, &timelines, resolve, &mut out);
+        resident_transfers(g, resolve, &mut out);
     }
     fusion_candidates(g, &launches, ctx, resolve, &mut out);
 
@@ -196,9 +200,15 @@ fn build_timelines(g: &GraphSummary) -> BTreeMap<u32, Vec<(usize, Ev)>> {
                     t.entry(d).or_default().push((op, Ev::Exchange));
                 }
             }
-            GraphNodeInfo::Transfer { dats, .. } => {
+            GraphNodeInfo::Transfer { dats, dir, .. } => {
+                // An upload (or on-device copy) writes the dat's device
+                // copy; a download only observes it (a read).
+                let ev = match dir {
+                    TransferDir::D2H => Ev::Read { stencil: false },
+                    _ => Ev::Transfer,
+                };
                 for &d in dats {
-                    t.entry(d).or_default().push((op, Ev::Transfer));
+                    t.entry(d).or_default().push((op, ev));
                 }
             }
             _ => {}
@@ -548,6 +558,67 @@ fn redundant_exchanges(
     }
 }
 
+/// Transfers of dats whose residency already matches the destination.
+/// The tracker starts from what the graph itself proves (its own
+/// uploads, downloads and declared kernel writes) and flags a transfer
+/// only when the destination copy is *known* valid at that point — the
+/// runtime's residency tracker will elide it, so the recorded node
+/// moves no bytes and should be dropped.
+fn resident_transfers(g: &GraphSummary, resolve: &DatResolver, out: &mut Vec<Diagnostic>) {
+    #[derive(Clone, Copy, PartialEq)]
+    enum R {
+        DeviceOnly,
+        Shared,
+    }
+    let mut res: BTreeMap<u32, R> = BTreeMap::new();
+    for n in &g.nodes {
+        match n {
+            GraphNodeInfo::Launch { meta, .. } => {
+                for a in meta.accesses.iter().filter(|a| a.writes() && a.dat != 0) {
+                    res.insert(a.dat, R::DeviceOnly);
+                }
+            }
+            // Id 0 is anonymous (shared by every unregistered dat), so
+            // it can never prove a transfer redundant.
+            GraphNodeInfo::Transfer { dats, dir, .. } if dats.iter().any(|&d| d != 0) => {
+                let redundant = match dir {
+                    // Upload of dats all known device-valid.
+                    TransferDir::H2D => dats.iter().all(|d| res.contains_key(d)),
+                    // Download of dats all known host-valid (uploaded or
+                    // downloaded here, never device-written since).
+                    TransferDir::D2H => dats.iter().all(|d| res.get(d) == Some(&R::Shared)),
+                    TransferDir::D2D => false,
+                };
+                if redundant {
+                    let names: Vec<String> = dats.iter().map(|&d| dat_label(resolve, d)).collect();
+                    let what = if *dir == TransferDir::H2D {
+                        "upload"
+                    } else {
+                        "download"
+                    };
+                    out.push(Diagnostic {
+                        severity: Severity::Warning,
+                        kernel: "<transfer>".to_owned(),
+                        pass: Pass::Dataflow,
+                        detail: format!(
+                            "{what} of [{}] whose residency already matches: the                              destination copy is valid at this point, the runtime                              elides the transfer, and the node moves no bytes",
+                            names.join(", ")
+                        ),
+                    });
+                }
+                if *dir != TransferDir::D2D {
+                    for &d in dats {
+                        if d != 0 {
+                            res.insert(d, R::Shared);
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
 /// Maximal chains of adjacent launches a code generator could fuse:
 /// identical iteration ranges, fully declared accesses, no reductions,
 /// and no stencil-crossing hazard between any pair in the chain.
@@ -893,6 +964,7 @@ mod tests {
             GraphNodeInfo::Transfer {
                 bytes: 800.0,
                 dats: vec![1],
+                dir: TransferDir::H2D,
             },
             launch("clobber", vec![acc(1, AccessMode::Write, 0)]),
             launch(
@@ -911,6 +983,85 @@ mod tests {
             .expect("dead transfer");
         assert_eq!(hit.severity, Severity::Error);
         assert!(hit.detail.contains("clobber"), "{}", hit.detail);
+    }
+
+    #[test]
+    fn double_upload_of_a_resident_dat_warns() {
+        // Seeded defect: the second upload of dat 1 moves nothing — the
+        // device copy is already valid, so the runtime elides it.
+        let up = |d: u32| GraphNodeInfo::Transfer {
+            bytes: 800.0,
+            dats: vec![d],
+            dir: TransferDir::H2D,
+        };
+        let g = summary(vec![
+            up(1),
+            up(1),
+            launch(
+                "reader",
+                vec![acc(1, AccessMode::Read, 0), acc(2, AccessMode::Write, 0)],
+            ),
+            GraphNodeInfo::Transfer {
+                bytes: 800.0,
+                dats: vec![2],
+                dir: TransferDir::D2H,
+            },
+        ]);
+        let diags = lint_graph(&g, &ctx(), &no_name);
+        let hits: Vec<_> = diags
+            .iter()
+            .filter(|d| d.detail.contains("residency already matches"))
+            .collect();
+        assert_eq!(hits.len(), 1, "{diags:?}");
+        assert_eq!(hits[0].severity, Severity::Warning);
+        assert!(hits[0].detail.contains("upload"), "{}", hits[0].detail);
+    }
+
+    #[test]
+    fn download_right_after_upload_warns_but_readback_after_write_does_not() {
+        let g = summary(vec![
+            GraphNodeInfo::Transfer {
+                bytes: 800.0,
+                dats: vec![1],
+                dir: TransferDir::H2D,
+            },
+            // Host copy still valid: this download is elided.
+            GraphNodeInfo::Transfer {
+                bytes: 800.0,
+                dats: vec![1],
+                dir: TransferDir::D2H,
+            },
+            launch("writer", vec![acc(1, AccessMode::ReadWrite, 0)]),
+            // After a device write the readback is real: no warning.
+            GraphNodeInfo::Transfer {
+                bytes: 800.0,
+                dats: vec![1],
+                dir: TransferDir::D2H,
+            },
+        ]);
+        let diags = lint_graph(&g, &ctx(), &no_name);
+        let hits: Vec<_> = diags
+            .iter()
+            .filter(|d| d.detail.contains("residency already matches"))
+            .collect();
+        assert_eq!(hits.len(), 1, "{diags:?}");
+        assert!(hits[0].detail.contains("download"), "{}", hits[0].detail);
+    }
+
+    #[test]
+    fn transfers_of_unknown_state_dats_are_not_flagged() {
+        // A graph that only downloads (a readback graph) proves nothing
+        // about residency — the dats were written by earlier graphs.
+        let g = summary(vec![GraphNodeInfo::Transfer {
+            bytes: 800.0,
+            dats: vec![9],
+            dir: TransferDir::D2H,
+        }]);
+        let diags = lint_graph(&g, &ctx(), &no_name);
+        assert!(
+            !diags.iter().any(|d| d.detail.contains("residency")),
+            "{diags:?}"
+        );
     }
 
     #[test]

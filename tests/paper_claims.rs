@@ -297,8 +297,11 @@ fn fig8_gpu_scheme_ordering_atomics_beats_hierarchical_beats_global() {
             1.05
         };
         assert!(atomics <= hier * slack, "{gpu:?}");
+        // Runtimes now include the staged H2D upload of the hierarchy,
+        // a fixed cost both schemes pay — it compresses the ratio a
+        // little, but global colouring must still be far behind.
         assert!(
-            global > 1.5 * hier,
+            global > 1.4 * hier,
             "{gpu:?}: global {global:.2} hier {hier:.2}"
         );
     }
